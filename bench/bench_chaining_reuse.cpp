@@ -1,0 +1,152 @@
+// Experiment E6 — chaining minimizes loss of effort (§3.3).
+//
+// "The main objective of the proposed solution is to minimize loss of
+// effort by detecting the disconnection as soon as possible and reuse
+// already performed work as much as possible."
+//
+// This bench quantifies both halves on the Figure 2 topology across the
+// disconnection cases: wasted work (nodes done then discarded), work reused
+// (reroutes + adoptions + reused subcalls), detection latency, and whether
+// the transaction decides at all — for the chained protocol, the chained
+// protocol with reuse disabled, and the no-chaining baseline.
+//
+// Expected shape: chained+reuse wastes (near) nothing and always decides;
+// disabling reuse keeps decisions but discards the subtree's work; no
+// chaining without keep-alive hangs in the child-detected cases.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+
+namespace {
+
+using axmlx::bench::Fmt;
+using axmlx::bench::Table;
+using axmlx::repo::AxmlRepository;
+using axmlx::repo::BuildFigureTwo;
+using axmlx::repo::kTxnName;
+using axmlx::repo::ScenarioOptions;
+
+struct Config {
+  bool chained = true;
+  bool reuse = true;
+  axmlx::overlay::Tick keepalive = 0;
+};
+
+struct E6Row {
+  std::string outcome;
+  size_t wasted = 0;
+  int reused = 0;
+  long long detect_time = -1;
+  long long decide_time = 0;
+};
+
+E6Row Run(const Config& config, axmlx::overlay::Tick disconnect_at,
+          const axmlx::overlay::PeerId& victim,
+          axmlx::overlay::Tick duration) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.protocol = config.chained ? AxmlRepository::Protocol::kChained
+                                    : AxmlRepository::Protocol::kRecovering;
+  options.duration = duration;
+  options.add_replicas = true;
+  options.handlers_retry_on_replica = true;
+  options.peer_options.use_chaining = config.chained;
+  options.peer_options.reuse_work = config.reuse;
+  options.peer_options.keepalive_interval = config.keepalive;
+  E6Row row;
+  if (!BuildFigureTwo(&repo, options).ok()) {
+    row.outcome = "BUILD_FAIL";
+    return row;
+  }
+  repo.network().DisconnectAt(disconnect_at, victim);
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  row.outcome = !(*outcome).decided ? "STUCK"
+                : (*outcome).status.ok() ? "COMMITTED"
+                                         : "ABORTED";
+  row.decide_time = (*outcome).duration;
+  for (const axmlx::TraceEvent& e : repo.trace().events()) {
+    if ((e.kind == "PING_TIMEOUT" || e.kind == "SEND_FAIL") &&
+        row.detect_time < 0) {
+      row.detect_time = e.time;
+    }
+  }
+  for (const axmlx::overlay::PeerId& id : repo.network().peer_ids()) {
+    const axmlx::txn::PeerStats& stats = repo.FindPeer(id)->stats();
+    row.wasted += stats.wasted_nodes;
+    row.reused += stats.results_rerouted + stats.subcalls_reused +
+                  stats.adoptions;
+  }
+  return row;
+}
+
+void PrintExperiment() {
+  std::printf(
+      "E6: wasted vs reused work under disconnection (Figure 2, AP3 dies "
+      "at t=5)\n\n");
+  Table table({"scenario", "protocol", "outcome", "wasted nodes",
+               "work reused", "t(detect)", "t(decide)"});
+  struct Scenario {
+    const char* name;
+    axmlx::overlay::Tick keepalive;
+    axmlx::overlay::Tick duration;
+  };
+  // Case (b) timing: no keep-alive; detection only via AP6's failed result
+  // return. Case (c) timing: keep-alive pings at the parent, AP6 mid-flight.
+  const Scenario scenarios[] = {
+      {"(b) detection by returning child", 0, 10},
+      {"(c) detection by pinging parent", 4, 20},
+  };
+  for (const Scenario& s : scenarios) {
+    const Config configs[] = {
+        {true, true, s.keepalive},    // chained + reuse
+        {true, false, s.keepalive},   // chained, reuse disabled
+        {false, true, s.keepalive},   // no chaining
+    };
+    const char* labels[] = {"chained+reuse", "chained, no reuse",
+                            "no chaining"};
+    for (int i = 0; i < 3; ++i) {
+      E6Row row = Run(configs[i], 5, "AP3", s.duration);
+      table.AddRow({s.name, labels[i], row.outcome, Fmt(row.wasted),
+                    Fmt(row.reused),
+                    row.detect_time < 0 ? "-" : Fmt(row.detect_time),
+                    Fmt(row.decide_time)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): chaining with reuse preserves AP6's work and "
+      "commits; without reuse the work is redone or discarded; without "
+      "chaining the case-(b) transaction hangs (detection never reaches "
+      "AP2) and AP6's effort is lost.\n\n");
+}
+
+void BM_ChainedReuseCaseB(benchmark::State& state) {
+  for (auto _ : state) {
+    E6Row row = Run({true, true, 0}, 5, "AP3", 10);
+    benchmark::DoNotOptimize(row.reused);
+  }
+}
+BENCHMARK(BM_ChainedReuseCaseB)->Unit(benchmark::kMillisecond);
+
+void BM_NoChainingCaseB(benchmark::State& state) {
+  for (auto _ : state) {
+    E6Row row = Run({false, true, 0}, 5, "AP3", 10);
+    benchmark::DoNotOptimize(row.wasted);
+  }
+}
+BENCHMARK(BM_NoChainingCaseB)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,184 @@
+// Experiment E1 — Figure 1, the nested recovery protocol (§3.2).
+//
+// Reproduces the paper's Figure 1 scenario (AP5 fails while processing S5
+// as part of transaction TA) under every recovery configuration the section
+// discusses, and reports the protocol metrics the paper argues about
+// qualitatively: how far the abort propagates, how much work is undone
+// ("undo only as much as required"), and what forward recovery saves.
+//
+// Expected shape: with no handlers the abort reaches the origin and all six
+// peers roll back; a handler at AP3 confines the rollback to {AP5, AP6}; a
+// handler at AP1 confines it to AP3's subtree; a replica retry commits with
+// zero lost work at the healthy peers.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+
+namespace {
+
+using axmlx::bench::Fmt;
+using axmlx::bench::Table;
+using axmlx::repo::AxmlRepository;
+using axmlx::repo::BuildFigureOne;
+using axmlx::repo::kTxnName;
+using axmlx::repo::ScenarioOptions;
+
+const std::vector<axmlx::overlay::PeerId> kPeers = {"AP1", "AP2", "AP3",
+                                                    "AP4", "AP5", "AP6"};
+
+struct RunMetrics {
+  std::string outcome;
+  int aborts_sent = 0;
+  int contexts_aborted = 0;
+  int forward_recoveries = 0;
+  int retries = 0;
+  size_t nodes_compensated = 0;
+  size_t surviving_work = 0;  // <entry> rows kept across all peers
+  long long messages = 0;
+  long long decision_time = 0;
+};
+
+size_t CountEntries(AxmlRepository* repo, const axmlx::overlay::PeerId& id) {
+  axmlx::txn::AxmlPeer* peer = repo->FindPeer(id);
+  if (peer == nullptr) return 0;
+  size_t total = 0;
+  for (const std::string& name : peer->repository().DocumentNames()) {
+    const axmlx::xml::Document* doc = peer->repository().GetDocument(name);
+    doc->Walk(doc->root(), [&total](const axmlx::xml::Node& n) {
+      if (n.is_element() && n.name == "entry") ++total;
+      return true;
+    });
+  }
+  return total;
+}
+
+RunMetrics RunScenario(const ScenarioOptions& options) {
+  AxmlRepository repo(options.seed);
+  axmlx::Status built = BuildFigureOne(&repo, options);
+  RunMetrics metrics;
+  if (!built.ok()) {
+    metrics.outcome = "BUILD_FAIL";
+    return metrics;
+  }
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  metrics.outcome = !outcome->decided ? "STUCK"
+                    : outcome->status.ok() ? "COMMITTED"
+                                           : "ABORTED";
+  metrics.messages = outcome->messages;
+  metrics.decision_time = outcome->duration;
+  for (const auto& id : kPeers) {
+    const axmlx::txn::PeerStats& stats = repo.FindPeer(id)->stats();
+    metrics.aborts_sent += stats.aborts_sent;
+    metrics.contexts_aborted += stats.contexts_aborted;
+    metrics.forward_recoveries += stats.forward_recoveries;
+    metrics.retries += stats.retries;
+    metrics.nodes_compensated += stats.nodes_compensated;
+    metrics.surviving_work += CountEntries(&repo, id);
+  }
+  for (const auto& id : kPeers) {
+    if (repo.FindPeer(id + "R") != nullptr) {
+      metrics.surviving_work += CountEntries(&repo, id + "R");
+    }
+  }
+  return metrics;
+}
+
+void PrintExperiment() {
+  std::printf(
+      "E1 / Figure 1: nested recovery for transaction TA after AP5 fails in "
+      "S5\n"
+      "Topology: AP1 -> {S2@AP2, S3@AP3}; AP3 -> {S4@AP4, S5@AP5}; "
+      "AP5 -> S6@AP6; 2 inserts (4 nodes) per service.\n\n");
+  Table table({"recovery configuration", "outcome", "aborts", "ctx aborted",
+               "fwd recov", "retries", "nodes undone", "work kept", "msgs",
+               "t(decide)"});
+
+  auto add_row = [&table](const std::string& label,
+                          const ScenarioOptions& options) {
+    RunMetrics m = RunScenario(options);
+    table.AddRow({label, m.outcome, Fmt(m.aborts_sent),
+                  Fmt(m.contexts_aborted), Fmt(m.forward_recoveries),
+                  Fmt(m.retries), Fmt(m.nodes_compensated),
+                  Fmt(m.surviving_work), Fmt(m.messages),
+                  Fmt(m.decision_time)});
+  };
+
+  {
+    ScenarioOptions options;  // healthy run for reference
+    add_row("no failure (reference)", options);
+  }
+  {
+    ScenarioOptions options;
+    options.s5_fault_probability = 1.0;
+    add_row("S5 fails, no handlers (backward to origin)", options);
+  }
+  {
+    ScenarioOptions options;
+    options.s5_fault_probability = 1.0;
+    options.s5_handler_at_ap3 = true;
+    add_row("S5 fails, handler at AP3 (forward recovery, step 3)", options);
+  }
+  {
+    ScenarioOptions options;
+    options.s5_fault_probability = 1.0;
+    options.s3_handler_at_ap1 = true;
+    add_row("S5 fails, handler at AP1 (forward recovery, step 4)", options);
+  }
+  {
+    ScenarioOptions options;
+    options.s5_fault_probability = 1.0;
+    options.s5_handler_at_ap3 = true;
+    options.peer_options.peer_independent = true;
+    add_row("S5 fails, handler at AP3 + peer-independent comp.", options);
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): handlers higher in the tree save more work; "
+      "no-handler runs undo everything (24 nodes) and reach the origin.\n\n");
+}
+
+void BM_Fig1HealthyTransaction(benchmark::State& state) {
+  for (auto _ : state) {
+    ScenarioOptions options;
+    options.seed = 17;
+    RunMetrics m = RunScenario(options);
+    benchmark::DoNotOptimize(m.surviving_work);
+  }
+}
+BENCHMARK(BM_Fig1HealthyTransaction)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig1FullAbort(benchmark::State& state) {
+  for (auto _ : state) {
+    ScenarioOptions options;
+    options.s5_fault_probability = 1.0;
+    RunMetrics m = RunScenario(options);
+    benchmark::DoNotOptimize(m.nodes_compensated);
+  }
+}
+BENCHMARK(BM_Fig1FullAbort)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig1ForwardRecovery(benchmark::State& state) {
+  for (auto _ : state) {
+    ScenarioOptions options;
+    options.s5_fault_probability = 1.0;
+    options.s5_handler_at_ap3 = true;
+    RunMetrics m = RunScenario(options);
+    benchmark::DoNotOptimize(m.forward_recoveries);
+  }
+}
+BENCHMARK(BM_Fig1ForwardRecovery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

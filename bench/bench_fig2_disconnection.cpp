@@ -1,0 +1,207 @@
+// Experiment E2 — Figure 2, peer disconnection handling (§3.3).
+//
+// Reproduces the paper's four disconnection cases on the exact Figure 2
+// topology [AP1* -> AP2 -> [AP3 -> AP6] || [AP4 -> AP5]], comparing the
+// chain-based protocol against traditional recovery (no chaining).
+//
+// Expected shape: with chaining every case reaches a decision, AP6's work
+// is reused (rerouted results / adoption) and wasted work is minimal; the
+// no-chaining baseline discards AP6's work and — when nobody watches — the
+// transaction simply hangs ("loss of effort").
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "recovery/chained_peer.h"
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+
+namespace {
+
+using axmlx::bench::Fmt;
+using axmlx::bench::Table;
+using axmlx::repo::AxmlRepository;
+using axmlx::repo::BuildFigureTwo;
+using axmlx::repo::kTxnName;
+using axmlx::repo::ScenarioOptions;
+
+const std::vector<axmlx::overlay::PeerId> kPeers = {"AP1", "AP2", "AP3",
+                                                    "AP4", "AP5", "AP6"};
+
+struct CaseMetrics {
+  std::string outcome;
+  size_t wasted_nodes = 0;
+  int reused = 0;  // reroutes + adoptions + reused subcalls
+  int notifications = 0;
+  long long decision_time = 0;
+  long long messages = 0;
+};
+
+ScenarioOptions CaseOptions(bool chained, axmlx::overlay::Tick keepalive,
+                            axmlx::overlay::Tick duration) {
+  ScenarioOptions options;
+  options.protocol = chained ? AxmlRepository::Protocol::kChained
+                             : AxmlRepository::Protocol::kRecovering;
+  options.duration = duration;
+  options.add_replicas = true;
+  options.handlers_retry_on_replica = true;
+  options.peer_options.use_chaining = chained;
+  options.peer_options.keepalive_interval = keepalive;
+  return options;
+}
+
+CaseMetrics Collect(AxmlRepository* repo,
+                    const axmlx::Result<axmlx::repo::TxnOutcome>& outcome) {
+  CaseMetrics metrics;
+  metrics.outcome = !(*outcome).decided ? "STUCK"
+                    : (*outcome).status.ok() ? "COMMITTED"
+                                             : "ABORTED";
+  metrics.decision_time = (*outcome).duration;
+  metrics.messages = (*outcome).messages;
+  std::vector<axmlx::overlay::PeerId> all = kPeers;
+  for (const auto& id : kPeers) all.push_back(id + "R");
+  for (const auto& id : all) {
+    axmlx::txn::AxmlPeer* peer = repo->FindPeer(id);
+    if (peer == nullptr) continue;
+    const axmlx::txn::PeerStats& stats = peer->stats();
+    metrics.wasted_nodes += stats.wasted_nodes;
+    metrics.reused += stats.results_rerouted + stats.subcalls_reused +
+                      stats.adoptions;
+    metrics.notifications += stats.notifications_sent;
+  }
+  return metrics;
+}
+
+/// Case (a): leaf AP6 disconnects at t=5; AP3 watches its children.
+CaseMetrics RunCaseA(bool chained) {
+  AxmlRepository repo(1);
+  ScenarioOptions options = CaseOptions(chained, /*keepalive=*/4, 10);
+  if (!BuildFigureTwo(&repo, options).ok()) return {};
+  auto& ap3 = repo.FindPeer("AP3")->repository();
+  axmlx::service::ServiceDefinition s3 = *ap3.FindService("S3");
+  axmlx::axml::FaultHandler handler;
+  handler.has_retry = true;
+  handler.retry.times = 1;
+  handler.retry.replica_url = "AP6R";
+  s3.subcalls[0].handlers.push_back(handler);
+  ap3.PutService(s3);
+  repo.network().DisconnectAt(5, "AP6");
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  return Collect(&repo, outcome);
+}
+
+/// Case (b): parent AP3 disconnects at t=5; AP6 finds out when returning
+/// results. No keep-alive anywhere — the send failure is the only signal.
+CaseMetrics RunCaseB(bool chained) {
+  AxmlRepository repo(1);
+  ScenarioOptions options = CaseOptions(chained, /*keepalive=*/0, 10);
+  if (!BuildFigureTwo(&repo, options).ok()) return {};
+  repo.network().DisconnectAt(5, "AP3");
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  return Collect(&repo, outcome);
+}
+
+/// Case (c): child AP3 disconnects at t=5 with AP6 mid-flight; AP2 detects
+/// via keep-alive.
+CaseMetrics RunCaseC(bool chained) {
+  AxmlRepository repo(1);
+  ScenarioOptions options = CaseOptions(chained, /*keepalive=*/4, 20);
+  if (!BuildFigureTwo(&repo, options).ok()) return {};
+  repo.network().DisconnectAt(5, "AP3");
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  return Collect(&repo, outcome);
+}
+
+/// Case (d): sibling AP4 watches AP3's data stream and detects the silence.
+CaseMetrics RunCaseD(bool chained) {
+  AxmlRepository repo(1);
+  ScenarioOptions options = CaseOptions(chained, /*keepalive=*/0, 30);
+  if (!BuildFigureTwo(&repo, options).ok()) return {};
+  bool decided = false;
+  axmlx::Status final_status;
+  axmlx::txn::AxmlPeer* origin = repo.FindPeer("AP1");
+  if (!origin
+           ->Submit(&repo.network(), kTxnName, "S1", {},
+                    [&](const std::string&, axmlx::Status s) {
+                      decided = true;
+                      final_status = std::move(s);
+                    })
+           .ok()) {
+    return {};
+  }
+  repo.network().RunUntil(4);
+  if (auto* ap4 =
+          dynamic_cast<axmlx::recovery::ChainedPeer*>(repo.FindPeer("AP4"))) {
+    ap4->WatchSibling(&repo.network(), kTxnName, "AP3", /*interval=*/5);
+  }
+  repo.network().DisconnectAt(8, "AP3");
+  repo.network().RunUntilQuiescent();
+  axmlx::repo::TxnOutcome synthetic;
+  synthetic.decided = decided;
+  synthetic.status = decided ? final_status : axmlx::Timeout("stuck");
+  synthetic.duration = repo.network().now();
+  synthetic.messages = repo.network().stats().messages_sent;
+  axmlx::Result<axmlx::repo::TxnOutcome> wrapped(std::move(synthetic));
+  return Collect(&repo, wrapped);
+}
+
+void PrintExperiment() {
+  std::printf(
+      "E2 / Figure 2: peer disconnection cases (a)-(d), chain-based protocol "
+      "vs traditional recovery\n"
+      "Topology: [AP1* -> AP2 -> [AP3 -> AP6] || [AP4 -> AP5]], replicas "
+      "APxR, 2 inserts per service.\n\n");
+  Table table({"case", "protocol", "outcome", "wasted nodes", "work reused",
+               "notifications", "msgs", "t(decide)"});
+  struct Case {
+    const char* name;
+    CaseMetrics (*run)(bool chained);
+  };
+  const Case cases[] = {
+      {"(a) leaf AP6 dies, parent detects", &RunCaseA},
+      {"(b) parent AP3 dies, child detects", &RunCaseB},
+      {"(c) child AP3 dies, parent pings", &RunCaseC},
+      {"(d) sibling AP4 detects silence", &RunCaseD},
+  };
+  for (const Case& c : cases) {
+    for (bool chained : {true, false}) {
+      CaseMetrics m = c.run(chained);
+      table.AddRow({c.name, chained ? "chained" : "no-chain", m.outcome,
+                    Fmt(m.wasted_nodes), Fmt(m.reused), Fmt(m.notifications),
+                    Fmt(m.messages), Fmt(m.decision_time)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): the chained protocol decides every case and "
+      "reuses AP6's work; without chaining, case (b)/(d) hang or waste the "
+      "whole subtree.\n\n");
+}
+
+void BM_Fig2CaseB_Chained(benchmark::State& state) {
+  for (auto _ : state) {
+    CaseMetrics m = RunCaseB(true);
+    benchmark::DoNotOptimize(m.reused);
+  }
+}
+BENCHMARK(BM_Fig2CaseB_Chained)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig2CaseC_Chained(benchmark::State& state) {
+  for (auto _ : state) {
+    CaseMetrics m = RunCaseC(true);
+    benchmark::DoNotOptimize(m.reused);
+  }
+}
+BENCHMARK(BM_Fig2CaseC_Chained)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Experiment E4 — forward vs backward recovery cost (§3.2).
+//
+// The paper: "The preferred option would depend on the 'cost' of forward
+// versus backward recovery. For AXML systems, the number of XML nodes
+// affected (traversed) is usually a good measure of the cost." This bench
+// builds uniform service trees, injects a failure at each depth, and
+// measures exactly that cost measure for:
+//   backward  — no handlers: the abort propagates to the origin, everything
+//               rolls back;
+//   forward   — an absorb handler directly above the failure: only the
+//               failed subtree rolls back.
+//
+// Expected shape: backward cost is proportional to the whole tree; forward
+// cost only to the failed subtree, so the gap grows with failure depth.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+
+namespace {
+
+using axmlx::bench::Fmt;
+using axmlx::bench::Table;
+using axmlx::repo::AxmlRepository;
+using axmlx::repo::BuildUniformTree;
+using axmlx::repo::ScenarioOptions;
+
+/// Peer id at depth k along the leftmost path: "P", "P0", "P00", ...
+axmlx::overlay::PeerId PeerAtDepth(int depth) {
+  axmlx::overlay::PeerId id = "P";
+  for (int i = 0; i < depth; ++i) id += "0";
+  return id;
+}
+
+struct E4Row {
+  std::string outcome;
+  size_t nodes_undone = 0;
+  int aborts = 0;
+  int contexts_aborted = 0;
+  long long messages = 0;
+};
+
+E4Row Run(int depth, int fanout, int failure_depth, bool forward) {
+  AxmlRepository repo(5);
+  ScenarioOptions options;
+  options.duration = 2;
+  options.ops_per_service = 2;
+  axmlx::overlay::PeerId origin;
+  E4Row row;
+  if (!BuildUniformTree(&repo, options, depth, fanout, &origin).ok()) {
+    row.outcome = "BUILD_FAIL";
+    return row;
+  }
+  // Inject the failure at `failure_depth` on the leftmost path; it strikes
+  // after the subtree below it completed (worst case for lost work).
+  axmlx::overlay::PeerId failing = PeerAtDepth(failure_depth);
+  {
+    auto& failing_repo = repo.FindPeer(failing)->repository();
+    axmlx::service::ServiceDefinition def = *failing_repo.FindService("S");
+    def.fault_probability = 1.0;
+    def.fault_name = "Injected";
+    def.fault_after_subcalls = true;
+    failing_repo.PutService(def);
+  }
+  if (forward && failure_depth > 0) {
+    // Absorb handler on the failing child's edge at its parent.
+    axmlx::overlay::PeerId parent = PeerAtDepth(failure_depth - 1);
+    auto& parent_repo = repo.FindPeer(parent)->repository();
+    axmlx::service::ServiceDefinition def = *parent_repo.FindService("S");
+    for (auto& sub : def.subcalls) {
+      if (sub.peer == failing) {
+        sub.handlers.push_back(axmlx::axml::FaultHandler{});  // catchAll
+      }
+    }
+    parent_repo.PutService(def);
+  }
+  auto outcome = repo.RunTransaction(origin, "TA", "S");
+  row.outcome = !(*outcome).decided ? "STUCK"
+                : (*outcome).status.ok() ? "COMMITTED"
+                                         : "ABORTED";
+  row.messages = (*outcome).messages;
+  for (const axmlx::overlay::PeerId& id : repo.network().peer_ids()) {
+    const axmlx::txn::PeerStats& stats = repo.FindPeer(id)->stats();
+    row.nodes_undone += stats.nodes_compensated;
+    row.aborts += stats.aborts_sent;
+    row.contexts_aborted += stats.contexts_aborted;
+  }
+  return row;
+}
+
+void PrintExperiment() {
+  std::printf(
+      "E4: forward vs backward recovery cost (nodes undone = the paper's "
+      "cost measure), uniform trees, 2 inserts (4 nodes) per service\n\n");
+  Table table({"tree (depth x fanout)", "failure depth", "strategy",
+               "outcome", "nodes undone", "aborts", "ctx aborted", "msgs"});
+  for (auto [depth, fanout] : std::vector<std::pair<int, int>>{
+           {2, 2}, {3, 2}, {4, 2}, {3, 3}}) {
+    for (int failure_depth = 1; failure_depth <= depth; ++failure_depth) {
+      for (bool forward : {false, true}) {
+        E4Row row = Run(depth, fanout, failure_depth, forward);
+        table.AddRow({Fmt(depth) + "x" + Fmt(fanout), Fmt(failure_depth),
+                      forward ? "forward" : "backward", row.outcome,
+                      Fmt(row.nodes_undone), Fmt(row.aborts),
+                      Fmt(row.contexts_aborted), Fmt(row.messages)});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): backward recovery undoes the whole tree "
+      "regardless of failure depth; forward recovery's cost shrinks as the "
+      "failure moves deeper (smaller failed subtree), so the paper prefers "
+      "forward recovery and 'undo only as much as required'.\n\n");
+}
+
+void BM_BackwardRecoveryDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    E4Row row = Run(depth, 2, 1, /*forward=*/false);
+    benchmark::DoNotOptimize(row.nodes_undone);
+  }
+}
+BENCHMARK(BM_BackwardRecoveryDepth)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForwardRecoveryDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    E4Row row = Run(depth, 2, depth, /*forward=*/true);
+    benchmark::DoNotOptimize(row.nodes_undone);
+  }
+}
+BENCHMARK(BM_ForwardRecoveryDepth)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

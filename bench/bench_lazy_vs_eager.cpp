@@ -1,0 +1,149 @@
+// Experiment E7 — lazy vs eager query evaluation (§3.1).
+//
+// "There are two possible modes for AXML query evaluation: lazy and eager.
+// Of the two, lazy evaluation is the preferred mode and implies that only
+// those embedded service calls are materialized whose results are required
+// for evaluating the query."
+//
+// This bench sweeps the number of embedded calls per document and the
+// query's selectivity (how many of those calls the query actually needs),
+// and reports invocations performed, document growth, and the size of the
+// compensation the query leaves behind.
+//
+// Expected shape: lazy invocations track the needed count k; eager always
+// materializes all n calls, so its cost — including its compensation
+// footprint — grows with n even for k=1 (the paper's Query A/B point).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "compensation/compensation.h"
+#include "ops/executor.h"
+#include "xml/builder.h"
+#include "xml/parser.h"
+
+namespace {
+
+using axmlx::bench::Fmt;
+using axmlx::bench::Table;
+
+/// A document with `n` embedded calls, each producing a distinct output
+/// element name fld0..fld{n-1}.
+std::unique_ptr<axmlx::xml::Document> BuildDoc(int n) {
+  auto doc = std::make_unique<axmlx::xml::Document>("Store");
+  axmlx::xml::NodeId item =
+      axmlx::xml::AddElement(doc.get(), doc->root(), "item");
+  axmlx::xml::AddTextElement(doc.get(), item, "id", "1");
+  for (int i = 0; i < n; ++i) {
+    axmlx::xml::NodeId sc = axmlx::xml::AddElement(doc.get(), item, "axml:sc");
+    (void)doc->SetAttribute(sc, "mode", "replace");
+    (void)doc->SetAttribute(sc, "methodName", "get" + std::to_string(i));
+    (void)doc->SetAttribute(sc, "outputName", "fld" + std::to_string(i));
+    axmlx::xml::AddTextElement(doc.get(), sc, "fld" + std::to_string(i),
+                               "stale");
+  }
+  return doc;
+}
+
+axmlx::axml::ServiceInvoker FieldInvoker(int* invocations) {
+  return [invocations](const axmlx::axml::ServiceRequest& request)
+             -> axmlx::Result<axmlx::axml::ServiceResponse> {
+    ++*invocations;
+    std::string field = "fld" + request.method_name.substr(3);
+    axmlx::axml::ServiceResponse response;
+    auto frag =
+        axmlx::xml::Parse("<r><" + field + ">fresh</" + field + "></r>");
+    if (!frag.ok()) return frag.status();
+    response.fragment = std::move(frag).value();
+    return response;
+  };
+}
+
+std::string QueryNeeding(int k) {
+  std::string selects;
+  for (int i = 0; i < k; ++i) {
+    if (i > 0) selects += ", ";
+    selects += "it/fld" + std::to_string(i);
+  }
+  return "Select " + selects + " from it in Store//item";
+}
+
+struct E7Row {
+  int invocations = 0;
+  size_t comp_ops = 0;
+  size_t comp_cost = 0;
+};
+
+E7Row Run(int n, int k, bool eager) {
+  auto doc = BuildDoc(n);
+  int invocations = 0;
+  axmlx::ops::Executor executor(doc.get(), FieldInvoker(&invocations));
+  axmlx::ops::Operation query =
+      axmlx::ops::MakeQuery(QueryNeeding(k), eager);
+  auto effect = executor.Execute(query);
+  E7Row row;
+  if (!effect.ok()) return row;
+  row.invocations = invocations;
+  axmlx::comp::CompensationPlan plan =
+      axmlx::comp::CompensationBuilder::ForEffect(*effect);
+  row.comp_ops = plan.operations.size();
+  row.comp_cost = plan.cost_nodes;
+  return row;
+}
+
+void PrintExperiment() {
+  std::printf(
+      "E7: lazy vs eager evaluation — service calls invoked and the "
+      "compensation footprint a single query leaves behind\n\n");
+  Table table({"embedded calls n", "query needs k", "mode", "invocations",
+               "comp ops", "comp cost (nodes)"});
+  for (int n : {4, 16, 64}) {
+    for (int k : {1, n / 2, n}) {
+      for (bool eager : {false, true}) {
+        E7Row row = Run(n, k, eager);
+        table.AddRow({Fmt(n), Fmt(k), eager ? "eager" : "lazy",
+                      Fmt(row.invocations), Fmt(row.comp_ops),
+                      Fmt(row.comp_cost)});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): lazy invokes exactly k calls (Query A "
+      "materializes getGrandSlamsWonbyYear and not getPoints); eager always "
+      "invokes n, and its compensation footprint grows with n even when "
+      "the query needed one field.\n\n");
+}
+
+void BM_LazyQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    E7Row row = Run(n, 1, /*eager=*/false);
+    benchmark::DoNotOptimize(row.invocations);
+  }
+}
+BENCHMARK(BM_LazyQuery)->Arg(4)->Arg(16)->Arg(64)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_EagerQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    E7Row row = Run(n, 1, /*eager=*/true);
+    benchmark::DoNotOptimize(row.invocations);
+  }
+}
+BENCHMARK(BM_EagerQuery)->Arg(4)->Arg(16)->Arg(64)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

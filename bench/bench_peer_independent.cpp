@@ -1,0 +1,157 @@
+// Experiment E5 — peer-independent compensation under disconnection (§3.2,
+// §3.3).
+//
+// In the Figure 1 scenario, S5's late fault forces the transaction to roll
+// back work that AP2, AP4 and AP6 already completed. Each of those peers
+// then disconnects, with probability p, right after returning its results —
+// "compensation might lead to peer disconnection having an adverse affect
+// even after the actual processing has completed".
+//
+// Peer-dependent compensation needs the original peer alive to replay its
+// log; peer-independent compensation ships the compensating-service
+// definition with the results, so the recovering peer can run it on the
+// disconnected peer's replica.
+//
+// Expected shape: the peer-dependent success rate decays like
+// (1-p)^3 as p grows; the peer-independent rate stays at 100%.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+
+namespace {
+
+using axmlx::Rng;
+using axmlx::bench::Fmt;
+using axmlx::bench::Table;
+using axmlx::repo::AxmlRepository;
+using axmlx::repo::BuildFigureOne;
+using axmlx::repo::kTxnName;
+using axmlx::repo::ScenarioDocName;
+using axmlx::repo::ScenarioOptions;
+
+/// Workers that complete before the fault, with the tick right after their
+/// RESULT leaves (duration 10, latency 1; see the timeline in the tests).
+const std::vector<std::pair<axmlx::overlay::PeerId, axmlx::overlay::Tick>>
+    kCompleters = {{"AP2", 12}, {"AP4", 13}, {"AP6", 14}};
+
+size_t EntriesIn(const axmlx::xml::Document* doc) {
+  if (doc == nullptr) return 0;
+  size_t count = 0;
+  doc->Walk(doc->root(), [&count](const axmlx::xml::Node& n) {
+    if (n.is_element() && n.name == "entry") ++count;
+    return true;
+  });
+  return count;
+}
+
+struct TrialResult {
+  bool fully_recovered = false;
+  size_t stranded_nodes = 0;
+};
+
+TrialResult RunTrial(double p, bool independent, uint64_t seed) {
+  Rng rng(seed);
+  AxmlRepository repo(seed);
+  ScenarioOptions options;
+  options.s5_fault_probability = 1.0;
+  options.duration = 10;
+  options.add_replicas = true;
+  options.peer_options.peer_independent = independent;
+  options.seed = seed;
+  if (!BuildFigureOne(&repo, options).ok()) return {};
+  for (const auto& [peer, when] : kCompleters) {
+    if (rng.Bernoulli(p)) repo.network().DisconnectAt(when, peer);
+  }
+  (void)repo.RunTransaction("AP1", kTxnName, "S1");
+
+  // The system's surviving copy of a disconnected peer's document is its
+  // replica; for connected peers it is the peer's own document. Any <entry>
+  // left there is stranded, uncompensated work.
+  TrialResult result;
+  size_t stranded = 0;
+  for (const auto& [peer, when] : kCompleters) {
+    const axmlx::overlay::PeerId host =
+        repo.network().IsConnected(peer) ? peer : peer + "R";
+    const axmlx::xml::Document* doc =
+        repo.FindPeer(host)->repository().GetDocument(ScenarioDocName(peer));
+    stranded += EntriesIn(doc);
+  }
+  result.stranded_nodes = stranded;
+  result.fully_recovered = (stranded == 0);
+  return result;
+}
+
+struct SweepRow {
+  double success_rate = 0;
+  double avg_stranded = 0;
+};
+
+SweepRow Sweep(double p, bool independent, int trials) {
+  SweepRow row;
+  int ok = 0;
+  size_t stranded = 0;
+  for (int i = 0; i < trials; ++i) {
+    TrialResult r = RunTrial(p, independent, 1000 + static_cast<uint64_t>(i));
+    if (r.fully_recovered) ++ok;
+    stranded += r.stranded_nodes;
+  }
+  row.success_rate = 100.0 * ok / trials;
+  row.avg_stranded = static_cast<double>(stranded) / trials;
+  return row;
+}
+
+void PrintExperiment() {
+  constexpr int kTrials = 200;
+  std::printf(
+      "E5: recovery success vs post-completion disconnection probability p "
+      "(%d trials per point, Figure 1 with S5 failing late)\n\n",
+      kTrials);
+  Table table({"p(disconnect)", "mode", "fully recovered %",
+               "avg stranded entries"});
+  for (double p : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    for (bool independent : {false, true}) {
+      SweepRow row = Sweep(p, independent, kTrials);
+      table.AddRow({Fmt(p), independent ? "peer-independent" : "peer-dependent",
+                    Fmt(row.success_rate), Fmt(row.avg_stranded)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): peer-dependent success decays ~ (1-p)^3 with "
+      "three completed participants; peer-independent compensation (plans "
+      "executed on replicas) stays at 100%%.\n\n");
+}
+
+void BM_TrialPeerDependent(benchmark::State& state) {
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    TrialResult r = RunTrial(0.4, false, seed++);
+    benchmark::DoNotOptimize(r.stranded_nodes);
+  }
+}
+BENCHMARK(BM_TrialPeerDependent)->Unit(benchmark::kMillisecond);
+
+void BM_TrialPeerIndependent(benchmark::State& state) {
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    TrialResult r = RunTrial(0.4, true, seed++);
+    benchmark::DoNotOptimize(r.stranded_nodes);
+  }
+}
+BENCHMARK(BM_TrialPeerIndependent)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Experiment E9 — Spheres of Atomicity (§3.3, after Alonso & Hagen [18]).
+//
+// "It might not be possible to guarantee atomicity as long as peer
+// disconnection is possible. Here, we can use the notions of Spheres of
+// Atomicity to check if atomicity is guaranteed, e.g., atomicity may still
+// be guaranteed for a transaction if all the involved peers are super
+// peers."
+//
+// This bench sweeps the super-peer fraction f in random service trees and
+// measures (i) the fraction of transactions whose chain passes the
+// all-super-peer check, and (ii) the empirically observed atomicity
+// violations (stranded, uncompensated work) when ordinary peers disconnect
+// with a fixed probability mid-transaction.
+//
+// Expected shape: the guaranteed fraction rises steeply with f (every peer
+// in the chain must be super); observed violations fall to zero at f=1.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+
+namespace {
+
+using axmlx::Rng;
+using axmlx::bench::Fmt;
+using axmlx::bench::Table;
+using axmlx::repo::AxmlRepository;
+using axmlx::repo::ScenarioDocName;
+
+/// Builds a random service tree with `peers` peers; each non-origin peer is
+/// a super peer with probability f.
+struct RandomOverlay {
+  explicit RandomOverlay(uint64_t seed)
+      : repo(std::make_unique<AxmlRepository>(seed)) {}
+  std::unique_ptr<AxmlRepository> repo;
+  std::vector<axmlx::overlay::PeerId> ids;
+};
+
+axmlx::Status BuildRandomOverlay(RandomOverlay* overlay, int peers, double f,
+                                 Rng* rng) {
+  for (int i = 0; i < peers; ++i) {
+    axmlx::overlay::PeerId id = "N" + std::to_string(i);
+    AxmlRepository::PeerConfig config;
+    config.id = id;
+    // The origin is always super (someone must survive to decide).
+    config.super_peer = (i == 0) || rng->Bernoulli(f);
+    config.protocol = AxmlRepository::Protocol::kRecovering;
+    config.seed = rng->Next();
+    AXMLX_RETURN_IF_ERROR(overlay->repo->AddPeer(config).status());
+    AXMLX_RETURN_IF_ERROR(overlay->repo->HostDocument(
+        id, "<" + ScenarioDocName(id) + "><log/></" + ScenarioDocName(id) +
+                ">"));
+    overlay->ids.push_back(id);
+  }
+  // Random tree: peer i's parent is a uniform pick among 0..i-1.
+  std::vector<std::vector<int>> children(static_cast<size_t>(peers));
+  for (int i = 1; i < peers; ++i) {
+    children[rng->Uniform(static_cast<uint64_t>(i))].push_back(i);
+  }
+  for (int i = peers - 1; i >= 0; --i) {
+    axmlx::service::ServiceDefinition def;
+    def.name = "S";
+    def.document = ScenarioDocName(overlay->ids[static_cast<size_t>(i)]);
+    def.ops.push_back(axmlx::ops::MakeInsert(
+        "Select d from d in " + def.document + "//log", "<entry>w</entry>"));
+    def.duration = 5;
+    for (int c : children[static_cast<size_t>(i)]) {
+      def.subcalls.push_back(
+          {overlay->ids[static_cast<size_t>(c)], "S", {}, {}});
+    }
+    AXMLX_RETURN_IF_ERROR(overlay->repo->HostService(
+        overlay->ids[static_cast<size_t>(i)], std::move(def)));
+  }
+  return axmlx::Status::Ok();
+}
+
+struct E9Row {
+  double guaranteed_pct = 0;
+  double violation_pct = 0;
+  double decided_pct = 0;
+};
+
+E9Row Sweep(double f, int trials) {
+  E9Row row;
+  int guaranteed = 0;
+  int violations = 0;
+  int decided = 0;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(static_cast<uint64_t>(t) * 31 + 7);
+    RandomOverlay overlay(static_cast<uint64_t>(t) + 1);
+    if (!BuildRandomOverlay(&overlay, 8, f, &rng).ok()) continue;
+    auto chain = overlay.repo->directory().BuildChain("N0", "S");
+    if (!chain.ok()) continue;
+    if (chain->AtomicityGuaranteed()) ++guaranteed;
+    // Each ordinary peer disconnects with probability 0.3 mid-transaction.
+    for (const auto& id : overlay.ids) {
+      if (overlay.repo->FindPeer(id)->super_peer()) continue;
+      if (rng.Bernoulli(0.3)) {
+        overlay.repo->network().DisconnectAt(
+            static_cast<axmlx::overlay::Tick>(2 + rng.Uniform(20)), id);
+      }
+    }
+    auto outcome = overlay.repo->RunTransaction("N0", "TA", "S");
+    if ((*outcome).decided) ++decided;
+    // Violation: stranded work — a connected peer still holding <entry>
+    // rows although the transaction did not commit, or a disconnected peer
+    // that had done work.
+    if (!(*outcome).status.ok()) {
+      bool stranded = false;
+      for (const auto& id : overlay.ids) {
+        if (!overlay.repo->network().IsConnected(id)) {
+          const axmlx::txn::PeerStats& stats =
+              overlay.repo->FindPeer(id)->stats();
+          if (stats.wasted_nodes == 0 && stats.nodes_compensated == 0) {
+            // Peer may have done work that was never undone.
+            const axmlx::xml::Document* doc =
+                overlay.repo->FindPeer(id)->repository().GetDocument(
+                    ScenarioDocName(id));
+            doc->Walk(doc->root(), [&stranded](const axmlx::xml::Node& n) {
+              if (n.is_element() && n.name == "entry") stranded = true;
+              return true;
+            });
+          }
+        }
+      }
+      if (stranded) ++violations;
+    }
+  }
+  row.guaranteed_pct = 100.0 * guaranteed / trials;
+  row.violation_pct = 100.0 * violations / trials;
+  row.decided_pct = 100.0 * decided / trials;
+  return row;
+}
+
+void PrintExperiment() {
+  constexpr int kTrials = 100;
+  std::printf(
+      "E9: Spheres of Atomicity — random 8-peer service trees, ordinary "
+      "peers disconnect w.p. 0.3 (%d trials per point)\n\n",
+      kTrials);
+  Table table({"super-peer fraction f", "atomicity guaranteed %",
+               "observed violations %", "decided %"});
+  for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    E9Row row = Sweep(f, kTrials);
+    table.AddRow({Fmt(f), Fmt(row.guaranteed_pct), Fmt(row.violation_pct),
+                  Fmt(row.decided_pct)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): the all-super-peer check passes more often as "
+      "f grows (sharply, since *every* chain member must be super), and at "
+      "f=1 no disconnections — hence no violations — are possible.\n\n");
+}
+
+void BM_RandomOverlayTransaction(benchmark::State& state) {
+  int t = 0;
+  for (auto _ : state) {
+    Rng rng(static_cast<uint64_t>(t++));
+    RandomOverlay overlay(static_cast<uint64_t>(t));
+    if (!BuildRandomOverlay(&overlay, 8, 0.5, &rng).ok()) continue;
+    auto outcome = overlay.repo->RunTransaction("N0", "TA", "S");
+    benchmark::DoNotOptimize((*outcome).decided);
+  }
+}
+BENCHMARK(BM_RandomOverlayTransaction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+#ifndef AXMLX_BENCH_BENCH_UTIL_H_
+#define AXMLX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace axmlx::bench {
+
+/// Minimal fixed-width table printer for experiment output. Every bench
+/// prints its experiment rows through this, so EXPERIMENTS.md and the bench
+/// logs share one format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        if (row[i].size() > widths[i]) widths[i] = row[i].size();
+      }
+    }
+    PrintRule(widths);
+    PrintRow(headers_, widths);
+    PrintRule(widths);
+    for (const auto& row : rows_) PrintRow(row, widths);
+    PrintRule(widths);
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& cells,
+                       const std::vector<size_t>& widths) {
+    std::printf("|");
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::printf("\n");
+  }
+  static void PrintRule(const std::vector<size_t>& widths) {
+    std::printf("+");
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+template <typename T>
+  requires std::is_integral_v<T>
+std::string Fmt(T v) {
+  return std::to_string(v);
+}
+
+}  // namespace axmlx::bench
+
+#endif  // AXMLX_BENCH_BENCH_UTIL_H_

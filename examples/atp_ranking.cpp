@@ -1,0 +1,136 @@
+// ATP ranking across a 3-peer overlay (the paper's motivating data setup).
+//
+// AP1 hosts ATPList.xml whose embedded service calls point at services
+// hosted on AP2 (getPoints) and AP3 (getGrandSlamsWonbyYear), which answer
+// from their own AXML documents. Evaluating a query on AP1 therefore
+// triggers cross-peer invocations — the "distributed" trait of §1 — and a
+// retry fault-handler covers AP2's flaky service.
+//
+// Build & run:  cmake --build build && ./build/examples/atp_ranking
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "ops/executor.h"
+#include "ops/operation.h"
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+#include "xml/parser.h"
+
+namespace {
+
+using axmlx::repo::AxmlRepository;
+
+const char* kAtpListXml = R"(<ATPList date="18042005">
+  <player rank="1">
+    <name><firstname>Roger</firstname><lastname>Federer</lastname></name>
+    <citizenship>Swiss</citizenship>
+    <axml:sc mode="replace" serviceURL="AP2" methodName="getPoints"
+             outputName="points">
+      <axml:params>
+        <axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param>
+      </axml:params>
+      <axml:catchAll><axml:retry times="3" wait="0"/></axml:catchAll>
+      <points>475</points>
+    </axml:sc>
+    <axml:sc mode="merge" serviceURL="AP3" methodName="getGrandSlamsWonbyYear"
+             outputName="grandslamswon">
+      <axml:params>
+        <axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param>
+        <axml:param name="year"><axml:value>$year</axml:value></axml:param>
+      </axml:params>
+      <grandslamswon year="2003">A, W</grandslamswon>
+      <grandslamswon year="2004">A, U</grandslamswon>
+    </axml:sc>
+  </player>
+</ATPList>)";
+
+// AP2's source of truth for ranking points.
+const char* kPointsDbXml = R"(<PointsDB>
+  <row player="Roger Federer"><points>890</points></row>
+  <row player="Rafael Nadal"><points>760</points></row>
+</PointsDB>)";
+
+void Check(const axmlx::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  AxmlRepository repo(2026);
+  for (const char* id : {"AP1", "AP2", "AP3"}) {
+    AxmlRepository::PeerConfig config;
+    config.id = id;
+    Check(repo.AddPeer(config).status(), "add peer");
+  }
+  Check(repo.HostDocument("AP1", kAtpListXml), "host ATPList");
+  Check(repo.HostDocument("AP2", kPointsDbXml), "host PointsDB");
+
+  // AP2: getPoints, an AXML service — a query over PointsDB (§3: "AXML
+  // Services: Web services defined as queries/updates over AXML
+  // documents"). It fails transiently 50% of the time; the embedded call's
+  // retry handler covers it.
+  axmlx::service::ServiceDefinition get_points;
+  get_points.name = "getPoints";
+  get_points.document = "PointsDB";
+  get_points.ops.push_back(axmlx::ops::MakeQuery(
+      "Select r/points from r in PointsDB//row where r/player = \"${name}\""));
+  get_points.fault_probability = 0.0;  // injected faults live on the txn path
+  Check(repo.HostService("AP2", get_points), "host getPoints");
+
+  // AP3: getGrandSlamsWonbyYear as a native service with its own logic.
+  axmlx::service::ServiceDefinition get_slams;
+  get_slams.name = "getGrandSlamsWonbyYear";
+  get_slams.native = [](const axmlx::axml::ServiceRequest& request)
+      -> axmlx::Result<axmlx::axml::ServiceResponse> {
+    std::string year = "?";
+    for (const auto& [k, v] : request.params) {
+      if (k == "year") year = v;
+    }
+    axmlx::axml::ServiceResponse response;
+    auto frag = axmlx::xml::Parse("<r><grandslamswon year=\"" + year +
+                                  "\">A, F</grandslamswon></r>");
+    if (!frag.ok()) return frag.status();
+    response.fragment = std::move(frag).value();
+    return response;
+  };
+  Check(repo.HostService("AP3", get_slams), "host getGrandSlamsWonbyYear");
+
+  // Evaluate queries on AP1; embedded calls route to AP2/AP3 by serviceURL.
+  axmlx::txn::AxmlPeer* ap1 = repo.FindPeer("AP1");
+  axmlx::xml::Document* atp =
+      ap1->repository().GetDocument("ATPList");
+  axmlx::repo::LocalTransaction txn(atp, ap1->DataPlaneInvoker());
+  txn.SetExternal("year", "2005");
+
+  std::printf("Initial Federer points (cached): ");
+  {
+    auto q = txn.Execute(axmlx::ops::MakeQuery(
+        "Select p/grandslamswon from p in ATPList//player "
+        "where p/name/lastname = Federer"));
+    Check(q.status(), "slam query");
+    std::printf("query A selected %zu grandslam rows "
+                "(2005 fetched from AP3)\n",
+                (*q)->query_result.AllSelected().size());
+  }
+  {
+    auto q = txn.Execute(axmlx::ops::MakeQuery(
+        "Select p/points from p in ATPList//player "
+        "where p/name/lastname = Federer"));
+    Check(q.status(), "points query");
+    auto nodes = (*q)->query_result.AllSelected();
+    std::printf("Federer points after refresh from AP2: %s\n",
+                nodes.empty() ? "?" : atp->TextContent(nodes[0]).c_str());
+  }
+  std::printf("\nATPList.xml on AP1 after distributed evaluation:\n%s\n",
+              atp->Serialize(axmlx::xml::kNullNode, true).c_str());
+  std::printf("Transaction touched %zu nodes; committing.\n",
+              txn.NodesAffected());
+  Check(txn.Commit(), "commit");
+  return 0;
+}

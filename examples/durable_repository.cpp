@@ -1,0 +1,100 @@
+// Durable AXML repository: the "D" in the relaxed-ACID framework.
+//
+// Runs transactions against a disk-backed store (write-ahead log +
+// snapshots), simulates a crash with an in-flight transaction, and shows
+// recovery replaying the committed work and compensating the loser —
+// using exactly the paper's dynamically constructed compensating
+// operations (§3.1) as the undo mechanism.
+//
+// Build & run:  cmake --build build && ./build/examples/durable_repository
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "ops/operation.h"
+#include "storage/durable_store.h"
+
+namespace {
+
+const char* kDir = "/tmp/axmlx_durable_example";
+
+const char* kInventoryXml =
+    "<Inventory>"
+    "<shelf id=\"A\"><item sku=\"100\">5</item></shelf>"
+    "<shelf id=\"B\"/>"
+    "</Inventory>";
+
+void Check(const axmlx::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+size_t Items(axmlx::storage::DurableStore* store) {
+  axmlx::xml::Document* doc = store->Get("Inventory");
+  size_t count = 0;
+  doc->Walk(doc->root(), [&count](const axmlx::xml::Node& n) {
+    if (n.is_element() && n.name == "item") ++count;
+    return true;
+  });
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  std::string cleanup = std::string("rm -rf ") + kDir;
+  (void)std::system(cleanup.c_str());
+
+  {
+    axmlx::storage::DurableStore store(kDir, nullptr);
+    Check(store.Open(), "open");
+    Check(store.CreateDocument(kInventoryXml), "create document");
+
+    // T1 commits: its effects must survive any crash.
+    Check(store.Begin("T1"), "begin T1");
+    Check(store
+              .Execute("T1", "Inventory",
+                       axmlx::ops::MakeInsert(
+                           "Select s from s in Inventory//shelf "
+                           "where s/@id = B",
+                           "<item sku=\"200\">9</item>"))
+              .status(),
+          "T1 insert");
+    Check(store.Commit("T1"), "commit T1");
+
+    // T2 is in flight when the process "crashes" (we just drop the store).
+    Check(store.Begin("T2"), "begin T2");
+    Check(store
+              .Execute("T2", "Inventory",
+                       axmlx::ops::MakeDelete(
+                           "Select s/item from s in Inventory//shelf "
+                           "where s/@id = A"))
+              .status(),
+          "T2 delete");
+    std::printf("before crash: %zu items (T1 committed, T2 in flight)\n",
+                Items(&store));
+  }  // <- crash: no Commit("T2"), no Checkpoint
+
+  {
+    axmlx::storage::DurableStore recovered(kDir, nullptr);
+    Check(recovered.Open(), "recovery");
+    std::printf(
+        "after recovery: %zu items — replayed %lld op(s), compensated %lld "
+        "in-flight txn(s)\n",
+        Items(&recovered),
+        static_cast<long long>(recovered.stats().replayed_ops),
+        static_cast<long long>(recovered.stats().recovered_txns));
+    // T1's item on shelf B survived; T2's delete of shelf A's item was
+    // undone by the dynamically constructed compensating insert.
+    axmlx::xml::Document* doc = recovered.Get("Inventory");
+    std::printf("document:\n%s\n",
+                doc->Serialize(axmlx::xml::kNullNode, true).c_str());
+    Check(recovered.Checkpoint(), "checkpoint");
+    std::printf("checkpointed; the WAL is truncated and restart is O(docs).\n");
+    return Items(&recovered) == 2 ? 0 : 1;
+  }
+}

@@ -1,0 +1,134 @@
+// Quickstart: dynamic compensation on a single AXML peer (paper §3.1).
+//
+// Loads the paper's ATPList.xml, evaluates Query A and Query B — whose lazy
+// evaluation *modifies* the document by materializing embedded service
+// calls — then aborts the transaction and shows the dynamically constructed
+// compensating operations restoring the document exactly.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "axml/materializer.h"
+#include "compensation/compensation.h"
+#include "ops/operation.h"
+#include "repo/axml_repository.h"
+#include "xml/parser.h"
+
+namespace {
+
+// The paper's running example (§3.1): two embedded calls on Federer,
+// getPoints (mode replace) and getGrandSlamsWonbyYear (mode merge).
+const char* kAtpListXml = R"(<?xml version="1.0" encoding="UTF-8"?>
+<ATPList date="18042005">
+  <player rank="1">
+    <name><firstname>Roger</firstname><lastname>Federer</lastname></name>
+    <citizenship>Swiss</citizenship>
+    <axml:sc mode="replace" serviceNameSpace="getPoints"
+             methodName="getPoints" outputName="points">
+      <axml:params>
+        <axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param>
+      </axml:params>
+      <points>475</points>
+    </axml:sc>
+    <axml:sc mode="merge" serviceNameSpace="getGrandSlamsWonbyYear"
+             methodName="getGrandSlamsWonbyYear" outputName="grandslamswon">
+      <axml:params>
+        <axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param>
+        <axml:param name="year"><axml:value>$year (external value)</axml:value></axml:param>
+      </axml:params>
+      <grandslamswon year="2003">A, W</grandslamswon>
+      <grandslamswon year="2004">A, U</grandslamswon>
+    </axml:sc>
+  </player>
+</ATPList>)";
+
+// Simulated Web services backing the embedded calls.
+axmlx::Result<axmlx::axml::ServiceResponse> InvokeService(
+    const axmlx::axml::ServiceRequest& request) {
+  axmlx::axml::ServiceResponse response;
+  if (request.method_name == "getPoints") {
+    auto frag = axmlx::xml::Parse("<r><points>890</points></r>");
+    response.fragment = std::move(frag).value();
+    return response;
+  }
+  if (request.method_name == "getGrandSlamsWonbyYear") {
+    auto frag = axmlx::xml::Parse(
+        "<r><grandslamswon year=\"2005\">A, F</grandslamswon></r>");
+    response.fragment = std::move(frag).value();
+    return response;
+  }
+  return axmlx::ServiceFault("UnknownService: " + request.method_name);
+}
+
+void Check(const axmlx::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto doc_or = axmlx::xml::Parse(kAtpListXml);
+  Check(doc_or.status(), "parse ATPList.xml");
+  std::unique_ptr<axmlx::xml::Document> doc = std::move(doc_or).value();
+  auto snapshot = doc->Clone();
+
+  std::printf("=== ATPList.xml (initial) ===\n%s\n",
+              doc->Serialize(axmlx::xml::kNullNode, true).c_str());
+
+  axmlx::repo::LocalTransaction txn(doc.get(), InvokeService);
+  txn.SetExternal("year", "2005");
+
+  // Query A: mentions grandslamswon -> lazily materializes only
+  // getGrandSlamsWonbyYear (merge: a 2005 row is appended).
+  auto query_a = txn.Execute(axmlx::ops::MakeQuery(
+      "Select p/citizenship, p/grandslamswon from p in ATPList//player "
+      "where p/name/lastname = Federer"));
+  Check(query_a.status(), "Query A");
+  std::printf("Query A materialized %d call(s), skipped %d; selected %zu "
+              "node(s)\n",
+              (*query_a)->materialize_stats.calls_invoked,
+              (*query_a)->materialize_stats.calls_skipped,
+              (*query_a)->query_result.AllSelected().size());
+
+  // Query B: mentions points -> materializes only getPoints
+  // (replace: 475 -> 890).
+  auto query_b = txn.Execute(axmlx::ops::MakeQuery(
+      "Select p/citizenship, p/points from p in ATPList//player "
+      "where p/name/lastname = Federer"));
+  Check(query_b.status(), "Query B");
+  std::printf("Query B materialized %d call(s), skipped %d\n",
+              (*query_b)->materialize_stats.calls_invoked,
+              (*query_b)->materialize_stats.calls_skipped);
+
+  // An explicit update too: the paper's replace example.
+  auto replace = txn.Execute(axmlx::ops::MakeReplace(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Federer",
+      "<citizenship>Swiss-French</citizenship>"));
+  Check(replace.status(), "replace");
+
+  std::printf("\n=== After the queries (document was modified!) ===\n%s\n",
+              doc->Serialize(axmlx::xml::kNullNode, true).c_str());
+
+  // The compensating operations cannot be known statically — they are
+  // constructed from the log at run time (§3.1).
+  auto plan = txn.PendingCompensation();
+  std::printf("=== Dynamically constructed compensation (%zu ops, cost %zu "
+              "nodes) ===\n",
+              plan.operations.size(), plan.cost_nodes);
+  for (const std::string& xml :
+       axmlx::comp::CompensationBuilder::ToPaperXml(plan)) {
+    std::printf("  %s\n", xml.c_str());
+  }
+
+  Check(txn.Abort(), "abort");
+  bool restored = axmlx::xml::Document::Equals(*doc, *snapshot);
+  std::printf("\nAfter abort, document restored exactly: %s\n",
+              restored ? "YES" : "NO");
+  return restored ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+// Travel booking saga: the classic compensation scenario of §3.1 ("the
+// compensation of 'Book Hotel' is 'Cancel Hotel Booking'") run as a
+// distributed AXML transaction.
+//
+// An agency peer coordinates flight, hotel and car bookings on three
+// provider peers. The car provider faults, and the recovery protocol undoes
+// the flight and hotel bookings via dynamically constructed compensating
+// operations — executed in reverse order, without any statically defined
+// "cancel" services.
+//
+// Build & run:  cmake --build build && ./build/examples/travel_booking
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "compensation/compensation.h"
+#include "ops/operation.h"
+#include "repo/axml_repository.h"
+
+namespace {
+
+using axmlx::repo::AxmlRepository;
+
+void Check(const axmlx::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// A provider peer hosts a bookings document and a Book<Kind> service that
+/// appends a booking row — real compensable state.
+void AddProvider(AxmlRepository* repo, const std::string& peer,
+                 const std::string& kind, double fault_probability) {
+  AxmlRepository::PeerConfig config;
+  config.id = peer;
+  // Ship compensating-service definitions with results (§3.2).
+  config.options.peer_independent = true;
+  Check(repo->AddPeer(config).status(), "add provider");
+  Check(repo->HostDocument(
+            peer, "<" + kind + "Bookings><open/></" + kind + "Bookings>"),
+        "host bookings doc");
+  axmlx::service::ServiceDefinition book;
+  book.name = "Book" + kind;
+  book.document = kind + "Bookings";
+  book.ops.push_back(axmlx::ops::MakeInsert(
+      "Select b from b in " + kind + "Bookings//open",
+      "<booking customer=\"${customer}\" ref=\"${ref}\">confirmed</booking>"));
+  book.duration = 3;
+  book.fault_probability = fault_probability;
+  book.fault_name = kind + "Unavailable";
+  if (fault_probability > 0) {
+    // Fail late, after the sibling bookings have completed and returned
+    // their compensating-service definitions to the agency.
+    book.fault_after_subcalls = true;
+    book.duration = 10;
+  }
+  Check(repo->HostService(peer, std::move(book)), "host Book service");
+}
+
+size_t Bookings(AxmlRepository* repo, const std::string& peer,
+                const std::string& kind) {
+  axmlx::xml::Document* doc =
+      repo->FindPeer(peer)->repository().GetDocument(kind + "Bookings");
+  size_t count = 0;
+  doc->Walk(doc->root(), [&count](const axmlx::xml::Node& n) {
+    if (n.is_element() && n.name == "booking") ++count;
+    return true;
+  });
+  return count;
+}
+
+void PrintState(AxmlRepository* repo, const char* label) {
+  size_t car = Bookings(repo, "CarCo", "Car");
+  if (repo->FindPeer("CarCo2") != nullptr) {
+    car += Bookings(repo, "CarCo2", "Car2");
+  }
+  std::printf("%-28s flight=%zu hotel=%zu car=%zu\n", label,
+              Bookings(repo, "FlightCo", "Flight"),
+              Bookings(repo, "HotelCo", "Hotel"), car);
+}
+
+}  // namespace
+
+int main() {
+  AxmlRepository repo(7);
+
+  // The agency (transaction origin).
+  AxmlRepository::PeerConfig agency;
+  agency.id = "Agency";
+  agency.options.peer_independent = true;  // ship compensating services
+  Check(repo.AddPeer(agency).status(), "add agency");
+  Check(repo.HostDocument("Agency", "<Trips><log/></Trips>"), "host Trips");
+
+  AddProvider(&repo, "FlightCo", "Flight", /*fault_probability=*/0.0);
+  AddProvider(&repo, "HotelCo", "Hotel", /*fault_probability=*/0.0);
+  AddProvider(&repo, "CarCo", "Car", /*fault_probability=*/1.0);  // always down
+
+  axmlx::service::ServiceDefinition trip;
+  trip.name = "BookTrip";
+  trip.document = "Trips";
+  trip.ops.push_back(axmlx::ops::MakeInsert(
+      "Select t from t in Trips//log",
+      "<trip customer=\"${customer}\">requested</trip>"));
+  axmlx::txn::Params params = {{"customer", "federer"}, {"ref", "R-2005"}};
+  trip.subcalls.push_back({"FlightCo", "BookFlight", {}, params});
+  trip.subcalls.push_back({"HotelCo", "BookHotel", {}, params});
+  trip.subcalls.push_back({"CarCo", "BookCar", {}, params});
+  Check(repo.HostService("Agency", std::move(trip)), "host BookTrip");
+
+  PrintState(&repo, "before transaction:");
+  auto outcome =
+      repo.RunTransaction("Agency", "TRIP-1", "BookTrip", params);
+  Check(outcome.status(), "run transaction");
+  std::printf("\ntransaction TRIP-1 -> %s (after %lld ticks, %lld messages)\n",
+              outcome->status.ToString().c_str(),
+              static_cast<long long>(outcome->duration),
+              static_cast<long long>(outcome->messages));
+  PrintState(&repo, "after abort + compensation:");
+
+  const axmlx::txn::PeerStats& flight_stats =
+      repo.FindPeer("FlightCo")->stats();
+  std::printf(
+      "\nFlightCo: compensating service executed %d time(s), "
+      "%zu node(s) rolled back\n",
+      flight_stats.compensations_executed, flight_stats.nodes_compensated);
+
+  // Retry with a working car provider: the saga commits.
+  AddProvider(&repo, "CarCo2", "Car2", /*fault_probability=*/0.0);
+  axmlx::service::ServiceDefinition trip2;
+  trip2.name = "BookTrip2";
+  trip2.document = "Trips";
+  trip2.subcalls.push_back({"FlightCo", "BookFlight", {}, params});
+  trip2.subcalls.push_back({"HotelCo", "BookHotel", {}, params});
+  trip2.subcalls.push_back({"CarCo2", "BookCar2", {}, params});
+  Check(repo.HostService("Agency", std::move(trip2)), "host BookTrip2");
+  auto retry = repo.RunTransaction("Agency", "TRIP-2", "BookTrip2", params);
+  Check(retry.status(), "run retry");
+  std::printf("\ntransaction TRIP-2 -> %s\n",
+              retry->status.ToString().c_str());
+  PrintState(&repo, "after successful trip:");
+  return retry->status.ok() ? 0 : 1;
+}

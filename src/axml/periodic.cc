@@ -1,0 +1,67 @@
+#include "axml/periodic.h"
+
+#include <utility>
+
+#include "axml/service_call.h"
+
+namespace axmlx::axml {
+
+PeriodicRefresher::PeriodicRefresher(xml::Document* doc,
+                                     ServiceInvoker invoker,
+                                     xml::EditLog* log,
+                                     overlay::Network* net,
+                                     overlay::PeerId owner)
+    : state_(std::make_shared<State>()) {
+  state_->doc = doc;
+  state_->materializer =
+      std::make_unique<Materializer>(doc, std::move(invoker), log);
+  state_->net = net;
+  state_->owner = std::move(owner);
+}
+
+int PeriodicRefresher::Start(xml::NodeId scope) {
+  state_->running = true;
+  int armed = 0;
+  for (xml::NodeId sc : FindServiceCalls(*state_->doc, scope)) {
+    auto info = ParseServiceCall(*state_->doc, sc);
+    if (!info.ok() || info->frequency <= 0) continue;
+    overlay::Tick frequency = info->frequency;
+    std::shared_ptr<State> state = state_;
+    state_->net->ScheduleAfter(frequency, [state, sc, frequency](
+                                              overlay::Network*) {
+      Refresh(state, sc, frequency);
+    });
+    ++armed;
+  }
+  return armed;
+}
+
+void PeriodicRefresher::Stop() { state_->running = false; }
+
+void PeriodicRefresher::Refresh(std::shared_ptr<State> state, xml::NodeId sc,
+                                overlay::Tick frequency) {
+  if (!state->running) return;
+  // A disconnected owner performs no refreshes (its silence is what stream
+  // subscribers detect, §3.3(d)).
+  if (!state->owner.empty() && !state->net->IsConnected(state->owner)) {
+    return;
+  }
+  if (!state->doc->Contains(sc)) return;  // the call was deleted
+  auto result = state->materializer->MaterializeCall(sc);
+  if (result.ok()) {
+    ++state->refreshes;
+    if (state->net->trace() != nullptr) {
+      state->net->trace()->Add(state->net->now(), state->owner, "REFRESH",
+                               "periodic materialization of call " +
+                                   std::to_string(sc));
+    }
+  } else {
+    ++state->failures;
+  }
+  state->net->ScheduleAfter(frequency, [state, sc, frequency](
+                                           overlay::Network*) {
+    Refresh(state, sc, frequency);
+  });
+}
+
+}  // namespace axmlx::axml

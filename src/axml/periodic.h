@@ -1,0 +1,60 @@
+#ifndef AXMLX_AXML_PERIODIC_H_
+#define AXMLX_AXML_PERIODIC_H_
+
+#include <memory>
+#include <string>
+
+#include "axml/materializer.h"
+#include "overlay/network.h"
+#include "xml/document.h"
+#include "xml/edit.h"
+
+namespace axmlx::axml {
+
+/// Drives periodic materialization of embedded service calls: "An embedded
+/// service call may be invoked ... periodically (specified by the
+/// 'frequency' attribute of the AXML service call tag <axml:sc>)" (paper
+/// §1).
+///
+/// On Start(), every service call under `scope` with frequency > 0 is
+/// scheduled on the overlay clock and re-materialized each period (replace
+/// mode refreshes, merge mode accumulates — the subscription/continuous
+/// pattern of §3.3(d)). Every refresh's edits land in the shared edit log,
+/// so refreshes remain compensable like any other materialization.
+class PeriodicRefresher {
+ public:
+  /// `doc`, `log` and `net` must outlive the refresher. `owner` labels
+  /// trace events and makes refreshes stop when that peer disconnects.
+  PeriodicRefresher(xml::Document* doc, ServiceInvoker invoker,
+                    xml::EditLog* log, overlay::Network* net,
+                    overlay::PeerId owner);
+
+  /// Scans `scope` for periodic calls and schedules them. Returns the
+  /// number of calls armed.
+  int Start(xml::NodeId scope);
+
+  /// Stops all periodic refreshing.
+  void Stop();
+
+  int refreshes_performed() const { return state_->refreshes; }
+  int failures() const { return state_->failures; }
+
+ private:
+  struct State {
+    xml::Document* doc = nullptr;
+    std::unique_ptr<Materializer> materializer;
+    overlay::Network* net = nullptr;
+    overlay::PeerId owner;
+    bool running = false;
+    int refreshes = 0;
+    int failures = 0;
+  };
+  static void Refresh(std::shared_ptr<State> state, xml::NodeId sc,
+                      overlay::Tick frequency);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace axmlx::axml
+
+#endif  // AXMLX_AXML_PERIODIC_H_

@@ -1,0 +1,203 @@
+#include "baseline/lock_sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "baseline/xpath_lock.h"
+
+namespace axmlx::baseline {
+namespace {
+
+struct TxnSpec {
+  int64_t arrival = 0;
+  std::vector<std::pair<std::string, LockMode>> locks;
+};
+
+std::vector<TxnSpec> GenerateWorkload(const WorkloadConfig& config, Rng* rng) {
+  static const char* kFields[] = {"points", "citizenship", "name",
+                                  "grandslamswon"};
+  std::vector<TxnSpec> txns(static_cast<size_t>(config.num_txns));
+  int64_t clock = 0;
+  for (TxnSpec& txn : txns) {
+    clock += 1 + static_cast<int64_t>(
+                     rng->Uniform(static_cast<uint64_t>(
+                         std::max<int64_t>(1, 2 * config.arrival_gap))));
+    txn.arrival = clock;
+    for (int i = 0; i < config.ops_per_txn; ++i) {
+      int player;
+      if (rng->Bernoulli(config.hot_fraction)) {
+        player = static_cast<int>(rng->Uniform(
+            static_cast<uint64_t>(std::max(1, config.hot_players))));
+      } else {
+        player = static_cast<int>(
+            rng->Uniform(static_cast<uint64_t>(std::max(1, config.num_players))));
+      }
+      std::string path = "/ATPList/player[" + std::to_string(player) + "]/" +
+                         kFields[rng->Uniform(4)];
+      LockMode mode = rng->Bernoulli(config.write_fraction)
+                          ? LockMode::kExclusive
+                          : LockMode::kShared;
+      txn.locks.emplace_back(std::move(path), mode);
+    }
+  }
+  return txns;
+}
+
+SimResult Summarize(int committed, int aborted, int64_t makespan,
+                    int64_t total_latency) {
+  SimResult result;
+  result.committed = committed;
+  result.aborted = aborted;
+  result.makespan = makespan;
+  result.avg_latency =
+      committed > 0 ? static_cast<double>(total_latency) / committed : 0.0;
+  result.throughput =
+      makespan > 0 ? 1000.0 * committed / static_cast<double>(makespan) : 0.0;
+  return result;
+}
+
+}  // namespace
+
+SimResult RunLockingSimulation(const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  std::vector<TxnSpec> txns = GenerateWorkload(config, &rng);
+  int64_t timeout = config.lock_wait_timeout > 0
+                        ? config.lock_wait_timeout
+                        : 10 * config.service_duration;
+
+  PathLockManager locks;
+  struct Running {
+    int64_t finish;
+    int txn;
+  };
+  struct RunningAfter {
+    bool operator()(const Running& a, const Running& b) const {
+      return a.finish > b.finish;
+    }
+  };
+  std::priority_queue<Running, std::vector<Running>, RunningAfter> running;
+  struct Waiter {
+    int txn;
+    int64_t deadline;
+  };
+  std::vector<Waiter> waiting;
+
+  int committed = 0;
+  int aborted = 0;
+  int64_t total_latency = 0;
+  int64_t makespan = 0;
+  size_t next_arrival = 0;
+  int64_t now = 0;
+
+  auto try_start = [&](int txn_index) -> bool {
+    const TxnSpec& txn = txns[static_cast<size_t>(txn_index)];
+    size_t got = 0;
+    for (; got < txn.locks.size(); ++got) {
+      if (!locks.TryLock(txn_index, txn.locks[got].first,
+                         txn.locks[got].second)) {
+        break;
+      }
+    }
+    if (got < txn.locks.size()) {
+      locks.ReleaseAll(txn_index);  // all-or-nothing acquisition
+      return false;
+    }
+    running.push({now + config.service_duration, txn_index});
+    return true;
+  };
+
+  auto admit = [&](int txn_index) {
+    if (!try_start(txn_index)) {
+      waiting.push_back({txn_index, now + timeout});
+    }
+  };
+
+  auto drain_waiters = [&]() {
+    std::vector<Waiter> still_waiting;
+    for (const Waiter& w : waiting) {
+      if (try_start(w.txn)) continue;
+      if (now >= w.deadline) {
+        ++aborted;  // lock-wait timeout: give up (deadlock avoidance)
+        continue;
+      }
+      still_waiting.push_back(w);
+    }
+    waiting = std::move(still_waiting);
+  };
+
+  while (next_arrival < txns.size() || !running.empty() || !waiting.empty()) {
+    int64_t next_time = INT64_MAX;
+    if (next_arrival < txns.size()) {
+      next_time = txns[next_arrival].arrival;
+    }
+    if (!running.empty()) next_time = std::min(next_time, running.top().finish);
+    // Waiters with expired deadlines need a chance to abort even when no
+    // release is coming (everyone deadlocked/waiting).
+    if (running.empty() && next_arrival >= txns.size() && !waiting.empty()) {
+      int64_t min_deadline = INT64_MAX;
+      for (const Waiter& w : waiting) {
+        min_deadline = std::min(min_deadline, w.deadline);
+      }
+      next_time = std::min(next_time, min_deadline);
+    }
+    now = next_time;
+    while (!running.empty() && running.top().finish <= now) {
+      Running r = running.top();
+      running.pop();
+      locks.ReleaseAll(r.txn);
+      ++committed;
+      total_latency += now - txns[static_cast<size_t>(r.txn)].arrival;
+      makespan = std::max(makespan, now);
+    }
+    while (next_arrival < txns.size() &&
+           txns[next_arrival].arrival <= now) {
+      admit(static_cast<int>(next_arrival));
+      ++next_arrival;
+    }
+    drain_waiters();
+  }
+
+  SimResult result = Summarize(committed, aborted, makespan, total_latency);
+  result.lock_denials = locks.stats().denied;
+  return result;
+}
+
+SimResult RunCompensationSimulation(const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  std::vector<TxnSpec> txns = GenerateWorkload(config, &rng);
+
+  int committed = 0;
+  int aborted = 0;
+  int64_t total_latency = 0;
+  int64_t makespan = 0;
+  int64_t compensation_ops = 0;
+
+  for (const TxnSpec& txn : txns) {
+    if (rng.Bernoulli(config.fault_probability)) {
+      // Fault partway through: roll back by executing the compensating
+      // operations for the work done so far (reverse order, §3.1). No other
+      // transaction was ever blocked by this one.
+      int done =
+          1 + static_cast<int>(rng.Uniform(
+                  static_cast<uint64_t>(std::max(1, config.ops_per_txn))));
+      compensation_ops += done;
+      int64_t finish = txn.arrival + config.service_duration +
+                       config.service_duration / 2;  // undo costs time too
+      makespan = std::max(makespan, finish);
+      ++aborted;
+      continue;
+    }
+    int64_t finish = txn.arrival + config.service_duration;
+    ++committed;
+    total_latency += config.service_duration;
+    makespan = std::max(makespan, finish);
+  }
+
+  SimResult result = Summarize(committed, aborted, makespan, total_latency);
+  result.compensation_ops = compensation_ops;
+  return result;
+}
+
+}  // namespace axmlx::baseline

@@ -1,0 +1,56 @@
+#ifndef AXMLX_BASELINE_LOCK_SIM_H_
+#define AXMLX_BASELINE_LOCK_SIM_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace axmlx::baseline {
+
+/// Workload for the lock-vs-compensation comparison (experiment E8):
+/// `num_txns` transactions arrive Poisson-ish over time; each touches
+/// `ops_per_txn` paths drawn from a universe of `num_players` player
+/// subtrees (Zipf-lite: a fraction of accesses hit a hot subset), each
+/// access is a write with probability `write_fraction`, and the transaction
+/// occupies `service_duration` ticks — the paper's point being that AXML
+/// service calls (and thus lock hold times) "can be very long (in hours)".
+struct WorkloadConfig {
+  int num_txns = 100;
+  int ops_per_txn = 3;
+  int num_players = 50;
+  double hot_fraction = 0.2;     ///< Fraction of accesses on a hot subtree.
+  int hot_players = 5;
+  double write_fraction = 0.5;
+  int64_t service_duration = 10;
+  int64_t arrival_gap = 1;       ///< Mean ticks between txn arrivals.
+  int64_t lock_wait_timeout = 0; ///< 0 = derive from service_duration.
+  double fault_probability = 0;  ///< Compensation model: chance of abort.
+  uint64_t seed = 42;
+};
+
+/// Outcome of one simulated run.
+struct SimResult {
+  int committed = 0;
+  int aborted = 0;          ///< Lock timeouts (locking) / faults (comp).
+  int64_t makespan = 0;     ///< Time until the last commit.
+  double avg_latency = 0;   ///< Mean submit-to-commit latency.
+  double throughput = 0;    ///< Committed txns per 1000 ticks.
+  int64_t lock_denials = 0; ///< Lock conflicts encountered (locking only).
+  int64_t compensation_ops = 0;  ///< Compensating operations run (comp only).
+};
+
+/// Strict two-phase XPath locking (baseline, after [5]): a transaction
+/// acquires all its path locks up front (retrying while blocked), holds
+/// them for the full service duration, then releases. Blocked transactions
+/// that exceed the wait timeout abort and retry once.
+SimResult RunLockingSimulation(const WorkloadConfig& config);
+
+/// The paper's compensation model: transactions never block — they execute
+/// optimistically and, with `fault_probability`, abort and pay the
+/// compensation cost (re-traversing the touched paths). This is what makes
+/// long-duration services harmless to concurrency (§1, §2).
+SimResult RunCompensationSimulation(const WorkloadConfig& config);
+
+}  // namespace axmlx::baseline
+
+#endif  // AXMLX_BASELINE_LOCK_SIM_H_

@@ -1,0 +1,102 @@
+#include "baseline/locked_executor.h"
+
+#include <utility>
+
+#include "query/eval.h"
+#include "query/parser.h"
+
+namespace axmlx::baseline {
+
+LockedExecutor::LockedExecutor(xml::Document* doc,
+                               axml::ServiceInvoker invoker,
+                               PathLockManager* locks)
+    : doc_(doc), executor_(doc, std::move(invoker)), locks_(locks) {}
+
+Result<std::vector<std::string>> LockedExecutor::PredicatePaths(
+    const ops::Operation& op) {
+  std::vector<std::string> paths;
+  if (op.location.empty() || op.target_node != xml::kNullNode) return paths;
+  AXMLX_ASSIGN_OR_RETURN(query::Query q, query::ParseQuery(op.location));
+  if (q.where == nullptr) return paths;
+  // The candidates the predicate will test — [5]'s short-lived P locks.
+  std::vector<xml::NodeId> candidates =
+      query::EvaluatePathFrom(*doc_, doc_->root(), q.source);
+  paths.reserve(candidates.size());
+  for (xml::NodeId id : candidates) paths.push_back(doc_->PathOf(id));
+  return paths;
+}
+
+Result<std::vector<std::string>> LockedExecutor::TargetPaths(
+    const ops::Operation& op) {
+  std::vector<std::string> paths;
+  if (op.target_node != xml::kNullNode) {
+    if (!doc_->Contains(op.target_node)) {
+      return NotFound("locked executor: unknown target node");
+    }
+    paths.push_back(doc_->PathOf(op.target_node));
+    return paths;
+  }
+  AXMLX_ASSIGN_OR_RETURN(query::Query q, query::ParseQuery(op.location));
+  // Lock what is currently visible; results materialized during execution
+  // are inserted under these targets and inherit their lock coverage.
+  AXMLX_ASSIGN_OR_RETURN(query::QueryResult result,
+                         query::EvaluateQuery(*doc_, q));
+  for (xml::NodeId id : result.AllSelected()) {
+    paths.push_back(doc_->PathOf(id));
+  }
+  // An insert with no selected nodes targets the bindings themselves.
+  if (paths.empty()) {
+    AXMLX_ASSIGN_OR_RETURN(auto bindings, query::EvaluateBindings(*doc_, q));
+    for (xml::NodeId id : bindings) paths.push_back(doc_->PathOf(id));
+  }
+  return paths;
+}
+
+Result<ops::OpEffect> LockedExecutor::Execute(TxnId txn,
+                                              const ops::Operation& op) {
+  // Phase 1: P locks on predicate candidates, held only for the test.
+  AXMLX_ASSIGN_OR_RETURN(std::vector<std::string> p_paths, PredicatePaths(op));
+  std::vector<std::string> p_taken;
+  for (const std::string& path : p_paths) {
+    if (!locks_->TryLock(txn, path, LockMode::kP)) {
+      for (const std::string& undo : p_taken) {
+        locks_->Unlock(txn, undo, LockMode::kP);
+      }
+      ++stats_.conflicts;
+      return Conflict("P lock denied on " + path);
+    }
+    p_taken.push_back(path);
+    ++stats_.p_locks_taken;
+  }
+  // Phase 2: S/X locks on the target nodes, held until Release(txn).
+  LockMode mode = op.type == ops::ActionType::kQuery ? LockMode::kShared
+                                                     : LockMode::kExclusive;
+  auto release_p = [this, txn, &p_taken]() {
+    for (const std::string& path : p_taken) {
+      locks_->Unlock(txn, path, LockMode::kP);
+    }
+  };
+  auto targets_or = TargetPaths(op);
+  if (!targets_or.ok()) {
+    release_p();
+    return targets_or.status();
+  }
+  std::vector<std::string> taken;
+  for (const std::string& path : *targets_or) {
+    if (!locks_->TryLock(txn, path, mode)) {
+      for (const std::string& undo : taken) locks_->Unlock(txn, undo, mode);
+      release_p();
+      ++stats_.conflicts;
+      return Conflict("lock denied on " + path);
+    }
+    taken.push_back(path);
+  }
+  // "The nodes referred by the where part ... are only accessed for a short
+  // time (for testing)" — drop the P locks before the long part.
+  release_p();
+  return executor_.Execute(op);
+}
+
+void LockedExecutor::Release(TxnId txn) { locks_->ReleaseAll(txn); }
+
+}  // namespace axmlx::baseline

@@ -1,0 +1,92 @@
+#include "baseline/xpath_lock.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace axmlx::baseline {
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kShared:
+      return "S";
+    case LockMode::kExclusive:
+      return "X";
+    case LockMode::kP:
+      return "P";
+  }
+  return "?";
+}
+
+bool PathCovers(const std::string& ancestor, const std::string& path) {
+  if (ancestor.size() > path.size()) return false;
+  if (path.compare(0, ancestor.size(), ancestor) != 0) return false;
+  return path.size() == ancestor.size() || path[ancestor.size()] == '/';
+}
+
+namespace {
+bool ModesCompatible(LockMode a, LockMode b) {
+  if (a == LockMode::kExclusive || b == LockMode::kExclusive) return false;
+  return true;  // S-S, S-P, P-P are all compatible.
+}
+}  // namespace
+
+bool PathLockManager::Conflicts(const std::string& path_a, LockMode mode_a,
+                                const std::string& path_b, LockMode mode_b) {
+  if (ModesCompatible(mode_a, mode_b)) return false;
+  return PathCovers(path_a, path_b) || PathCovers(path_b, path_a);
+}
+
+bool PathLockManager::TryLock(TxnId txn, const std::string& path,
+                              LockMode mode) {
+  for (const auto& [held_path, holders] : table_) {
+    if (!PathCovers(held_path, path) && !PathCovers(path, held_path)) {
+      continue;
+    }
+    for (const Held& h : holders) {
+      if (h.txn == txn) continue;
+      if (!ModesCompatible(h.mode, mode)) {
+        ++stats_.denied;
+        return false;
+      }
+    }
+  }
+  table_[path].push_back({txn, mode});
+  ++stats_.acquired;
+  return true;
+}
+
+void PathLockManager::Unlock(TxnId txn, const std::string& path,
+                             LockMode mode) {
+  auto it = table_.find(path);
+  if (it == table_.end()) return;
+  auto& holders = it->second;
+  for (size_t i = 0; i < holders.size(); ++i) {
+    if (holders[i].txn == txn && holders[i].mode == mode) {
+      holders.erase(holders.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (holders.empty()) table_.erase(it);
+}
+
+void PathLockManager::ReleaseAll(TxnId txn) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    auto& holders = it->second;
+    holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                 [txn](const Held& h) { return h.txn == txn; }),
+                  holders.end());
+    if (holders.empty()) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t PathLockManager::HeldCount() const {
+  size_t n = 0;
+  for (const auto& [path, holders] : table_) n += holders.size();
+  return n;
+}
+
+}  // namespace axmlx::baseline

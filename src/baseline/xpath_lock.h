@@ -1,0 +1,73 @@
+#ifndef AXMLX_BASELINE_XPATH_LOCK_H_
+#define AXMLX_BASELINE_XPATH_LOCK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace axmlx::baseline {
+
+/// Lock modes for the XPath locking baseline, after Jea et al.'s "XPath
+/// Locking Protocol" ([5] in the paper):
+/// - kShared: read lock on a path (and implicitly its subtree);
+/// - kExclusive: write lock;
+/// - kP: the protocol's "P lock" for nodes referenced by the `where` part
+///   of a select — held only briefly "for testing", compatible with reads
+///   and other P locks but not with writes.
+enum class LockMode { kShared, kExclusive, kP };
+
+const char* LockModeName(LockMode mode);
+
+/// Path-granularity lock table. Two locks conflict when their paths overlap
+/// (equal, or one is an ancestor prefix of the other) and their modes are
+/// incompatible. Locks are not re-entrant across modes; the same
+/// transaction never conflicts with itself.
+///
+/// This is the concurrency-control style the paper argues against for AXML
+/// ("due to the 'active' nature of AXML documents, lock-based protocols are
+/// not well suited", §2): the E8 bench quantifies that claim.
+class PathLockManager {
+ public:
+  using TxnId = int64_t;
+
+  /// Attempts to acquire `mode` on `path` (slash-separated, e.g.
+  /// "/ATPList/player[3]/points"). Returns true on success; false means the
+  /// caller must wait (no queueing is done here).
+  bool TryLock(TxnId txn, const std::string& path, LockMode mode);
+
+  /// Releases one lock (no-op if not held).
+  void Unlock(TxnId txn, const std::string& path, LockMode mode);
+
+  /// Releases everything `txn` holds (commit/abort).
+  void ReleaseAll(TxnId txn);
+
+  /// True if the two mode/path pairs conflict (ignoring ownership).
+  static bool Conflicts(const std::string& path_a, LockMode mode_a,
+                        const std::string& path_b, LockMode mode_b);
+
+  /// Number of locks currently held.
+  size_t HeldCount() const;
+
+  struct Stats {
+    int64_t acquired = 0;
+    int64_t denied = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Held {
+    TxnId txn;
+    LockMode mode;
+  };
+  /// path -> holders.
+  std::map<std::string, std::vector<Held>> table_;
+  Stats stats_;
+};
+
+/// True if `ancestor` equals `path` or is a proper path-prefix of it
+/// ("/a/b" covers "/a/b/c" but not "/a/bc").
+bool PathCovers(const std::string& ancestor, const std::string& path);
+
+}  // namespace axmlx::baseline
+
+#endif  // AXMLX_BASELINE_XPATH_LOCK_H_

@@ -1,0 +1,262 @@
+#include "chain/active_chain.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace axmlx::chain {
+
+namespace {
+
+void SerializeNode(const ChainNode& node, std::ostringstream* os) {
+  *os << "[" << node.peer;
+  if (node.super) *os << "*";
+  if (!node.service.empty()) *os << ":" << node.service;
+  if (!node.children.empty()) {
+    *os << " -> ";
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (i > 0) *os << " || ";
+      SerializeNode(node.children[i], os);
+    }
+  }
+  *os << "]";
+}
+
+class ChainParser {
+ public:
+  explicit ChainParser(const std::string& text) : text_(text) {}
+
+  Result<ChainNode> Run() {
+    AXMLX_ASSIGN_OR_RETURN(ChainNode root, ParseNode());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return ParseError("chain: trailing characters");
+    }
+    return root;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(const std::string& token) {
+    SkipSpace();
+    if (text_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<ChainNode> ParseNode() {
+    if (!Consume("[")) return ParseError("chain: expected '['");
+    SkipSpace();
+    ChainNode node;
+    size_t start = pos_;
+    // '-' is allowed in ids but "->" is the child separator.
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' ||
+            (text_[pos_] == '-' &&
+             (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '>')))) {
+      ++pos_;
+    }
+    node.peer = text_.substr(start, pos_ - start);
+    if (node.peer.empty()) return ParseError("chain: expected a peer id");
+    if (pos_ < text_.size() && text_[pos_] == '*') {
+      node.super = true;
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == ':') {
+      ++pos_;
+      size_t sstart = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' ||
+              (text_[pos_] == '-' &&
+               (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '>')))) {
+        ++pos_;
+      }
+      node.service = text_.substr(sstart, pos_ - sstart);
+    }
+    if (Consume("->")) {
+      while (true) {
+        AXMLX_ASSIGN_OR_RETURN(ChainNode child, ParseNode());
+        node.children.push_back(std::move(child));
+        if (!Consume("||")) break;
+      }
+    }
+    if (!Consume("]")) return ParseError("chain: expected ']'");
+    return node;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+const ChainNode* FindRec(const ChainNode& node, const overlay::PeerId& peer) {
+  if (node.peer == peer) return &node;
+  for (const ChainNode& c : node.children) {
+    if (const ChainNode* found = FindRec(c, peer)) return found;
+  }
+  return nullptr;
+}
+
+const ChainNode* FindParentRec(const ChainNode& node,
+                               const overlay::PeerId& peer) {
+  for (const ChainNode& c : node.children) {
+    if (c.peer == peer) return &node;
+    if (const ChainNode* found = FindParentRec(c, peer)) return found;
+  }
+  return nullptr;
+}
+
+void CollectRec(const ChainNode& node, std::vector<overlay::PeerId>* out) {
+  out->push_back(node.peer);
+  for (const ChainNode& c : node.children) CollectRec(c, out);
+}
+
+bool AllSuperRec(const ChainNode& node) {
+  if (!node.super) return false;
+  for (const ChainNode& c : node.children) {
+    if (!AllSuperRec(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ActivePeerChain::Serialize() const {
+  if (empty()) return "[]";
+  std::ostringstream os;
+  SerializeNode(root_, &os);
+  return os.str();
+}
+
+Result<ActivePeerChain> ActivePeerChain::Parse(const std::string& text) {
+  if (text == "[]" || text.empty()) return ActivePeerChain();
+  ChainParser parser(text);
+  AXMLX_ASSIGN_OR_RETURN(ChainNode root, parser.Run());
+  return ActivePeerChain(std::move(root));
+}
+
+const ChainNode* ActivePeerChain::Find(const overlay::PeerId& peer) const {
+  if (empty()) return nullptr;
+  return FindRec(root_, peer);
+}
+
+const ChainNode* ActivePeerChain::FindParent(
+    const overlay::PeerId& peer) const {
+  if (empty()) return nullptr;
+  return FindParentRec(root_, peer);
+}
+
+bool ActivePeerChain::Contains(const overlay::PeerId& peer) const {
+  return Find(peer) != nullptr;
+}
+
+overlay::PeerId ActivePeerChain::ParentOf(const overlay::PeerId& peer) const {
+  const ChainNode* parent = FindParent(peer);
+  return parent == nullptr ? overlay::PeerId() : parent->peer;
+}
+
+std::vector<overlay::PeerId> ActivePeerChain::ChildrenOf(
+    const overlay::PeerId& peer) const {
+  std::vector<overlay::PeerId> out;
+  const ChainNode* node = Find(peer);
+  if (node == nullptr) return out;
+  for (const ChainNode& c : node->children) out.push_back(c.peer);
+  return out;
+}
+
+std::vector<overlay::PeerId> ActivePeerChain::SiblingsOf(
+    const overlay::PeerId& peer) const {
+  std::vector<overlay::PeerId> out;
+  const ChainNode* parent = FindParent(peer);
+  if (parent == nullptr) return out;
+  for (const ChainNode& c : parent->children) {
+    if (c.peer != peer) out.push_back(c.peer);
+  }
+  return out;
+}
+
+std::vector<overlay::PeerId> ActivePeerChain::AncestorsOf(
+    const overlay::PeerId& peer) const {
+  std::vector<overlay::PeerId> out;
+  overlay::PeerId current = peer;
+  while (true) {
+    const ChainNode* parent = FindParent(current);
+    if (parent == nullptr) break;
+    out.push_back(parent->peer);
+    current = parent->peer;
+  }
+  return out;
+}
+
+overlay::PeerId ActivePeerChain::NearestSuperPeer(
+    const overlay::PeerId& peer) const {
+  const ChainNode* node = Find(peer);
+  if (node != nullptr && node->super) return peer;
+  overlay::PeerId current = peer;
+  while (true) {
+    const ChainNode* parent = FindParent(current);
+    if (parent == nullptr) return overlay::PeerId();
+    if (parent->super) return parent->peer;
+    current = parent->peer;
+  }
+}
+
+std::vector<overlay::PeerId> ActivePeerChain::AllPeers() const {
+  std::vector<overlay::PeerId> out;
+  if (!empty()) CollectRec(root_, &out);
+  return out;
+}
+
+std::vector<overlay::PeerId> ActivePeerChain::SubtreeOf(
+    const overlay::PeerId& peer) const {
+  std::vector<overlay::PeerId> out;
+  const ChainNode* node = Find(peer);
+  if (node != nullptr) CollectRec(*node, &out);
+  return out;
+}
+
+bool ActivePeerChain::AtomicityGuaranteed() const {
+  if (empty()) return false;
+  return AllSuperRec(root_);
+}
+
+std::vector<overlay::PeerId> ActivePeerChain::RelativesByDistance(
+    const overlay::PeerId& peer) const {
+  std::vector<overlay::PeerId> out;
+  if (Find(peer) == nullptr) return out;
+  // BFS over the undirected tree induced by parent/child edges.
+  std::vector<overlay::PeerId> frontier = {peer};
+  std::vector<overlay::PeerId> visited = {peer};
+  auto seen = [&visited](const overlay::PeerId& p) {
+    for (const overlay::PeerId& v : visited) {
+      if (v == p) return true;
+    }
+    return false;
+  };
+  while (!frontier.empty()) {
+    std::vector<overlay::PeerId> next;
+    for (const overlay::PeerId& cur : frontier) {
+      std::vector<overlay::PeerId> neighbors = ChildrenOf(cur);
+      overlay::PeerId parent = ParentOf(cur);
+      if (!parent.empty()) neighbors.push_back(parent);
+      for (const overlay::PeerId& n : neighbors) {
+        if (seen(n)) continue;
+        visited.push_back(n);
+        next.push_back(n);
+        out.push_back(n);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace axmlx::chain

@@ -1,0 +1,49 @@
+#ifndef AXMLX_COMMON_RNG_H_
+#define AXMLX_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace axmlx {
+
+/// Deterministic splitmix64-based PRNG. All randomized components of the
+/// simulator (workload generators, disconnection injection, latency jitter)
+/// take an explicit `Rng` so experiments are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Returns the next 64 random bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Returns a uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Derives an independent child generator; useful for giving each peer its
+  /// own stream without correlating with the parent's future draws.
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace axmlx
+
+#endif  // AXMLX_COMMON_RNG_H_

@@ -1,0 +1,89 @@
+#include "common/status.h"
+
+namespace axmlx {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kServiceFault:
+      return "SERVICE_FAULT";
+    case StatusCode::kPeerDisconnected:
+      return "PEER_DISCONNECTED";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kConflict:
+      return "CONFLICT";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status AlreadyExists(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status FailedPrecondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status OutOfRange(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+Status Unimplemented(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status Internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+Status ParseError(std::string message) {
+  return Status(StatusCode::kParseError, std::move(message));
+}
+Status ServiceFault(std::string message) {
+  return Status(StatusCode::kServiceFault, std::move(message));
+}
+Status PeerDisconnected(std::string message) {
+  return Status(StatusCode::kPeerDisconnected, std::move(message));
+}
+Status Aborted(std::string message) {
+  return Status(StatusCode::kAborted, std::move(message));
+}
+Status Timeout(std::string message) {
+  return Status(StatusCode::kTimeout, std::move(message));
+}
+Status Conflict(std::string message) {
+  return Status(StatusCode::kConflict, std::move(message));
+}
+
+}  // namespace axmlx

@@ -1,0 +1,150 @@
+#ifndef AXMLX_COMMON_STATUS_H_
+#define AXMLX_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace axmlx {
+
+/// Canonical error codes used across the library. The set deliberately
+/// mirrors the failure classes that appear in the paper's protocols:
+/// application faults raised by services (`kServiceFault`), peers that left
+/// the overlay (`kPeerDisconnected`), and transactions that were aborted by
+/// the recovery protocol (`kAborted`).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kServiceFault,
+  kPeerDisconnected,
+  kAborted,
+  kTimeout,
+  kConflict,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-type result of an operation that can fail. `Status` carries a code
+/// and a message; it is cheap to copy in the OK case. The library does not
+/// use exceptions: every fallible API returns `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "CODE: message" for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status FailedPrecondition(std::string message);
+Status OutOfRange(std::string message);
+Status Unimplemented(std::string message);
+Status Internal(std::string message);
+Status ParseError(std::string message);
+Status ServiceFault(std::string message);
+Status PeerDisconnected(std::string message);
+Status Aborted(std::string message);
+Status Timeout(std::string message);
+Status Conflict(std::string message);
+
+/// `Result<T>` holds either a value or a non-OK `Status`. Analogous to
+/// absl::StatusOr. Accessing `value()` on an error result is a programming
+/// error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse (`return node;` / `return NotFound(...);`).
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace axmlx
+
+/// Propagates a non-OK Status from an expression, Google-style.
+#define AXMLX_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::axmlx::Status _axmlx_status = (expr);      \
+    if (!_axmlx_status.ok()) return _axmlx_status; \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating errors, else assigns the
+/// value to `lhs`. Usage: AXMLX_ASSIGN_OR_RETURN(auto v, Compute());
+#define AXMLX_ASSIGN_OR_RETURN(lhs, rexpr)                    \
+  AXMLX_ASSIGN_OR_RETURN_IMPL_(                               \
+      AXMLX_STATUS_CONCAT_(_axmlx_result, __LINE__), lhs, rexpr)
+
+#define AXMLX_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value()
+
+#define AXMLX_STATUS_CONCAT_(a, b) AXMLX_STATUS_CONCAT_IMPL_(a, b)
+#define AXMLX_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // AXMLX_COMMON_STATUS_H_

@@ -1,0 +1,50 @@
+#include "common/trace.h"
+
+#include <sstream>
+
+namespace axmlx {
+
+int Trace::CountKind(const std::string& kind) const {
+  int n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string Trace::ToMermaid() const {
+  std::ostringstream os;
+  os << "sequenceDiagram\n";
+  for (const TraceEvent& e : events_) {
+    if (e.kind == "SEND") {
+      // detail is "<TYPE> -> <peer>".
+      size_t arrow = e.detail.find(" -> ");
+      if (arrow != std::string::npos) {
+        std::string type = e.detail.substr(0, arrow);
+        std::string to = e.detail.substr(arrow + 4);
+        os << "  " << e.actor << "->>" << to << ": " << type << " (t="
+           << e.time << ")\n";
+      }
+      continue;
+    }
+    if (e.kind == "RECV") continue;  // implied by the arrow
+    if (e.kind == "DISCONNECT" || e.kind == "RECONNECT" ||
+        e.kind == "PING_TIMEOUT" || e.kind == "STREAM_SILENCE" ||
+        e.kind == "SEND_FAIL") {
+      os << "  Note over " << e.actor << ": " << e.kind << " t=" << e.time
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string Trace::ToString() const {
+  std::ostringstream os;
+  for (const TraceEvent& e : events_) {
+    os << "[t=" << e.time << "] " << e.actor << " " << e.kind << " "
+       << e.detail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace axmlx

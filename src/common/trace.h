@@ -1,0 +1,50 @@
+#ifndef AXMLX_COMMON_TRACE_H_
+#define AXMLX_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace axmlx {
+
+/// A single protocol event. The recovery and disconnection benches assert
+/// against (and print) these traces to reproduce the paper's Figure 1 and
+/// Figure 2 narratives step by step.
+struct TraceEvent {
+  int64_t time = 0;        ///< Simulation time the event occurred at.
+  std::string actor;       ///< Peer (or component) that produced the event.
+  std::string kind;        ///< Short category, e.g. "SEND", "ABORT", "DETECT".
+  std::string detail;      ///< Free-form description.
+};
+
+/// Append-only event trace shared by the simulator components. Not
+/// thread-safe; the discrete-event simulator is single-threaded by design.
+class Trace {
+ public:
+  void Add(int64_t time, std::string actor, std::string kind,
+           std::string detail) {
+    events_.push_back({time, std::move(actor), std::move(kind),
+                       std::move(detail)});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Returns the number of events whose `kind` matches exactly.
+  int CountKind(const std::string& kind) const;
+
+  /// Renders the trace as one line per event, for example output and tests.
+  std::string ToString() const;
+
+  /// Renders message events (SEND kind "X -> P") as a Mermaid sequence
+  /// diagram, for embedding protocol runs in documentation. Non-message
+  /// events become participant notes.
+  std::string ToMermaid() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace axmlx
+
+#endif  // AXMLX_COMMON_TRACE_H_

@@ -1,0 +1,63 @@
+#ifndef AXMLX_COMPENSATION_COMPENSATION_H_
+#define AXMLX_COMPENSATION_COMPENSATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ops/executor.h"
+#include "ops/op_log.h"
+#include "xml/document.h"
+
+namespace axmlx::comp {
+
+/// A dynamically constructed compensation plan (paper §3.1): the inverse
+/// operations of an executed transaction prefix, ordered for execution
+/// ("compensation is achieved by executing the compensating operations in
+/// the reverse order of the execution of their respective forward
+/// operations").
+struct CompensationPlan {
+  std::vector<ops::Operation> operations;
+
+  /// Nodes the plan will touch — the paper's recovery-cost measure (§3.2).
+  size_t cost_nodes = 0;
+
+  bool empty() const { return operations.empty(); }
+};
+
+/// Serializes a detached subtree back to XML (used for the `<data>` payload
+/// of compensating inserts).
+std::string SerializeDetached(const xml::DetachedSubtree& subtree);
+
+/// Builds compensation plans from logged effects. Static handlers cannot do
+/// this: "As the actual set of service calls materialized is determined
+/// only at run-time, the compensating operation for an AXML query cannot be
+/// pre-defined statically (has to be constructed dynamically)." (§3.1)
+class CompensationBuilder {
+ public:
+  /// Inverse operations for a single executed operation:
+  /// - each logged insert becomes a delete of the inserted node id,
+  /// - each logged delete becomes an insert of the logged subtree at the
+  ///   logged parent/position (exact, id-preserving),
+  /// - each logged text change becomes a replace reinstating the old value,
+  /// in reverse edit order.
+  static CompensationPlan ForEffect(const ops::OpEffect& effect);
+
+  /// Inverse operations for a whole transaction log (reverse op order).
+  static CompensationPlan ForLog(const ops::OpLog& log);
+
+  /// Renders a plan in the paper's `<action>` syntax, one string per
+  /// compensating operation (presentation/peer-shipping form; loses id
+  /// preservation, see Operation::restore).
+  static std::vector<std::string> ToPaperXml(const CompensationPlan& plan);
+};
+
+/// Executes every operation of `plan` against `executor`'s document,
+/// stopping at the first failure. Returns the total nodes affected through
+/// `nodes_affected` when non-null.
+Status ApplyPlan(ops::Executor* executor, const CompensationPlan& plan,
+                 size_t* nodes_affected = nullptr);
+
+}  // namespace axmlx::comp
+
+#endif  // AXMLX_COMPENSATION_COMPENSATION_H_

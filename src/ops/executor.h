@@ -1,0 +1,90 @@
+#ifndef AXMLX_OPS_EXECUTOR_H_
+#define AXMLX_OPS_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "axml/materializer.h"
+#include "common/status.h"
+#include "ops/operation.h"
+#include "query/eval.h"
+#include "xml/document.h"
+#include "xml/edit.h"
+
+namespace axmlx::ops {
+
+/// Everything logged about one executed operation. This is the run-time
+/// information §3.1 requires for dynamic compensation: "the delete
+/// operations as well as the results of the <location> queries of the
+/// delete operations need to be logged to enable compensation". Deleted
+/// subtrees, inserted node ids, and all materialization side-effects live in
+/// `edits`; `targets` are the nodes the <location> query resolved to.
+struct OpEffect {
+  Operation op;
+
+  /// Nodes the <location> query (or direct id) resolved to.
+  std::vector<xml::NodeId> targets;
+
+  /// Ids of subtree roots inserted by this operation ("we assume that the
+  /// [insert] operation returns the (unique) ID of the inserted node").
+  std::vector<xml::NodeId> inserted;
+
+  /// Primitive edits in execution order, including service-call
+  /// materializations triggered by <location>/query evaluation.
+  xml::EditLog edits;
+
+  /// For kQuery: the full evaluation result.
+  query::QueryResult query_result;
+
+  /// Materialization counters for this operation.
+  axml::MaterializeStats materialize_stats;
+
+  /// The paper's cost measure: total XML nodes affected.
+  size_t NodesAffected() const { return edits.TotalNodesAffected(); }
+};
+
+/// Executes operations against one document, logging effects.
+///
+/// Query evaluation materializes embedded service calls through `invoker`
+/// (lazily by default, §3.1), so even read queries can modify the document;
+/// every mutation is recorded in the returned `OpEffect`.
+class Executor {
+ public:
+  /// `doc` must outlive the executor. `invoker` handles embedded
+  /// service-call invocations; pass a null invoker to forbid
+  /// materialization (calls then fail with kFailedPrecondition).
+  Executor(xml::Document* doc, axml::ServiceInvoker invoker);
+
+  /// Supplies a value for `$name` external service-call parameters.
+  void SetExternal(const std::string& name, const std::string& value);
+
+  /// Executes `op`, returning the logged effect. On error the document is
+  /// left untouched (partial work is rolled back internally).
+  Result<OpEffect> Execute(const Operation& op);
+
+  xml::Document* doc() { return doc_; }
+
+ private:
+  Result<OpEffect> ExecuteQuery(const Operation& op);
+  Result<OpEffect> ExecuteDelete(const Operation& op);
+  Result<OpEffect> ExecuteInsert(const Operation& op);
+  Result<OpEffect> ExecuteReplace(const Operation& op);
+
+  /// Parses `op.location` and evaluates it, materializing needed service
+  /// calls into `effect->edits` first. Returns the selected target nodes.
+  Result<std::vector<xml::NodeId>> ResolveLocation(const Operation& op,
+                                                   OpEffect* effect);
+
+  /// Inserts the parsed `data_xml` fragment under `parent` (at `index` or
+  /// appended), recording edits into `effect`.
+  Status InsertData(const xml::Document& fragment, xml::NodeId parent,
+                    bool has_index, size_t index, OpEffect* effect);
+
+  xml::Document* doc_;
+  axml::ServiceInvoker invoker_;
+  std::vector<std::pair<std::string, std::string>> externals_;
+};
+
+}  // namespace axmlx::ops
+
+#endif  // AXMLX_OPS_EXECUTOR_H_

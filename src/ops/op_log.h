@@ -1,0 +1,36 @@
+#ifndef AXMLX_OPS_OP_LOG_H_
+#define AXMLX_OPS_OP_LOG_H_
+
+#include <vector>
+
+#include "ops/executor.h"
+
+namespace axmlx::ops {
+
+/// Per-transaction log of executed operations and their effects, in
+/// execution order. Compensation executes the inverses "in the reverse
+/// order of the execution of their respective forward operations" (§3.1).
+class OpLog {
+ public:
+  void Append(OpEffect effect) { effects_.push_back(std::move(effect)); }
+
+  const std::vector<OpEffect>& effects() const { return effects_; }
+  bool empty() const { return effects_.empty(); }
+  size_t size() const { return effects_.size(); }
+  void Clear() { effects_.clear(); }
+
+  /// Total nodes affected across all logged operations — the transaction's
+  /// cost under the paper's cost model (§3.2).
+  size_t TotalNodesAffected() const {
+    size_t total = 0;
+    for (const OpEffect& e : effects_) total += e.NodesAffected();
+    return total;
+  }
+
+ private:
+  std::vector<OpEffect> effects_;
+};
+
+}  // namespace axmlx::ops
+
+#endif  // AXMLX_OPS_OP_LOG_H_

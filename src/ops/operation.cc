@@ -1,0 +1,162 @@
+#include "ops/operation.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/strings.h"
+#include "xml/builder.h"
+#include "xml/parser.h"
+
+namespace axmlx::ops {
+
+const char* ActionTypeName(ActionType type) {
+  switch (type) {
+    case ActionType::kQuery:
+      return "query";
+    case ActionType::kInsert:
+      return "insert";
+    case ActionType::kDelete:
+      return "delete";
+    case ActionType::kReplace:
+      return "replace";
+  }
+  return "?";
+}
+
+std::string Operation::ToXml() const {
+  std::ostringstream os;
+  os << "<action type=\"" << ActionTypeName(type) << "\"";
+  if (target_node != xml::kNullNode) {
+    os << " targetNode=\"" << target_node << "\"";
+  }
+  if (has_position) os << " position=\"" << position << "\"";
+  if (anchor == Anchor::kBefore) os << " anchor=\"before\"";
+  if (anchor == Anchor::kAfter) os << " anchor=\"after\"";
+  if (eager) os << " eval=\"eager\"";
+  os << ">";
+  if (!data_xml.empty()) os << "<data>" << data_xml << "</data>";
+  if (!location.empty()) {
+    os << "<location>" << XmlEscape(location) << "</location>";
+  }
+  os << "</action>";
+  return os.str();
+}
+
+Result<Operation> Operation::FromXml(const std::string& xml_text) {
+  AXMLX_ASSIGN_OR_RETURN(auto doc, xml::Parse(xml_text));
+  const xml::Node* root = doc->Find(doc->root());
+  if (root->name != "action") {
+    return ParseError("Operation::FromXml: expected an <action> element");
+  }
+  Operation op;
+  const std::string* type = root->FindAttribute("type");
+  if (type == nullptr) {
+    return ParseError("Operation::FromXml: missing 'type' attribute");
+  }
+  if (*type == "query") {
+    op.type = ActionType::kQuery;
+  } else if (*type == "insert") {
+    op.type = ActionType::kInsert;
+  } else if (*type == "delete") {
+    op.type = ActionType::kDelete;
+  } else if (*type == "replace") {
+    op.type = ActionType::kReplace;
+  } else {
+    return ParseError("Operation::FromXml: unknown action type '" + *type +
+                      "'");
+  }
+  if (const std::string* t = root->FindAttribute("targetNode")) {
+    op.target_node = std::strtoull(t->c_str(), nullptr, 10);
+  }
+  if (const std::string* p = root->FindAttribute("position")) {
+    op.has_position = true;
+    op.position = std::strtoull(p->c_str(), nullptr, 10);
+  }
+  if (const std::string* e = root->FindAttribute("eval")) {
+    op.eager = (*e == "eager");
+  }
+  if (const std::string* a = root->FindAttribute("anchor")) {
+    if (*a == "before") {
+      op.anchor = Operation::Anchor::kBefore;
+    } else if (*a == "after") {
+      op.anchor = Operation::Anchor::kAfter;
+    }
+  }
+  xml::NodeId loc = xml::FirstChildElement(*doc, doc->root(), "location");
+  if (loc != xml::kNullNode) {
+    op.location = std::string(StripWhitespace(doc->TextContent(loc)));
+  }
+  xml::NodeId data = xml::FirstChildElement(*doc, doc->root(), "data");
+  if (data != xml::kNullNode) {
+    // Re-serialize the data children to get a canonical payload.
+    std::string payload;
+    for (xml::NodeId c : doc->Find(data)->children) {
+      payload += doc->Serialize(c);
+    }
+    op.data_xml = payload;
+  }
+  return op;
+}
+
+Operation MakeQuery(std::string location, bool eager) {
+  Operation op;
+  op.type = ActionType::kQuery;
+  op.location = std::move(location);
+  op.eager = eager;
+  return op;
+}
+
+Operation MakeInsert(std::string location, std::string data_xml) {
+  Operation op;
+  op.type = ActionType::kInsert;
+  op.location = std::move(location);
+  op.data_xml = std::move(data_xml);
+  return op;
+}
+
+Operation MakeDelete(std::string location) {
+  Operation op;
+  op.type = ActionType::kDelete;
+  op.location = std::move(location);
+  return op;
+}
+
+Operation MakeReplace(std::string location, std::string data_xml) {
+  Operation op;
+  op.type = ActionType::kReplace;
+  op.location = std::move(location);
+  op.data_xml = std::move(data_xml);
+  return op;
+}
+
+Operation MakeDeleteById(xml::NodeId node) {
+  Operation op;
+  op.type = ActionType::kDelete;
+  op.target_node = node;
+  return op;
+}
+
+Operation MakeInsertAt(xml::NodeId parent, size_t position,
+                       std::string data_xml) {
+  Operation op;
+  op.type = ActionType::kInsert;
+  op.target_node = parent;
+  op.has_position = true;
+  op.position = position;
+  op.data_xml = std::move(data_xml);
+  return op;
+}
+
+Operation MakeInsertBefore(std::string location, std::string data_xml) {
+  Operation op = MakeInsert(std::move(location), std::move(data_xml));
+  op.anchor = Operation::Anchor::kBefore;
+  return op;
+}
+
+Operation MakeInsertAfter(std::string location, std::string data_xml) {
+  Operation op = MakeInsert(std::move(location), std::move(data_xml));
+  op.anchor = Operation::Anchor::kAfter;
+  return op;
+}
+
+}  // namespace axmlx::ops

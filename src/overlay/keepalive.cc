@@ -1,0 +1,56 @@
+#include "overlay/keepalive.h"
+
+#include <utility>
+#include <vector>
+
+namespace axmlx::overlay {
+
+void KeepAliveMonitor::Watch(const PeerId& target, DownCallback on_down) {
+  state_->watched[target] = std::move(on_down);
+}
+
+void KeepAliveMonitor::Unwatch(const PeerId& target) {
+  state_->watched.erase(target);
+}
+
+void KeepAliveMonitor::Start() {
+  if (state_->running) return;
+  state_->running = true;
+  std::shared_ptr<State> state = state_;
+  state_->net->ScheduleAfter(state_->interval,
+                             [state](Network*) { CheckRound(state); });
+}
+
+void KeepAliveMonitor::Stop() { state_->running = false; }
+
+void KeepAliveMonitor::CheckRound(std::shared_ptr<State> state) {
+  if (!state->running) return;
+  // Nothing to watch: go idle instead of keeping the event queue alive
+  // forever. Start() re-arms the monitor when a new watch arrives.
+  if (state->watched.empty()) {
+    state->running = false;
+    return;
+  }
+  // The watcher itself may have disconnected; a dead peer pings nobody.
+  if (!state->net->IsConnected(state->watcher)) return;
+  std::vector<PeerId> down;
+  for (const auto& [target, cb] : state->watched) {
+    if (!state->net->IsConnected(target)) down.push_back(target);
+  }
+  Tick now = state->net->now();
+  for (const PeerId& target : down) {
+    if (state->net->trace() != nullptr) {
+      state->net->trace()->Add(now, state->watcher, "PING_TIMEOUT",
+                               "detected disconnection of " + target);
+    }
+    DownCallback cb = std::move(state->watched[target]);
+    state->watched.erase(target);
+    cb(target, now);
+  }
+  if (state->running) {
+    state->net->ScheduleAfter(state->interval,
+                              [state](Network*) { CheckRound(state); });
+  }
+}
+
+}  // namespace axmlx::overlay

@@ -1,0 +1,59 @@
+#ifndef AXMLX_OVERLAY_KEEPALIVE_H_
+#define AXMLX_OVERLAY_KEEPALIVE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "overlay/network.h"
+
+namespace axmlx::overlay {
+
+/// Periodic ping/keep-alive watcher (paper §3.3: "Related P2P research
+/// relies on ping (or keep-alive) messages to detect peer disconnection",
+/// and case (c): "AP2 detects the disconnection of AP3 via ping messages").
+///
+/// The watcher checks each watched peer every `interval` ticks; when a peer
+/// is found disconnected the callback fires once with the detection time,
+/// making detection latency measurable (bounded by the ping interval).
+class KeepAliveMonitor {
+ public:
+  using DownCallback = std::function<void(const PeerId& peer, Tick detected)>;
+
+  /// `net` must outlive the monitor (hold it in the owning peer).
+  KeepAliveMonitor(Network* net, PeerId watcher, Tick interval)
+      : state_(std::make_shared<State>()) {
+    state_->net = net;
+    state_->watcher = std::move(watcher);
+    state_->interval = interval;
+  }
+
+  /// Starts watching `target`. The callback fires at most once per target.
+  void Watch(const PeerId& target, DownCallback on_down);
+
+  /// Stops watching `target` (e.g. the protocol finished with it).
+  void Unwatch(const PeerId& target);
+
+  /// Begins periodic checking. Idempotent.
+  void Start();
+
+  /// Stops all checking.
+  void Stop();
+
+ private:
+  struct State {
+    Network* net = nullptr;
+    PeerId watcher;
+    Tick interval = 10;
+    bool running = false;
+    std::map<PeerId, DownCallback> watched;
+  };
+  static void CheckRound(std::shared_ptr<State> state);
+
+  // Shared so scheduled closures survive monitor moves and detect Stop().
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace axmlx::overlay
+
+#endif  // AXMLX_OVERLAY_KEEPALIVE_H_

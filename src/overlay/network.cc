@@ -1,0 +1,136 @@
+#include "overlay/network.h"
+
+#include <utility>
+
+namespace axmlx::overlay {
+
+void PeerNode::OnTick(Tick /*now*/, Network* /*net*/) {}
+
+Network::Network(uint64_t seed, Trace* trace) : rng_(seed), trace_(trace) {}
+
+void Network::AddPeer(std::unique_ptr<PeerNode> peer) {
+  PeerId id = peer->id();
+  connected_[id] = true;
+  order_.push_back(id);
+  peers_[id] = std::move(peer);
+}
+
+PeerNode* Network::FindPeer(const PeerId& id) {
+  auto it = peers_.find(id);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+Status Network::Disconnect(const PeerId& id) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) return NotFound("Disconnect: unknown peer " + id);
+  if (it->second->super_peer()) {
+    return FailedPrecondition("Disconnect: " + id +
+                              " is a super peer and never disconnects");
+  }
+  connected_[id] = false;
+  TraceEventf(id, "DISCONNECT", "peer left the overlay");
+  return Status::Ok();
+}
+
+Status Network::Reconnect(const PeerId& id) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) return NotFound("Reconnect: unknown peer " + id);
+  connected_[id] = true;
+  TraceEventf(id, "RECONNECT", "peer rejoined the overlay");
+  return Status::Ok();
+}
+
+bool Network::IsConnected(const PeerId& id) const {
+  auto it = connected_.find(id);
+  return it != connected_.end() && it->second;
+}
+
+void Network::DisconnectAt(Tick when, const PeerId& id) {
+  ScheduleAt(when, [id](Network* net) { (void)net->Disconnect(id); });
+}
+
+Result<int64_t> Network::Send(Message message) {
+  if (peers_.find(message.to) == peers_.end()) {
+    return NotFound("Send: unknown peer " + message.to);
+  }
+  if (!IsConnected(message.to)) {
+    ++stats_.sends_failed;
+    TraceEventf(message.from, "SEND_FAIL",
+                message.type + " to " + message.to + " (disconnected)");
+    return PeerDisconnected("Send: " + message.to + " is unreachable");
+  }
+  if (!message.from.empty() && !IsConnected(message.from)) {
+    // A disconnected peer cannot emit messages.
+    return PeerDisconnected("Send: sender " + message.from +
+                            " is disconnected");
+  }
+  message.id = next_message_id_++;
+  Tick jitter = latency_jitter_ > 0
+                    ? static_cast<Tick>(rng_.Uniform(
+                          static_cast<uint64_t>(latency_jitter_) + 1))
+                    : 0;
+  Event ev;
+  ev.time = now_ + latency_base_ + jitter;
+  ev.seq = next_seq_++;
+  ev.message = std::make_shared<Message>(std::move(message));
+  ++stats_.messages_sent;
+  TraceEventf(ev.message->from, "SEND",
+              ev.message->type + " -> " + ev.message->to);
+  int64_t id = ev.message->id;
+  queue_.push(std::move(ev));
+  return id;
+}
+
+void Network::ScheduleAt(Tick when, std::function<void(Network*)> fn) {
+  Event ev;
+  ev.time = when < now_ ? now_ : when;
+  ev.seq = next_seq_++;
+  ev.fn = std::move(fn);
+  queue_.push(std::move(ev));
+}
+
+void Network::ScheduleAfter(Tick delay, std::function<void(Network*)> fn) {
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Network::RunUntil(Tick until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    if (ev.fn) {
+      ev.fn(this);
+      continue;
+    }
+    const Message& msg = *ev.message;
+    if (!IsConnected(msg.to)) {
+      ++stats_.messages_dropped;
+      TraceEventf(msg.to, "DROP", msg.type + " from " + msg.from);
+      continue;
+    }
+    PeerNode* peer = FindPeer(msg.to);
+    ++stats_.messages_delivered;
+    TraceEventf(msg.to, "RECV", msg.type + " from " + msg.from);
+    peer->OnMessage(msg, this);
+    // Give every connected peer a tick after each delivery, so periodic
+    // logic (keep-alive checks) interleaves deterministically.
+    for (const PeerId& id : order_) {
+      if (IsConnected(id)) FindPeer(id)->OnTick(now_, this);
+    }
+  }
+  if (now_ < until) now_ = until;
+}
+
+Tick Network::RunUntilQuiescent(Tick max_time) {
+  while (!queue_.empty() && queue_.top().time <= max_time) {
+    RunUntil(queue_.top().time);
+  }
+  return now_;
+}
+
+void Network::TraceEventf(const std::string& actor, const std::string& kind,
+                          const std::string& detail) {
+  if (trace_ != nullptr) trace_->Add(now_, actor, kind, detail);
+}
+
+}  // namespace axmlx::overlay

@@ -1,0 +1,175 @@
+#ifndef AXMLX_OVERLAY_NETWORK_H_
+#define AXMLX_OVERLAY_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/trace.h"
+
+namespace axmlx::overlay {
+
+/// Peers are addressed by readable ids matching the paper's figures
+/// ("AP1".."AP6").
+using PeerId = std::string;
+
+/// Simulation time, in abstract ticks.
+using Tick = int64_t;
+
+/// A message between peers. Payloads are carried as a header map plus an
+/// optional body string (serialized XML operations etc.); `attachment` is a
+/// simulator shortcut for structured in-process payloads that would be
+/// serialized in a wire implementation.
+struct Message {
+  PeerId from;
+  PeerId to;
+  std::string type;  ///< e.g. "INVOKE", "RESULT", "ABORT", "FAULT".
+  std::map<std::string, std::string> headers;
+  std::string body;
+  std::shared_ptr<const void> attachment;
+  int64_t id = 0;  ///< Assigned by the network on send.
+};
+
+class Network;
+
+/// Base class for simulated peers. Subclasses implement the AXML peer
+/// behaviour (transaction manager, recovery protocol, ...).
+class PeerNode {
+ public:
+  PeerNode(PeerId id, bool super_peer)
+      : id_(std::move(id)), super_peer_(super_peer) {}
+  virtual ~PeerNode() = default;
+
+  PeerNode(const PeerNode&) = delete;
+  PeerNode& operator=(const PeerNode&) = delete;
+
+  /// Delivered when a message addressed to this peer arrives (only while
+  /// connected).
+  virtual void OnMessage(const Message& message, Network* net) = 0;
+
+  /// Called on every simulation tick that delivers at least one event, for
+  /// periodic work such as keep-alive checks. Default: nothing.
+  virtual void OnTick(Tick now, Network* net);
+
+  const PeerId& id() const { return id_; }
+
+  /// Super peers are "trusted peers which do not disconnect" (§3.3); the
+  /// network refuses to disconnect them.
+  bool super_peer() const { return super_peer_; }
+
+ private:
+  PeerId id_;
+  bool super_peer_;
+};
+
+/// Deterministic discrete-event message bus connecting the peers.
+///
+/// Substitution note (see DESIGN.md): the paper's system ran on a real P2P
+/// overlay; the protocols under study depend on message ordering, failure
+/// interleavings, and detection timing — all of which this simulator
+/// controls exactly, making the experiments reproducible from a seed.
+class Network {
+ public:
+  explicit Network(uint64_t seed = 1, Trace* trace = nullptr);
+
+  /// Registers a peer. The network owns it.
+  void AddPeer(std::unique_ptr<PeerNode> peer);
+  PeerNode* FindPeer(const PeerId& id);
+
+  /// All registered peer ids, in registration order.
+  std::vector<PeerId> peer_ids() const { return order_; }
+
+  // --- Connectivity --------------------------------------------------------
+
+  /// Marks `id` as disconnected: queued and future messages to it are
+  /// dropped, and sends to it fail fast. Super peers cannot disconnect.
+  Status Disconnect(const PeerId& id);
+  Status Reconnect(const PeerId& id);
+  bool IsConnected(const PeerId& id) const;
+
+  /// Schedules a disconnection at an absolute time.
+  void DisconnectAt(Tick when, const PeerId& id);
+
+  // --- Messaging -----------------------------------------------------------
+
+  /// Enqueues `message` for delivery after the link latency. Returns
+  /// kPeerDisconnected immediately when the destination is unreachable —
+  /// modelling a failed connection attempt, which is how the paper's peers
+  /// detect disconnection "while trying to return the results" (§3.3(b)).
+  Result<int64_t> Send(Message message);
+
+  /// Per-link latency: base + uniform jitter ticks.
+  void SetLatency(Tick base, Tick jitter) {
+    latency_base_ = base;
+    latency_jitter_ = jitter;
+  }
+
+  // --- Scheduling and the event loop ---------------------------------------
+
+  /// Runs `fn` at absolute time `when` (or now, if in the past).
+  void ScheduleAt(Tick when, std::function<void(Network*)> fn);
+
+  /// Runs `fn` after `delay` ticks.
+  void ScheduleAfter(Tick delay, std::function<void(Network*)> fn);
+
+  /// Processes events until the queue drains or `max_time` is reached.
+  /// Returns the simulation time after the run.
+  Tick RunUntilQuiescent(Tick max_time = 1'000'000);
+
+  /// Advances through events with timestamps <= `until`.
+  void RunUntil(Tick until);
+
+  Tick now() const { return now_; }
+
+  struct Stats {
+    int64_t messages_sent = 0;
+    int64_t messages_delivered = 0;
+    int64_t messages_dropped = 0;   ///< Destination vanished in flight.
+    int64_t sends_failed = 0;       ///< Destination unreachable at send.
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  Trace* trace() { return trace_; }
+
+ private:
+  struct Event {
+    Tick time = 0;
+    int64_t seq = 0;  ///< Tie-break: FIFO among same-time events.
+    // Exactly one of the two is set.
+    std::shared_ptr<Message> message;
+    std::function<void(Network*)> fn;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void TraceEventf(const std::string& actor, const std::string& kind,
+                   const std::string& detail);
+
+  std::map<PeerId, std::unique_ptr<PeerNode>> peers_;
+  std::vector<PeerId> order_;
+  std::map<PeerId, bool> connected_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  Tick now_ = 0;
+  int64_t next_seq_ = 0;
+  int64_t next_message_id_ = 1;
+  Tick latency_base_ = 1;
+  Tick latency_jitter_ = 0;
+  Rng rng_;
+  Stats stats_;
+  Trace* trace_;
+};
+
+}  // namespace axmlx::overlay
+
+#endif  // AXMLX_OVERLAY_NETWORK_H_

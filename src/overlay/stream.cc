@@ -1,0 +1,109 @@
+#include "overlay/stream.h"
+
+#include <utility>
+#include <vector>
+
+namespace axmlx::overlay {
+
+StreamPublisher::StreamPublisher(Network* net, PeerId from, PeerId to,
+                                 Tick interval, std::string stream_id)
+    : state_(std::make_shared<State>()) {
+  state_->net = net;
+  state_->from = std::move(from);
+  state_->to = std::move(to);
+  state_->interval = interval;
+  state_->stream_id = std::move(stream_id);
+}
+
+void StreamPublisher::Start() {
+  if (state_->running) return;
+  state_->running = true;
+  std::shared_ptr<State> state = state_;
+  state_->net->ScheduleAfter(state_->interval,
+                             [state](Network*) { Emit(state); });
+}
+
+void StreamPublisher::Stop() { state_->running = false; }
+
+void StreamPublisher::Emit(std::shared_ptr<State> state) {
+  if (!state->running) return;
+  // A disconnected publisher is silent — that silence is the subscriber's
+  // disconnection signal (§3.3(d)).
+  if (!state->net->IsConnected(state->from)) return;
+  Message m;
+  m.from = state->from;
+  m.to = state->to;
+  m.type = kStreamMessage;
+  m.headers["stream"] = state->stream_id;
+  if (state->net->Send(std::move(m)).ok()) ++state->sent;
+  state->net->ScheduleAfter(state->interval,
+                            [state](Network*) { Emit(state); });
+}
+
+StreamWatcher::StreamWatcher(Network* net, PeerId watcher, Tick interval,
+                             int grace)
+    : state_(std::make_shared<State>()) {
+  state_->net = net;
+  state_->watcher = std::move(watcher);
+  state_->interval = interval;
+  state_->grace = grace < 1 ? 1 : grace;
+}
+
+void StreamWatcher::Expect(const PeerId& from, SilenceCallback on_silence) {
+  Expected expected;
+  expected.last_seen = state_->net->now();
+  expected.on_silence = std::move(on_silence);
+  state_->expected[from] = std::move(expected);
+  EnsureRunning();
+}
+
+void StreamWatcher::Forget(const PeerId& from) {
+  state_->expected.erase(from);
+}
+
+void StreamWatcher::OnStreamMessage(const Message& message) {
+  auto it = state_->expected.find(message.from);
+  if (it != state_->expected.end()) {
+    it->second.last_seen = state_->net->now();
+  }
+}
+
+void StreamWatcher::EnsureRunning() {
+  if (state_->running) return;
+  state_->running = true;
+  std::shared_ptr<State> state = state_;
+  state_->net->ScheduleAfter(state_->interval,
+                             [state](Network*) { CheckRound(state); });
+}
+
+void StreamWatcher::CheckRound(std::shared_ptr<State> state) {
+  if (!state->running) return;
+  if (state->expected.empty()) {
+    state->running = false;  // idle; Expect() re-arms
+    return;
+  }
+  if (!state->net->IsConnected(state->watcher)) return;
+  Tick now = state->net->now();
+  std::vector<PeerId> silent;
+  for (const auto& [from, expected] : state->expected) {
+    if (now - expected.last_seen >
+        state->interval * static_cast<Tick>(state->grace)) {
+      silent.push_back(from);
+    }
+  }
+  for (const PeerId& from : silent) {
+    if (state->net->trace() != nullptr) {
+      state->net->trace()->Add(now, state->watcher, "STREAM_SILENCE",
+                               "no data from " + from);
+    }
+    SilenceCallback cb = std::move(state->expected[from].on_silence);
+    state->expected.erase(from);
+    cb(from, now);
+  }
+  if (state->running) {
+    state->net->ScheduleAfter(state->interval,
+                              [state](Network*) { CheckRound(state); });
+  }
+}
+
+}  // namespace axmlx::overlay

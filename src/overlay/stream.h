@@ -1,0 +1,95 @@
+#ifndef AXMLX_OVERLAY_STREAM_H_
+#define AXMLX_OVERLAY_STREAM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "overlay/network.h"
+
+namespace axmlx::overlay {
+
+/// Message type used by data streams.
+inline constexpr char kStreamMessage[] = "STREAM";
+
+/// Periodic data stream between peers, modelling the paper's
+/// "subscription based continuous services which are responsible for
+/// sending updated (streams of) data at regular intervals" (§3.3(d), and
+/// the `frequency` attribute of embedded service calls).
+///
+/// The publisher emits one STREAM message per interval while its hosting
+/// peer is connected; a disconnected publisher simply goes silent — which
+/// is exactly the signal subscribers detect.
+class StreamPublisher {
+ public:
+  /// `net` must outlive the publisher. `stream_id` identifies the stream in
+  /// message headers (e.g. the continuous service's name).
+  StreamPublisher(Network* net, PeerId from, PeerId to, Tick interval,
+                  std::string stream_id);
+
+  /// Begins emitting. Idempotent.
+  void Start();
+
+  /// Stops emitting (e.g. the subscription ended).
+  void Stop();
+
+  int64_t messages_sent() const { return state_->sent; }
+
+ private:
+  struct State {
+    Network* net = nullptr;
+    PeerId from;
+    PeerId to;
+    Tick interval = 10;
+    std::string stream_id;
+    bool running = false;
+    int64_t sent = 0;
+  };
+  static void Emit(std::shared_ptr<State> state);
+  std::shared_ptr<State> state_;
+};
+
+/// Subscriber-side silence detector: "a sibling would be aware of another
+/// sibling's disconnection if it doesn't receive data at the specified
+/// interval". Feed incoming STREAM messages via OnStreamMessage; the
+/// callback fires once when a publisher misses `grace` consecutive
+/// intervals.
+class StreamWatcher {
+ public:
+  using SilenceCallback = std::function<void(const PeerId& from, Tick when)>;
+
+  /// `grace`: how many intervals of silence mean "disconnected" (>= 1).
+  StreamWatcher(Network* net, PeerId watcher, Tick interval, int grace = 2);
+
+  /// Starts expecting a stream from `from`. The clock starts now.
+  void Expect(const PeerId& from, SilenceCallback on_silence);
+
+  /// Stops expecting `from`.
+  void Forget(const PeerId& from);
+
+  /// Call for every STREAM message the owning peer receives.
+  void OnStreamMessage(const Message& message);
+
+ private:
+  struct Expected {
+    Tick last_seen = 0;
+    SilenceCallback on_silence;
+  };
+  struct State {
+    Network* net = nullptr;
+    PeerId watcher;
+    Tick interval = 10;
+    int grace = 2;
+    bool running = false;
+    std::map<PeerId, Expected> expected;
+  };
+  static void CheckRound(std::shared_ptr<State> state);
+  void EnsureRunning();
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace axmlx::overlay
+
+#endif  // AXMLX_OVERLAY_STREAM_H_

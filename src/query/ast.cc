@@ -1,0 +1,105 @@
+#include "query/ast.h"
+
+#include <sstream>
+
+namespace axmlx::query {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string PathExpr::ToString() const {
+  std::string out;
+  for (const Step& s : steps) {
+    switch (s.axis) {
+      case Step::Axis::kChild:
+        out += "/" + s.name;
+        break;
+      case Step::Axis::kDescendant:
+        out += "//" + s.name;
+        break;
+      case Step::Axis::kParent:
+        out += "/..";
+        break;
+      case Step::Axis::kAttribute:
+        out += "/@" + s.name;
+        break;
+    }
+  }
+  return out;
+}
+
+std::string Predicate::ToString(const std::string& var) const {
+  switch (kind) {
+    case Kind::kCompare: {
+      std::string lit = literal;
+      // Quote literals that would not survive re-lexing as a bareword.
+      if (lit.find_first_of(" \t()/") != std::string::npos || lit.empty()) {
+        lit = "\"" + lit + "\"";
+      }
+      return var + path.ToString() + " " + CompareOpName(op) + " " + lit;
+    }
+    case Kind::kAnd:
+      return "(" + left->ToString(var) + " and " + right->ToString(var) + ")";
+    case Kind::kOr:
+      return "(" + left->ToString(var) + " or " + right->ToString(var) + ")";
+    case Kind::kNot:
+      return "(not " + left->ToString(var) + ")";
+  }
+  return "?";
+}
+
+namespace {
+void CollectNames(const PathExpr& path, std::vector<std::string>* out) {
+  for (const Step& s : path.steps) {
+    if (s.axis != Step::Axis::kParent && s.axis != Step::Axis::kAttribute &&
+        s.name != "*") {
+      out->push_back(s.name);
+    }
+  }
+}
+void CollectPredicateNames(const Predicate* p, std::vector<std::string>* out) {
+  if (p == nullptr) return;
+  if (p->kind == Predicate::Kind::kCompare) {
+    CollectNames(p->path, out);
+    return;
+  }
+  CollectPredicateNames(p->left.get(), out);
+  CollectPredicateNames(p->right.get(), out);
+}
+}  // namespace
+
+std::vector<std::string> Query::MentionedNames() const {
+  std::vector<std::string> out;
+  for (const PathExpr& p : selects) CollectNames(p, &out);
+  CollectPredicateNames(where.get(), &out);
+  return out;
+}
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  os << "Select ";
+  for (size_t i = 0; i < selects.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << var << selects[i].ToString();
+  }
+  os << " from " << var << " in " << doc_name << source.ToString();
+  if (where != nullptr) os << " where " << where->ToString(var);
+  return os.str();
+}
+
+}  // namespace axmlx::query

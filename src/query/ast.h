@@ -1,0 +1,85 @@
+#ifndef AXMLX_QUERY_AST_H_
+#define AXMLX_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace axmlx::query {
+
+/// One step of a path expression.
+struct Step {
+  enum class Axis {
+    kChild,       ///< `/name`
+    kDescendant,  ///< `//name`
+    kParent,      ///< `/..` — used by the paper's compensating inserts
+    kAttribute,   ///< `/@name` — attribute access; only valid as the final
+                  ///< step of a predicate path (attributes are not nodes)
+  };
+  Axis axis = Axis::kChild;
+  /// Element name to match; "*" matches any element. Unused for kParent.
+  std::string name;
+
+  bool operator==(const Step&) const = default;
+};
+
+/// A relative path such as `p/name/lastname` (steps applied from a binding)
+/// or an absolute source path such as `ATPList//player` (first step applied
+/// from the document root; the leading name must match the root element).
+struct PathExpr {
+  std::vector<Step> steps;
+
+  bool operator==(const PathExpr&) const = default;
+
+  /// Renders the path in the paper's syntax, without the leading variable.
+  std::string ToString() const;
+};
+
+/// Comparison operators usable in `where` clauses.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Predicate tree: comparisons combined with `and` / `or` / `not`.
+struct Predicate {
+  enum class Kind { kCompare, kAnd, kOr, kNot };
+  Kind kind = Kind::kCompare;
+
+  // kCompare:
+  PathExpr path;                ///< Relative to the bound variable.
+  CompareOp op = CompareOp::kEq;
+  std::string literal;
+
+  // kAnd / kOr: both children; kNot: only `left`.
+  std::unique_ptr<Predicate> left;
+  std::unique_ptr<Predicate> right;
+
+  /// Renders the predicate in the paper's syntax; `var` is the binding
+  /// variable the paths hang off ("p/name/lastname = Federer").
+  std::string ToString(const std::string& var) const;
+};
+
+/// A parsed query/location expression:
+///   Select <select_1>, ..., <select_n>
+///   from <var> in <source>
+///   [where <predicate>]
+/// The same structure drives both read queries and the `<location>` part of
+/// update operations (§3 of the paper).
+struct Query {
+  std::vector<PathExpr> selects;  ///< Paths relative to `var`.
+  std::string var;                ///< Binding variable name, e.g. "p".
+  std::string doc_name;           ///< Document name, e.g. "ATPList".
+  PathExpr source;                ///< Path from the root to binding nodes.
+  std::unique_ptr<Predicate> where;  ///< May be null.
+
+  /// Every element name mentioned in select paths and predicate paths.
+  /// Drives lazy materialization: a service call is needed only if its
+  /// output name is among these (§3.1, Query A vs Query B).
+  std::vector<std::string> MentionedNames() const;
+
+  std::string ToString() const;
+};
+
+const char* CompareOpName(CompareOp op);
+
+}  // namespace axmlx::query
+
+#endif  // AXMLX_QUERY_AST_H_

@@ -1,0 +1,239 @@
+#include "query/eval.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace axmlx::query {
+
+bool IsServiceCallElement(const xml::Node& node) {
+  return node.is_element() && node.name == "axml:sc";
+}
+
+bool IsBookkeepingElement(const xml::Node& node) {
+  if (!node.is_element()) return false;
+  return node.name == "axml:params" || node.name == "axml:catch" ||
+         node.name == "axml:catchAll" || node.name == "axml:retry";
+}
+
+namespace {
+
+void CollectQueryChildren(const xml::Document& doc, xml::NodeId id,
+                          std::vector<xml::NodeId>* out) {
+  const xml::Node* n = doc.Find(id);
+  if (n == nullptr) return;
+  for (xml::NodeId c : n->children) {
+    const xml::Node* child = doc.Find(c);
+    if (child->type == xml::NodeType::kComment) continue;
+    if (IsBookkeepingElement(*child)) continue;
+    if (IsServiceCallElement(*child)) {
+      // Transparent: surface the service call's result children.
+      CollectQueryChildren(doc, c, out);
+      continue;
+    }
+    out->push_back(c);
+  }
+}
+
+/// Appends all query-visible descendant elements of `id` (pre-order).
+void CollectDescendants(const xml::Document& doc, xml::NodeId id,
+                        std::vector<xml::NodeId>* out) {
+  for (xml::NodeId c : QueryChildren(doc, id)) {
+    const xml::Node* child = doc.Find(c);
+    if (child->is_element()) {
+      out->push_back(c);
+      CollectDescendants(doc, c, out);
+    }
+  }
+}
+
+bool NameMatches(const xml::Node& node, const std::string& pattern) {
+  return node.is_element() && (pattern == "*" || node.name == pattern);
+}
+
+/// Compares two scalar values, numerically when possible.
+bool CompareValues(const std::string& lhs, const std::string& rhs,
+                   CompareOp op) {
+  char* end_l = nullptr;
+  char* end_r = nullptr;
+  double dl = std::strtod(lhs.c_str(), &end_l);
+  double dr = std::strtod(rhs.c_str(), &end_r);
+  bool numeric = !lhs.empty() && !rhs.empty() && *end_l == '\0' &&
+                 *end_r == '\0';
+  int cmp;
+  if (numeric) {
+    cmp = dl < dr ? -1 : (dl > dr ? 1 : 0);
+  } else {
+    cmp = lhs.compare(rhs);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<xml::NodeId> QueryChildren(const xml::Document& doc,
+                                       xml::NodeId id) {
+  std::vector<xml::NodeId> out;
+  CollectQueryChildren(doc, id, &out);
+  return out;
+}
+
+xml::NodeId QueryParent(const xml::Document& doc, xml::NodeId id) {
+  const xml::Node* n = doc.Find(id);
+  if (n == nullptr) return xml::kNullNode;
+  xml::NodeId cur = n->parent;
+  while (cur != xml::kNullNode) {
+    const xml::Node* p = doc.Find(cur);
+    if (!IsServiceCallElement(*p) && !IsBookkeepingElement(*p)) return cur;
+    cur = p->parent;
+  }
+  return xml::kNullNode;
+}
+
+std::vector<xml::NodeId> EvaluatePathFrom(const xml::Document& doc,
+                                          xml::NodeId context,
+                                          const PathExpr& path) {
+  std::vector<xml::NodeId> current = {context};
+  for (const Step& step : path.steps) {
+    std::vector<xml::NodeId> next;
+    std::unordered_set<xml::NodeId> seen;
+    auto add = [&next, &seen](xml::NodeId id) {
+      if (seen.insert(id).second) next.push_back(id);
+    };
+    for (xml::NodeId ctx : current) {
+      switch (step.axis) {
+        case Step::Axis::kChild:
+          for (xml::NodeId c : QueryChildren(doc, ctx)) {
+            if (NameMatches(*doc.Find(c), step.name)) add(c);
+          }
+          break;
+        case Step::Axis::kDescendant: {
+          std::vector<xml::NodeId> desc;
+          CollectDescendants(doc, ctx, &desc);
+          for (xml::NodeId d : desc) {
+            if (NameMatches(*doc.Find(d), step.name)) add(d);
+          }
+          break;
+        }
+        case Step::Axis::kParent: {
+          xml::NodeId p = QueryParent(doc, ctx);
+          if (p != xml::kNullNode) add(p);
+          break;
+        }
+        case Step::Axis::kAttribute:
+          // Attributes are not nodes; attribute steps are only meaningful
+          // as the final step of a predicate path (see EvaluatePredicate).
+          break;
+      }
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+bool EvaluatePredicate(const xml::Document& doc, xml::NodeId context,
+                       const Predicate& pred) {
+  switch (pred.kind) {
+    case Predicate::Kind::kCompare: {
+      // Attribute comparison: `p/@rank = 1` — evaluate the prefix path,
+      // then test the named attribute of each matched element.
+      if (!pred.path.steps.empty() &&
+          pred.path.steps.back().axis == Step::Axis::kAttribute) {
+        PathExpr prefix;
+        prefix.steps.assign(pred.path.steps.begin(),
+                            pred.path.steps.end() - 1);
+        const std::string& attr = pred.path.steps.back().name;
+        for (xml::NodeId id : EvaluatePathFrom(doc, context, prefix)) {
+          const xml::Node* node = doc.Find(id);
+          const std::string* value = node->FindAttribute(attr);
+          if (value != nullptr &&
+              CompareValues(*value, pred.literal, pred.op)) {
+            return true;
+          }
+        }
+        return false;
+      }
+      std::vector<xml::NodeId> nodes =
+          EvaluatePathFrom(doc, context, pred.path);
+      for (xml::NodeId id : nodes) {
+        if (CompareValues(doc.TextContent(id), pred.literal, pred.op)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case Predicate::Kind::kAnd:
+      return EvaluatePredicate(doc, context, *pred.left) &&
+             EvaluatePredicate(doc, context, *pred.right);
+    case Predicate::Kind::kOr:
+      return EvaluatePredicate(doc, context, *pred.left) ||
+             EvaluatePredicate(doc, context, *pred.right);
+    case Predicate::Kind::kNot:
+      return !EvaluatePredicate(doc, context, *pred.left);
+  }
+  return false;
+}
+
+std::vector<xml::NodeId> QueryResult::AllSelected() const {
+  std::vector<xml::NodeId> out;
+  std::unordered_set<xml::NodeId> seen;
+  for (const Binding& b : bindings) {
+    for (const auto& group : b.selected) {
+      for (xml::NodeId id : group) {
+        if (seen.insert(id).second) out.push_back(id);
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<xml::NodeId>> EvaluateBindings(const xml::Document& doc,
+                                                  const Query& q,
+                                                  bool check_doc_name) {
+  const xml::Node* root = doc.Find(doc.root());
+  if (check_doc_name && root->name != q.doc_name) {
+    return NotFound("query addresses document '" + q.doc_name +
+                    "' but the target document root is '" + root->name + "'");
+  }
+  std::vector<xml::NodeId> bound =
+      EvaluatePathFrom(doc, doc.root(), q.source);
+  std::vector<xml::NodeId> out;
+  for (xml::NodeId id : bound) {
+    if (q.where == nullptr || EvaluatePredicate(doc, id, *q.where)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+Result<QueryResult> EvaluateQuery(const xml::Document& doc, const Query& q,
+                                  bool check_doc_name) {
+  AXMLX_ASSIGN_OR_RETURN(auto bound, EvaluateBindings(doc, q, check_doc_name));
+  QueryResult result;
+  for (xml::NodeId id : bound) {
+    QueryResult::Binding binding;
+    binding.node = id;
+    for (const PathExpr& sel : q.selects) {
+      binding.selected.push_back(EvaluatePathFrom(doc, id, sel));
+    }
+    result.bindings.push_back(std::move(binding));
+  }
+  return result;
+}
+
+}  // namespace axmlx::query

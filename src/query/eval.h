@@ -1,0 +1,78 @@
+#ifndef AXMLX_QUERY_EVAL_H_
+#define AXMLX_QUERY_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "xml/document.h"
+
+namespace axmlx::query {
+
+/// AXML-aware navigation helpers.
+///
+/// The evaluator treats `axml:sc` (embedded service call) elements as
+/// *transparent containers*: their materialized result children are visible
+/// as if they were children of the service call's parent element, while
+/// bookkeeping children (`axml:params`, fault handlers) are invisible to
+/// queries. This is what makes the paper's Query A see
+/// `player/grandslamswon` even though the nodes physically live inside an
+/// `<axml:sc>` element (§3.1).
+bool IsServiceCallElement(const xml::Node& node);
+
+/// True for `axml:params`, `axml:catch`, `axml:catchAll`, `axml:retry` —
+/// service-call bookkeeping that queries must not see.
+bool IsBookkeepingElement(const xml::Node& node);
+
+/// Returns the query-visible children of `id` (service calls expanded,
+/// bookkeeping skipped). Text and element nodes only.
+std::vector<xml::NodeId> QueryChildren(const xml::Document& doc,
+                                       xml::NodeId id);
+
+/// Returns the query-visible parent of `id`: the nearest ancestor that is
+/// neither a service call nor bookkeeping, or kNullNode.
+xml::NodeId QueryParent(const xml::Document& doc, xml::NodeId id);
+
+/// Evaluates a path expression from a single context node. Returns matched
+/// node ids in document order without duplicates.
+std::vector<xml::NodeId> EvaluatePathFrom(const xml::Document& doc,
+                                          xml::NodeId context,
+                                          const PathExpr& path);
+
+/// Evaluates `pred` for the binding `context`. Comparisons are existential
+/// over the path's node set; values compare numerically when both sides
+/// parse as numbers, else as strings.
+bool EvaluatePredicate(const xml::Document& doc, xml::NodeId context,
+                       const Predicate& pred);
+
+/// Result of a full query evaluation.
+struct QueryResult {
+  struct Binding {
+    xml::NodeId node = xml::kNullNode;  ///< The bound variable's node.
+    /// selected[i] = nodes matched by the i-th select path for this binding.
+    std::vector<std::vector<xml::NodeId>> selected;
+  };
+  std::vector<Binding> bindings;
+
+  /// All selected node ids across bindings and select paths, deduplicated,
+  /// in first-seen order.
+  std::vector<xml::NodeId> AllSelected() const;
+};
+
+/// Evaluates a parsed query against `doc`. The query's `doc_name` must match
+/// the root element name of `doc` (the paper addresses documents by name,
+/// e.g. `ATPList//player`); pass `check_doc_name=false` to skip that check.
+Result<QueryResult> EvaluateQuery(const xml::Document& doc, const Query& q,
+                                  bool check_doc_name = true);
+
+/// Finds the nodes bound by the query's `from ... in <source>` clause that
+/// satisfy the `where` clause — i.e. the *target nodes* of a `<location>`
+/// expression, before applying select paths.
+Result<std::vector<xml::NodeId>> EvaluateBindings(const xml::Document& doc,
+                                                  const Query& q,
+                                                  bool check_doc_name = true);
+
+}  // namespace axmlx::query
+
+#endif  // AXMLX_QUERY_EVAL_H_

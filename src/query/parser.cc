@@ -1,0 +1,343 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+namespace axmlx::query {
+namespace {
+
+enum class TokKind {
+  kName,     // identifiers, barewords
+  kString,   // quoted literal
+  kSlash,    // '/'
+  kDslash,   // '//'
+  kDotdot,   // '..'
+  kStar,     // '*'
+  kAt,       // '@'
+  kComma,
+  kLparen,
+  kRparen,
+  kOp,       // comparison operator
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= input_.size()) break;
+      char c = input_[pos_];
+      if (c == '/') {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '/') {
+          out.push_back({TokKind::kDslash, "//"});
+          pos_ += 2;
+        } else {
+          out.push_back({TokKind::kSlash, "/"});
+          ++pos_;
+        }
+      } else if (c == '.') {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '.') {
+          out.push_back({TokKind::kDotdot, ".."});
+          pos_ += 2;
+        } else {
+          return ParseError("query lexer: unexpected '.'");
+        }
+      } else if (c == '*') {
+        out.push_back({TokKind::kStar, "*"});
+        ++pos_;
+      } else if (c == '@') {
+        out.push_back({TokKind::kAt, "@"});
+        ++pos_;
+      } else if (c == ',') {
+        out.push_back({TokKind::kComma, ","});
+        ++pos_;
+      } else if (c == '(') {
+        out.push_back({TokKind::kLparen, "("});
+        ++pos_;
+      } else if (c == ')') {
+        out.push_back({TokKind::kRparen, ")"});
+        ++pos_;
+      } else if (c == ';') {
+        out.push_back({TokKind::kSemicolon, ";"});
+        ++pos_;
+      } else if (c == '=') {
+        out.push_back({TokKind::kOp, "="});
+        ++pos_;
+      } else if (c == '!' || c == '<' || c == '>') {
+        std::string op(1, c);
+        ++pos_;
+        if (pos_ < input_.size() && input_[pos_] == '=') {
+          op += '=';
+          ++pos_;
+        }
+        if (op == "!") return ParseError("query lexer: expected '!='");
+        out.push_back({TokKind::kOp, op});
+      } else if (c == '"' || c == '\'') {
+        char quote = c;
+        ++pos_;
+        size_t start = pos_;
+        while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
+        if (pos_ >= input_.size()) {
+          return ParseError("query lexer: unterminated string literal");
+        }
+        out.push_back(
+            {TokKind::kString, std::string(input_.substr(start, pos_ - start))});
+        ++pos_;
+      } else if (IsWordChar(c)) {
+        size_t start = pos_;
+        while (pos_ < input_.size() && IsWordChar(input_[pos_])) ++pos_;
+        out.push_back(
+            {TokKind::kName, std::string(input_.substr(start, pos_ - start))});
+      } else {
+        std::ostringstream os;
+        os << "query lexer: unexpected character '" << c << "'";
+        return ParseError(os.str());
+      }
+    }
+    out.push_back({TokKind::kEnd, ""});
+    return out;
+  }
+
+ private:
+  static bool IsWordChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == ':' || c == '$';
+  }
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+class QueryParser {
+ public:
+  explicit QueryParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseFull() {
+    if (!ConsumeKeyword("select")) {
+      return ParseError("query: expected 'Select'");
+    }
+    Query q;
+    std::vector<std::pair<std::string, PathExpr>> raw_selects;
+    while (true) {
+      AXMLX_ASSIGN_OR_RETURN(auto head_path, ParseHeadedPath());
+      raw_selects.push_back(std::move(head_path));
+      if (Peek().kind == TokKind::kComma) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (!ConsumeKeyword("from")) return ParseError("query: expected 'from'");
+    if (Peek().kind != TokKind::kName) {
+      return ParseError("query: expected a variable name after 'from'");
+    }
+    q.var = Next().text;
+    if (!ConsumeKeyword("in")) return ParseError("query: expected 'in'");
+    AXMLX_ASSIGN_OR_RETURN(auto source, ParseHeadedPath());
+    q.doc_name = source.first;
+    q.source = std::move(source.second);
+    for (auto& [head, path] : raw_selects) {
+      if (head != q.var) {
+        return ParseError("query: select path head '" + head +
+                          "' does not match variable '" + q.var + "'");
+      }
+      q.selects.push_back(std::move(path));
+    }
+    if (ConsumeKeyword("where")) {
+      AXMLX_ASSIGN_OR_RETURN(auto pred, ParseOr(q.var));
+      q.where = std::move(pred);
+    }
+    if (Peek().kind == TokKind::kSemicolon) ++pos_;
+    if (Peek().kind != TokKind::kEnd) {
+      return ParseError("query: trailing tokens after query: '" +
+                        Peek().text + "'");
+    }
+    return q;
+  }
+
+  /// Parses `NAME steps`; returns (NAME, steps).
+  Result<std::pair<std::string, PathExpr>> ParseHeadedPath() {
+    if (Peek().kind != TokKind::kName) {
+      return ParseError("query: expected a name at the start of a path");
+    }
+    std::string head = Next().text;
+    PathExpr path;
+    while (true) {
+      if (Peek().kind == TokKind::kSlash) {
+        ++pos_;
+        if (Peek().kind == TokKind::kDotdot) {
+          ++pos_;
+          path.steps.push_back({Step::Axis::kParent, ""});
+        } else if (Peek().kind == TokKind::kAt) {
+          ++pos_;
+          if (Peek().kind != TokKind::kName) {
+            return ParseError("query: expected an attribute name after '@'");
+          }
+          path.steps.push_back({Step::Axis::kAttribute, Next().text});
+        } else if (Peek().kind == TokKind::kStar) {
+          ++pos_;
+          path.steps.push_back({Step::Axis::kChild, "*"});
+        } else if (Peek().kind == TokKind::kName) {
+          path.steps.push_back({Step::Axis::kChild, Next().text});
+        } else {
+          return ParseError("query: expected a step after '/'");
+        }
+      } else if (Peek().kind == TokKind::kDslash) {
+        ++pos_;
+        if (Peek().kind == TokKind::kStar) {
+          ++pos_;
+          path.steps.push_back({Step::Axis::kDescendant, "*"});
+        } else if (Peek().kind == TokKind::kName) {
+          path.steps.push_back({Step::Axis::kDescendant, Next().text});
+        } else {
+          return ParseError("query: expected a step after '//'");
+        }
+      } else {
+        break;
+      }
+    }
+    return std::make_pair(std::move(head), std::move(path));
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool ConsumeKeyword(const std::string& kw) {
+    if (Peek().kind == TokKind::kName && Lower(Peek().text) == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().kind == TokKind::kName && Lower(Peek().text) == kw;
+  }
+
+  Result<std::unique_ptr<Predicate>> ParseOr(const std::string& var) {
+    AXMLX_ASSIGN_OR_RETURN(auto left, ParseAnd(var));
+    while (PeekKeyword("or")) {
+      ++pos_;
+      AXMLX_ASSIGN_OR_RETURN(auto right, ParseAnd(var));
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::kOr;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Predicate>> ParseAnd(const std::string& var) {
+    AXMLX_ASSIGN_OR_RETURN(auto left, ParseUnary(var));
+    while (PeekKeyword("and")) {
+      ++pos_;
+      AXMLX_ASSIGN_OR_RETURN(auto right, ParseUnary(var));
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::kAnd;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Predicate>> ParseUnary(const std::string& var) {
+    if (PeekKeyword("not")) {
+      ++pos_;
+      AXMLX_ASSIGN_OR_RETURN(auto child, ParseUnary(var));
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::kNot;
+      node->left = std::move(child);
+      return node;
+    }
+    if (Peek().kind == TokKind::kLparen) {
+      ++pos_;
+      AXMLX_ASSIGN_OR_RETURN(auto inner, ParseOr(var));
+      if (Peek().kind != TokKind::kRparen) {
+        return ParseError("query: expected ')'");
+      }
+      ++pos_;
+      return inner;
+    }
+    // Comparison: path OP literal.
+    AXMLX_ASSIGN_OR_RETURN(auto head_path, ParseHeadedPath());
+    if (head_path.first != var) {
+      return ParseError("query: predicate path head '" + head_path.first +
+                        "' does not match variable '" + var + "'");
+    }
+    if (Peek().kind != TokKind::kOp) {
+      return ParseError("query: expected a comparison operator");
+    }
+    std::string op = Next().text;
+    auto node = std::make_unique<Predicate>();
+    node->kind = Predicate::Kind::kCompare;
+    node->path = std::move(head_path.second);
+    if (op == "=") {
+      node->op = CompareOp::kEq;
+    } else if (op == "!=") {
+      node->op = CompareOp::kNe;
+    } else if (op == "<") {
+      node->op = CompareOp::kLt;
+    } else if (op == "<=") {
+      node->op = CompareOp::kLe;
+    } else if (op == ">") {
+      node->op = CompareOp::kGt;
+    } else {
+      node->op = CompareOp::kGe;
+    }
+    if (Peek().kind == TokKind::kString || Peek().kind == TokKind::kName) {
+      node->literal = Next().text;
+    } else {
+      return ParseError("query: expected a literal after the operator");
+    }
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view input) {
+  Lexer lexer(input);
+  AXMLX_ASSIGN_OR_RETURN(auto tokens, lexer.Run());
+  QueryParser parser(std::move(tokens));
+  return parser.ParseFull();
+}
+
+Result<PathExpr> ParsePath(std::string_view input, std::string* head) {
+  Lexer lexer(input);
+  AXMLX_ASSIGN_OR_RETURN(auto tokens, lexer.Run());
+  QueryParser parser(std::move(tokens));
+  AXMLX_ASSIGN_OR_RETURN(auto head_path, parser.ParseHeadedPath());
+  *head = head_path.first;
+  return head_path.second;
+}
+
+}  // namespace axmlx::query

@@ -1,0 +1,35 @@
+#ifndef AXMLX_QUERY_PARSER_H_
+#define AXMLX_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace axmlx::query {
+
+/// Parses the paper's location/query language, e.g.:
+///
+///   Select p/citizenship, p/grandslamswon from p in ATPList//player
+///   where p/name/lastname = Federer;
+///
+/// Grammar (keywords case-insensitive, trailing ';' optional):
+///   query   := 'Select' path (',' path)* 'from' NAME 'in' source
+///              ('where' pred)?
+///   path    := NAME steps            -- leading NAME must be the variable
+///   source  := NAME steps            -- leading NAME is the document name
+///   steps   := ('/' (NAME | '..' | '*') | '//' NAME)*
+///   pred    := conj ('or' conj)*
+///   conj    := unary ('and' unary)*
+///   unary   := 'not' unary | '(' pred ')' | path OP literal
+///   OP      := '=' | '!=' | '<' | '<=' | '>' | '>='
+///   literal := '"'...'"' | '\''...'\'' | bareword
+Result<Query> ParseQuery(std::string_view input);
+
+/// Parses just a path expression with a leading name, e.g. "p/name/lastname"
+/// or "ATPList//player". Returns the leading name through `head`.
+Result<PathExpr> ParsePath(std::string_view input, std::string* head);
+
+}  // namespace axmlx::query
+
+#endif  // AXMLX_QUERY_PARSER_H_

@@ -1,0 +1,101 @@
+#ifndef AXMLX_RECOVERY_CHAINED_PEER_H_
+#define AXMLX_RECOVERY_CHAINED_PEER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "overlay/keepalive.h"
+#include "overlay/stream.h"
+#include "recovery/recovering_peer.h"
+
+namespace axmlx::recovery {
+
+/// A peer implementing the paper's chain-based disconnection handling
+/// (§3.3) on top of the nested recovery protocol. Requires
+/// Options::use_chaining so the active-peer chain travels with INVOKEs.
+///
+/// Covered cases (paper's lettering, Fig. 2 topology):
+/// - (a) leaf disconnection detected by its parent: keep-alive detection
+///   feeds the nested recovery protocol (inherited).
+/// - (b) parent disconnection detected by a child returning results: the
+///   child walks the chain ("the next closest peer... or the closest super
+///   peer") and sends the results to the first reachable ancestor, tagged
+///   with the disconnection info. The ancestor stores the orphaned result
+///   and, when it re-invokes the dead peer's service on a replica, ships it
+///   along so the subcall is not re-executed (work reuse).
+/// - (c) child disconnection detected by its parent via keep-alive: before
+///   recovering, the parent notifies the dead peer's descendants (from the
+///   chain) so they stop wasting effort; descendants that already finished
+///   reroute their results as in (b).
+/// - (d) sibling disconnection detected by a sibling (missed data stream):
+///   the sibling notifies the dead peer's parent and children, which then
+///   proceed as in (c) and (b) respectively.
+class ChainedPeer : public RecoveringPeer {
+ public:
+  using RecoveringPeer::RecoveringPeer;
+
+  /// Case (d): starts watching `sibling` for transaction `txn`, modelling a
+  /// subscription/continuous data stream between siblings; on detection the
+  /// dead peer's parent and children are notified using the chain.
+  void WatchSibling(overlay::Network* net, const std::string& txn,
+                    const overlay::PeerId& sibling, overlay::Tick interval);
+
+  /// Starts publishing a continuous data stream from this peer to `to`
+  /// every `interval` ticks ("subscription based continuous services",
+  /// §3.3(d); the `frequency` attribute of embedded calls). Returns the
+  /// publisher index for stream accounting.
+  size_t PublishStream(overlay::Network* net, const overlay::PeerId& to,
+                       overlay::Tick interval, const std::string& stream_id);
+
+  /// Message-driven variant of WatchSibling: expects real STREAM data from
+  /// `sibling` every `interval` ticks and treats `grace` missed intervals
+  /// as a disconnection, then notifies the dead peer's parent and children
+  /// from the chain.
+  void WatchSiblingStream(overlay::Network* net, const std::string& txn,
+                          const overlay::PeerId& sibling,
+                          overlay::Tick interval, int grace = 2);
+
+  int64_t StreamMessagesSent(size_t publisher_index) const;
+
+ protected:
+  void OnParentUnreachable(Ctx* ctx, overlay::Network* net) override;
+  void OnRedirectedResult(const overlay::Message& message,
+                          overlay::Network* net) override;
+  void OnNotifyDisconnect(const overlay::Message& message,
+                          overlay::Network* net) override;
+  void OnChildFailure(Ctx* ctx, ChildEdge* edge, const std::string& fault,
+                      overlay::Network* net) override;
+  void OnStream(const overlay::Message& message,
+                overlay::Network* net) override;
+  std::shared_ptr<const txn::ReusedResults> ReuseFor(const Ctx& ctx) override;
+  void OnTxnResolved(const std::string& txn, bool committed,
+                     overlay::Network* net) override;
+
+ private:
+  /// Sends NOTIFY_DISCONNECT about `dead` to every live peer in its chain
+  /// subtree (case (c): "inform the descendants (of AP3) about the
+  /// disconnection... prevent them from wasting effort").
+  void NotifySubtree(const Ctx& ctx, const overlay::PeerId& dead,
+                     overlay::Network* net);
+
+  /// Case (d) notification: tells `dead`'s parent and children (from the
+  /// chain held in `txn`'s context) about the disconnection.
+  void NotifyRelativesOfDeath(const std::string& txn,
+                              const overlay::PeerId& dead,
+                              overlay::Network* net);
+
+  /// Orphaned results rerouted around dead parents: txn -> service -> result.
+  std::map<std::string, std::shared_ptr<txn::ReusedResults>> orphan_results_;
+  std::unique_ptr<overlay::KeepAliveMonitor> sibling_monitor_;
+  std::vector<std::unique_ptr<overlay::StreamPublisher>> publishers_;
+  std::unique_ptr<overlay::StreamWatcher> stream_watcher_;
+  /// Network used by sibling-stream callbacks (set by WatchSibling; the
+  /// simulator has exactly one network per run).
+  overlay::Network* watch_net_ = nullptr;
+};
+
+}  // namespace axmlx::recovery
+
+#endif  // AXMLX_RECOVERY_CHAINED_PEER_H_

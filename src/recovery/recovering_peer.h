@@ -1,0 +1,45 @@
+#ifndef AXMLX_RECOVERY_RECOVERING_PEER_H_
+#define AXMLX_RECOVERY_RECOVERING_PEER_H_
+
+#include <string>
+
+#include "txn/peer.h"
+
+namespace axmlx::recovery {
+
+/// A peer implementing the paper's nested recovery protocol (§3.2).
+///
+/// On a child failure it consults the fault handlers defined for the
+/// embedded service call (the subcall's `handlers`), in order:
+/// - a matching handler with a retry spec re-invokes the service, up to
+///   `times` attempts, optionally on a replica peer ("the optional
+///   <axml:sc> allows retrying the invocation using a replicated peer");
+///   for disconnection failures with no explicit replica, the directory's
+///   replica of the failed peer is used;
+/// - a matching handler without a retry spec absorbs the fault — the
+///   application-specific forward recovery succeeds and the subcall is
+///   treated as complete with no results;
+/// - if no handler matches (or retries are exhausted), the failure
+///   propagates: the context aborts and "Abort TA" flows to the remaining
+///   children and the parent — the paper's backward recovery step, repeated
+///   up the tree until some ancestor recovers or the origin aborts.
+class RecoveringPeer : public txn::AxmlPeer {
+ public:
+  using AxmlPeer::AxmlPeer;
+
+ protected:
+  void OnChildFailure(Ctx* ctx, ChildEdge* edge, const std::string& fault,
+                      overlay::Network* net) override;
+
+  /// Picks the retry target for `edge` after `fault`: the handler's replica
+  /// URL if given; the directory replica of the failed peer when it
+  /// disconnected; otherwise the same peer again.
+  overlay::PeerId RetryTarget(const ChildEdge& edge,
+                              const axml::RetrySpec& retry,
+                              const std::string& fault,
+                              overlay::Network* net);
+};
+
+}  // namespace axmlx::recovery
+
+#endif  // AXMLX_RECOVERY_RECOVERING_PEER_H_

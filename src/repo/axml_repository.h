@@ -1,0 +1,139 @@
+#ifndef AXMLX_REPO_AXML_REPOSITORY_H_
+#define AXMLX_REPO_AXML_REPOSITORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/trace.h"
+#include "compensation/compensation.h"
+#include "ops/executor.h"
+#include "ops/op_log.h"
+#include "overlay/network.h"
+#include "service/repository.h"
+#include "txn/directory.h"
+#include "txn/peer.h"
+#include "xml/document.h"
+
+namespace axmlx::repo {
+
+/// A single-peer atomic unit of work: execute AXML operations against one
+/// document, then Commit (keep) or Abort (dynamically compensate in reverse
+/// order, §3.1). This is the entry-level public API — see
+/// examples/quickstart.cpp.
+class LocalTransaction {
+ public:
+  /// `doc` must outlive the transaction. `invoker` resolves embedded
+  /// service-call materializations (may be null to forbid them).
+  LocalTransaction(xml::Document* doc, axml::ServiceInvoker invoker);
+
+  /// Supplies `$name` external parameter values for service calls.
+  void SetExternal(const std::string& name, const std::string& value);
+
+  /// Executes one operation; its effects are logged for compensation.
+  Result<const ops::OpEffect*> Execute(const ops::Operation& op);
+
+  /// Ends the transaction keeping its effects.
+  Status Commit();
+
+  /// Ends the transaction, undoing all effects by executing the
+  /// dynamically constructed compensating operations in reverse order.
+  Status Abort();
+
+  bool active() const { return active_; }
+
+  /// The compensation plan that Abort() would run now.
+  comp::CompensationPlan PendingCompensation() const;
+
+  /// Nodes affected so far (the paper's cost measure).
+  size_t NodesAffected() const { return log_.TotalNodesAffected(); }
+
+ private:
+  ops::Executor executor_;
+  ops::OpLog log_;
+  bool active_ = true;
+};
+
+/// Outcome of a distributed transaction driven to quiescence.
+struct TxnOutcome {
+  Status status;                 ///< OK = committed; kAborted/kTimeout else.
+  overlay::Tick duration = 0;    ///< Submit-to-decision simulation time.
+  int64_t messages = 0;          ///< Messages sent while it ran.
+  bool decided = false;          ///< False = stuck (no commit and no abort).
+};
+
+/// The full P2P AXML repository: a set of transactional peers on a
+/// simulated overlay. This facade owns the network, the service directory,
+/// and the trace; peers are added with a chosen protocol level:
+/// - kBaseline: abort-everything recovery (no fault handlers);
+/// - kRecovering: nested recovery + fault handlers (§3.2);
+/// - kChained: + chain-based disconnection handling (§3.3).
+class AxmlRepository {
+ public:
+  enum class Protocol { kBaseline, kRecovering, kChained };
+
+  struct PeerConfig {
+    overlay::PeerId id;
+    bool super_peer = false;
+    Protocol protocol = Protocol::kRecovering;
+    txn::AxmlPeer::Options options;
+    uint64_t seed = 7;
+  };
+
+  explicit AxmlRepository(uint64_t seed = 1);
+
+  // The network holds a pointer to the repository's trace; moving or
+  // copying would dangle it.
+  AxmlRepository(const AxmlRepository&) = delete;
+  AxmlRepository& operator=(const AxmlRepository&) = delete;
+
+  /// Adds a peer. The repository keeps ownership; the returned pointer is
+  /// valid for the repository's lifetime.
+  Result<txn::AxmlPeer*> AddPeer(const PeerConfig& config);
+
+  txn::AxmlPeer* FindPeer(const overlay::PeerId& id);
+
+  /// Parses `xml_text` and hosts it on `peer` under its root element name.
+  Status HostDocument(const overlay::PeerId& peer,
+                      const std::string& xml_text);
+
+  /// Registers `service` on `peer`.
+  Status HostService(const overlay::PeerId& peer,
+                     service::ServiceDefinition service);
+
+  /// Declares `replica` as replicating `original`: clones every document
+  /// and service definition of `original` onto `replica` and records the
+  /// mapping in the directory (used for replica retry and peer-independent
+  /// compensation after disconnection).
+  Status SetReplica(const overlay::PeerId& original,
+                    const overlay::PeerId& replica);
+
+  /// Reconnection catch-up: after `peer` rejoins the overlay, synchronizes
+  /// every document it hosts from its replica using id-based diff scripts
+  /// (the replica served retries while the peer was away, so its copies are
+  /// authoritative). Returns the total nodes the sync scripts touched.
+  Result<size_t> ResyncFromReplica(const overlay::PeerId& peer);
+
+  /// Submits `service` at `origin` as transaction `txn` and runs the
+  /// network to quiescence. Returns the decision (or decided=false when the
+  /// transaction is stuck — e.g. an undetected disconnection).
+  Result<TxnOutcome> RunTransaction(const overlay::PeerId& origin,
+                                    const std::string& txn,
+                                    const std::string& service,
+                                    const txn::Params& params = {});
+
+  overlay::Network& network() { return *network_; }
+  txn::ServiceDirectory& directory() { return directory_; }
+  Trace& trace() { return trace_; }
+
+ private:
+  Trace trace_;
+  std::unique_ptr<overlay::Network> network_;
+  txn::ServiceDirectory directory_;
+  std::vector<txn::AxmlPeer*> peers_;
+};
+
+}  // namespace axmlx::repo
+
+#endif  // AXMLX_REPO_AXML_REPOSITORY_H_

@@ -1,0 +1,208 @@
+#include "repo/scenarios.h"
+
+#include <utility>
+#include <vector>
+
+namespace axmlx::repo {
+namespace {
+
+/// Adds a peer with the scenario's protocol and options.
+Status AddScenarioPeer(AxmlRepository* repo, const ScenarioOptions& options,
+                       const overlay::PeerId& id, bool super_peer) {
+  AxmlRepository::PeerConfig config;
+  config.id = id;
+  config.super_peer = super_peer;
+  config.protocol = options.protocol;
+  config.options = options.peer_options;
+  config.seed = options.seed ^ std::hash<std::string>{}(id);
+  return repo->AddPeer(config).status();
+}
+
+/// Hosts "Data<id>" on `id`: a store with a few items plus an empty log.
+Status HostScenarioDocument(AxmlRepository* repo, const overlay::PeerId& id) {
+  std::string doc = "<" + ScenarioDocName(id) + "><store>";
+  for (int i = 1; i <= 3; ++i) {
+    doc += "<item id=\"" + std::to_string(i) + "\">v" + std::to_string(i) +
+           "</item>";
+  }
+  doc += "</store><log/></" + ScenarioDocName(id) + ">";
+  return repo->HostDocument(id, doc);
+}
+
+/// The local workload of every scenario service: `ops_per_service` inserts
+/// into the peer's log (compensable work with a measurable node cost).
+std::vector<ops::Operation> ScenarioOps(const overlay::PeerId& id,
+                                        const std::string& service,
+                                        int ops_per_service) {
+  std::vector<ops::Operation> out;
+  for (int i = 0; i < ops_per_service; ++i) {
+    out.push_back(ops::MakeInsert(
+        "Select d from d in " + ScenarioDocName(id) + "//log",
+        "<entry service=\"" + service + "\" seq=\"" + std::to_string(i) +
+            "\">work</entry>"));
+  }
+  return out;
+}
+
+service::ServiceDefinition MakeScenarioService(
+    const ScenarioOptions& options, const overlay::PeerId& id,
+    const std::string& name) {
+  service::ServiceDefinition def;
+  def.name = name;
+  def.document = ScenarioDocName(id);
+  def.ops = ScenarioOps(id, name, options.ops_per_service);
+  def.duration = options.duration;
+  return def;
+}
+
+/// Builds the fault handler attached to an embedded call when a scenario
+/// asks for one: absorb by default, retry-on-replica when configured.
+axml::FaultHandler ScenarioHandler(const ScenarioOptions& options,
+                                   const overlay::PeerId& failed_peer) {
+  axml::FaultHandler handler;  // catchAll
+  if (options.handlers_retry_on_replica) {
+    handler.has_retry = true;
+    handler.retry.times = 1;
+    handler.retry.wait = 0;
+    handler.retry.replica_url = failed_peer + "R";
+  }
+  return handler;
+}
+
+Status AddReplicas(AxmlRepository* repo, const ScenarioOptions& options,
+                   const std::vector<overlay::PeerId>& peers) {
+  if (!options.add_replicas) return Status::Ok();
+  for (const overlay::PeerId& id : peers) {
+    AXMLX_RETURN_IF_ERROR(
+        AddScenarioPeer(repo, options, id + "R", /*super_peer=*/false));
+    AXMLX_RETURN_IF_ERROR(repo->SetReplica(id, id + "R"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ScenarioDocName(const overlay::PeerId& id) { return "Data" + id; }
+
+Status BuildFigureOne(AxmlRepository* repo, const ScenarioOptions& options) {
+  const std::vector<overlay::PeerId> peers = {"AP1", "AP2", "AP3",
+                                              "AP4", "AP5", "AP6"};
+  for (const overlay::PeerId& id : peers) {
+    AXMLX_RETURN_IF_ERROR(AddScenarioPeer(repo, options, id, id == "AP1"));
+    AXMLX_RETURN_IF_ERROR(HostScenarioDocument(repo, id));
+  }
+
+  // Leaf services.
+  AXMLX_RETURN_IF_ERROR(
+      repo->HostService("AP2", MakeScenarioService(options, "AP2", "S2")));
+  AXMLX_RETURN_IF_ERROR(
+      repo->HostService("AP4", MakeScenarioService(options, "AP4", "S4")));
+  AXMLX_RETURN_IF_ERROR(
+      repo->HostService("AP6", MakeScenarioService(options, "AP6", "S6")));
+
+  // S5@AP5 invokes S6@AP6 and is the failure point.
+  {
+    service::ServiceDefinition s5 = MakeScenarioService(options, "AP5", "S5");
+    s5.fault_probability = options.s5_fault_probability;
+    s5.fault_name = "S5Fault";
+    s5.fault_after_subcalls = options.s5_fault_after_subcalls;
+    s5.subcalls.push_back({"AP6", "S6", {}, {}});
+    AXMLX_RETURN_IF_ERROR(repo->HostService("AP5", std::move(s5)));
+  }
+  // S3@AP3 invokes S4@AP4 and S5@AP5.
+  {
+    service::ServiceDefinition s3 = MakeScenarioService(options, "AP3", "S3");
+    s3.subcalls.push_back({"AP4", "S4", {}, {}});
+    service::ServiceDefinition::SubCall s5_call{"AP5", "S5", {}, {}};
+    if (options.s5_handler_at_ap3) {
+      s5_call.handlers.push_back(ScenarioHandler(options, "AP5"));
+    }
+    s3.subcalls.push_back(std::move(s5_call));
+    AXMLX_RETURN_IF_ERROR(repo->HostService("AP3", std::move(s3)));
+  }
+  // S1@AP1 (the transaction root) invokes S2@AP2 and S3@AP3.
+  {
+    service::ServiceDefinition s1 = MakeScenarioService(options, "AP1", "S1");
+    s1.subcalls.push_back({"AP2", "S2", {}, {}});
+    service::ServiceDefinition::SubCall s3_call{"AP3", "S3", {}, {}};
+    if (options.s3_handler_at_ap1) {
+      s3_call.handlers.push_back(ScenarioHandler(options, "AP3"));
+    }
+    s1.subcalls.push_back(std::move(s3_call));
+    AXMLX_RETURN_IF_ERROR(repo->HostService("AP1", std::move(s1)));
+  }
+
+  return AddReplicas(repo, options, {"AP2", "AP3", "AP4", "AP5", "AP6"});
+}
+
+Status BuildFigureTwo(AxmlRepository* repo, const ScenarioOptions& options) {
+  const std::vector<overlay::PeerId> peers = {"AP1", "AP2", "AP3",
+                                              "AP4", "AP5", "AP6"};
+  for (const overlay::PeerId& id : peers) {
+    // "super peers ... are highlighted by an * following their identifiers
+    // (AP1*)" — AP1 is the scenario's super peer.
+    AXMLX_RETURN_IF_ERROR(AddScenarioPeer(repo, options, id, id == "AP1"));
+    AXMLX_RETURN_IF_ERROR(HostScenarioDocument(repo, id));
+  }
+
+  AXMLX_RETURN_IF_ERROR(
+      repo->HostService("AP6", MakeScenarioService(options, "AP6", "S6")));
+  AXMLX_RETURN_IF_ERROR(
+      repo->HostService("AP5", MakeScenarioService(options, "AP5", "S5")));
+  {
+    service::ServiceDefinition s3 = MakeScenarioService(options, "AP3", "S3");
+    s3.subcalls.push_back({"AP6", "S6", {}, {}});
+    AXMLX_RETURN_IF_ERROR(repo->HostService("AP3", std::move(s3)));
+  }
+  {
+    service::ServiceDefinition s4 = MakeScenarioService(options, "AP4", "S4");
+    s4.subcalls.push_back({"AP5", "S5", {}, {}});
+    AXMLX_RETURN_IF_ERROR(repo->HostService("AP4", std::move(s4)));
+  }
+  {
+    service::ServiceDefinition s2 = MakeScenarioService(options, "AP2", "S2");
+    service::ServiceDefinition::SubCall s3_call{"AP3", "S3", {}, {}};
+    service::ServiceDefinition::SubCall s4_call{"AP4", "S4", {}, {}};
+    // Recovery of S3 on a replica is case (b)/(c)'s forward path.
+    s3_call.handlers.push_back(ScenarioHandler(options, "AP3"));
+    s4_call.handlers.push_back(ScenarioHandler(options, "AP4"));
+    s2.subcalls.push_back(std::move(s3_call));
+    s2.subcalls.push_back(std::move(s4_call));
+    AXMLX_RETURN_IF_ERROR(repo->HostService("AP2", std::move(s2)));
+  }
+  {
+    service::ServiceDefinition s1 = MakeScenarioService(options, "AP1", "S1");
+    s1.subcalls.push_back({"AP2", "S2", {}, {}});
+    AXMLX_RETURN_IF_ERROR(repo->HostService("AP1", std::move(s1)));
+  }
+
+  return AddReplicas(repo, options, {"AP2", "AP3", "AP4", "AP5", "AP6"});
+}
+
+namespace {
+
+Status BuildTreeRec(AxmlRepository* repo, const ScenarioOptions& options,
+                    const overlay::PeerId& id, int depth, int fanout) {
+  AXMLX_RETURN_IF_ERROR(AddScenarioPeer(repo, options, id, /*super=*/false));
+  AXMLX_RETURN_IF_ERROR(HostScenarioDocument(repo, id));
+  service::ServiceDefinition def = MakeScenarioService(options, id, "S");
+  if (depth > 0) {
+    for (int i = 0; i < fanout; ++i) {
+      overlay::PeerId child = id + std::to_string(i);
+      AXMLX_RETURN_IF_ERROR(
+          BuildTreeRec(repo, options, child, depth - 1, fanout));
+      def.subcalls.push_back({child, "S", {}, {}});
+    }
+  }
+  return repo->HostService(id, std::move(def));
+}
+
+}  // namespace
+
+Status BuildUniformTree(AxmlRepository* repo, const ScenarioOptions& options,
+                        int depth, int fanout, overlay::PeerId* origin) {
+  *origin = "P";
+  return BuildTreeRec(repo, options, *origin, depth, fanout);
+}
+
+}  // namespace axmlx::repo

@@ -1,0 +1,80 @@
+#ifndef AXMLX_REPO_SCENARIOS_H_
+#define AXMLX_REPO_SCENARIOS_H_
+
+#include <string>
+
+#include "repo/axml_repository.h"
+
+namespace axmlx::repo {
+
+/// Configuration for the paper's example topologies.
+struct ScenarioOptions {
+  AxmlRepository::Protocol protocol = AxmlRepository::Protocol::kRecovering;
+  txn::AxmlPeer::Options peer_options;
+
+  /// Per-service simulated execution time.
+  overlay::Tick duration = 5;
+
+  /// Probability that AP5 faults while processing S5 (Figure 1's failure;
+  /// set to 1.0 for the deterministic paper scenario).
+  double s5_fault_probability = 0.0;
+
+  /// Figure 1 timing: AP5 fails with S6 already invoked and finished, so
+  /// the abort must cascade to AP6 (§3.2 steps 1-2).
+  bool s5_fault_after_subcalls = true;
+
+  /// Attach a catchAll absorb handler to AP3's embedded call of S5 — the
+  /// paper's "AP3 tries to recover using the (application specific) fault
+  /// handlers defined for the embedded service call S5" (§3.2 step 3).
+  bool s5_handler_at_ap3 = false;
+
+  /// Attach a catchAll absorb handler to AP1's embedded call of S3 — the
+  /// next nesting level of forward recovery (§3.2 step 4).
+  bool s3_handler_at_ap1 = false;
+
+  /// Attach retry-on-replica handlers (times=1) instead of absorb handlers
+  /// wherever a handler is requested; requires `add_replicas`.
+  bool handlers_retry_on_replica = false;
+
+  /// Create replica peers (suffix "R") mirroring every worker peer's
+  /// documents and services.
+  bool add_replicas = false;
+
+  /// Number of insert operations each service performs on its local
+  /// document (the compensable work).
+  int ops_per_service = 2;
+
+  uint64_t seed = 11;
+};
+
+/// Names used by both scenarios.
+inline constexpr char kTxnName[] = "TA";
+
+/// Builds the **Figure 1** topology (nested recovery protocol):
+///   AP1 (origin, runs S1) -> S2@AP2, S3@AP3;
+///   AP3 -> S4@AP4, S5@AP5;  AP5 -> S6@AP6.
+/// AP5's S5 is the injected failure point. Every peer hosts a document
+/// "Data<peer>" and its service appends `ops_per_service` log entries to it
+/// (real, compensable work).
+Status BuildFigureOne(AxmlRepository* repo, const ScenarioOptions& options);
+
+/// Builds the **Figure 2** topology (peer disconnection scenarios):
+///   AP1* (origin, super peer, runs S1) -> S2@AP2;
+///   AP2 -> S3@AP3, S4@AP4;  AP3 -> S6@AP6;  AP4 -> S5@AP5.
+/// Disconnections are injected by the caller via
+/// repo->network().DisconnectAt(...).
+Status BuildFigureTwo(AxmlRepository* repo, const ScenarioOptions& options);
+
+/// Builds a uniform tree topology for parameter sweeps (E4): `depth` levels
+/// with `fanout` children per level; peer ids "P", "P0", "P00", ... Each
+/// peer runs service "S" doing `ops_per_service` inserts. Returns the id of
+/// the origin peer through `origin`.
+Status BuildUniformTree(AxmlRepository* repo, const ScenarioOptions& options,
+                        int depth, int fanout, overlay::PeerId* origin);
+
+/// The document hosted by peer `id` in these scenarios.
+std::string ScenarioDocName(const overlay::PeerId& id);
+
+}  // namespace axmlx::repo
+
+#endif  // AXMLX_REPO_SCENARIOS_H_

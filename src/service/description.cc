@@ -1,0 +1,88 @@
+#include "service/description.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace axmlx::service {
+
+namespace {
+
+void CollectParams(const std::string& text, std::vector<std::string>* out) {
+  size_t pos = 0;
+  while ((pos = text.find("${", pos)) != std::string::npos) {
+    size_t end = text.find('}', pos + 2);
+    if (end == std::string::npos) break;
+    std::string name = text.substr(pos + 2, end - pos - 2);
+    bool seen = false;
+    for (const std::string& existing : *out) seen = seen || existing == name;
+    if (!seen) out->push_back(name);
+    pos = end + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> ReferencedParameters(const ServiceDefinition& def) {
+  std::vector<std::string> out;
+  for (const ops::Operation& op : def.ops) {
+    CollectParams(op.location, &out);
+    CollectParams(op.data_xml, &out);
+  }
+  return out;
+}
+
+std::string DescribeService(const ServiceDefinition& def) {
+  std::ostringstream os;
+  os << "<service name=\"" << XmlEscape(def.name) << "\"";
+  if (!def.document.empty()) {
+    os << " document=\"" << XmlEscape(def.document) << "\"";
+  }
+  os << " duration=\"" << def.duration << "\"";
+  if (def.native) os << " native=\"true\"";
+  if (def.fault_probability > 0) {
+    os << " faultName=\"" << XmlEscape(def.fault_name) << "\"";
+  }
+  os << ">";
+  std::vector<std::string> params = ReferencedParameters(def);
+  if (!params.empty()) {
+    os << "<parameters>";
+    for (const std::string& p : params) {
+      os << "<parameter name=\"" << XmlEscape(p) << "\"/>";
+    }
+    os << "</parameters>";
+  }
+  if (!def.ops.empty()) {
+    os << "<operations>";
+    for (size_t i = 0; i < def.ops.size(); ++i) {
+      os << "<operation index=\"" << i << "\" type=\""
+         << ops::ActionTypeName(def.ops[i].type) << "\">"
+         << XmlEscape(def.ops[i].location) << "</operation>";
+    }
+    os << "</operations>";
+  }
+  if (!def.subcalls.empty()) {
+    os << "<subcalls>";
+    for (const ServiceDefinition::SubCall& sub : def.subcalls) {
+      os << "<subcall peer=\"" << XmlEscape(sub.peer) << "\" service=\""
+         << XmlEscape(sub.service) << "\" handlers=\""
+         << sub.handlers.size() << "\"/>";
+    }
+    os << "</subcalls>";
+  }
+  os << "</service>";
+  return os.str();
+}
+
+std::string DescribeRepository(const Repository& repo,
+                               const std::string& peer_id) {
+  std::ostringstream os;
+  os << "<services peer=\"" << XmlEscape(peer_id) << "\">";
+  for (const std::string& name : repo.ServiceNames()) {
+    os << DescribeService(*repo.FindService(name));
+  }
+  os << "</services>";
+  return os.str();
+}
+
+}  // namespace axmlx::service

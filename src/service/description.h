@@ -1,0 +1,36 @@
+#ifndef AXMLX_SERVICE_DESCRIPTION_H_
+#define AXMLX_SERVICE_DESCRIPTION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "service/repository.h"
+
+namespace axmlx::service {
+
+/// Generates a WSDL-like XML description of a hosted service ("Note that
+/// AXML services are also exposed as a regular Web service (with a WSDL
+/// description file)", paper §1). The description covers the operation
+/// templates, parameters referenced via ${...} placeholders, subcalls, and
+/// failure characteristics — enough for a remote peer to reason about
+/// invoking (and compensating) the service.
+///
+/// <service name="getPoints" document="PointsDB" duration="3">
+///   <parameters><parameter name="name"/></parameters>
+///   <operations><operation index="0" type="query">...</operation></operations>
+///   <subcalls><subcall peer="AP4" service="S4" handlers="1"/></subcalls>
+/// </service>
+std::string DescribeService(const ServiceDefinition& def);
+
+/// Describes every service a repository hosts, wrapped in
+/// `<services peer="...">`.
+std::string DescribeRepository(const Repository& repo,
+                               const std::string& peer_id);
+
+/// Extracts the `${...}` parameter names referenced by a service's
+/// operation templates (deduplicated, in first-use order).
+std::vector<std::string> ReferencedParameters(const ServiceDefinition& def);
+
+}  // namespace axmlx::service
+
+#endif  // AXMLX_SERVICE_DESCRIPTION_H_

@@ -1,0 +1,340 @@
+#include "storage/durable_store.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "compensation/compensation.h"
+#include "xml/parser.h"
+
+namespace axmlx::storage {
+
+namespace {
+
+std::string WalPath(const std::string& directory) {
+  return directory + "/wal.log";
+}
+std::string ManifestPath(const std::string& directory) {
+  return directory + "/manifest.txt";
+}
+std::string SnapshotPath(const std::string& directory,
+                         const std::string& doc) {
+  return directory + "/snap_" + doc + ".xml";
+}
+
+Status WriteFileAtomically(const std::string& path,
+                           const std::string& content) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Internal("cannot write " + tmp);
+    out << content;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFound("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+std::string EncodeWalPayload(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '%':
+        out += "%25";
+        break;
+      case '\n':
+        out += "%0A";
+        break;
+      case '\r':
+        out += "%0D";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string DecodeWalPayload(const std::string& encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    if (encoded[i] == '%' && i + 2 < encoded.size() + 1 &&
+        i + 2 < encoded.size()) {
+      std::string hex = encoded.substr(i + 1, 2);
+      if (hex == "25") {
+        out += '%';
+        i += 2;
+        continue;
+      }
+      if (hex == "0A") {
+        out += '\n';
+        i += 2;
+        continue;
+      }
+      if (hex == "0D") {
+        out += '\r';
+        i += 2;
+        continue;
+      }
+    }
+    out += encoded[i];
+  }
+  return out;
+}
+
+DurableStore::DurableStore(std::string directory, axml::ServiceInvoker invoker)
+    : directory_(std::move(directory)), invoker_(std::move(invoker)) {}
+
+DurableStore::~DurableStore() = default;
+
+Status DurableStore::Open() {
+  if (open_) return FailedPrecondition("store is already open");
+  ::mkdir(directory_.c_str(), 0755);
+  AXMLX_RETURN_IF_ERROR(LoadSnapshots());
+  AXMLX_RETURN_IF_ERROR(ReplayWal());
+  open_ = true;
+  // Roll back transactions that were in flight at the crash: execute their
+  // dynamically constructed compensating operations (journaled, so a crash
+  // during recovery re-converges) and resolve them.
+  std::vector<std::string> losers;
+  for (const auto& [txn, state] : active_txns_) losers.push_back(txn);
+  for (const std::string& txn : losers) {
+    AXMLX_RETURN_IF_ERROR(CompensateTxn(txn, /*journal=*/true));
+    AXMLX_RETURN_IF_ERROR(AppendWal("RESOLVED " + txn));
+    active_txns_.erase(txn);
+    ++stats_.recovered_txns;
+  }
+  return Status::Ok();
+}
+
+Status DurableStore::LoadSnapshots() {
+  if (!FileExists(ManifestPath(directory_))) return Status::Ok();
+  AXMLX_ASSIGN_OR_RETURN(std::string manifest,
+                         ReadFile(ManifestPath(directory_)));
+  std::istringstream lines(manifest);
+  std::string name;
+  while (std::getline(lines, name)) {
+    if (name.empty()) continue;
+    AXMLX_ASSIGN_OR_RETURN(std::string xml_text,
+                           ReadFile(SnapshotPath(directory_, name)));
+    AXMLX_ASSIGN_OR_RETURN(auto doc, xml::Parse(xml_text));
+    documents_[name] = std::move(doc);
+  }
+  return Status::Ok();
+}
+
+Status DurableStore::ReplayWal() {
+  if (!FileExists(WalPath(directory_))) return Status::Ok();
+  AXMLX_ASSIGN_OR_RETURN(std::string wal, ReadFile(WalPath(directory_)));
+  std::istringstream lines(wal);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    size_t sp1 = line.find(' ');
+    std::string kind = line.substr(0, sp1);
+    if (kind == "BEGIN") {
+      active_txns_[line.substr(sp1 + 1)];
+    } else if (kind == "RESOLVED") {
+      active_txns_.erase(line.substr(sp1 + 1));
+    } else if (kind == "EXT") {
+      size_t sp2 = line.find(' ', sp1 + 1);
+      if (sp2 == std::string::npos) {
+        return Internal("malformed WAL EXT record: " + line);
+      }
+      externals_[line.substr(sp1 + 1, sp2 - sp1 - 1)] =
+          DecodeWalPayload(line.substr(sp2 + 1));
+    } else if (kind == "NEWDOC") {
+      std::string xml_text = DecodeWalPayload(line.substr(sp1 + 1));
+      AXMLX_ASSIGN_OR_RETURN(auto doc, xml::Parse(xml_text));
+      std::string name = doc->Find(doc->root())->name;
+      if (documents_.count(name) == 0) documents_[name] = std::move(doc);
+    } else if (kind == "OP") {
+      size_t sp2 = line.find(' ', sp1 + 1);
+      size_t sp3 = line.find(' ', sp2 + 1);
+      if (sp2 == std::string::npos || sp3 == std::string::npos) {
+        return Internal("malformed WAL OP record: " + line);
+      }
+      std::string txn = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      std::string doc = line.substr(sp2 + 1, sp3 - sp2 - 1);
+      std::string op_xml = DecodeWalPayload(line.substr(sp3 + 1));
+      AXMLX_ASSIGN_OR_RETURN(ops::Operation op,
+                             ops::Operation::FromXml(op_xml));
+      active_txns_[txn];  // replay may see OP before BEGIN only on
+                          // corruption; tolerate by creating the state
+      auto applied = ApplyOp(txn, doc, op);
+      if (!applied.ok()) {
+        return Internal("WAL replay failed for txn " + txn + ": " +
+                        applied.status().message());
+      }
+      ++stats_.replayed_ops;
+    } else {
+      return Internal("unknown WAL record: " + line);
+    }
+  }
+  return Status::Ok();
+}
+
+Status DurableStore::AppendWal(const std::string& record) {
+  std::ofstream out(WalPath(directory_), std::ios::app);
+  if (!out) return Internal("cannot append to WAL");
+  out << record << "\n";
+  out.flush();
+  ++stats_.wal_records;
+  return Status::Ok();
+}
+
+Status DurableStore::CreateDocument(const std::string& xml_text) {
+  if (!open_) return FailedPrecondition("store is not open");
+  AXMLX_ASSIGN_OR_RETURN(auto doc, xml::Parse(xml_text));
+  std::string name = doc->Find(doc->root())->name;
+  if (documents_.count(name) > 0) {
+    return AlreadyExists("document " + name + " already exists");
+  }
+  AXMLX_RETURN_IF_ERROR(
+      AppendWal("NEWDOC " + EncodeWalPayload(doc->Serialize())));
+  documents_[name] = std::move(doc);
+  return Status::Ok();
+}
+
+xml::Document* DurableStore::Get(const std::string& name) {
+  auto it = documents_.find(name);
+  return it == documents_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> DurableStore::DocumentNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, doc] : documents_) names.push_back(name);
+  return names;
+}
+
+Status DurableStore::SetExternal(const std::string& name,
+                                 const std::string& value) {
+  if (!open_) return FailedPrecondition("store is not open");
+  AXMLX_RETURN_IF_ERROR(
+      AppendWal("EXT " + name + " " + EncodeWalPayload(value)));
+  externals_[name] = value;
+  return Status::Ok();
+}
+
+Status DurableStore::Begin(const std::string& txn) {
+  if (!open_) return FailedPrecondition("store is not open");
+  if (active_txns_.count(txn) > 0) {
+    return AlreadyExists("transaction " + txn + " is already active");
+  }
+  AXMLX_RETURN_IF_ERROR(AppendWal("BEGIN " + txn));
+  active_txns_[txn];
+  return Status::Ok();
+}
+
+Result<const ops::OpEffect*> DurableStore::ApplyOp(const std::string& txn,
+                                                   const std::string& doc,
+                                                   const ops::Operation& op) {
+  xml::Document* target = Get(doc);
+  if (target == nullptr) return NotFound("unknown document " + doc);
+  ops::Executor executor(target, invoker_);
+  for (const auto& [name, value] : externals_) {
+    executor.SetExternal(name, value);
+  }
+  AXMLX_ASSIGN_OR_RETURN(ops::OpEffect effect, executor.Execute(op));
+  TxnState& state = active_txns_[txn];
+  state.ops_by_doc[doc].push_back(state.effects.size());
+  state.docs.push_back(doc);
+  state.effects.Append(std::move(effect));
+  return &state.effects.effects().back();
+}
+
+Result<const ops::OpEffect*> DurableStore::Execute(const std::string& txn,
+                                                   const std::string& doc,
+                                                   const ops::Operation& op) {
+  if (!open_) return FailedPrecondition("store is not open");
+  if (active_txns_.count(txn) == 0) {
+    return FailedPrecondition("transaction " + txn + " is not active");
+  }
+  // Log first, then apply (write-ahead).
+  AXMLX_RETURN_IF_ERROR(AppendWal("OP " + txn + " " + doc + " " +
+                                  EncodeWalPayload(op.ToXml())));
+  return ApplyOp(txn, doc, op);
+}
+
+Status DurableStore::Commit(const std::string& txn) {
+  if (active_txns_.count(txn) == 0) {
+    return NotFound("transaction " + txn + " is not active");
+  }
+  AXMLX_RETURN_IF_ERROR(AppendWal("RESOLVED " + txn));
+  active_txns_.erase(txn);
+  return Status::Ok();
+}
+
+Status DurableStore::CompensateTxn(const std::string& txn, bool journal) {
+  TxnState& state = active_txns_[txn];
+  const std::vector<ops::OpEffect>& effects = state.effects.effects();
+  for (size_t i = effects.size(); i > 0; --i) {
+    const std::string& doc = state.docs[i - 1];
+    comp::CompensationPlan plan =
+        comp::CompensationBuilder::ForEffect(effects[i - 1]);
+    for (const ops::Operation& comp_op : plan.operations) {
+      if (journal) {
+        AXMLX_RETURN_IF_ERROR(AppendWal("OP " + txn + " " + doc + " " +
+                                        EncodeWalPayload(comp_op.ToXml())));
+      }
+      xml::Document* target = Get(doc);
+      if (target == nullptr) return NotFound("unknown document " + doc);
+      ops::Executor executor(target, invoker_);
+      AXMLX_RETURN_IF_ERROR(executor.Execute(comp_op).status());
+    }
+  }
+  return Status::Ok();
+}
+
+Status DurableStore::Abort(const std::string& txn) {
+  if (active_txns_.count(txn) == 0) {
+    return NotFound("transaction " + txn + " is not active");
+  }
+  AXMLX_RETURN_IF_ERROR(CompensateTxn(txn, /*journal=*/true));
+  AXMLX_RETURN_IF_ERROR(AppendWal("RESOLVED " + txn));
+  active_txns_.erase(txn);
+  return Status::Ok();
+}
+
+Status DurableStore::Checkpoint() {
+  if (!open_) return FailedPrecondition("store is not open");
+  if (!active_txns_.empty()) {
+    return FailedPrecondition(
+        "checkpoint requires all transactions resolved");
+  }
+  std::string manifest;
+  for (const auto& [name, doc] : documents_) {
+    AXMLX_RETURN_IF_ERROR(
+        WriteFileAtomically(SnapshotPath(directory_, name), doc->Serialize()));
+    manifest += name + "\n";
+  }
+  AXMLX_RETURN_IF_ERROR(WriteFileAtomically(ManifestPath(directory_), manifest));
+  // Truncate the WAL: everything below the snapshots is durable.
+  AXMLX_RETURN_IF_ERROR(WriteFileAtomically(WalPath(directory_), ""));
+  ++stats_.checkpoints;
+  return Status::Ok();
+}
+
+}  // namespace axmlx::storage

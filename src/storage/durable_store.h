@@ -1,0 +1,123 @@
+#ifndef AXMLX_STORAGE_DURABLE_STORE_H_
+#define AXMLX_STORAGE_DURABLE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "axml/materializer.h"
+#include "common/status.h"
+#include "ops/executor.h"
+#include "ops/op_log.h"
+#include "xml/document.h"
+
+namespace axmlx::storage {
+
+/// Durable document store for an AXML peer: the "D" of the paper's relaxed
+/// ACID framework. Documents live in memory; every operation is recorded in
+/// a write-ahead log *before* it is applied, and `Checkpoint()` persists
+/// full snapshots and truncates the log.
+///
+/// Recovery follows the logical-redo-then-compensate discipline that falls
+/// out of the paper's compensation model (§3.1): on `Open()`, the last
+/// snapshot is loaded and the WAL is replayed **in order** — regenerating
+/// each operation's effect log as it goes — after which transactions with
+/// no RESOLVED record (in-flight at the crash) are rolled back by executing
+/// their dynamically constructed compensating operations in reverse order.
+/// A completed abort is itself durable: the compensating operations are
+/// logged as ordinary operations before the transaction is RESOLVED.
+///
+/// WAL record grammar (one record per line, payloads newline-escaped):
+///   BEGIN <txn>
+///   OP <txn> <doc> <operation-xml>
+///   RESOLVED <txn>            -- commit, or abort whose compensation is
+///                                fully journaled as OP records
+///   NEWDOC <document-xml>
+class DurableStore {
+ public:
+  /// `directory` is created on Open() if missing. `invoker` resolves
+  /// embedded service-call materializations during execution AND during
+  /// recovery replay (pass the same deterministic invoker for exact
+  /// replay; null forbids materialization).
+  DurableStore(std::string directory, axml::ServiceInvoker invoker);
+  ~DurableStore();
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// Loads snapshots, replays the WAL, compensates in-flight transactions.
+  Status Open();
+
+  /// Registers a new document (durable at the next checkpoint; its creation
+  /// is also journaled so recovery can rebuild it from the WAL).
+  Status CreateDocument(const std::string& xml_text);
+
+  xml::Document* Get(const std::string& name);
+  std::vector<std::string> DocumentNames() const;
+
+  // --- Transactional execution ---------------------------------------------
+
+  /// Supplies a `$name` external service-call parameter for all future
+  /// operations. Journaled ("EXT" record) so replay materializes with the
+  /// same inputs.
+  Status SetExternal(const std::string& name, const std::string& value);
+
+  /// Starts transaction `txn` (journaled).
+  Status Begin(const std::string& txn);
+
+  /// Journals then applies `op` against document `doc` under `txn`.
+  Result<const ops::OpEffect*> Execute(const std::string& txn,
+                                       const std::string& doc,
+                                       const ops::Operation& op);
+
+  /// Makes `txn` durable (journals RESOLVED).
+  Status Commit(const std::string& txn);
+
+  /// Rolls `txn` back by executing its compensating operations (journaled
+  /// as ordinary operations), then journals RESOLVED.
+  Status Abort(const std::string& txn);
+
+  /// Writes snapshots of all documents and truncates the WAL.
+  Status Checkpoint();
+
+  struct Stats {
+    int64_t wal_records = 0;      ///< Records appended this session.
+    int64_t replayed_ops = 0;     ///< Ops re-executed during Open().
+    int64_t recovered_txns = 0;   ///< In-flight txns compensated on Open().
+    int64_t checkpoints = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct TxnState {
+    ops::OpLog effects;
+    /// docs[i] names the document effects()[i] applied to.
+    std::vector<std::string> docs;
+    std::map<std::string, std::vector<size_t>> ops_by_doc;
+  };
+
+  Status AppendWal(const std::string& record);
+  Status ReplayWal();
+  Status LoadSnapshots();
+  Result<const ops::OpEffect*> ApplyOp(const std::string& txn,
+                                       const std::string& doc,
+                                       const ops::Operation& op);
+  Status CompensateTxn(const std::string& txn, bool journal);
+
+  std::string directory_;
+  axml::ServiceInvoker invoker_;
+  std::map<std::string, std::string> externals_;
+  std::map<std::string, std::unique_ptr<xml::Document>> documents_;
+  std::map<std::string, TxnState> active_txns_;
+  Stats stats_;
+  bool open_ = false;
+};
+
+/// Newline/percent escaping for single-line WAL payloads.
+std::string EncodeWalPayload(const std::string& raw);
+std::string DecodeWalPayload(const std::string& encoded);
+
+}  // namespace axmlx::storage
+
+#endif  // AXMLX_STORAGE_DURABLE_STORE_H_

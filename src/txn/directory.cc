@@ -1,0 +1,67 @@
+#include "txn/directory.h"
+
+namespace axmlx::txn {
+
+void ServiceDirectory::Register(const overlay::PeerId& peer,
+                                service::Repository* repo, bool super_peer) {
+  entries_[peer] = {repo, super_peer};
+}
+
+service::Repository* ServiceDirectory::MutableRepo(
+    const overlay::PeerId& peer) const {
+  auto it = entries_.find(peer);
+  return it == entries_.end() ? nullptr : it->second.repo;
+}
+
+void ServiceDirectory::SetReplica(const overlay::PeerId& original,
+                                  const overlay::PeerId& replica) {
+  replicas_[original] = replica;
+}
+
+overlay::PeerId ServiceDirectory::ReplicaOf(
+    const overlay::PeerId& original) const {
+  auto it = replicas_.find(original);
+  return it == replicas_.end() ? overlay::PeerId() : it->second;
+}
+
+bool ServiceDirectory::IsSuperPeer(const overlay::PeerId& peer) const {
+  auto it = entries_.find(peer);
+  return it != entries_.end() && it->second.super_peer;
+}
+
+const service::ServiceDefinition* ServiceDirectory::Lookup(
+    const overlay::PeerId& peer, const std::string& service) const {
+  auto it = entries_.find(peer);
+  if (it == entries_.end() || it->second.repo == nullptr) return nullptr;
+  return it->second.repo->FindService(service);
+}
+
+Result<chain::ChainNode> ServiceDirectory::BuildNode(
+    const overlay::PeerId& peer, const std::string& service,
+    int depth) const {
+  if (depth > 64) {
+    return FailedPrecondition("service composition exceeds depth 64 (cycle?)");
+  }
+  const service::ServiceDefinition* def = Lookup(peer, service);
+  if (def == nullptr) {
+    return NotFound("peer " + peer + " does not host service " + service);
+  }
+  chain::ChainNode node;
+  node.peer = peer;
+  node.super = IsSuperPeer(peer);
+  node.service = service;
+  for (const service::ServiceDefinition::SubCall& sub : def->subcalls) {
+    AXMLX_ASSIGN_OR_RETURN(chain::ChainNode child,
+                           BuildNode(sub.peer, sub.service, depth + 1));
+    node.children.push_back(std::move(child));
+  }
+  return node;
+}
+
+Result<chain::ActivePeerChain> ServiceDirectory::BuildChain(
+    const overlay::PeerId& peer, const std::string& service) const {
+  AXMLX_ASSIGN_OR_RETURN(chain::ChainNode root, BuildNode(peer, service, 0));
+  return chain::ActivePeerChain(std::move(root));
+}
+
+}  // namespace axmlx::txn

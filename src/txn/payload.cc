@@ -1,0 +1,39 @@
+#include "txn/payload.h"
+
+#include "common/strings.h"
+#include "xml/builder.h"
+#include "xml/parser.h"
+
+namespace axmlx::txn {
+
+std::string EncodeParams(const Params& params) {
+  std::string out = "<params>";
+  for (const auto& [key, value] : params) {
+    out += "<param name=\"" + XmlEscape(key) + "\">" + XmlEscape(value) +
+           "</param>";
+  }
+  out += "</params>";
+  return out;
+}
+
+Result<Params> DecodeParams(const std::string& body) {
+  Params params;
+  if (body.empty()) return params;
+  AXMLX_ASSIGN_OR_RETURN(auto doc, xml::Parse(body));
+  const xml::Node* root = doc->Find(doc->root());
+  if (root->name != "params") {
+    return ParseError("DecodeParams: expected a <params> element");
+  }
+  for (xml::NodeId c : root->children) {
+    const xml::Node* child = doc->Find(c);
+    if (!child->is_element() || child->name != "param") continue;
+    const std::string* name = child->FindAttribute("name");
+    if (name == nullptr) {
+      return ParseError("DecodeParams: <param> without a name");
+    }
+    params.emplace_back(*name, doc->TextContent(c));
+  }
+  return params;
+}
+
+}  // namespace axmlx::txn

@@ -1,0 +1,681 @@
+#include "txn/peer.h"
+
+#include <utility>
+
+#include "axml/materializer.h"
+#include "ops/executor.h"
+
+namespace axmlx::txn {
+
+AxmlPeer::AxmlPeer(overlay::PeerId id, bool super_peer, uint64_t seed,
+                   Options options, ServiceDirectory* directory)
+    : overlay::PeerNode(std::move(id), super_peer),
+      directory_(directory),
+      options_(options),
+      rng_(seed) {
+  host_ = std::make_unique<service::ServiceHost>(&repo_, MakeLocalInvoker(),
+                                                 &rng_);
+  if (options_.use_locking) host_->EnableLocking(&locks_);
+}
+
+int64_t AxmlPeer::LockIdFor(const std::string& txn) {
+  int64_t id = static_cast<int64_t>(std::hash<std::string>{}(txn));
+  return id == 0 ? 1 : id;
+}
+
+AxmlPeer::~AxmlPeer() = default;
+
+axml::ServiceInvoker AxmlPeer::MakeLocalInvoker() {
+  // Resolves embedded service-call materializations against the local
+  // repository. Cross-peer data-plane calls (serviceURL naming another
+  // peer) are resolved through the directory as a synchronous RPC — a
+  // simulator shortcut appropriate for read-mostly data services; the
+  // transactional control plane always goes through INVOKE messages.
+  return [this](const axml::ServiceRequest& request)
+             -> Result<axml::ServiceResponse> {
+    service::Repository* target_repo = &repo_;
+    if (!request.service_url.empty() && request.service_url != id()) {
+      target_repo = directory_->MutableRepo(request.service_url);
+      if (target_repo == nullptr) {
+        return ServiceFault("UnknownPeer: " + request.service_url);
+      }
+    }
+    if (target_repo->FindService(request.method_name) == nullptr) {
+      return ServiceFault("UnknownService: " + request.method_name);
+    }
+    service::ServiceHost host(target_repo, nullptr, &rng_);
+    AXMLX_ASSIGN_OR_RETURN(service::InvocationOutcome outcome,
+                           host.Invoke(request.method_name, request.params));
+    axml::ServiceResponse response;
+    response.fragment = std::move(outcome.result_fragment);
+    return response;
+  };
+}
+
+Status AxmlPeer::Submit(overlay::Network* net, const std::string& txn,
+                        const std::string& service, const Params& params,
+                        DoneCallback on_done) {
+  AXMLX_ASSIGN_OR_RETURN(chain::ActivePeerChain chain_info,
+                         directory_->BuildChain(id(), service));
+  if (HasContext(txn)) {
+    return AlreadyExists("transaction " + txn + " already has a context at " +
+                         id());
+  }
+  // The context may decide synchronously (e.g. an immediate local fault);
+  // StartContext returning null then just means the callback already fired.
+  StartContext(txn, /*parent=*/"", service, params, std::move(chain_info),
+               std::move(on_done), net);
+  if (options_.txn_timeout > 0) {
+    net->ScheduleAfter(options_.txn_timeout, [this, txn](overlay::Network* n) {
+      if (!n->IsConnected(id())) return;
+      Ctx* live = FindContext(txn);
+      if (live == nullptr || live->state != Ctx::State::kRunning) return;
+      AbortContext(live, "TxnTimeout", /*notify_parent=*/false, n);
+    });
+  }
+  return Status::Ok();
+}
+
+AxmlPeer::Ctx* AxmlPeer::StartContext(
+    const std::string& txn, const overlay::PeerId& parent,
+    const std::string& service, Params params,
+    chain::ActivePeerChain chain_info, DoneCallback on_done,
+    overlay::Network* net, std::shared_ptr<const ReusedResults> reused) {
+  if (contexts_.count(txn) > 0) return nullptr;
+  Ctx& ctx = contexts_[txn];
+  ctx.txn = txn;
+  ctx.parent = parent;
+  ctx.service = service;
+  ctx.params = std::move(params);
+  ctx.chain = std::move(chain_info);
+  ctx.on_done = std::move(on_done);
+  ctx.reused = std::move(reused);
+  Begin(&ctx, net);
+  return FindContext(txn);
+}
+
+void AxmlPeer::Begin(Ctx* ctx, overlay::Network* net) {
+  const std::string txn = ctx->txn;
+  const service::ServiceDefinition* def = repo_.FindService(ctx->service);
+  if (def == nullptr) {
+    AbortContext(ctx, "UnknownService", /*notify_parent=*/true, net);
+    return;
+  }
+  auto outcome_or = host_->Invoke(
+      ctx->service, ctx->params,
+      options_.use_locking ? LockIdFor(ctx->txn) : 0);
+  if (!outcome_or.ok()) {
+    // This peer failed while processing its service — the paper's AP5
+    // failing in S5 (§3.2 step 1): abort the local context and send
+    // "Abort TA" to invoked peers (none yet) and the invoking peer.
+    AbortContext(ctx, axml::FaultNameOf(outcome_or.status()),
+                 /*notify_parent=*/true, net);
+    return;
+  }
+  ctx->local = std::move(outcome_or).value();
+  ctx->local_done = true;
+  // Injected failure (experiments): either fail now — partial local work
+  // already done and compensated — or arm a fault that strikes after the
+  // subcalls complete (the paper's Figure 1 timing).
+  if (def->fault_probability > 0 &&
+      rng_.Bernoulli(def->fault_probability)) {
+    if (def->fault_after_subcalls) {
+      ctx->pending_fault = def->fault_name;
+    } else {
+      AbortContext(ctx, def->fault_name, /*notify_parent=*/true, net);
+      return;
+    }
+  }
+  ctx->ready_time = net->now() + def->duration;
+  ctx->participants.push_back(id());
+  ctx->subtree_nodes_affected = ctx->local.nodes_affected;
+  if (options_.peer_independent && !ctx->local.compensation.empty()) {
+    ParticipantPlan plan;
+    plan.peer = id();
+    plan.document = def->document;
+    plan.plan = ctx->local.compensation;
+    plan.nodes = ctx->local.nodes_affected;
+    ctx->plans.push_back(std::move(plan));
+  }
+  for (const service::ServiceDefinition::SubCall& sub : def->subcalls) {
+    ChildEdge edge;
+    edge.def = sub;
+    // Results shipped with the INVOKE (work reuse, §3.3(b)): the subcall is
+    // already satisfied and must not be re-invoked.
+    if (ctx->reused != nullptr) {
+      auto it = ctx->reused->by_service.find(sub.service);
+      if (it != ctx->reused->by_service.end()) {
+        edge.state = ChildEdge::State::kDone;
+        edge.result = it->second;
+        edge.invoked_peer = it->second->executed_by;
+        for (const overlay::PeerId& p : it->second->participants) {
+          ctx->participants.push_back(p);
+        }
+        for (const ParticipantPlan& plan : it->second->plans) {
+          ctx->plans.push_back(plan);
+        }
+        ctx->subtree_nodes_affected += it->second->subtree_nodes_affected;
+        ++stats_.subcalls_reused;
+      }
+    }
+    ctx->children.push_back(std::move(edge));
+  }
+  for (size_t i = 0; i < ctx->children.size(); ++i) {
+    Ctx* live = FindContext(txn);
+    if (live == nullptr || live->state != Ctx::State::kRunning) return;
+    ChildEdge* edge = &live->children[i];
+    if (edge->state == ChildEdge::State::kPending) {
+      InvokeChild(live, edge, edge->def.peer, net);
+    }
+  }
+  Ctx* live = FindContext(txn);
+  if (live != nullptr) TryComplete(live, net);
+}
+
+void AxmlPeer::InvokeChild(Ctx* ctx, ChildEdge* edge,
+                           const overlay::PeerId& target,
+                           overlay::Network* net) {
+  edge->state = ChildEdge::State::kInvoked;
+  edge->invoked_peer = target;
+  overlay::Message m;
+  m.from = id();
+  m.to = target;
+  m.type = kMsgInvoke;
+  m.headers["txn"] = ctx->txn;
+  m.headers["service"] = edge->def.service;
+  if (options_.use_chaining) {
+    m.headers["chain"] = ctx->chain.Serialize();
+  }
+  m.body = EncodeParams(edge->def.params);
+  m.attachment = ReuseFor(*ctx);
+  auto sent = net->Send(std::move(m));
+  if (!sent.ok()) {
+    OnChildFailure(ctx, edge, "PeerDisconnected", net);
+    return;
+  }
+  if (options_.keepalive_interval > 0) WatchChild(ctx, target, net);
+}
+
+void AxmlPeer::WatchChild(Ctx* ctx, const overlay::PeerId& child,
+                          overlay::Network* net) {
+  (void)ctx;
+  if (keepalive_ == nullptr) {
+    keepalive_ = std::make_unique<overlay::KeepAliveMonitor>(
+        net, id(), options_.keepalive_interval);
+  }
+  keepalive_->Watch(
+      child, [this, net](const overlay::PeerId& down, overlay::Tick) {
+        // A watched child vanished: fail every running edge that targets it,
+        // across all transactions (§3.3(c), detection by the parent).
+        std::vector<std::string> txns;
+        for (auto& [txn, ctx2] : contexts_) txns.push_back(txn);
+        for (const std::string& txn : txns) {
+          Ctx* ctx2 = FindContext(txn);
+          if (ctx2 == nullptr || ctx2->state != Ctx::State::kRunning) continue;
+          for (ChildEdge& edge : ctx2->children) {
+            if (edge.invoked_peer == down &&
+                edge.state == ChildEdge::State::kInvoked) {
+              OnChildFailure(ctx2, &edge, "PeerDisconnected", net);
+              break;
+            }
+          }
+        }
+      });
+  keepalive_->Start();  // re-arms an idle monitor
+}
+
+void AxmlPeer::OnMessage(const overlay::Message& message,
+                         overlay::Network* net) {
+  if (message.type == kMsgInvoke) {
+    HandleInvoke(message, net);
+  } else if (message.type == kMsgResult) {
+    HandleResult(message, net);
+  } else if (message.type == kMsgAbort) {
+    HandleAbort(message, net);
+  } else if (message.type == kMsgCommit) {
+    HandleCommit(message, net);
+  } else if (message.type == kMsgCompensate) {
+    HandleCompensate(message, net);
+  } else if (message.type == kMsgNotifyDisconnect) {
+    OnNotifyDisconnect(message, net);
+  } else if (message.type == kMsgStream) {
+    OnStream(message, net);
+  }
+  // COMP_ACK is informational at this layer.
+}
+
+void AxmlPeer::HandleInvoke(const overlay::Message& message,
+                            overlay::Network* net) {
+  const std::string& txn = message.headers.at("txn");
+  const std::string& service = message.headers.at("service");
+  // Re-invocation of work we already hold (the original parent died and an
+  // ancestor re-drove the call): adopt the new parent and reuse the work
+  // instead of re-executing (§3.3(c), "see if any part of their work can be
+  // reused").
+  Ctx* existing = FindContext(txn);
+  if (existing != nullptr) {
+    if (existing->service != service) return;
+    if (options_.reuse_work) {
+      existing->parent = message.from;
+      existing->parent_dead = false;
+      ++stats_.adoptions;
+      if (existing->state == Ctx::State::kDone) {
+        SendResult(existing, net);
+      }
+      // kRunning contexts reply when they complete, as usual.
+      return;
+    }
+    // Reuse disabled (ablation): discard the old execution and redo the
+    // service from scratch for the new invoker.
+    CompensateLocal(existing);
+    for (ChildEdge& edge : existing->children) {
+      if (edge.state == ChildEdge::State::kInvoked ||
+          edge.state == ChildEdge::State::kDone) {
+        overlay::Message abort;
+        abort.from = id();
+        abort.to = edge.invoked_peer;
+        abort.type = kMsgAbort;
+        abort.headers["txn"] = txn;
+        abort.headers["fault"] = "Superseded";
+        ++stats_.aborts_sent;
+        (void)net->Send(std::move(abort));
+      }
+    }
+    EraseContext(txn);
+    // Fall through to a fresh StartContext below.
+  }
+  auto params_or = DecodeParams(message.body);
+  if (!params_or.ok()) return;
+  chain::ActivePeerChain chain_info;
+  auto chain_it = message.headers.find("chain");
+  if (chain_it != message.headers.end()) {
+    auto parsed = chain::ActivePeerChain::Parse(chain_it->second);
+    if (parsed.ok()) chain_info = std::move(parsed).value();
+  }
+  auto reused =
+      std::static_pointer_cast<const ReusedResults>(message.attachment);
+  StartContext(txn, message.from, service, std::move(params_or).value(),
+               std::move(chain_info), nullptr, net, std::move(reused));
+}
+
+void AxmlPeer::HandleResult(const overlay::Message& message,
+                            overlay::Network* net) {
+  if (message.headers.count("redirect_for") > 0) {
+    OnRedirectedResult(message, net);
+    return;
+  }
+  Ctx* ctx = FindContext(message.headers.at("txn"));
+  if (ctx == nullptr) {
+    // Presumed abort: a result for a transaction we no longer know means
+    // our context aborted (commit keeps contexts until all results are in).
+    // The sender's subtree is stale work — tell it to roll back.
+    overlay::Message reply;
+    reply.from = id();
+    reply.to = message.from;
+    reply.type = kMsgAbort;
+    reply.headers["txn"] = message.headers.at("txn");
+    reply.headers["fault"] = "TxnUnknown";
+    ++stats_.aborts_sent;
+    (void)net->Send(std::move(reply));
+    return;
+  }
+  if (ctx->state != Ctx::State::kRunning) return;
+  auto payload =
+      std::static_pointer_cast<const ResultPayload>(message.attachment);
+  if (payload == nullptr) return;
+  for (ChildEdge& edge : ctx->children) {
+    if (edge.state == ChildEdge::State::kInvoked &&
+        edge.def.service == payload->service &&
+        (edge.invoked_peer == message.from ||
+         edge.invoked_peer == payload->executed_by)) {
+      edge.state = ChildEdge::State::kDone;
+      edge.result = payload;
+      // The child answered; stop pinging it so the monitor can go idle
+      // (disconnection after completion is handled by compensation, not
+      // detection).
+      if (keepalive_ != nullptr) keepalive_->Unwatch(message.from);
+      for (const overlay::PeerId& p : payload->participants) {
+        ctx->participants.push_back(p);
+      }
+      for (const ParticipantPlan& plan : payload->plans) {
+        ctx->plans.push_back(plan);
+      }
+      ctx->subtree_nodes_affected += payload->subtree_nodes_affected;
+      TryComplete(ctx, net);
+      return;
+    }
+  }
+}
+
+void AxmlPeer::HandleAbort(const overlay::Message& message,
+                           overlay::Network* net) {
+  Ctx* ctx = FindContext(message.headers.at("txn"));
+  if (ctx == nullptr) return;
+  std::string fault = "Abort";
+  auto it = message.headers.find("fault");
+  if (it != message.headers.end()) fault = it->second;
+  if (message.from == ctx->parent) {
+    // §3.2 step 2: abort received from above — roll back and cascade down.
+    AbortContext(ctx, fault, /*notify_parent=*/false, net);
+    return;
+  }
+  for (ChildEdge& edge : ctx->children) {
+    if (edge.invoked_peer == message.from &&
+        edge.state != ChildEdge::State::kDone) {
+      OnChildFailure(ctx, &edge, fault, net);
+      return;
+    }
+  }
+  // Neither our parent nor a live child edge: an authoritative third-party
+  // abort (presumed-abort reply after a reroute, or an orphan resolution
+  // from an ancestor). Roll back and cascade down; the sender already
+  // considers the transaction dead, so there is nobody to notify upward.
+  AbortContext(ctx, fault, /*notify_parent=*/false, net);
+}
+
+void AxmlPeer::HandleCommit(const overlay::Message& message,
+                            overlay::Network* net) {
+  // Transaction completed: discard the context (and with it the logs).
+  const std::string& txn = message.headers.at("txn");
+  EraseContext(txn);
+  if (options_.use_locking) locks_.ReleaseAll(LockIdFor(txn));
+  OnTxnResolved(txn, /*committed=*/true, net);
+}
+
+void AxmlPeer::HandleCompensate(const overlay::Message& message,
+                                overlay::Network* net) {
+  auto payload =
+      std::static_pointer_cast<const CompensatePayload>(message.attachment);
+  if (payload == nullptr) return;
+  const std::string& txn = message.headers.at("txn");
+  xml::Document* doc = repo_.GetDocument(payload->document);
+  bool ok = false;
+  if (doc != nullptr) {
+    ops::Executor executor(doc, MakeLocalInvoker());
+    size_t nodes = 0;
+    Status s = comp::ApplyPlan(&executor, payload->plan, &nodes);
+    ok = s.ok();
+    if (ok) {
+      ++stats_.compensations_executed;
+      stats_.nodes_compensated += nodes;
+      PushToReplica(payload->document, net);
+    }
+  }
+  if (!ok) ++stats_.compensation_failures;
+  // Our own context for this transaction (if any) is superseded by the
+  // shipped plan — discard it without double-compensating.
+  Ctx* ctx = FindContext(txn);
+  if (ctx != nullptr) {
+    ctx->local_compensated = true;
+    ++stats_.contexts_aborted;
+    EraseContext(txn);
+    if (options_.use_locking) locks_.ReleaseAll(LockIdFor(txn));
+  }
+  overlay::Message ack;
+  ack.from = id();
+  ack.to = message.from;
+  ack.type = kMsgCompAck;
+  ack.headers["txn"] = txn;
+  ack.headers["ok"] = ok ? "1" : "0";
+  (void)net->Send(std::move(ack));
+}
+
+void AxmlPeer::TryComplete(Ctx* ctx, overlay::Network* net) {
+  if (ctx->state != Ctx::State::kRunning || !ctx->local_done) return;
+  for (const ChildEdge& edge : ctx->children) {
+    if (edge.state != ChildEdge::State::kDone &&
+        edge.state != ChildEdge::State::kAbsorbed) {
+      return;
+    }
+  }
+  if (net->now() < ctx->ready_time) {
+    const std::string txn = ctx->txn;
+    net->ScheduleAt(ctx->ready_time, [this, txn](overlay::Network* n) {
+      // A peer that has since left the overlay is inert: it neither
+      // completes nor touches shared state (its context is stranded).
+      if (!n->IsConnected(id())) return;
+      Ctx* live = FindContext(txn);
+      if (live != nullptr) TryComplete(live, n);
+    });
+    return;
+  }
+  Complete(ctx, net);
+}
+
+void AxmlPeer::Complete(Ctx* ctx, overlay::Network* net) {
+  if (!ctx->pending_fault.empty()) {
+    // The injected fault strikes now, with all subcalls finished — the
+    // whole subtree's work must be undone (§3.2 steps 1-2).
+    AbortContext(ctx, ctx->pending_fault, /*notify_parent=*/true, net);
+    return;
+  }
+  ctx->state = Ctx::State::kDone;
+  // Replicate this service's completed document state (a retry on the
+  // replica must not see half-done work from an incomplete execution).
+  {
+    const service::ServiceDefinition* def = repo_.FindService(ctx->service);
+    if (def != nullptr) PushToReplica(def->document, net);
+  }
+  if (ctx->parent.empty()) {
+    // Origin: the whole transaction committed. Release every participant.
+    std::vector<overlay::PeerId> released;
+    for (const overlay::PeerId& p : ctx->participants) {
+      if (p == id()) continue;
+      bool seen = false;
+      for (const overlay::PeerId& r : released) seen = seen || (r == p);
+      if (seen) continue;
+      released.push_back(p);
+      overlay::Message m;
+      m.from = id();
+      m.to = p;
+      m.type = kMsgCommit;
+      m.headers["txn"] = ctx->txn;
+      (void)net->Send(std::move(m));
+    }
+    ++stats_.txns_committed;
+    if (ctx->on_done) ctx->on_done(ctx->txn, Status::Ok());
+    const std::string txn = ctx->txn;
+    EraseContext(txn);
+    if (options_.use_locking) locks_.ReleaseAll(LockIdFor(txn));
+    OnTxnResolved(txn, /*committed=*/true, net);
+    return;
+  }
+  SendResult(ctx, net);
+}
+
+void AxmlPeer::SendResult(Ctx* ctx, overlay::Network* net) {
+  auto payload = std::make_shared<ResultPayload>();
+  payload->service = ctx->service;
+  payload->executed_by = id();
+  if (ctx->local.result_fragment != nullptr) {
+    payload->fragment_xml = ctx->local.result_fragment->Serialize();
+  }
+  payload->participants = ctx->participants;
+  payload->plans = ctx->plans;
+  payload->subtree_nodes_affected = ctx->subtree_nodes_affected;
+  overlay::Message m;
+  m.from = id();
+  m.to = ctx->parent;
+  m.type = kMsgResult;
+  m.headers["txn"] = ctx->txn;
+  m.headers["service"] = ctx->service;
+  m.attachment = payload;
+  auto sent = net->Send(std::move(m));
+  if (!sent.ok()) {
+    // §3.3(b): the parent disconnected while we were returning results.
+    ctx->state = Ctx::State::kRunning;  // recovery hooks may re-route
+    OnParentUnreachable(ctx, net);
+  }
+}
+
+void AxmlPeer::PushToReplica(const std::string& document,
+                             overlay::Network* net) {
+  (void)net;
+  if (document.empty()) return;
+  overlay::PeerId replica = directory_->ReplicaOf(id());
+  if (replica.empty()) return;
+  service::Repository* replica_repo = directory_->MutableRepo(replica);
+  xml::Document* doc = repo_.GetDocument(document);
+  if (replica_repo == nullptr || doc == nullptr) return;
+  // Eager replication (simulator shortcut for the replication layer of
+  // [Abiteboul et al. 2003], which the paper assumes): ids are preserved so
+  // compensating operations remain valid on the replica.
+  replica_repo->PutDocument(doc->Clone());
+}
+
+void AxmlPeer::CompensateLocal(Ctx* ctx) {
+  if (!ctx->local_done || ctx->local_compensated) return;
+  ctx->local_compensated = true;
+  const service::ServiceDefinition* def = repo_.FindService(ctx->service);
+  if (def == nullptr || def->document.empty()) return;
+  xml::Document* doc = repo_.GetDocument(def->document);
+  if (doc == nullptr) return;
+  ops::Executor executor(doc, MakeLocalInvoker());
+  size_t nodes = 0;
+  Status s = comp::ApplyPlan(&executor, ctx->local.compensation, &nodes);
+  if (s.ok()) {
+    stats_.nodes_compensated += nodes;
+    stats_.wasted_nodes += ctx->local.nodes_affected;
+  } else {
+    ++stats_.compensation_failures;
+  }
+  PushToReplica(def->document, nullptr);
+}
+
+void AxmlPeer::CompensateParticipants(Ctx* ctx, overlay::Network* net) {
+  for (const ParticipantPlan& plan : ctx->plans) {
+    if (plan.peer == id()) continue;  // local plan handled by CompensateLocal
+    overlay::PeerId target = plan.peer;
+    if (!net->IsConnected(target)) {
+      // §3.3: peer-independent compensation lets us run the compensating
+      // service on a replica of the disconnected peer's document.
+      target = directory_->ReplicaOf(plan.peer);
+    }
+    if (target.empty() || !net->IsConnected(target)) {
+      ++stats_.compensation_failures;
+      continue;
+    }
+    auto payload = std::make_shared<CompensatePayload>();
+    payload->document = plan.document;
+    payload->plan = plan.plan;
+    overlay::Message m;
+    m.from = id();
+    m.to = target;
+    m.type = kMsgCompensate;
+    m.headers["txn"] = ctx->txn;
+    m.attachment = payload;
+    if (!net->Send(std::move(m)).ok()) ++stats_.compensation_failures;
+  }
+}
+
+void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
+                            bool notify_parent, overlay::Network* net) {
+  if (ctx->state == Ctx::State::kAborted) return;
+  ctx->state = Ctx::State::kAborted;
+  const std::string txn = ctx->txn;
+  CompensateLocal(ctx);
+  if (options_.peer_independent) {
+    // Undo completed subtrees by invoking their compensating services
+    // directly (§3.2); abort only the still-running children.
+    CompensateParticipants(ctx, net);
+    for (ChildEdge& edge : ctx->children) {
+      if (edge.state == ChildEdge::State::kInvoked) {
+        overlay::Message m;
+        m.from = id();
+        m.to = edge.invoked_peer;
+        m.type = kMsgAbort;
+        m.headers["txn"] = txn;
+        m.headers["fault"] = fault;
+        ++stats_.aborts_sent;
+        (void)net->Send(std::move(m));
+      }
+    }
+  } else {
+    // Peer-dependent: every invoked child (running or done) must roll back
+    // its own subtree on receiving "Abort TA" (§3.2 steps 1-2).
+    for (ChildEdge& edge : ctx->children) {
+      if (edge.state != ChildEdge::State::kInvoked &&
+          edge.state != ChildEdge::State::kDone) {
+        continue;
+      }
+      overlay::Message m;
+      m.from = id();
+      m.to = edge.invoked_peer;
+      m.type = kMsgAbort;
+      m.headers["txn"] = txn;
+      m.headers["fault"] = fault;
+      ++stats_.aborts_sent;
+      if (!net->Send(std::move(m)).ok() &&
+          edge.state == ChildEdge::State::kDone) {
+        // The child completed work and is now unreachable: its effects
+        // cannot be compensated (motivates peer-independent mode, §3.2).
+        ++stats_.compensation_failures;
+      }
+    }
+  }
+  if (notify_parent && !ctx->parent.empty()) {
+    overlay::Message m;
+    m.from = id();
+    m.to = ctx->parent;
+    m.type = kMsgAbort;
+    m.headers["txn"] = txn;
+    m.headers["fault"] = fault;
+    m.headers["failed_service"] = ctx->service;
+    ++stats_.aborts_sent;
+    (void)net->Send(std::move(m));
+  }
+  if (ctx->parent.empty()) {
+    ++stats_.txns_aborted;
+    if (ctx->on_done) ctx->on_done(txn, Aborted(fault));
+  }
+  ++stats_.contexts_aborted;
+  EraseContext(txn);
+  if (options_.use_locking) locks_.ReleaseAll(LockIdFor(txn));
+  OnTxnResolved(txn, /*committed=*/false, net);
+}
+
+void AxmlPeer::OnChildFailure(Ctx* ctx, ChildEdge* edge,
+                              const std::string& fault,
+                              overlay::Network* net) {
+  // Baseline behaviour: no forward recovery — propagate the abort. The
+  // failed child's own subtree has already rolled itself back (or is
+  // unreachable); mark the edge failed so no abort is sent to it.
+  edge->state = ChildEdge::State::kPending;
+  edge->invoked_peer.clear();
+  AbortContext(ctx, fault, /*notify_parent=*/true, net);
+}
+
+void AxmlPeer::OnParentUnreachable(Ctx* ctx, overlay::Network* net) {
+  // Baseline (no chaining): "traditional recovery would lead to AP6
+  // (aborting) discarding its work" (§3.3(b)).
+  AbortContext(ctx, "ParentDisconnected", /*notify_parent=*/false, net);
+}
+
+void AxmlPeer::OnNotifyDisconnect(const overlay::Message& /*message*/,
+                                  overlay::Network* /*net*/) {
+  // Base peers do not participate in chain-based disconnection handling.
+}
+
+void AxmlPeer::OnRedirectedResult(const overlay::Message& /*message*/,
+                                  overlay::Network* /*net*/) {
+  // Without chaining, a redirected result has no taker; the work is wasted.
+}
+
+std::shared_ptr<const ReusedResults> AxmlPeer::ReuseFor(const Ctx& /*ctx*/) {
+  return nullptr;
+}
+
+void AxmlPeer::OnTxnResolved(const std::string& /*txn*/, bool /*committed*/,
+                             overlay::Network* /*net*/) {}
+
+void AxmlPeer::OnStream(const overlay::Message& /*message*/,
+                        overlay::Network* /*net*/) {}
+
+AxmlPeer::Ctx* AxmlPeer::FindContext(const std::string& txn) {
+  auto it = contexts_.find(txn);
+  return it == contexts_.end() ? nullptr : &it->second;
+}
+
+void AxmlPeer::EraseContext(const std::string& txn) { contexts_.erase(txn); }
+
+}  // namespace axmlx::txn

@@ -1,0 +1,284 @@
+#ifndef AXMLX_TXN_PEER_H_
+#define AXMLX_TXN_PEER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "axml/materializer.h"
+#include "baseline/xpath_lock.h"
+#include "chain/active_chain.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "overlay/keepalive.h"
+#include "overlay/network.h"
+#include "service/repository.h"
+#include "txn/directory.h"
+#include "txn/payload.h"
+
+namespace axmlx::txn {
+
+/// Per-peer transaction statistics, aggregated across transactions. The
+/// benches read these to quantify the paper's qualitative claims.
+struct PeerStats {
+  int txns_committed = 0;      ///< Origin-side successful transactions.
+  int txns_aborted = 0;        ///< Origin-side aborted transactions.
+  int contexts_aborted = 0;    ///< Participant contexts rolled back.
+  int aborts_sent = 0;         ///< "Abort TA" messages emitted (§3.2).
+  int forward_recoveries = 0;  ///< Faults absorbed by fault handlers.
+  int retries = 0;             ///< Re-invocations (same peer or replica).
+  int compensations_executed = 0;  ///< COMPENSATE plans run here.
+  int compensation_failures = 0;   ///< Compensation impossible (peer gone).
+  size_t nodes_compensated = 0;    ///< Cost of local rollbacks (§3.2 measure).
+  size_t wasted_nodes = 0;         ///< Work done then discarded.
+  int results_rerouted = 0;        ///< Case (b): results sent past a dead parent.
+  int subcalls_reused = 0;         ///< Re-invocations that skipped a subcall.
+  int adoptions = 0;               ///< Re-INVOKEs answered from existing work.
+  int notifications_sent = 0;      ///< NOTIFY_DISCONNECT messages emitted.
+  int early_aborts = 0;            ///< Contexts stopped by a notification.
+};
+
+/// A transactional AXML peer (paper §3.2).
+///
+/// `AxmlPeer` implements the invocation protocol — transaction contexts,
+/// nested (distributed) service invocation, results/commit flow — and the
+/// *baseline* recovery behaviour: any failure aborts the whole transaction,
+/// with each involved peer compensating its own work when the "Abort TA"
+/// message reaches it (backward recovery all the way to the origin).
+///
+/// The paper's richer behaviours are layered on by subclasses:
+/// - `recovery::RecoveringPeer`: nested recovery with per-call fault
+///   handlers (forward recovery), and peer-independent compensation;
+/// - `recovery::ChainedPeer`: active-peer-chain handling of peer
+///   disconnection (§3.3, cases a-d).
+///
+/// One context per transaction per peer ("On submission of a transaction TA
+/// at a peer AP1, the peer creates a transaction context TCA1").
+class AxmlPeer : public overlay::PeerNode {
+ public:
+  struct Options {
+    /// Ship compensating-service definitions with results and use them for
+    /// recovery (§3.2, peer-independent compensation).
+    bool peer_independent = false;
+    /// Honour per-subcall fault handlers (forward recovery). When false,
+    /// every child fault propagates as an abort.
+    bool use_fault_handlers = true;
+    /// Ping/keep-alive interval for watching invoked children; 0 disables
+    /// watching (a child crash then leaves the transaction stuck, which the
+    /// disconnection benches measure).
+    overlay::Tick keepalive_interval = 0;
+    /// Ship and use the active-peer chain (§3.3). The base peer only ships
+    /// it; ChainedPeer acts on it.
+    bool use_chaining = false;
+    /// Reuse already-performed work during disconnection recovery (§3.3(b));
+    /// false models the paper's "traditional recovery" that discards it.
+    bool reuse_work = true;
+    /// Origin-side transaction deadline in ticks: an undecided transaction
+    /// aborts when it expires (a blunt fallback for losses no detection
+    /// mechanism catches). 0 disables — the paper's protocols are the
+    /// intended remedy, so the default leaves undetected losses visible.
+    overlay::Tick txn_timeout = 0;
+    /// Run local service operations under the XPath-locking baseline
+    /// (after [5]): conflicting concurrent transactions fault with
+    /// "LockConflict" instead of interleaving. Off by default — the paper's
+    /// position is that compensation, not locking, suits AXML.
+    bool use_locking = false;
+    /// The paper's §4 future-work extension: when a peer finds its *entire*
+    /// ancestor line unreachable (the transaction can never commit), it
+    /// presumes abort and spreads the death notice to its collateral
+    /// relatives — uncles, cousins, ... in chain distance order — so they
+    /// compensate instead of waiting forever. ChainedPeer only.
+    bool extended_chaining = false;
+  };
+
+  using DoneCallback = std::function<void(const std::string& txn, Status)>;
+
+  /// `directory` must outlive the peer and have this peer Register()ed by
+  /// the harness after construction.
+  AxmlPeer(overlay::PeerId id, bool super_peer, uint64_t seed, Options options,
+           ServiceDirectory* directory);
+  ~AxmlPeer() override;
+
+  service::Repository& repository() { return repo_; }
+  const PeerStats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+  /// Submits transaction `txn` at this (origin) peer: runs `service` (hosted
+  /// here) with `params`. `on_done` fires at commit or abort.
+  Status Submit(overlay::Network* net, const std::string& txn,
+                const std::string& service, const Params& params,
+                DoneCallback on_done);
+
+  void OnMessage(const overlay::Message& message, overlay::Network* net) final;
+
+  /// True if this peer currently holds a context for `txn`.
+  bool HasContext(const std::string& txn) const {
+    return contexts_.count(txn) > 0;
+  }
+
+  /// Invoker for data-plane use (embedded service-call materialization
+  /// against this peer's services, or — when serviceURL names another peer
+  /// — a synchronous cross-peer call through the directory). Suitable for
+  /// wiring into ops::Executor / repo::LocalTransaction.
+  axml::ServiceInvoker DataPlaneInvoker() { return MakeLocalInvoker(); }
+
+ protected:
+  /// State of one subcall edge.
+  struct ChildEdge {
+    service::ServiceDefinition::SubCall def;
+    enum class State { kPending, kInvoked, kDone, kAbsorbed } state =
+        State::kPending;
+    overlay::PeerId invoked_peer;  ///< Actual target (replica after retry).
+    std::shared_ptr<const ResultPayload> result;
+    int retries_used = 0;
+  };
+
+  /// Transaction context (the paper's TCAx).
+  struct Ctx {
+    std::string txn;
+    overlay::PeerId parent;  ///< Invoker; empty at the origin peer.
+    std::string service;
+    Params params;
+    enum class State { kRunning, kDone, kAborted } state = State::kRunning;
+    bool local_done = false;
+    bool local_compensated = false;
+    service::InvocationOutcome local;
+    std::vector<ChildEdge> children;
+    chain::ActivePeerChain chain;
+    overlay::Tick ready_time = 0;
+    DoneCallback on_done;  ///< Origin only.
+    /// Learned via NOTIFY_DISCONNECT that the parent is gone (case (d));
+    /// completion will reroute instead of attempting the parent.
+    bool parent_dead = false;
+    /// Subcall results shipped with the INVOKE (reuse, §3.3(b)).
+    std::shared_ptr<const ReusedResults> reused;
+    /// Injected fault to raise at completion (fault_after_subcalls timing).
+    std::string pending_fault;
+    /// Aggregated recovery metadata from completed children.
+    std::vector<overlay::PeerId> participants;
+    std::vector<ParticipantPlan> plans;
+    size_t subtree_nodes_affected = 0;
+  };
+
+  // --- Hook points for recovery subclasses ---------------------------------
+
+  /// A child edge reported a fault (ABORT from below) or was found
+  /// unreachable. Base behaviour: abort the whole context (backward
+  /// recovery). `fault` is the fault name ("PeerDisconnected" for
+  /// connectivity failures).
+  virtual void OnChildFailure(Ctx* ctx, ChildEdge* edge,
+                              const std::string& fault,
+                              overlay::Network* net);
+
+  /// The parent was unreachable while returning results. Base behaviour:
+  /// discard this subtree's work (compensate + abort children).
+  virtual void OnParentUnreachable(Ctx* ctx, overlay::Network* net);
+
+  /// A NOTIFY_DISCONNECT message arrived (chain protocols only).
+  virtual void OnNotifyDisconnect(const overlay::Message& message,
+                                  overlay::Network* net);
+
+  /// A STREAM (continuous-service data) message arrived. Base: ignored.
+  virtual void OnStream(const overlay::Message& message,
+                        overlay::Network* net);
+
+  /// A RESULT carrying a "redirect_for" header arrived: a descendant routed
+  /// its results around a disconnected intermediate peer (§3.3(b)). Base
+  /// peers ignore it (and the work is wasted).
+  virtual void OnRedirectedResult(const overlay::Message& message,
+                                  overlay::Network* net);
+
+  /// Completed subcall results to ship with INVOKEs for this context —
+  /// ChainedPeer supplies rerouted orphan results here so re-invocations on
+  /// replicas skip finished subcalls. Base: none.
+  virtual std::shared_ptr<const ReusedResults> ReuseFor(const Ctx& ctx);
+
+  /// Called when this peer's context for `txn` reaches a final decision
+  /// (local commit-release or abort). ChainedPeer uses it to resolve
+  /// orphaned rerouted results: on abort, their producers are told to roll
+  /// back. Base: nothing.
+  virtual void OnTxnResolved(const std::string& txn, bool committed,
+                             overlay::Network* net);
+
+  // --- Protocol actions usable by subclasses -------------------------------
+
+  /// Creates and begins a context. Returns null on duplicate txn. `reused`
+  /// optionally supplies completed subcall results (reuse on re-invocation).
+  Ctx* StartContext(const std::string& txn, const overlay::PeerId& parent,
+                    const std::string& service, Params params,
+                    chain::ActivePeerChain chain_info, DoneCallback on_done,
+                    overlay::Network* net,
+                    std::shared_ptr<const ReusedResults> reused = nullptr);
+
+  /// Sends INVOKE for `edge` to `target`. On unreachable target, reports
+  /// through OnChildFailure (with fault "PeerDisconnected").
+  void InvokeChild(Ctx* ctx, ChildEdge* edge, const overlay::PeerId& target,
+                   overlay::Network* net);
+
+  /// Compensates this peer's local effects for `ctx` (once).
+  void CompensateLocal(Ctx* ctx);
+
+  /// Aborts the context: compensates locally, sends ABORT to all invoked
+  /// children, optionally notifies the parent, finishes the origin callback.
+  /// `notify_parent` is false when the abort *came from* the parent.
+  void AbortContext(Ctx* ctx, const std::string& fault, bool notify_parent,
+                    overlay::Network* net);
+
+  /// Marks `edge` absorbed/done and completes the context if ready.
+  void TryComplete(Ctx* ctx, overlay::Network* net);
+
+  /// Issues COMPENSATE messages for every stored participant plan (peer-
+  /// independent recovery). Plans for disconnected peers are redirected to
+  /// their replicas when the directory knows one; otherwise they count as
+  /// compensation failures.
+  void CompensateParticipants(Ctx* ctx, overlay::Network* net);
+
+  Ctx* FindContext(const std::string& txn);
+  void EraseContext(const std::string& txn);
+
+  ServiceDirectory* directory() { return directory_; }
+  PeerStats* mutable_stats() { return &stats_; }
+  Rng* rng() { return &rng_; }
+
+  /// Invoker wired into the local executor for embedded service-call
+  /// materializations: looks the method up in the local repository first.
+  axml::ServiceInvoker MakeLocalInvoker();
+
+ private:
+  void HandleInvoke(const overlay::Message& message, overlay::Network* net);
+  void HandleResult(const overlay::Message& message, overlay::Network* net);
+  void HandleAbort(const overlay::Message& message, overlay::Network* net);
+  void HandleCommit(const overlay::Message& message, overlay::Network* net);
+  void HandleCompensate(const overlay::Message& message,
+                        overlay::Network* net);
+
+  void Begin(Ctx* ctx, overlay::Network* net);
+  void Complete(Ctx* ctx, overlay::Network* net);
+  /// Sends this context's RESULT to `ctx->parent`; on unreachable parent
+  /// invokes OnParentUnreachable. Used by Complete and by adoption resends.
+  void SendResult(Ctx* ctx, overlay::Network* net);
+  /// Pushes the service's document to this peer's replica (eager
+  /// replication) after local work.
+  void PushToReplica(const std::string& document, overlay::Network* net);
+  void WatchChild(Ctx* ctx, const overlay::PeerId& child,
+                  overlay::Network* net);
+
+  /// Stable lock id for a transaction name (used with use_locking).
+  static int64_t LockIdFor(const std::string& txn);
+
+  service::Repository repo_;
+  std::unique_ptr<service::ServiceHost> host_;
+  baseline::PathLockManager locks_;
+  ServiceDirectory* directory_;
+  Options options_;
+  Rng rng_;
+  PeerStats stats_;
+  std::map<std::string, Ctx> contexts_;
+  std::unique_ptr<overlay::KeepAliveMonitor> keepalive_;
+};
+
+}  // namespace axmlx::txn
+
+#endif  // AXMLX_TXN_PEER_H_

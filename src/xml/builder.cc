@@ -1,0 +1,55 @@
+#include "xml/builder.h"
+
+#include <cassert>
+
+namespace axmlx::xml {
+
+NodeId AddElement(Document* doc, NodeId parent, const std::string& name) {
+  NodeId id = doc->CreateElement(name);
+  Status s = doc->AppendChild(parent, id);
+  assert(s.ok());
+  (void)s;
+  return id;
+}
+
+NodeId AddTextElement(Document* doc, NodeId parent, const std::string& name,
+                      const std::string& text) {
+  NodeId id = AddElement(doc, parent, name);
+  AddText(doc, id, text);
+  return id;
+}
+
+NodeId AddText(Document* doc, NodeId parent, const std::string& text) {
+  NodeId id = doc->CreateText(text);
+  Status s = doc->AppendChild(parent, id);
+  assert(s.ok());
+  (void)s;
+  return id;
+}
+
+NodeId FirstChildElement(const Document& doc, NodeId parent,
+                         const std::string& name) {
+  const Node* p = doc.Find(parent);
+  if (p == nullptr) return kNullNode;
+  for (NodeId c : p->children) {
+    const Node* n = doc.Find(c);
+    if (n->is_element() && n->name == name) return c;
+  }
+  return kNullNode;
+}
+
+NodeId FirstDescendantElement(const Document& doc, NodeId from,
+                              const std::string& name) {
+  NodeId found = kNullNode;
+  doc.Walk(from, [&](const Node& n) {
+    if (found != kNullNode) return false;
+    if (n.is_element() && n.name == name && n.id != from) {
+      found = n.id;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+}  // namespace axmlx::xml

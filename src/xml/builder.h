@@ -1,0 +1,36 @@
+#ifndef AXMLX_XML_BUILDER_H_
+#define AXMLX_XML_BUILDER_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace axmlx::xml {
+
+/// Convenience helpers for building trees programmatically in tests,
+/// examples and workload generators. All of them assume valid arguments and
+/// crash (assert) on misuse rather than returning Status, to keep
+/// construction code readable.
+
+/// Creates an element named `name` and appends it under `parent`.
+NodeId AddElement(Document* doc, NodeId parent, const std::string& name);
+
+/// Creates `<name>text</name>` under `parent`; returns the element id.
+NodeId AddTextElement(Document* doc, NodeId parent, const std::string& name,
+                      const std::string& text);
+
+/// Appends a text node under `parent`.
+NodeId AddText(Document* doc, NodeId parent, const std::string& text);
+
+/// Returns the first child element of `parent` named `name`, or kNullNode.
+NodeId FirstChildElement(const Document& doc, NodeId parent,
+                         const std::string& name);
+
+/// Returns the first descendant element (pre-order) named `name`, or
+/// kNullNode.
+NodeId FirstDescendantElement(const Document& doc, NodeId from,
+                              const std::string& name);
+
+}  // namespace axmlx::xml
+
+#endif  // AXMLX_XML_BUILDER_H_

@@ -1,0 +1,338 @@
+#include "xml/document.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace axmlx::xml {
+
+Document::Document(const std::string& root_name) {
+  root_ = CreateElement(root_name);
+}
+
+std::unique_ptr<Document> Document::Clone() const {
+  auto copy = std::make_unique<Document>();
+  copy->nodes_.clear();
+  copy->next_id_ = next_id_;
+  copy->root_ = root_;
+  for (const auto& [id, node] : nodes_) {
+    copy->nodes_[id] = std::make_unique<Node>(*node);
+  }
+  return copy;
+}
+
+const Node* Document::Find(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+Node* Document::FindMutable(NodeId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+NodeId Document::NewNode(NodeType type) {
+  NodeId id = next_id_++;
+  auto node = std::make_unique<Node>();
+  node->id = id;
+  node->type = type;
+  nodes_[id] = std::move(node);
+  return id;
+}
+
+NodeId Document::CreateElement(const std::string& name) {
+  NodeId id = NewNode(NodeType::kElement);
+  nodes_[id]->name = name;
+  return id;
+}
+
+NodeId Document::CreateText(const std::string& text) {
+  NodeId id = NewNode(NodeType::kText);
+  nodes_[id]->text = text;
+  return id;
+}
+
+NodeId Document::CreateComment(const std::string& text) {
+  NodeId id = NewNode(NodeType::kComment);
+  nodes_[id]->text = text;
+  return id;
+}
+
+Status Document::AppendChild(NodeId parent, NodeId child) {
+  Node* p = FindMutable(parent);
+  if (p == nullptr) return NotFound("AppendChild: unknown parent");
+  return InsertAt(parent, p->children.size(), child);
+}
+
+Status Document::InsertAt(NodeId parent, size_t index, NodeId child) {
+  Node* p = FindMutable(parent);
+  Node* c = FindMutable(child);
+  if (p == nullptr) return NotFound("InsertAt: unknown parent");
+  if (c == nullptr) return NotFound("InsertAt: unknown child");
+  if (!p->is_element()) {
+    return InvalidArgument("InsertAt: parent is not an element");
+  }
+  if (c->parent != kNullNode) {
+    return FailedPrecondition("InsertAt: child is already attached");
+  }
+  if (index > p->children.size()) {
+    return OutOfRange("InsertAt: index beyond end of children");
+  }
+  // Reject cycles: `parent` must not live inside `child`'s subtree.
+  for (NodeId cur = parent; cur != kNullNode; cur = Find(cur)->parent) {
+    if (cur == child) {
+      return InvalidArgument("InsertAt: would create a cycle");
+    }
+  }
+  p->children.insert(p->children.begin() + static_cast<ptrdiff_t>(index),
+                     child);
+  c->parent = parent;
+  return Status::Ok();
+}
+
+Result<Document::RemovedInfo> Document::RemoveSubtree(NodeId id) {
+  Node* n = FindMutable(id);
+  if (n == nullptr) return NotFound("RemoveSubtree: unknown node");
+  if (id == root_) {
+    return FailedPrecondition("RemoveSubtree: cannot remove the root");
+  }
+  RemovedInfo info;
+  info.parent = n->parent;
+  if (n->parent != kNullNode) {
+    Node* p = FindMutable(n->parent);
+    auto it = std::find(p->children.begin(), p->children.end(), id);
+    info.index = static_cast<size_t>(it - p->children.begin());
+    p->children.erase(it);
+    n->parent = kNullNode;
+  }
+  DestroySubtree(id);
+  return info;
+}
+
+void Document::DestroySubtree(NodeId id) {
+  Node* n = FindMutable(id);
+  if (n == nullptr) return;
+  // Copy the child list: erasing invalidates the node's storage.
+  std::vector<NodeId> children = n->children;
+  for (NodeId c : children) DestroySubtree(c);
+  nodes_.erase(id);
+}
+
+Status Document::SetText(NodeId id, const std::string& text) {
+  Node* n = FindMutable(id);
+  if (n == nullptr) return NotFound("SetText: unknown node");
+  if (n->is_element()) return InvalidArgument("SetText: node is an element");
+  n->text = text;
+  return Status::Ok();
+}
+
+Status Document::SetAttribute(NodeId id, const std::string& key,
+                              const std::string& value) {
+  Node* n = FindMutable(id);
+  if (n == nullptr) return NotFound("SetAttribute: unknown node");
+  if (!n->is_element()) {
+    return InvalidArgument("SetAttribute: node is not an element");
+  }
+  for (auto& [k, v] : n->attributes) {
+    if (k == key) {
+      v = value;
+      return Status::Ok();
+    }
+  }
+  n->attributes.emplace_back(key, value);
+  return Status::Ok();
+}
+
+NodeId Document::ImportRec(const Document& src, NodeId src_id) {
+  const Node* s = src.Find(src_id);
+  NodeId id;
+  switch (s->type) {
+    case NodeType::kElement:
+      id = CreateElement(s->name);
+      break;
+    case NodeType::kText:
+      id = CreateText(s->text);
+      break;
+    case NodeType::kComment:
+      id = CreateComment(s->text);
+      break;
+    default:
+      id = CreateElement(s->name);
+  }
+  Node* d = FindMutable(id);
+  d->attributes = s->attributes;
+  for (NodeId c : s->children) {
+    NodeId cc = ImportRec(src, c);
+    FindMutable(cc)->parent = id;
+    d->children.push_back(cc);
+  }
+  return id;
+}
+
+Result<NodeId> Document::ImportSubtree(const Document& src, NodeId src_id) {
+  if (src.Find(src_id) == nullptr) {
+    return NotFound("ImportSubtree: unknown source node");
+  }
+  return ImportRec(src, src_id);
+}
+
+Result<std::unique_ptr<Document>> Document::ExtractFragment(NodeId id) const {
+  if (Find(id) == nullptr) return NotFound("ExtractFragment: unknown node");
+  auto frag = std::make_unique<Document>("fragment");
+  AXMLX_ASSIGN_OR_RETURN(NodeId copy, frag->ImportSubtree(*this, id));
+  AXMLX_RETURN_IF_ERROR(frag->AppendChild(frag->root(), copy));
+  return frag;
+}
+
+Status Document::RestoreSubtree(const std::vector<Node>& nodes,
+                                NodeId subtree_root, NodeId parent,
+                                size_t index) {
+  Node* p = FindMutable(parent);
+  if (p == nullptr) return NotFound("RestoreSubtree: unknown parent");
+  if (!p->is_element()) {
+    return InvalidArgument("RestoreSubtree: parent is not an element");
+  }
+  if (index > p->children.size()) {
+    return OutOfRange("RestoreSubtree: index beyond end of children");
+  }
+  for (const Node& n : nodes) {
+    if (Contains(n.id)) {
+      return AlreadyExists("RestoreSubtree: node id is live");
+    }
+  }
+  for (const Node& n : nodes) {
+    nodes_[n.id] = std::make_unique<Node>(n);
+    if (n.id >= next_id_) next_id_ = n.id + 1;
+  }
+  Node* r = FindMutable(subtree_root);
+  if (r == nullptr) return Internal("RestoreSubtree: root not among nodes");
+  r->parent = parent;
+  p->children.insert(p->children.begin() + static_cast<ptrdiff_t>(index),
+                     subtree_root);
+  return Status::Ok();
+}
+
+size_t Document::SubtreeSize(NodeId id) const {
+  const Node* n = Find(id);
+  if (n == nullptr) return 0;
+  size_t count = 1;
+  for (NodeId c : n->children) count += SubtreeSize(c);
+  return count;
+}
+
+size_t Document::IndexInParent(NodeId id) const {
+  const Node* n = Find(id);
+  if (n == nullptr || n->parent == kNullNode) return kNpos;
+  const Node* p = Find(n->parent);
+  auto it = std::find(p->children.begin(), p->children.end(), id);
+  return it == p->children.end()
+             ? kNpos
+             : static_cast<size_t>(it - p->children.begin());
+}
+
+std::string Document::TextContent(NodeId id) const {
+  std::string out;
+  Walk(id, [&out](const Node& n) {
+    if (n.is_text()) out += n.text;
+    return true;
+  });
+  return out;
+}
+
+void Document::Walk(NodeId id,
+                    const std::function<bool(const Node&)>& fn) const {
+  const Node* n = Find(id);
+  if (n == nullptr) return;
+  if (!fn(*n)) return;
+  for (NodeId c : n->children) Walk(c, fn);
+}
+
+std::string Document::PathOf(NodeId id) const {
+  const Node* n = Find(id);
+  if (n == nullptr) return "<unknown>";
+  if (n->parent == kNullNode) return "/" + n->name;
+  std::ostringstream os;
+  os << PathOf(n->parent) << "/";
+  if (n->is_element()) {
+    os << n->name;
+  } else {
+    os << "#text";
+  }
+  size_t idx = IndexInParent(id);
+  if (idx != kNpos) os << "[" << idx << "]";
+  return os.str();
+}
+
+void Document::SerializeNode(NodeId id, bool pretty, int depth,
+                             std::string* out) const {
+  const Node* n = Find(id);
+  if (n == nullptr) return;
+  std::string indent = pretty ? std::string(static_cast<size_t>(depth) * 2, ' ')
+                              : std::string();
+  switch (n->type) {
+    case NodeType::kText:
+      if (pretty) *out += indent;
+      *out += XmlEscape(n->text);
+      if (pretty) *out += "\n";
+      return;
+    case NodeType::kComment:
+      if (pretty) *out += indent;
+      *out += "<!--" + n->text + "-->";
+      if (pretty) *out += "\n";
+      return;
+    case NodeType::kElement:
+      break;
+  }
+  if (pretty) *out += indent;
+  *out += "<" + n->name;
+  for (const auto& [k, v] : n->attributes) {
+    *out += " " + k + "=\"" + XmlEscape(v) + "\"";
+  }
+  if (n->children.empty()) {
+    *out += "/>";
+    if (pretty) *out += "\n";
+    return;
+  }
+  *out += ">";
+  if (pretty) *out += "\n";
+  for (NodeId c : n->children) SerializeNode(c, pretty, depth + 1, out);
+  if (pretty) *out += indent;
+  *out += "</" + n->name + ">";
+  if (pretty) *out += "\n";
+}
+
+std::string Document::Serialize(NodeId id, bool pretty) const {
+  if (id == kNullNode) id = root_;
+  std::string out;
+  SerializeNode(id, pretty, 0, &out);
+  return out;
+}
+
+bool Document::SubtreeEquals(const Document& a, NodeId a_id, const Document& b,
+                             NodeId b_id) {
+  const Node* na = a.Find(a_id);
+  const Node* nb = b.Find(b_id);
+  if (na == nullptr || nb == nullptr) return na == nb;
+  if (na->type != nb->type) return false;
+  if (na->is_element()) {
+    if (na->name != nb->name) return false;
+    if (na->attributes != nb->attributes) return false;
+    // Compare children skipping comments on both sides.
+    std::vector<NodeId> ca, cb;
+    for (NodeId c : na->children) {
+      if (a.Find(c)->type != NodeType::kComment) ca.push_back(c);
+    }
+    for (NodeId c : nb->children) {
+      if (b.Find(c)->type != NodeType::kComment) cb.push_back(c);
+    }
+    if (ca.size() != cb.size()) return false;
+    for (size_t i = 0; i < ca.size(); ++i) {
+      if (!SubtreeEquals(a, ca[i], b, cb[i])) return false;
+    }
+    return true;
+  }
+  return na->text == nb->text;
+}
+
+}  // namespace axmlx::xml

@@ -1,0 +1,160 @@
+#ifndef AXMLX_XML_DOCUMENT_H_
+#define AXMLX_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/node.h"
+
+namespace axmlx::xml {
+
+/// An in-memory XML tree with stable node ids and ordered children.
+///
+/// `Document` is the storage substrate for AXML repositories: every peer in
+/// the simulated overlay hosts its documents as `Document` instances, and
+/// all operations (query / insert / delete / replace, plus service-call
+/// materializations) are edits against a `Document`.
+///
+/// A `Document` is also used to represent free-standing *fragments*: the
+/// `<data>` payload of an insert operation, a deleted subtree captured in
+/// the compensation log, or a service invocation result. A fragment is
+/// simply a document whose root carries the fragment's top-level nodes.
+///
+/// Not thread-safe; the discrete-event simulator is single-threaded.
+class Document {
+ public:
+  /// Creates an empty document with a root element named `root_name`.
+  explicit Document(const std::string& root_name = "root");
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  /// Deep copy (fresh ids are NOT assigned: ids are preserved so that
+  /// snapshots taken for tests compare structurally AND positionally).
+  std::unique_ptr<Document> Clone() const;
+
+  NodeId root() const { return root_; }
+
+  /// Returns the node or nullptr if the id is unknown (e.g. deleted).
+  const Node* Find(NodeId id) const;
+
+  /// Mutable access for internal editors. Prefer the typed mutators below.
+  Node* FindMutable(NodeId id);
+
+  /// True if `id` identifies a live node of this document.
+  bool Contains(NodeId id) const { return Find(id) != nullptr; }
+
+  // --- Node creation -------------------------------------------------------
+
+  /// Creates a detached element node; attach it with AppendChild/InsertAt.
+  NodeId CreateElement(const std::string& name);
+
+  /// Creates a detached text node.
+  NodeId CreateText(const std::string& text);
+
+  /// Creates a detached comment node.
+  NodeId CreateComment(const std::string& text);
+
+  // --- Tree mutation -------------------------------------------------------
+
+  /// Appends detached node `child` as the last child of `parent`.
+  Status AppendChild(NodeId parent, NodeId child);
+
+  /// Inserts detached node `child` under `parent` at position `index`
+  /// (0 = first; index == children.size() appends). The paper notes that
+  /// compensating a delete in an *ordered* document needs insertion at a
+  /// specific position (§3.1) — this is that primitive.
+  Status InsertAt(NodeId parent, size_t index, NodeId child);
+
+  /// Detaches and destroys the subtree rooted at `id`. Returns the former
+  /// parent and position so callers (the op log) can build the inverse.
+  struct RemovedInfo {
+    NodeId parent = kNullNode;
+    size_t index = 0;
+  };
+  Result<RemovedInfo> RemoveSubtree(NodeId id);
+
+  /// Sets the text of a text node.
+  Status SetText(NodeId id, const std::string& text);
+
+  /// Sets (adds or overwrites) an attribute on an element node.
+  Status SetAttribute(NodeId id, const std::string& key,
+                      const std::string& value);
+
+  // --- Subtree copy --------------------------------------------------------
+
+  /// Deep-copies the subtree rooted at `src_id` in `src` into this document,
+  /// detached (fresh ids). Returns the new subtree root id.
+  Result<NodeId> ImportSubtree(const Document& src, NodeId src_id);
+
+  /// Extracts the subtree rooted at `id` into a new fragment document whose
+  /// root's children are [the copied subtree]. Does not modify `this`.
+  Result<std::unique_ptr<Document>> ExtractFragment(NodeId id) const;
+
+  /// Re-inserts a set of node records (a previously detached subtree,
+  /// root-first, with internal parent/children links intact) under `parent`
+  /// at `index`, preserving the original node ids. All ids must be free;
+  /// `next_id_` is advanced past the largest restored id. Used by the edit
+  /// log to roll back deletions exactly (see xml/edit.h).
+  Status RestoreSubtree(const std::vector<Node>& nodes, NodeId subtree_root,
+                        NodeId parent, size_t index);
+
+  // --- Introspection -------------------------------------------------------
+
+  /// Number of live nodes (including the root).
+  size_t size() const { return nodes_.size(); }
+
+  /// Number of nodes in the subtree rooted at `id` (0 if unknown).
+  size_t SubtreeSize(NodeId id) const;
+
+  /// Index of `id` within its parent's children, or npos if detached/root.
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+  size_t IndexInParent(NodeId id) const;
+
+  /// Concatenation of all descendant text nodes, in document order.
+  std::string TextContent(NodeId id) const;
+
+  /// Pre-order traversal of the subtree rooted at `id`; `fn` returning
+  /// false prunes descent into that node's children.
+  void Walk(NodeId id, const std::function<bool(const Node&)>& fn) const;
+
+  /// Human-readable slash path of `id` from the root, e.g.
+  /// "/ATPList/player[0]/name". Diagnostics only.
+  std::string PathOf(NodeId id) const;
+
+  /// Serializes the subtree at `id` (default: the whole document).
+  /// `pretty` adds two-space indentation and newlines.
+  std::string Serialize(NodeId id = kNullNode, bool pretty = false) const;
+
+  /// Structural equality of two subtrees (names, attributes, text, order);
+  /// ignores node ids and comments.
+  static bool SubtreeEquals(const Document& a, NodeId a_id, const Document& b,
+                            NodeId b_id);
+
+  /// Structural equality of whole documents.
+  static bool Equals(const Document& a, const Document& b) {
+    return SubtreeEquals(a, a.root(), b, b.root());
+  }
+
+ private:
+  NodeId NewNode(NodeType type);
+  void SerializeNode(NodeId id, bool pretty, int depth,
+                     std::string* out) const;
+  void DestroySubtree(NodeId id);
+  NodeId ImportRec(const Document& src, NodeId src_id);
+
+  NodeId next_id_ = 1;
+  NodeId root_ = kNullNode;
+  std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace axmlx::xml
+
+#endif  // AXMLX_XML_DOCUMENT_H_

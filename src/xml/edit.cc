@@ -1,0 +1,62 @@
+#include "xml/edit.h"
+
+namespace axmlx::xml {
+
+Result<DetachResult> DetachSubtree(Document* doc, NodeId id) {
+  const Node* n = doc->Find(id);
+  if (n == nullptr) return NotFound("DetachSubtree: unknown node");
+  if (id == doc->root()) {
+    return FailedPrecondition("DetachSubtree: cannot detach the root");
+  }
+  DetachResult result;
+  result.parent = n->parent;
+  result.index = doc->IndexInParent(id);
+  result.subtree.root = id;
+  doc->Walk(id, [&result](const Node& node) {
+    result.subtree.nodes.push_back(node);
+    return true;
+  });
+  // The detached copy must not point back into the document.
+  result.subtree.nodes.front().parent = kNullNode;
+  auto removed = doc->RemoveSubtree(id);
+  if (!removed.ok()) return removed.status();
+  return result;
+}
+
+Status Reattach(Document* doc, const DetachedSubtree& subtree, NodeId parent,
+                size_t index) {
+  if (subtree.root == kNullNode || subtree.nodes.empty()) {
+    return InvalidArgument("Reattach: empty subtree");
+  }
+  return doc->RestoreSubtree(subtree.nodes, subtree.root, parent, index);
+}
+
+size_t EditLog::TotalNodesAffected() const {
+  size_t total = 0;
+  for (const Edit& e : edits_) total += e.nodes_affected;
+  return total;
+}
+
+Status ApplyInverse(Document* doc, const Edit& edit) {
+  switch (edit.kind) {
+    case Edit::Kind::kInsertSubtree: {
+      auto removed = doc->RemoveSubtree(edit.node);
+      return removed.ok() ? Status::Ok() : removed.status();
+    }
+    case Edit::Kind::kRemoveSubtree:
+      return Reattach(doc, edit.removed, edit.parent, edit.index);
+    case Edit::Kind::kSetText:
+      return doc->SetText(edit.node, edit.old_text);
+  }
+  return Internal("ApplyInverse: unknown edit kind");
+}
+
+Status RollbackAll(Document* doc, const EditLog& log, size_t from) {
+  const std::vector<Edit>& edits = log.edits();
+  for (size_t i = edits.size(); i > from; --i) {
+    AXMLX_RETURN_IF_ERROR(ApplyInverse(doc, edits[i - 1]));
+  }
+  return Status::Ok();
+}
+
+}  // namespace axmlx::xml

@@ -1,0 +1,91 @@
+#ifndef AXMLX_XML_EDIT_H_
+#define AXMLX_XML_EDIT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace axmlx::xml {
+
+/// A subtree detached from a document with all node ids preserved, so it can
+/// be re-attached exactly (same ids, same order) during rollback. Node ids
+/// are never reused by a `Document`, which makes preserved-id re-attachment
+/// safe.
+struct DetachedSubtree {
+  NodeId root = kNullNode;
+  std::vector<Node> nodes;  ///< All nodes of the subtree, root first.
+
+  size_t size() const { return nodes.size(); }
+};
+
+/// Detaches the subtree rooted at `id` from `doc`, preserving ids. Returns
+/// the detached subtree plus the original parent/position.
+struct DetachResult {
+  DetachedSubtree subtree;
+  NodeId parent = kNullNode;
+  size_t index = 0;
+};
+Result<DetachResult> DetachSubtree(Document* doc, NodeId id);
+
+/// Re-attaches a previously detached subtree under `parent` at `index`,
+/// restoring the original node ids. Fails if any id is (again) live.
+Status Reattach(Document* doc, const DetachedSubtree& subtree, NodeId parent,
+                size_t index);
+
+/// One primitive document edit, recorded by the operation executor and the
+/// service-call materializer. The compensation machinery (§3.1 of the
+/// paper) consumes these records in two ways: locally they are inverted
+/// mechanically (`ApplyInverse`), and across peers they are turned into
+/// compensating *operations* by `compensation::CompensationBuilder`.
+struct Edit {
+  enum class Kind {
+    kInsertSubtree,  ///< `node` (subtree root) inserted under parent@index.
+    kRemoveSubtree,  ///< Subtree removed; content kept in `removed`.
+    kSetText,        ///< Text node `node` changed old_text -> new_text.
+  };
+  Kind kind = Kind::kInsertSubtree;
+
+  NodeId node = kNullNode;
+  NodeId parent = kNullNode;
+  size_t index = 0;
+
+  DetachedSubtree removed;  ///< kRemoveSubtree only.
+
+  std::string old_text;  ///< kSetText only.
+  std::string new_text;  ///< kSetText only.
+
+  /// Number of XML nodes touched by this edit — the paper's operation cost
+  /// measure ("the number of XML nodes affected (traversed) is usually a
+  /// good measure of the cost of an operation", §3.2).
+  size_t nodes_affected = 0;
+};
+
+/// Append-only log of primitive edits against one document.
+class EditLog {
+ public:
+  void Append(Edit edit) { edits_.push_back(std::move(edit)); }
+  const std::vector<Edit>& edits() const { return edits_; }
+  bool empty() const { return edits_.empty(); }
+  size_t size() const { return edits_.size(); }
+  void Clear() { edits_.clear(); }
+
+  /// Sum of `nodes_affected` across all edits.
+  size_t TotalNodesAffected() const;
+
+ private:
+  std::vector<Edit> edits_;
+};
+
+/// Applies the inverse of a single edit to `doc`.
+Status ApplyInverse(Document* doc, const Edit& edit);
+
+/// Rolls back all edits in `log` starting from `from` (default: all), in
+/// reverse order. Stops at the first failure.
+Status RollbackAll(Document* doc, const EditLog& log, size_t from = 0);
+
+}  // namespace axmlx::xml
+
+#endif  // AXMLX_XML_EDIT_H_

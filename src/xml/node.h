@@ -1,0 +1,61 @@
+#ifndef AXMLX_XML_NODE_H_
+#define AXMLX_XML_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace axmlx::xml {
+
+/// Stable identifier of a node within its owning `Document`. Ids are never
+/// reused within a document. The paper's compensation scheme relies on this:
+/// "we assume that the [insert] operation returns the (unique) ID of the
+/// inserted node ... the compensating operation is a delete operation to
+/// delete the node having the corresponding ID" (§3.1).
+using NodeId = uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNullNode = 0;
+
+enum class NodeType {
+  kElement,
+  kText,
+  kComment,
+};
+
+/// A single XML node. Nodes are owned and linked by their `Document`; user
+/// code manipulates them through `Document` APIs and treats `Node` as a
+/// read-mostly record.
+struct Node {
+  NodeId id = kNullNode;
+  NodeType type = NodeType::kElement;
+  NodeId parent = kNullNode;
+
+  /// Element tag name (element nodes only).
+  std::string name;
+
+  /// Text content (text and comment nodes only).
+  std::string text;
+
+  /// Attributes in document order (element nodes only).
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  /// Ordered child ids (element nodes only).
+  std::vector<NodeId> children;
+
+  bool is_element() const { return type == NodeType::kElement; }
+  bool is_text() const { return type == NodeType::kText; }
+
+  /// Returns the attribute value or nullptr if absent.
+  const std::string* FindAttribute(const std::string& key) const {
+    for (const auto& [k, v] : attributes) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace axmlx::xml
+
+#endif  // AXMLX_XML_NODE_H_

@@ -1,0 +1,210 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace axmlx::xml {
+namespace {
+
+/// Recursive-descent parser over a string_view. Tracks line numbers for
+/// error messages.
+class ParserImpl {
+ public:
+  ParserImpl(std::string_view input, const ParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Result<std::unique_ptr<Document>> Run() {
+    SkipWhitespaceAndMisc();
+    if (!AtTagOpen()) return Error("expected a root element");
+    // Parse the root element into a placeholder document, then splice it in
+    // as the document root by re-parsing children directly.
+    auto doc = std::make_unique<Document>("placeholder");
+    AXMLX_ASSIGN_OR_RETURN(NodeId root, ParseElement(doc.get()));
+    // Replace the placeholder root with the parsed element.
+    Node* placeholder = doc->FindMutable(doc->root());
+    const Node* parsed = doc->Find(root);
+    placeholder->name = parsed->name;
+    placeholder->attributes = parsed->attributes;
+    std::vector<NodeId> children = parsed->children;
+    for (NodeId c : children) {
+      doc->FindMutable(c)->parent = kNullNode;
+      Status s = doc->AppendChild(doc->root(), c);
+      if (!s.ok()) return s;
+    }
+    doc->FindMutable(root)->children.clear();
+    auto removed = doc->RemoveSubtree(root);
+    if (!removed.ok()) return removed.status();
+    SkipWhitespaceAndMisc();
+    if (pos_ != input_.size()) {
+      return Error("trailing content after the root element");
+    }
+    return doc;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool AtTagOpen() const { return !AtEnd() && Peek() == '<'; }
+
+  bool LookingAt(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  void Advance(size_t n = 1) {
+    for (size_t i = 0; i < n && pos_ < input_.size(); ++i) {
+      if (input_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+
+  Status Error(const std::string& message) const {
+    std::ostringstream os;
+    os << "line " << line_ << ": " << message;
+    return ParseError(os.str());
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  /// Skips whitespace, the XML declaration, and comments outside elements.
+  void SkipWhitespaceAndMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (LookingAt("<?")) {
+        while (!AtEnd() && !LookingAt("?>")) Advance();
+        Advance(2);
+        continue;
+      }
+      if (LookingAt("<!--")) {
+        Advance(4);
+        while (!AtEnd() && !LookingAt("-->")) Advance();
+        Advance(3);
+        continue;
+      }
+      break;
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected a name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseQuotedValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected a quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) Advance();
+    if (AtEnd()) return Error("unterminated attribute value");
+    std::string value = XmlUnescape(input_.substr(start, pos_ - start));
+    Advance();  // closing quote
+    return value;
+  }
+
+  /// Parses one element (cursor at '<') into `doc`, detached.
+  Result<NodeId> ParseElement(Document* doc) {
+    Advance();  // '<'
+    AXMLX_ASSIGN_OR_RETURN(std::string name, ParseName());
+    NodeId elem = doc->CreateElement(name);
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag <" + name);
+      if (Peek() == '>' || LookingAt("/>")) break;
+      AXMLX_ASSIGN_OR_RETURN(std::string key, ParseName());
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Error("expected '=' after attribute");
+      Advance();
+      SkipWhitespace();
+      AXMLX_ASSIGN_OR_RETURN(std::string value, ParseQuotedValue());
+      AXMLX_RETURN_IF_ERROR(doc->SetAttribute(elem, key, value));
+    }
+    if (LookingAt("/>")) {
+      Advance(2);
+      return elem;
+    }
+    Advance();  // '>'
+    // Children.
+    while (true) {
+      if (AtEnd()) return Error("unterminated element <" + name + ">");
+      if (LookingAt("</")) {
+        Advance(2);
+        AXMLX_ASSIGN_OR_RETURN(std::string close, ParseName());
+        if (close != name) {
+          return Error("mismatched close tag </" + close + "> for <" + name +
+                       ">");
+        }
+        SkipWhitespace();
+        if (AtEnd() || Peek() != '>') return Error("expected '>'");
+        Advance();
+        return elem;
+      }
+      if (LookingAt("<!--")) {
+        Advance(4);
+        size_t start = pos_;
+        while (!AtEnd() && !LookingAt("-->")) Advance();
+        if (AtEnd()) return Error("unterminated comment");
+        NodeId comment =
+            doc->CreateComment(std::string(input_.substr(start, pos_ - start)));
+        Advance(3);
+        AXMLX_RETURN_IF_ERROR(doc->AppendChild(elem, comment));
+        continue;
+      }
+      if (LookingAt("<![CDATA[")) return Error("CDATA is not supported");
+      if (LookingAt("<!")) return Error("DOCTYPE is not supported");
+      if (LookingAt("<?")) {
+        return Error("processing instructions are not supported here");
+      }
+      if (Peek() == '<') {
+        AXMLX_ASSIGN_OR_RETURN(NodeId child, ParseElement(doc));
+        AXMLX_RETURN_IF_ERROR(doc->AppendChild(elem, child));
+        continue;
+      }
+      // Character data up to the next '<'.
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') Advance();
+      std::string_view raw = input_.substr(start, pos_ - start);
+      std::string text = XmlUnescape(raw);
+      if (!options_.keep_whitespace_text) {
+        std::string trimmed{StripWhitespace(text)};
+        if (trimmed.empty()) continue;
+        text = std::move(trimmed);
+      }
+      NodeId tn = doc->CreateText(text);
+      AXMLX_RETURN_IF_ERROR(doc->AppendChild(elem, tn));
+    }
+  }
+
+  std::string_view input_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Document>> Parse(std::string_view input,
+                                        const ParseOptions& options) {
+  ParserImpl parser(input, options);
+  return parser.Run();
+}
+
+}  // namespace axmlx::xml

@@ -1,0 +1,31 @@
+#ifndef AXMLX_XML_PARSER_H_
+#define AXMLX_XML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace axmlx::xml {
+
+struct ParseOptions {
+  /// When false (the default), text nodes consisting entirely of whitespace
+  /// between elements are dropped and other text is trimmed; this matches
+  /// how the paper's example documents are written (indentation is layout,
+  /// not data).
+  bool keep_whitespace_text = false;
+};
+
+/// Parses `input` into a Document. Supports the XML subset used by AXML
+/// documents: an optional `<?xml ...?>` declaration, nested elements with
+/// attributes (single- or double-quoted), self-closing tags, character data
+/// with the five standard entities plus numeric references, and comments.
+/// DOCTYPE, CDATA and processing instructions other than the declaration
+/// are rejected with a kParseError status.
+Result<std::unique_ptr<Document>> Parse(std::string_view input,
+                                        const ParseOptions& options = {});
+
+}  // namespace axmlx::xml
+
+#endif  // AXMLX_XML_PARSER_H_

@@ -1,0 +1,253 @@
+// Property suite for the system-wide atomicity invariant: for any service
+// composition, any failure point, and any protocol configuration, a decided
+// transaction leaves every *connected* peer either with all of its work
+// (commit) or with none of it (abort) — and recovery always terminates with
+// no dangling transaction contexts.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+
+namespace axmlx::repo {
+namespace {
+
+struct RandomWorld {
+  explicit RandomWorld(uint64_t seed)
+      : repo(std::make_unique<AxmlRepository>(seed)) {}
+  std::unique_ptr<AxmlRepository> repo;
+  std::vector<overlay::PeerId> ids;
+  std::vector<std::vector<int>> children;
+};
+
+/// Builds a random service tree of `peers` peers (peer 0 = origin). Every
+/// peer runs service "S" doing two inserts; tree shape from `rng`.
+Status BuildWorld(RandomWorld* world, int peers,
+                  AxmlRepository::Protocol protocol,
+                  const txn::AxmlPeer::Options& options, Rng* rng) {
+  for (int i = 0; i < peers; ++i) {
+    overlay::PeerId id = "W" + std::to_string(i);
+    AxmlRepository::PeerConfig config;
+    config.id = id;
+    config.super_peer = (i == 0);
+    config.protocol = protocol;
+    config.options = options;
+    config.seed = rng->Next();
+    AXMLX_RETURN_IF_ERROR(world->repo->AddPeer(config).status());
+    AXMLX_RETURN_IF_ERROR(world->repo->HostDocument(
+        id, "<" + ScenarioDocName(id) + "><log/></" + ScenarioDocName(id) +
+                ">"));
+    world->ids.push_back(id);
+  }
+  world->children.assign(static_cast<size_t>(peers), {});
+  for (int i = 1; i < peers; ++i) {
+    world->children[rng->Uniform(static_cast<uint64_t>(i))].push_back(i);
+  }
+  for (int i = peers - 1; i >= 0; --i) {
+    service::ServiceDefinition def;
+    def.name = "S";
+    def.document = ScenarioDocName(world->ids[static_cast<size_t>(i)]);
+    for (int k = 0; k < 2; ++k) {
+      def.ops.push_back(ops::MakeInsert(
+          "Select d from d in " + def.document + "//log",
+          "<entry seq=\"" + std::to_string(k) + "\">w</entry>"));
+    }
+    def.duration = 1 + static_cast<overlay::Tick>(rng->Uniform(6));
+    for (int c : world->children[static_cast<size_t>(i)]) {
+      def.subcalls.push_back(
+          {world->ids[static_cast<size_t>(c)], "S", {}, {}});
+    }
+    AXMLX_RETURN_IF_ERROR(world->repo->HostService(
+        world->ids[static_cast<size_t>(i)], std::move(def)));
+  }
+  return Status::Ok();
+}
+
+size_t Entries(AxmlRepository* repo, const overlay::PeerId& id) {
+  const xml::Document* doc =
+      repo->FindPeer(id)->repository().GetDocument(ScenarioDocName(id));
+  size_t count = 0;
+  doc->Walk(doc->root(), [&count](const xml::Node& n) {
+    if (n.is_element() && n.name == "entry") ++count;
+    return true;
+  });
+  return count;
+}
+
+class AtomicitySeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AtomicitySeeds, SingleFaultAllOrNothing) {
+  // Random tree, random failing peer (fault after subcalls), no
+  // disconnections: the transaction must decide, and the decision must be
+  // all-or-nothing at every peer.
+  Rng rng(GetParam());
+  int peers = 3 + static_cast<int>(rng.Uniform(8));
+  RandomWorld world(GetParam() + 1);
+  txn::AxmlPeer::Options options;
+  ASSERT_TRUE(BuildWorld(&world, peers,
+                         AxmlRepository::Protocol::kRecovering, options,
+                         &rng)
+                  .ok());
+  // Fail one random non-origin peer (or none).
+  bool inject = rng.Bernoulli(0.8);
+  if (inject) {
+    overlay::PeerId victim =
+        world.ids[1 + rng.Uniform(static_cast<uint64_t>(peers - 1))];
+    auto& victim_repo = world.repo->FindPeer(victim)->repository();
+    service::ServiceDefinition def = *victim_repo.FindService("S");
+    def.fault_probability = 1.0;
+    def.fault_name = "Injected";
+    def.fault_after_subcalls = rng.Bernoulli(0.5);
+    victim_repo.PutService(def);
+  }
+  auto outcome = world.repo->RunTransaction("W0", "TA", "S");
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->decided) << "no disconnections => must decide";
+  if (inject) {
+    EXPECT_EQ(outcome->status.code(), StatusCode::kAborted);
+  } else {
+    EXPECT_TRUE(outcome->status.ok());
+  }
+  for (const overlay::PeerId& id : world.ids) {
+    size_t entries = Entries(world.repo.get(), id);
+    if (outcome->status.ok()) {
+      EXPECT_EQ(entries, 2u) << id << " (commit must keep all work)";
+    } else {
+      EXPECT_EQ(entries, 0u) << id << " (abort must undo all work)";
+    }
+    EXPECT_FALSE(world.repo->FindPeer(id)->HasContext("TA"))
+        << id << " holds a dangling context";
+  }
+}
+
+TEST_P(AtomicitySeeds, ForwardRecoveryKeepsDisjointSubtreesIntact) {
+  // Attach an absorb handler at the failing peer's parent: the transaction
+  // commits, the failed subtree is clean, every other peer keeps its work.
+  Rng rng(GetParam() ^ 0x5a5a);
+  int peers = 4 + static_cast<int>(rng.Uniform(7));
+  RandomWorld world(GetParam() + 2);
+  txn::AxmlPeer::Options options;
+  ASSERT_TRUE(BuildWorld(&world, peers,
+                         AxmlRepository::Protocol::kRecovering, options,
+                         &rng)
+                  .ok());
+  int victim_index = 1 + static_cast<int>(
+                             rng.Uniform(static_cast<uint64_t>(peers - 1)));
+  overlay::PeerId victim = world.ids[static_cast<size_t>(victim_index)];
+  {
+    auto& victim_repo = world.repo->FindPeer(victim)->repository();
+    service::ServiceDefinition def = *victim_repo.FindService("S");
+    def.fault_probability = 1.0;
+    def.fault_after_subcalls = true;
+    victim_repo.PutService(def);
+  }
+  // Find the parent and attach the handler.
+  int parent_index = -1;
+  for (int i = 0; i < peers; ++i) {
+    for (int c : world.children[static_cast<size_t>(i)]) {
+      if (c == victim_index) parent_index = i;
+    }
+  }
+  ASSERT_GE(parent_index, 0);
+  overlay::PeerId parent = world.ids[static_cast<size_t>(parent_index)];
+  {
+    auto& parent_repo = world.repo->FindPeer(parent)->repository();
+    service::ServiceDefinition def = *parent_repo.FindService("S");
+    for (auto& sub : def.subcalls) {
+      if (sub.peer == victim) sub.handlers.push_back(axml::FaultHandler{});
+    }
+    parent_repo.PutService(def);
+  }
+  auto outcome = world.repo->RunTransaction("W0", "TA", "S");
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->decided);
+  EXPECT_TRUE(outcome->status.ok()) << outcome->status;
+  // The victim's whole subtree rolled back; everyone else kept their work.
+  std::vector<bool> in_subtree(static_cast<size_t>(peers), false);
+  std::vector<int> stack = {victim_index};
+  while (!stack.empty()) {
+    int i = stack.back();
+    stack.pop_back();
+    in_subtree[static_cast<size_t>(i)] = true;
+    for (int c : world.children[static_cast<size_t>(i)]) stack.push_back(c);
+  }
+  for (int i = 0; i < peers; ++i) {
+    size_t entries = Entries(world.repo.get(), world.ids[static_cast<size_t>(i)]);
+    if (in_subtree[static_cast<size_t>(i)]) {
+      EXPECT_EQ(entries, 0u) << world.ids[static_cast<size_t>(i)];
+    } else {
+      EXPECT_EQ(entries, 2u) << world.ids[static_cast<size_t>(i)];
+    }
+  }
+}
+
+TEST_P(AtomicitySeeds, PeerIndependentModeIsEquallyAtomic) {
+  Rng rng(GetParam() ^ 0xfeed);
+  int peers = 3 + static_cast<int>(rng.Uniform(6));
+  RandomWorld world(GetParam() + 3);
+  txn::AxmlPeer::Options options;
+  options.peer_independent = true;
+  ASSERT_TRUE(BuildWorld(&world, peers,
+                         AxmlRepository::Protocol::kRecovering, options,
+                         &rng)
+                  .ok());
+  overlay::PeerId victim =
+      world.ids[1 + rng.Uniform(static_cast<uint64_t>(peers - 1))];
+  auto& victim_repo = world.repo->FindPeer(victim)->repository();
+  service::ServiceDefinition def = *victim_repo.FindService("S");
+  def.fault_probability = 1.0;
+  def.fault_after_subcalls = true;
+  victim_repo.PutService(def);
+  auto outcome = world.repo->RunTransaction("W0", "TA", "S");
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->decided);
+  EXPECT_EQ(outcome->status.code(), StatusCode::kAborted);
+  for (const overlay::PeerId& id : world.ids) {
+    EXPECT_EQ(Entries(world.repo.get(), id), 0u) << id;
+    EXPECT_FALSE(world.repo->FindPeer(id)->HasContext("TA")) << id;
+  }
+}
+
+TEST_P(AtomicitySeeds, DisconnectionsNeverCorruptConnectedPeers) {
+  // With chained peers, replicas, retry handlers and random disconnections,
+  // whatever the outcome, a *connected* peer must never be left in a
+  // half-done state once the network quiesces and the transaction decided.
+  Rng rng(GetParam() ^ 0xc0ffee);
+  int peers = 4 + static_cast<int>(rng.Uniform(5));
+  RandomWorld world(GetParam() + 4);
+  txn::AxmlPeer::Options options;
+  options.use_chaining = true;
+  options.keepalive_interval = 3;
+  ASSERT_TRUE(BuildWorld(&world, peers, AxmlRepository::Protocol::kChained,
+                         options, &rng)
+                  .ok());
+  // One random non-origin peer disconnects at a random time.
+  overlay::PeerId victim =
+      world.ids[1 + rng.Uniform(static_cast<uint64_t>(peers - 1))];
+  world.repo->network().DisconnectAt(
+      static_cast<overlay::Tick>(1 + rng.Uniform(25)), victim);
+  auto outcome = world.repo->RunTransaction("W0", "TA", "S");
+  ASSERT_TRUE(outcome.ok());
+  if (!outcome->decided) return;  // undetectable loss: allowed to hang
+  for (const overlay::PeerId& id : world.ids) {
+    if (!world.repo->network().IsConnected(id)) continue;
+    size_t entries = Entries(world.repo.get(), id);
+    if (outcome->status.ok()) {
+      EXPECT_EQ(entries, 2u) << id;
+    } else {
+      EXPECT_EQ(entries, 0u) << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtomicitySeeds,
+                         ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace axmlx::repo

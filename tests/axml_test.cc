@@ -1,0 +1,488 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "axml/materializer.h"
+#include "axml/service_call.h"
+#include "query/parser.h"
+#include "tests/test_data.h"
+#include "xml/builder.h"
+#include "xml/edit.h"
+#include "xml/parser.h"
+
+namespace axmlx::axml {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+class ServiceCallTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = testing::MakeAtpList();
+    std::vector<NodeId> calls = FindServiceCalls(*doc_, doc_->root());
+    ASSERT_EQ(calls.size(), 2u);
+    get_points_ = calls[0];
+    get_slams_ = calls[1];
+  }
+
+  std::unique_ptr<Document> doc_;
+  NodeId get_points_ = xml::kNullNode;
+  NodeId get_slams_ = xml::kNullNode;
+};
+
+TEST_F(ServiceCallTest, ParsesModesAndAttributes) {
+  auto points = ParseServiceCall(*doc_, get_points_);
+  ASSERT_TRUE(points.ok()) << points.status();
+  EXPECT_EQ(points->mode, ScMode::kReplace);
+  EXPECT_EQ(points->method_name, "getPoints");
+  EXPECT_EQ(points->service_url, "ap2");
+  ASSERT_EQ(points->params.size(), 1u);
+  EXPECT_EQ(points->params[0].name, "name");
+  EXPECT_EQ(points->params[0].kind, ScParam::Kind::kLiteral);
+  EXPECT_EQ(points->params[0].value, "Roger Federer");
+  ASSERT_EQ(points->results.size(), 1u);
+
+  auto slams = ParseServiceCall(*doc_, get_slams_);
+  ASSERT_TRUE(slams.ok());
+  EXPECT_EQ(slams->mode, ScMode::kMerge);
+  ASSERT_EQ(slams->params.size(), 2u);
+  EXPECT_EQ(slams->params[1].kind, ScParam::Kind::kExternal);
+  EXPECT_EQ(slams->params[1].value, "year");
+  EXPECT_EQ(slams->results.size(), 2u);
+}
+
+TEST_F(ServiceCallTest, OutputNamesIncludeDeclaredAndObserved) {
+  auto points = ParseServiceCall(*doc_, get_points_);
+  ASSERT_TRUE(points.ok());
+  auto names = points->OutputNames(*doc_);
+  EXPECT_NE(std::find(names.begin(), names.end(), "points"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "getPoints"), names.end());
+}
+
+TEST_F(ServiceCallTest, BuildServiceCallRoundTrips) {
+  ScSpec spec;
+  spec.mode = ScMode::kMerge;
+  spec.service_namespace = "ns";
+  spec.service_url = "peerX";
+  spec.method_name = "getThing";
+  spec.output_name = "thing";
+  spec.frequency = 10;
+  spec.params.push_back({"a", "literal-value", false, {}});
+  spec.params.push_back({"b", "$ext", false, {}});
+  spec.handlers.push_back({"FaultA", true, {2, 5, "replica1"}});
+  spec.handlers.push_back({"", false, {}});
+
+  Document doc("host");
+  auto sc = BuildServiceCall(&doc, doc.root(), spec);
+  ASSERT_TRUE(sc.ok()) << sc.status();
+  auto parsed = ParseServiceCall(doc, *sc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->mode, ScMode::kMerge);
+  EXPECT_EQ(parsed->method_name, "getThing");
+  EXPECT_EQ(parsed->frequency, 10);
+  ASSERT_EQ(parsed->params.size(), 2u);
+  EXPECT_EQ(parsed->params[1].kind, ScParam::Kind::kExternal);
+  ASSERT_EQ(parsed->handlers.size(), 2u);
+  EXPECT_EQ(parsed->handlers[0].fault_name, "FaultA");
+  ASSERT_TRUE(parsed->handlers[0].has_retry);
+  EXPECT_EQ(parsed->handlers[0].retry.times, 2);
+  EXPECT_EQ(parsed->handlers[0].retry.replica_url, "replica1");
+  EXPECT_TRUE(parsed->handlers[1].fault_name.empty());
+}
+
+TEST_F(ServiceCallTest, NestedParamCall) {
+  ScSpec inner;
+  inner.method_name = "inner";
+  ScSpec outer;
+  outer.method_name = "outer";
+  ScSpec::Param p;
+  p.name = "x";
+  p.nested = true;
+  p.nested_spec.push_back(inner);
+  outer.params.push_back(p);
+
+  Document doc("host");
+  auto sc = BuildServiceCall(&doc, doc.root(), outer);
+  ASSERT_TRUE(sc.ok());
+  auto parsed = ParseServiceCall(doc, *sc);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->params.size(), 1u);
+  EXPECT_EQ(parsed->params[0].kind, ScParam::Kind::kNestedCall);
+  EXPECT_NE(parsed->params[0].nested_call, xml::kNullNode);
+}
+
+TEST_F(ServiceCallTest, FindServiceCallsSkipsParamCalls) {
+  ScSpec inner;
+  inner.method_name = "inner";
+  ScSpec outer;
+  outer.method_name = "outer";
+  ScSpec::Param p;
+  p.name = "x";
+  p.nested = true;
+  p.nested_spec.push_back(inner);
+  outer.params.push_back(p);
+  Document doc("host");
+  ASSERT_TRUE(BuildServiceCall(&doc, doc.root(), outer).ok());
+  // Only the outer call is a top-level embedded call.
+  EXPECT_EQ(FindServiceCalls(doc, doc.root()).size(), 1u);
+}
+
+// --- Materializer -----------------------------------------------------------
+
+class MaterializerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = testing::MakeAtpList();
+    snapshot_ = doc_->Clone();
+    auto calls = FindServiceCalls(*doc_, doc_->root());
+    get_points_ = calls[0];
+    get_slams_ = calls[1];
+  }
+
+  query::Query ParseQ(const std::string& text) {
+    auto q = query::ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return std::move(q).value();
+  }
+
+  std::unique_ptr<Document> doc_;
+  std::unique_ptr<Document> snapshot_;
+  NodeId get_points_ = xml::kNullNode;
+  NodeId get_slams_ = xml::kNullNode;
+  xml::EditLog log_;
+};
+
+TEST_F(MaterializerTest, ReplaceModeSwapsResults) {
+  Materializer m(doc_.get(), testing::AtpInvoker(), &log_);
+  auto inserted = m.MaterializeCall(get_points_);
+  ASSERT_TRUE(inserted.ok()) << inserted.status();
+  ASSERT_EQ(inserted->size(), 1u);
+  // Paper Query B: points change 475 -> 890; old node removed, new inserted.
+  auto results = ResultChildren(*doc_, get_points_);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(doc_->TextContent(results[0]), "890");
+  // Both the removal and the insertion were logged.
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_.edits()[0].kind, xml::Edit::Kind::kRemoveSubtree);
+  EXPECT_EQ(log_.edits()[1].kind, xml::Edit::Kind::kInsertSubtree);
+}
+
+TEST_F(MaterializerTest, MergeModeAppendsResults) {
+  Materializer m(doc_.get(), testing::AtpInvoker(), &log_);
+  m.SetExternal("year", "2005");
+  auto inserted = m.MaterializeCall(get_slams_);
+  ASSERT_TRUE(inserted.ok()) << inserted.status();
+  auto results = ResultChildren(*doc_, get_slams_);
+  ASSERT_EQ(results.size(), 3u);  // 2003, 2004 + new 2005
+  EXPECT_EQ(doc_->TextContent(results[2]), "A, F");
+  ASSERT_EQ(log_.size(), 1u);  // only the insertion, nothing removed
+}
+
+TEST_F(MaterializerTest, ExternalParamMissingIsError) {
+  Materializer m(doc_.get(), testing::AtpInvoker(), &log_);
+  auto r = m.MaterializeCall(get_slams_);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MaterializerTest, LazyQueryAMaterializesOnlySlams) {
+  // Paper §3.1 Query A: Select p/citizenship, p/grandslamswon ... —
+  // "would result in the materialization of the embedded service call
+  // getGrandSlamsWonbyYear (and not getPoints)".
+  Materializer m(doc_.get(), testing::AtpInvoker(), &log_);
+  m.SetExternal("year", "2005");
+  query::Query q = ParseQ(
+      "Select p/citizenship, p/grandslamswon from p in ATPList//player "
+      "where p/name/lastname = Federer");
+  auto done = m.MaterializeForQuery(q, doc_->root());
+  ASSERT_TRUE(done.ok()) << done.status();
+  ASSERT_EQ(done->size(), 1u);
+  EXPECT_EQ((*done)[0], get_slams_);
+  EXPECT_EQ(m.stats().calls_invoked, 1);
+  EXPECT_EQ(m.stats().calls_skipped, 1);
+  // points untouched:
+  auto points = ResultChildren(*doc_, get_points_);
+  EXPECT_EQ(doc_->TextContent(points[0]), "475");
+}
+
+TEST_F(MaterializerTest, LazyQueryBMaterializesOnlyPoints) {
+  Materializer m(doc_.get(), testing::AtpInvoker(), &log_);
+  query::Query q = ParseQ(
+      "Select p/citizenship, p/points from p in ATPList//player "
+      "where p/name/lastname = Federer");
+  auto done = m.MaterializeForQuery(q, doc_->root());
+  ASSERT_TRUE(done.ok()) << done.status();
+  ASSERT_EQ(done->size(), 1u);
+  EXPECT_EQ((*done)[0], get_points_);
+  auto points = ResultChildren(*doc_, get_points_);
+  EXPECT_EQ(doc_->TextContent(points[0]), "890");
+}
+
+TEST_F(MaterializerTest, EagerMaterializesEverything) {
+  Materializer m(doc_.get(), testing::AtpInvoker(), &log_);
+  m.SetExternal("year", "2005");
+  auto done = m.MaterializeAll(doc_->root());
+  ASSERT_TRUE(done.ok()) << done.status();
+  EXPECT_EQ(done->size(), 2u);
+  EXPECT_EQ(m.stats().calls_skipped, 0);
+}
+
+TEST_F(MaterializerTest, RollbackOfMaterializationRestoresDocument) {
+  // The heart of §3.1: query evaluation modified the document; the logged
+  // edits suffice to compensate exactly.
+  Materializer m(doc_.get(), testing::AtpInvoker(), &log_);
+  m.SetExternal("year", "2005");
+  ASSERT_TRUE(m.MaterializeAll(doc_->root()).ok());
+  EXPECT_FALSE(Document::Equals(*doc_, *snapshot_));
+  ASSERT_TRUE(RollbackAll(doc_.get(), log_).ok());
+  EXPECT_TRUE(Document::Equals(*doc_, *snapshot_));
+}
+
+TEST_F(MaterializerTest, NestedParamCallMaterializedFirst) {
+  // Build: outer(x = result of inner). Inner returns "42"; the outer
+  // invocation must observe x=42.
+  Document doc("host");
+  ScSpec inner;
+  inner.method_name = "inner";
+  inner.output_name = "v";
+  ScSpec outer;
+  outer.method_name = "outer";
+  outer.output_name = "out";
+  ScSpec::Param p;
+  p.name = "x";
+  p.nested = true;
+  p.nested_spec.push_back(inner);
+  outer.params.push_back(p);
+  auto sc = BuildServiceCall(&doc, doc.root(), outer);
+  ASSERT_TRUE(sc.ok());
+
+  std::string observed_x;
+  ServiceInvoker invoker =
+      [&observed_x](const ServiceRequest& req) -> Result<ServiceResponse> {
+    ServiceResponse resp;
+    if (req.method_name == "inner") {
+      auto frag = xml::Parse("<r><v>42</v></r>");
+      resp.fragment = std::move(frag).value();
+      return resp;
+    }
+    for (const auto& [k, v] : req.params) {
+      if (k == "x") observed_x = v;
+    }
+    auto frag = xml::Parse("<r><out>done</out></r>");
+    resp.fragment = std::move(frag).value();
+    return resp;
+  };
+  xml::EditLog log;
+  Materializer m(&doc, invoker, &log);
+  auto r = m.MaterializeCall(*sc);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(observed_x, "42");
+}
+
+TEST_F(MaterializerTest, ResultContainingServiceCallBecomesEmbedded) {
+  // "The invocation results may be static XML nodes or another service
+  // call." The new call is picked up by a later MaterializeAll round.
+  Document doc("host");
+  ScSpec first;
+  first.method_name = "first";
+  first.output_name = "step1";
+  auto sc = BuildServiceCall(&doc, doc.root(), first);
+  ASSERT_TRUE(sc.ok());
+  int second_calls = 0;
+  ServiceInvoker invoker =
+      [&second_calls](const ServiceRequest& req) -> Result<ServiceResponse> {
+    ServiceResponse resp;
+    if (req.method_name == "first") {
+      auto frag = xml::Parse(
+          "<r><axml:sc mode=\"replace\" methodName=\"second\" "
+          "outputName=\"step2\"/></r>");
+      resp.fragment = std::move(frag).value();
+      return resp;
+    }
+    ++second_calls;
+    auto frag = xml::Parse("<r><step2>done</step2></r>");
+    resp.fragment = std::move(frag).value();
+    return resp;
+  };
+  xml::EditLog log;
+  Materializer m(&doc, invoker, &log);
+  auto done = m.MaterializeAll(doc.root());
+  ASSERT_TRUE(done.ok()) << done.status();
+  EXPECT_EQ(done->size(), 2u);
+  EXPECT_EQ(second_calls, 1);
+}
+
+TEST_F(MaterializerTest, CatchAllAbsorbsFault) {
+  Document doc("host");
+  ScSpec spec;
+  spec.method_name = "flaky";
+  spec.handlers.push_back({"", false, {}});  // catchAll, no retry
+  auto sc = BuildServiceCall(&doc, doc.root(), spec);
+  ASSERT_TRUE(sc.ok());
+  ServiceInvoker invoker =
+      [](const ServiceRequest&) -> Result<ServiceResponse> {
+    return ServiceFault("Boom: always fails");
+  };
+  xml::EditLog log;
+  Materializer m(&doc, invoker, &log);
+  auto r = m.MaterializeCall(*sc);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->empty());
+  EXPECT_EQ(m.stats().faults_handled, 1);
+}
+
+TEST_F(MaterializerTest, NamedCatchOnlyMatchesItsFault) {
+  Document doc("host");
+  ScSpec spec;
+  spec.method_name = "flaky";
+  spec.handlers.push_back({"FaultA", false, {}});
+  auto sc = BuildServiceCall(&doc, doc.root(), spec);
+  ASSERT_TRUE(sc.ok());
+  ServiceInvoker invoker =
+      [](const ServiceRequest&) -> Result<ServiceResponse> {
+    return ServiceFault("FaultB: not A");
+  };
+  xml::EditLog log;
+  Materializer m(&doc, invoker, &log);
+  auto r = m.MaterializeCall(*sc);
+  EXPECT_EQ(r.status().code(), StatusCode::kServiceFault);
+}
+
+TEST_F(MaterializerTest, RetryRecoversAfterTransientFaults) {
+  Document doc("host");
+  ScSpec spec;
+  spec.method_name = "flaky";
+  spec.handlers.push_back({"", true, {3, 0, ""}});
+  auto sc = BuildServiceCall(&doc, doc.root(), spec);
+  ASSERT_TRUE(sc.ok());
+  int attempts = 0;
+  ServiceInvoker invoker =
+      [&attempts](const ServiceRequest&) -> Result<ServiceResponse> {
+    if (++attempts < 3) return ServiceFault("Transient: try again");
+    ServiceResponse resp;
+    auto frag = xml::Parse("<r><ok/></r>");
+    resp.fragment = std::move(frag).value();
+    return resp;
+  };
+  xml::EditLog log;
+  Materializer m(&doc, invoker, &log);
+  auto r = m.MaterializeCall(*sc);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(m.stats().retries, 2);
+}
+
+TEST_F(MaterializerTest, RetrySwitchesToReplicaUrl) {
+  Document doc("host");
+  ScSpec spec;
+  spec.method_name = "svc";
+  spec.service_url = "primary";
+  spec.handlers.push_back({"", true, {1, 0, "replica"}});
+  auto sc = BuildServiceCall(&doc, doc.root(), spec);
+  ASSERT_TRUE(sc.ok());
+  std::vector<std::string> urls;
+  ServiceInvoker invoker =
+      [&urls](const ServiceRequest& req) -> Result<ServiceResponse> {
+    urls.push_back(req.service_url);
+    if (req.service_url == "primary") return ServiceFault("Down: primary");
+    ServiceResponse resp;
+    auto frag = xml::Parse("<r><ok/></r>");
+    resp.fragment = std::move(frag).value();
+    return resp;
+  };
+  xml::EditLog log;
+  Materializer m(&doc, invoker, &log);
+  auto r = m.MaterializeCall(*sc);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(urls.size(), 2u);
+  EXPECT_EQ(urls[0], "primary");
+  EXPECT_EQ(urls[1], "replica");
+}
+
+TEST_F(MaterializerTest, RetriesExhaustedPropagatesFault) {
+  Document doc("host");
+  ScSpec spec;
+  spec.method_name = "down";
+  spec.handlers.push_back({"", true, {2, 0, ""}});
+  auto sc = BuildServiceCall(&doc, doc.root(), spec);
+  ASSERT_TRUE(sc.ok());
+  int attempts = 0;
+  ServiceInvoker invoker =
+      [&attempts](const ServiceRequest&) -> Result<ServiceResponse> {
+    ++attempts;
+    return ServiceFault("Down: still down");
+  };
+  xml::EditLog log;
+  Materializer m(&doc, invoker, &log);
+  auto r = m.MaterializeCall(*sc);
+  EXPECT_EQ(r.status().code(), StatusCode::kServiceFault);
+  EXPECT_EQ(attempts, 3);  // 1 original + 2 retries
+}
+
+TEST_F(MaterializerTest, NestingDepthLimitGuardsRecursion) {
+  // Build a 20-deep chain of nested parameter calls; the materializer's
+  // depth guard must reject it rather than recurse unboundedly.
+  ScSpec spec;
+  spec.method_name = "leaf";
+  for (int i = 0; i < 20; ++i) {
+    ScSpec outer;
+    outer.method_name = "level" + std::to_string(i);
+    ScSpec::Param p;
+    p.name = "x";
+    p.nested = true;
+    p.nested_spec.push_back(spec);
+    outer.params.push_back(std::move(p));
+    spec = std::move(outer);
+  }
+  Document doc("host");
+  auto sc = BuildServiceCall(&doc, doc.root(), spec);
+  ASSERT_TRUE(sc.ok());
+  ServiceInvoker invoker =
+      [](const ServiceRequest&) -> Result<ServiceResponse> {
+    ServiceResponse resp;
+    auto frag = xml::Parse("<r><v>1</v></r>");
+    resp.fragment = std::move(frag).value();
+    return resp;
+  };
+  xml::EditLog log;
+  Materializer m(&doc, invoker, &log);
+  auto result = m.MaterializeCall(*sc);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MaterializerTest, SelfReproducingServiceIsBounded) {
+  // A service whose result is another call to itself: MaterializeAll's
+  // round bound stops the loop.
+  Document doc("host");
+  ScSpec spec;
+  spec.method_name = "hydra";
+  spec.output_name = "h";
+  auto sc = BuildServiceCall(&doc, doc.root(), spec);
+  ASSERT_TRUE(sc.ok());
+  int calls = 0;
+  ServiceInvoker invoker =
+      [&calls](const ServiceRequest&) -> Result<ServiceResponse> {
+    ++calls;
+    ServiceResponse resp;
+    auto frag = xml::Parse(
+        "<r><axml:sc mode=\"replace\" methodName=\"hydra\" "
+        "outputName=\"h\"/></r>");
+    resp.fragment = std::move(frag).value();
+    return resp;
+  };
+  xml::EditLog log;
+  Materializer m(&doc, invoker, &log);
+  auto result = m.MaterializeAll(doc.root());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(calls, 16);
+  EXPECT_GE(calls, 2);
+}
+
+TEST(FaultName, ExtractsPrefix) {
+  EXPECT_EQ(FaultNameOf(ServiceFault("FaultA: detail")), "FaultA");
+  EXPECT_EQ(FaultNameOf(ServiceFault("NoColon")), "NoColon");
+}
+
+}  // namespace
+}  // namespace axmlx::axml

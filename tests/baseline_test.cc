@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "baseline/lock_sim.h"
+#include "baseline/xpath_lock.h"
+
+namespace axmlx::baseline {
+namespace {
+
+TEST(PathCovers, PrefixSemantics) {
+  EXPECT_TRUE(PathCovers("/a/b", "/a/b/c"));
+  EXPECT_TRUE(PathCovers("/a/b", "/a/b"));
+  EXPECT_FALSE(PathCovers("/a/b", "/a/bc"));
+  EXPECT_FALSE(PathCovers("/a/b/c", "/a/b"));
+  EXPECT_TRUE(PathCovers("/ATPList", "/ATPList/player[1]/points"));
+}
+
+TEST(PathLockManager, SharedLocksAreCompatible) {
+  PathLockManager locks;
+  EXPECT_TRUE(locks.TryLock(1, "/a/b", LockMode::kShared));
+  EXPECT_TRUE(locks.TryLock(2, "/a/b", LockMode::kShared));
+  EXPECT_TRUE(locks.TryLock(3, "/a", LockMode::kShared));
+  EXPECT_EQ(locks.HeldCount(), 3u);
+}
+
+TEST(PathLockManager, ExclusiveConflictsOnOverlap) {
+  PathLockManager locks;
+  ASSERT_TRUE(locks.TryLock(1, "/a/b", LockMode::kExclusive));
+  EXPECT_FALSE(locks.TryLock(2, "/a/b", LockMode::kExclusive));
+  EXPECT_FALSE(locks.TryLock(2, "/a/b/c", LockMode::kShared));  // descendant
+  EXPECT_FALSE(locks.TryLock(2, "/a", LockMode::kShared));      // ancestor
+  EXPECT_TRUE(locks.TryLock(2, "/a/x", LockMode::kExclusive));  // disjoint
+  EXPECT_EQ(locks.stats().denied, 3);
+}
+
+TEST(PathLockManager, PLockCompatibleWithReadsNotWrites) {
+  // [5]'s P lock: "nodes referred by the 'where' part of a select are only
+  // accessed for a short time (for testing)".
+  PathLockManager locks;
+  ASSERT_TRUE(locks.TryLock(1, "/a/b", LockMode::kP));
+  EXPECT_TRUE(locks.TryLock(2, "/a/b", LockMode::kShared));
+  EXPECT_TRUE(locks.TryLock(3, "/a/b", LockMode::kP));
+  EXPECT_FALSE(locks.TryLock(4, "/a/b", LockMode::kExclusive));
+}
+
+TEST(PathLockManager, SameTxnNeverSelfConflicts) {
+  PathLockManager locks;
+  ASSERT_TRUE(locks.TryLock(1, "/a/b", LockMode::kExclusive));
+  EXPECT_TRUE(locks.TryLock(1, "/a/b/c", LockMode::kExclusive));
+  EXPECT_TRUE(locks.TryLock(1, "/a/b", LockMode::kShared));
+}
+
+TEST(PathLockManager, ReleaseAllFreesEverything) {
+  PathLockManager locks;
+  ASSERT_TRUE(locks.TryLock(1, "/a", LockMode::kExclusive));
+  ASSERT_TRUE(locks.TryLock(1, "/b", LockMode::kExclusive));
+  locks.ReleaseAll(1);
+  EXPECT_EQ(locks.HeldCount(), 0u);
+  EXPECT_TRUE(locks.TryLock(2, "/a/x", LockMode::kExclusive));
+}
+
+TEST(PathLockManager, UnlockSingle) {
+  PathLockManager locks;
+  ASSERT_TRUE(locks.TryLock(1, "/a", LockMode::kExclusive));
+  locks.Unlock(1, "/a", LockMode::kExclusive);
+  EXPECT_TRUE(locks.TryLock(2, "/a", LockMode::kExclusive));
+}
+
+TEST(LockSim, AllTransactionsAccountedFor) {
+  WorkloadConfig config;
+  config.num_txns = 200;
+  config.service_duration = 5;
+  SimResult locking = RunLockingSimulation(config);
+  EXPECT_EQ(locking.committed + locking.aborted, 200);
+  SimResult comp = RunCompensationSimulation(config);
+  EXPECT_EQ(comp.committed + comp.aborted, 200);
+  EXPECT_EQ(comp.aborted, 0);  // no faults configured
+}
+
+TEST(LockSim, LongServicesDegradeLockingNotCompensation) {
+  // The paper's core concurrency claim: AXML service calls "can be very
+  // long (in hours)", which cripples lock-based protocols but not the
+  // compensation model.
+  WorkloadConfig config;
+  config.num_txns = 150;
+  config.hot_fraction = 0.5;
+  config.write_fraction = 0.6;
+  SimResult lock_short, lock_long, comp_short, comp_long;
+  config.service_duration = 2;
+  lock_short = RunLockingSimulation(config);
+  comp_short = RunCompensationSimulation(config);
+  config.service_duration = 200;
+  lock_long = RunLockingSimulation(config);
+  comp_long = RunCompensationSimulation(config);
+
+  // Locking latency blows up with duration (waiting on hot paths), far
+  // beyond the service time itself; compensation latency IS the service
+  // time.
+  EXPECT_GT(lock_long.avg_latency, 200.0 * 1.5);
+  EXPECT_EQ(comp_long.avg_latency, 200.0);
+  // Locking also denies many lock requests under the long workload.
+  EXPECT_GT(lock_long.lock_denials, lock_short.lock_denials);
+}
+
+TEST(LockSim, CompensationFaultsAreCharged) {
+  WorkloadConfig config;
+  config.num_txns = 300;
+  config.fault_probability = 0.3;
+  SimResult comp = RunCompensationSimulation(config);
+  EXPECT_GT(comp.aborted, 40);
+  EXPECT_LT(comp.aborted, 160);
+  EXPECT_GT(comp.compensation_ops, 0);
+}
+
+TEST(LockSim, DeterministicForSeed) {
+  WorkloadConfig config;
+  config.num_txns = 100;
+  SimResult a = RunLockingSimulation(config);
+  SimResult b = RunLockingSimulation(config);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.lock_denials, b.lock_denials);
+}
+
+TEST(LockSim, NoContentionMeansNoDenials) {
+  WorkloadConfig config;
+  config.num_txns = 20;
+  config.arrival_gap = 1000;  // fully serial arrivals
+  config.service_duration = 5;
+  SimResult locking = RunLockingSimulation(config);
+  EXPECT_EQ(locking.lock_denials, 0);
+  EXPECT_EQ(locking.aborted, 0);
+  EXPECT_EQ(locking.avg_latency, 5.0);
+}
+
+}  // namespace
+}  // namespace axmlx::baseline

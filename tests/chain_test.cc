@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chain/active_chain.h"
+
+namespace axmlx::chain {
+namespace {
+
+/// Builds the paper's Figure 2 chain:
+/// [AP1* -> AP2 -> [AP3 -> AP6] || [AP4 -> AP5]].
+ActivePeerChain PaperChain() {
+  ChainNode ap6{"AP6", false, "S6", {}};
+  ChainNode ap5{"AP5", false, "S5", {}};
+  ChainNode ap3{"AP3", false, "S3", {ap6}};
+  ChainNode ap4{"AP4", false, "S4", {ap5}};
+  ChainNode ap2{"AP2", false, "S2", {ap3, ap4}};
+  ChainNode ap1{"AP1", true, "S1", {ap2}};
+  return ActivePeerChain(ap1);
+}
+
+TEST(ActivePeerChain, SerializeMatchesPaperShape) {
+  std::string s = PaperChain().Serialize();
+  EXPECT_EQ(s,
+            "[AP1*:S1 -> [AP2:S2 -> [AP3:S3 -> [AP6:S6]] || "
+            "[AP4:S4 -> [AP5:S5]]]]");
+}
+
+TEST(ActivePeerChain, ParseRoundTrip) {
+  ActivePeerChain chain = PaperChain();
+  auto parsed = ActivePeerChain::Parse(chain.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Serialize(), chain.Serialize());
+}
+
+TEST(ActivePeerChain, ParseWithoutServicesAndSpaces) {
+  auto parsed = ActivePeerChain::Parse("[A->[B]||[C->[D]]]");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->ChildrenOf("A"),
+            (std::vector<overlay::PeerId>{"B", "C"}));
+  EXPECT_EQ(parsed->ParentOf("D"), "C");
+}
+
+TEST(ActivePeerChain, ParseRejectsGarbage) {
+  EXPECT_FALSE(ActivePeerChain::Parse("[").ok());
+  EXPECT_FALSE(ActivePeerChain::Parse("[A -> ]").ok());
+  EXPECT_FALSE(ActivePeerChain::Parse("[A][B]").ok());
+  EXPECT_FALSE(ActivePeerChain::Parse("A").ok());
+}
+
+TEST(ActivePeerChain, EmptyChainParses) {
+  auto parsed = ActivePeerChain::Parse("[]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+  EXPECT_FALSE(parsed->Contains("AP1"));
+}
+
+TEST(ActivePeerChain, ParentChildSiblingQueries) {
+  ActivePeerChain chain = PaperChain();
+  EXPECT_EQ(chain.ParentOf("AP6"), "AP3");
+  EXPECT_EQ(chain.ParentOf("AP3"), "AP2");
+  EXPECT_EQ(chain.ParentOf("AP1"), "");
+  EXPECT_EQ(chain.ChildrenOf("AP2"),
+            (std::vector<overlay::PeerId>{"AP3", "AP4"}));
+  EXPECT_EQ(chain.SiblingsOf("AP3"), (std::vector<overlay::PeerId>{"AP4"}));
+  EXPECT_TRUE(chain.SiblingsOf("AP1").empty());
+  EXPECT_TRUE(chain.ChildrenOf("AP6").empty());
+}
+
+TEST(ActivePeerChain, AncestorsClosestFirst) {
+  ActivePeerChain chain = PaperChain();
+  // §3.3(b): "AP6 can try the next closest peer (AP1)" — ancestors of AP6
+  // beyond its dead parent AP3 are AP2 then AP1.
+  EXPECT_EQ(chain.AncestorsOf("AP6"),
+            (std::vector<overlay::PeerId>{"AP3", "AP2", "AP1"}));
+}
+
+TEST(ActivePeerChain, NearestSuperPeer) {
+  ActivePeerChain chain = PaperChain();
+  EXPECT_EQ(chain.NearestSuperPeer("AP6"), "AP1");
+  EXPECT_EQ(chain.NearestSuperPeer("AP1"), "AP1");
+  EXPECT_EQ(chain.NearestSuperPeer("nonexistent"), "");
+}
+
+TEST(ActivePeerChain, SubtreeForDescendantNotification) {
+  ActivePeerChain chain = PaperChain();
+  // Case (c): descendants of AP3 to notify.
+  EXPECT_EQ(chain.SubtreeOf("AP3"),
+            (std::vector<overlay::PeerId>{"AP3", "AP6"}));
+  EXPECT_EQ(chain.SubtreeOf("AP2").size(), 5u);
+}
+
+TEST(ActivePeerChain, SpheresOfAtomicity) {
+  // "atomicity may still be guaranteed for a transaction if all the
+  // involved peers (for that transaction) are super peers" (§3.3).
+  EXPECT_FALSE(PaperChain().AtomicityGuaranteed());
+  ChainNode b{"B", true, "", {}};
+  ChainNode a{"A", true, "", {b}};
+  EXPECT_TRUE(ActivePeerChain(a).AtomicityGuaranteed());
+  ChainNode c{"C", false, "", {}};
+  ChainNode a2{"A", true, "", {b, c}};
+  EXPECT_FALSE(ActivePeerChain(a2).AtomicityGuaranteed());
+  EXPECT_FALSE(ActivePeerChain().AtomicityGuaranteed());
+}
+
+TEST(ActivePeerChain, AllPeersPreOrder) {
+  EXPECT_EQ(PaperChain().AllPeers(),
+            (std::vector<overlay::PeerId>{"AP1", "AP2", "AP3", "AP6", "AP4",
+                                          "AP5"}));
+}
+
+TEST(ActivePeerChain, DeepChainQueries) {
+  // Linear chain of 20 peers.
+  ChainNode node{"P19", false, "", {}};
+  for (int i = 18; i >= 0; --i) {
+    ChainNode parent{"P" + std::to_string(i), i == 0, "", {node}};
+    node = parent;
+  }
+  ActivePeerChain chain(node);
+  EXPECT_EQ(chain.AncestorsOf("P19").size(), 19u);
+  EXPECT_EQ(chain.NearestSuperPeer("P19"), "P0");
+  auto parsed = ActivePeerChain::Parse(chain.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AllPeers().size(), 20u);
+}
+
+}  // namespace
+}  // namespace axmlx::chain

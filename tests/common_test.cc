@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/trace.h"
+
+namespace axmlx {
+namespace {
+
+// --- Status / Result --------------------------------------------------------
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(Status, AllConstructorsProduceDistinctCodes) {
+  std::set<StatusCode> codes;
+  for (const Status& s :
+       {InvalidArgument(""), NotFound(""), AlreadyExists(""),
+        FailedPrecondition(""), OutOfRange(""), Unimplemented(""),
+        Internal(""), ParseError(""), ServiceFault(""), PeerDisconnected(""),
+        Aborted(""), Timeout(""), Conflict("")}) {
+    codes.insert(s.code());
+  }
+  EXPECT_EQ(codes.size(), 13u);
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFound("x"), NotFound("x"));
+  EXPECT_FALSE(NotFound("x") == NotFound("y"));
+  EXPECT_FALSE(NotFound("x") == Internal("x"));
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> ok_result(42);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(*ok_result, 42);
+  EXPECT_EQ(ok_result.value_or(7), 42);
+
+  Result<int> err_result(NotFound("nope"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err_result.value_or(7), 7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  AXMLX_ASSIGN_OR_RETURN(int half, Half(x));
+  AXMLX_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  auto good = Quarter(8);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 2);
+  auto bad = Quarter(6);  // 6/2 = 3, odd
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status ValidateEven(int x) {
+  AXMLX_RETURN_IF_ERROR(Half(x).status());
+  return Status::Ok();
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(ValidateEven(4).ok());
+  EXPECT_FALSE(ValidateEven(3).ok());
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t r = rng.UniformRange(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_GT(hits, 2700);
+  EXPECT_LT(hits, 3300);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(5);
+  Rng child = parent.Fork();
+  // The child stream must not simply replay the parent's.
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+// --- Strings ----------------------------------------------------------------
+
+TEST(Strings, SplitAndJoin) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrJoin({"a", "b"}, "-"), "a-b");
+  EXPECT_EQ(StrJoin({}, "-"), "");
+}
+
+TEST(Strings, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("\n\t "), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(Strings, PrefixSuffixContains) {
+  EXPECT_TRUE(StartsWith("ATPList.xml", "ATP"));
+  EXPECT_FALSE(StartsWith("A", "ATP"));
+  EXPECT_TRUE(EndsWith("file.xml", ".xml"));
+  EXPECT_FALSE(EndsWith("xml", ".xml"));
+  EXPECT_TRUE(Contains("hello world", "lo wo"));
+  EXPECT_FALSE(Contains("hello", "z"));
+}
+
+TEST(Strings, XmlEscapeRoundTrip) {
+  std::string raw = "a < b && \"c\" > 'd'";
+  std::string escaped = XmlEscape(raw);
+  EXPECT_EQ(escaped.find('<'), std::string::npos);
+  EXPECT_EQ(escaped.find('"'), std::string::npos);
+  EXPECT_EQ(XmlUnescape(escaped), raw);
+}
+
+TEST(Strings, XmlUnescapeNumericReferences) {
+  EXPECT_EQ(XmlUnescape("&#65;&#x42;"), "AB");
+  // Unknown entities and out-of-range references pass through.
+  EXPECT_EQ(XmlUnescape("&bogus;"), "&bogus;");
+  EXPECT_EQ(XmlUnescape("&#99999;"), "&#99999;");
+  // A lone ampersand survives.
+  EXPECT_EQ(XmlUnescape("a & b"), "a & b");
+}
+
+// --- Trace ------------------------------------------------------------------
+
+TEST(TraceLog, CountsAndRenders) {
+  Trace trace;
+  trace.Add(1, "A", "SEND", "INVOKE -> B");
+  trace.Add(2, "B", "RECV", "INVOKE from A");
+  trace.Add(3, "B", "ABORT", "txn TA");
+  EXPECT_EQ(trace.CountKind("SEND"), 1);
+  EXPECT_EQ(trace.CountKind("NOPE"), 0);
+  std::string text = trace.ToString();
+  EXPECT_NE(text.find("[t=3] B ABORT txn TA"), std::string::npos);
+  trace.Clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+}  // namespace
+}  // namespace axmlx

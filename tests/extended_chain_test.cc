@@ -1,0 +1,174 @@
+// Tests for the paper's §4 future-work extension: chaining beyond parent /
+// children / siblings, to uncles and cousins. Covers the chain-distance
+// ordering utility and the death-notice propagation that lets collateral
+// relatives presume abort when the whole ancestor line disappears.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chain/active_chain.h"
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+
+namespace axmlx {
+namespace {
+
+using chain::ActivePeerChain;
+using chain::ChainNode;
+using repo::AxmlRepository;
+using repo::ScenarioDocName;
+
+/// [R -> [A -> [A1] || [A2]] || [B -> [B1 -> [B11]]]]
+ActivePeerChain FamilyChain() {
+  ChainNode a1{"A1", false, "", {}};
+  ChainNode a2{"A2", false, "", {}};
+  ChainNode b11{"B11", false, "", {}};
+  ChainNode b1{"B1", false, "", {b11}};
+  ChainNode a{"A", false, "", {a1, a2}};
+  ChainNode b{"B", false, "", {b1}};
+  ChainNode r{"R", true, "", {a, b}};
+  return ActivePeerChain(r);
+}
+
+TEST(RelativesByDistance, OrdersByTreeDistance) {
+  ActivePeerChain chain = FamilyChain();
+  // From A1: distance 1 = A (parent); 2 = A2 (sibling), R (grandparent);
+  // 3 = B (uncle); 4 = B1 (cousin); 5 = B11 (cousin's child).
+  std::vector<overlay::PeerId> relatives = chain.RelativesByDistance("A1");
+  ASSERT_EQ(relatives.size(), 6u);
+  EXPECT_EQ(relatives[0], "A");
+  // Distance-2 peers come next, in some deterministic order.
+  EXPECT_TRUE((relatives[1] == "A2" && relatives[2] == "R") ||
+              (relatives[1] == "R" && relatives[2] == "A2"));
+  EXPECT_EQ(relatives[3], "B");    // uncle
+  EXPECT_EQ(relatives[4], "B1");   // cousin
+  EXPECT_EQ(relatives[5], "B11");  // cousin's child
+}
+
+TEST(RelativesByDistance, RootSeesWholeTree) {
+  ActivePeerChain chain = FamilyChain();
+  EXPECT_EQ(chain.RelativesByDistance("R").size(), 6u);
+  EXPECT_TRUE(chain.RelativesByDistance("nonexistent").empty());
+}
+
+size_t Entries(AxmlRepository* repo, const overlay::PeerId& id) {
+  const xml::Document* doc =
+      repo->FindPeer(id)->repository().GetDocument(ScenarioDocName(id));
+  size_t count = 0;
+  doc->Walk(doc->root(), [&count](const xml::Node& n) {
+    if (n.is_element() && n.name == "entry") ++count;
+    return true;
+  });
+  return count;
+}
+
+/// Topology for the orphaned-branch scenario:
+///   W0 (origin, NOT super) -> W1 -> { W2 -> W3(leaf, slow) , W4(uncle) }
+/// W0, W1, W2 all disconnect while W3 still computes. W4 finished early and
+/// waits for a commit that can never come. With extended chaining, W3 —
+/// upon finding every ancestor dead — presumes abort and spreads the death
+/// notice; W4 compensates. Without it, W4's work is stranded forever.
+Status BuildOrphanWorld(AxmlRepository* repo, bool extended) {
+  txn::AxmlPeer::Options options;
+  options.use_chaining = true;
+  options.extended_chaining = extended;
+  const char* ids[] = {"W0", "W1", "W2", "W3", "W4"};
+  for (const char* id : ids) {
+    AxmlRepository::PeerConfig config;
+    config.id = id;
+    config.protocol = AxmlRepository::Protocol::kChained;
+    config.options = options;
+    AXMLX_RETURN_IF_ERROR(repo->AddPeer(config).status());
+    AXMLX_RETURN_IF_ERROR(repo->HostDocument(
+        id, "<" + ScenarioDocName(id) + "><log/></" + ScenarioDocName(id) +
+                ">"));
+  }
+  auto service = [](const std::string& id, overlay::Tick duration) {
+    service::ServiceDefinition def;
+    def.name = "S";
+    def.document = ScenarioDocName(id);
+    def.ops.push_back(ops::MakeInsert(
+        "Select d from d in " + def.document + "//log", "<entry>w</entry>"));
+    def.duration = duration;
+    return def;
+  };
+  AXMLX_RETURN_IF_ERROR(repo->HostService("W3", service("W3", 40)));
+  AXMLX_RETURN_IF_ERROR(repo->HostService("W4", service("W4", 2)));
+  {
+    service::ServiceDefinition s2 = service("W2", 2);
+    s2.subcalls.push_back({"W3", "S", {}, {}});
+    AXMLX_RETURN_IF_ERROR(repo->HostService("W2", std::move(s2)));
+  }
+  {
+    service::ServiceDefinition s1 = service("W1", 2);
+    s1.subcalls.push_back({"W2", "S", {}, {}});
+    s1.subcalls.push_back({"W4", "S", {}, {}});
+    AXMLX_RETURN_IF_ERROR(repo->HostService("W1", std::move(s1)));
+  }
+  {
+    service::ServiceDefinition s0 = service("W0", 2);
+    s0.subcalls.push_back({"W1", "S", {}, {}});
+    AXMLX_RETURN_IF_ERROR(repo->HostService("W0", std::move(s0)));
+  }
+  return Status::Ok();
+}
+
+TEST(ExtendedChaining, DeathNoticeReachesUncle) {
+  AxmlRepository repo(1);
+  ASSERT_TRUE(BuildOrphanWorld(&repo, /*extended=*/true).ok());
+  repo.network().DisconnectAt(10, "W0");
+  repo.network().DisconnectAt(10, "W1");
+  repo.network().DisconnectAt(10, "W2");
+  auto outcome = repo.RunTransaction("W0", "TA", "S");
+  ASSERT_TRUE(outcome.ok());
+  // The origin is gone: the transaction cannot decide...
+  EXPECT_FALSE(outcome->decided);
+  // ...but no connected peer is left with stranded work: W3 presumed abort
+  // on completion, notified its uncle W4, and both compensated.
+  EXPECT_EQ(Entries(&repo, "W3"), 0u);
+  EXPECT_EQ(Entries(&repo, "W4"), 0u);
+  EXPECT_FALSE(repo.FindPeer("W3")->HasContext("TA"));
+  EXPECT_FALSE(repo.FindPeer("W4")->HasContext("TA"));
+}
+
+TEST(ExtendedChaining, WithoutItTheUncleIsStrandedForever) {
+  AxmlRepository repo(1);
+  ASSERT_TRUE(BuildOrphanWorld(&repo, /*extended=*/false).ok());
+  repo.network().DisconnectAt(10, "W0");
+  repo.network().DisconnectAt(10, "W1");
+  repo.network().DisconnectAt(10, "W2");
+  auto outcome = repo.RunTransaction("W0", "TA", "S");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->decided);
+  // W3 still presumes abort for itself (its ancestors are gone)...
+  EXPECT_EQ(Entries(&repo, "W3"), 0u);
+  // ...but W4 never learns and keeps both its work and its context.
+  EXPECT_EQ(Entries(&repo, "W4"), 1u);
+  EXPECT_TRUE(repo.FindPeer("W4")->HasContext("TA"));
+}
+
+TEST(ExtendedChaining, HarmlessWhenAncestorsAreReachable) {
+  // With a live ancestor line, extended chaining must change nothing: the
+  // Figure 2 case (b) flow behaves identically.
+  for (bool extended : {false, true}) {
+    AxmlRepository repo(1);
+    repo::ScenarioOptions options;
+    options.protocol = AxmlRepository::Protocol::kChained;
+    options.duration = 10;
+    options.add_replicas = true;
+    options.handlers_retry_on_replica = true;
+    options.peer_options.use_chaining = true;
+    options.peer_options.extended_chaining = extended;
+    ASSERT_TRUE(BuildFigureTwo(&repo, options).ok());
+    repo.network().DisconnectAt(5, "AP3");
+    auto outcome = repo.RunTransaction("AP1", repo::kTxnName, "S1");
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->status.ok()) << outcome->status;
+    EXPECT_EQ(repo.FindPeer("AP6")->stats().results_rerouted, 1);
+  }
+}
+
+}  // namespace
+}  // namespace axmlx

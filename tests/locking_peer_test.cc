@@ -1,0 +1,170 @@
+// Concurrency-control integration: transactional peers running their local
+// operations under the XPath-locking baseline ([5]). These tests demonstrate
+// the behaviour the paper argues about in §2: conflicting concurrent
+// transactions serialize or abort under locking, while the default
+// (compensation-only) peers interleave freely.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+
+namespace axmlx::repo {
+namespace {
+
+/// One peer hosting one document and a slow writer service.
+Status BuildSinglePeer(AxmlRepository* repo, bool use_locking,
+                       overlay::Tick duration) {
+  AxmlRepository::PeerConfig config;
+  config.id = "P";
+  config.protocol = AxmlRepository::Protocol::kRecovering;
+  config.options.use_locking = use_locking;
+  AXMLX_RETURN_IF_ERROR(repo->AddPeer(config).status());
+  AXMLX_RETURN_IF_ERROR(repo->HostDocument(
+      "P", "<DataP><store><item id=\"1\">v</item></store><log/></DataP>"));
+  service::ServiceDefinition writer;
+  writer.name = "Write";
+  writer.document = "DataP";
+  writer.ops.push_back(ops::MakeReplace(
+      "Select s/item from s in DataP//store where s/item/@id = 1",
+      "<item id=\"1\">updated</item>"));
+  writer.duration = duration;
+  AXMLX_RETURN_IF_ERROR(repo->HostService("P", std::move(writer)));
+  service::ServiceDefinition reader;
+  reader.name = "Read";
+  reader.document = "DataP";
+  reader.ops.push_back(
+      ops::MakeQuery("Select s/item from s in DataP//store"));
+  reader.duration = duration;
+  return repo->HostService("P", std::move(reader));
+}
+
+/// Submits `names` as concurrent transactions of `service` at P and runs to
+/// quiescence; returns (committed, aborted).
+std::pair<int, int> RunConcurrent(AxmlRepository* repo,
+                                  const std::vector<std::string>& names,
+                                  const std::string& service) {
+  int committed = 0;
+  int aborted = 0;
+  txn::AxmlPeer* origin = repo->FindPeer("P");
+  for (const std::string& name : names) {
+    EXPECT_TRUE(origin
+                    ->Submit(&repo->network(), name, service, {},
+                             [&committed, &aborted](const std::string&,
+                                                    Status s) {
+                               if (s.ok()) {
+                                 ++committed;
+                               } else {
+                                 ++aborted;
+                               }
+                             })
+                    .ok());
+  }
+  repo->network().RunUntilQuiescent();
+  return {committed, aborted};
+}
+
+TEST(LockingPeer, ConflictingWritersAbortUnderLocking) {
+  AxmlRepository repo(1);
+  ASSERT_TRUE(BuildSinglePeer(&repo, /*use_locking=*/true, 20).ok());
+  auto [committed, aborted] = RunConcurrent(&repo, {"T1", "T2"}, "Write");
+  // T1 holds its X lock for the whole 20-tick service; T2 faults with a
+  // LockConflict and aborts.
+  EXPECT_EQ(committed, 1);
+  EXPECT_EQ(aborted, 1);
+  // The surviving update is in place.
+  xml::Document* doc = repo.FindPeer("P")->repository().GetDocument("DataP");
+  EXPECT_NE(doc->Serialize().find("updated"), std::string::npos);
+}
+
+TEST(LockingPeer, WithoutLockingBothCommit) {
+  AxmlRepository repo(1);
+  ASSERT_TRUE(BuildSinglePeer(&repo, /*use_locking=*/false, 20).ok());
+  auto [committed, aborted] = RunConcurrent(&repo, {"T1", "T2"}, "Write");
+  EXPECT_EQ(committed, 2);
+  EXPECT_EQ(aborted, 0);
+}
+
+TEST(LockingPeer, ReadersShareLocks) {
+  AxmlRepository repo(1);
+  ASSERT_TRUE(BuildSinglePeer(&repo, /*use_locking=*/true, 20).ok());
+  auto [committed, aborted] =
+      RunConcurrent(&repo, {"T1", "T2", "T3"}, "Read");
+  EXPECT_EQ(committed, 3);
+  EXPECT_EQ(aborted, 0);
+}
+
+TEST(LockingPeer, LocksReleasedAtCommitAllowSequentialWriters) {
+  AxmlRepository repo(1);
+  ASSERT_TRUE(BuildSinglePeer(&repo, /*use_locking=*/true, 5).ok());
+  auto first = repo.RunTransaction("P", "T1", "Write");
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->status.ok());
+  auto second = repo.RunTransaction("P", "T2", "Write");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->status.ok()) << "locks must be released at commit";
+}
+
+TEST(LockingPeer, LocksReleasedAtAbort) {
+  AxmlRepository repo(1);
+  ASSERT_TRUE(BuildSinglePeer(&repo, /*use_locking=*/true, 5).ok());
+  // Make the writer fault after its local work: the txn aborts, locks must
+  // be freed for the next transaction.
+  auto& p = repo.FindPeer("P")->repository();
+  service::ServiceDefinition def = *p.FindService("Write");
+  def.fault_probability = 1.0;
+  def.fault_after_subcalls = true;
+  p.PutService(def);
+  auto first = repo.RunTransaction("P", "T1", "Write");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->status.code(), StatusCode::kAborted);
+  def.fault_probability = 0.0;
+  p.PutService(def);
+  auto second = repo.RunTransaction("P", "T2", "Write");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->status.ok()) << "locks must be released at abort";
+}
+
+TEST(LockingPeer, LockFaultCanBeAbsorbedByHandler) {
+  // A coordinator with a catchAll handler on its subcall edge treats a
+  // LockConflict like any application fault: forward recovery absorbs it.
+  AxmlRepository repo(1);
+  ASSERT_TRUE(BuildSinglePeer(&repo, /*use_locking=*/true, 20).ok());
+  AxmlRepository::PeerConfig coord;
+  coord.id = "C";
+  coord.protocol = AxmlRepository::Protocol::kRecovering;
+  ASSERT_TRUE(repo.AddPeer(coord).ok());
+  ASSERT_TRUE(repo.HostDocument("C", "<DataC><log/></DataC>").ok());
+  service::ServiceDefinition root;
+  root.name = "Root";
+  root.document = "DataC";
+  service::ServiceDefinition::SubCall call{"P", "Write", {}, {}};
+  call.handlers.push_back(axml::FaultHandler{});  // catchAll absorb
+  root.subcalls.push_back(call);
+  ASSERT_TRUE(repo.HostService("C", std::move(root)).ok());
+
+  // Occupy the lock with a long direct transaction at P, then run the
+  // coordinator: its Write subcall faults with LockConflict, absorbed at C.
+  txn::AxmlPeer* p = repo.FindPeer("P");
+  ASSERT_TRUE(p->Submit(&repo.network(), "HOLD", "Write", {},
+                        [](const std::string&, Status) {})
+                  .ok());
+  bool decided = false;
+  Status coord_status;
+  ASSERT_TRUE(repo.FindPeer("C")
+                  ->Submit(&repo.network(), "TC", "Root", {},
+                           [&](const std::string&, Status s) {
+                             decided = true;
+                             coord_status = std::move(s);
+                           })
+                  .ok());
+  repo.network().RunUntilQuiescent();
+  EXPECT_TRUE(decided);
+  EXPECT_TRUE(coord_status.ok()) << coord_status;
+  EXPECT_EQ(repo.FindPeer("C")->stats().forward_recoveries, 1);
+}
+
+}  // namespace
+}  // namespace axmlx::repo

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "ops/executor.h"
+#include "ops/op_log.h"
+#include "ops/operation.h"
+#include "tests/test_data.h"
+#include "xml/builder.h"
+#include "xml/parser.h"
+
+namespace axmlx::ops {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = testing::MakeAtpList();
+    snapshot_ = doc_->Clone();
+    executor_ = std::make_unique<Executor>(doc_.get(), testing::AtpInvoker());
+    executor_->SetExternal("year", "2005");
+  }
+
+  std::unique_ptr<Document> doc_;
+  std::unique_ptr<Document> snapshot_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(ExecutorTest, PaperDeleteOperation) {
+  // The paper's delete example: delete Federer's citizenship.
+  Operation op = MakeDelete(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Federer");
+  auto effect = executor_->Execute(op);
+  ASSERT_TRUE(effect.ok()) << effect.status();
+  ASSERT_EQ(effect->targets.size(), 1u);
+  // The deleted subtree (citizenship + text) was logged.
+  ASSERT_EQ(effect->edits.size(), 1u);
+  const xml::Edit& edit = effect->edits.edits()[0];
+  EXPECT_EQ(edit.kind, xml::Edit::Kind::kRemoveSubtree);
+  EXPECT_EQ(edit.removed.size(), 2u);
+  EXPECT_EQ(edit.nodes_affected, 2u);
+  // Document no longer has a Swiss citizenship node.
+  auto check = executor_->Execute(MakeQuery(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Federer"));
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->query_result.AllSelected().empty());
+}
+
+TEST_F(ExecutorTest, PaperInsertOperation) {
+  // The paper's compensating-insert shape: insert citizenship under the
+  // parent (player) located by citizenship/..
+  Operation del = MakeDelete(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Federer");
+  ASSERT_TRUE(executor_->Execute(del).ok());
+  Operation ins = MakeInsert(
+      "Select p/name/.. from p in ATPList//player "
+      "where p/name/lastname = Federer",
+      "<citizenship>Swiss</citizenship>");
+  auto effect = executor_->Execute(ins);
+  ASSERT_TRUE(effect.ok()) << effect.status();
+  ASSERT_EQ(effect->inserted.size(), 1u);
+  EXPECT_EQ(doc_->TextContent(effect->inserted[0]), "Swiss");
+  EXPECT_EQ(doc_->Find(effect->inserted[0])->name, "citizenship");
+}
+
+TEST_F(ExecutorTest, PaperReplaceOperationDecomposesToDeletePlusInsert) {
+  // Paper §3.1: replace Nadal's citizenship with USA.
+  Operation op = MakeReplace(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Nadal",
+      "<citizenship>USA</citizenship>");
+  auto effect = executor_->Execute(op);
+  ASSERT_TRUE(effect.ok()) << effect.status();
+  // delete + insert recorded, new node at the same position.
+  ASSERT_EQ(effect->edits.size(), 2u);
+  EXPECT_EQ(effect->edits.edits()[0].kind, xml::Edit::Kind::kRemoveSubtree);
+  EXPECT_EQ(effect->edits.edits()[1].kind, xml::Edit::Kind::kInsertSubtree);
+  EXPECT_EQ(effect->edits.edits()[0].index, effect->edits.edits()[1].index);
+  auto check = executor_->Execute(MakeQuery(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Nadal"));
+  ASSERT_TRUE(check.ok());
+  auto nodes = check->query_result.AllSelected();
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(doc_->TextContent(nodes[0]), "USA");
+}
+
+TEST_F(ExecutorTest, QueryAMaterializesSlamsOnly) {
+  // Paper §3.1 Query A, end to end through the executor.
+  Operation op = MakeQuery(
+      "Select p/citizenship, p/grandslamswon from p in ATPList//player "
+      "where p/name/lastname = Federer");
+  auto effect = executor_->Execute(op);
+  ASSERT_TRUE(effect.ok()) << effect.status();
+  // One merge insertion (the 2005 row) and no removal.
+  EXPECT_EQ(effect->materialize_stats.calls_invoked, 1);
+  EXPECT_EQ(effect->materialize_stats.calls_skipped, 1);
+  ASSERT_EQ(effect->edits.size(), 1u);
+  EXPECT_EQ(effect->edits.edits()[0].kind, xml::Edit::Kind::kInsertSubtree);
+  // Query sees citizenship + 3 grandslamswon rows.
+  EXPECT_EQ(effect->query_result.AllSelected().size(), 4u);
+}
+
+TEST_F(ExecutorTest, QueryBMaterializesPointsOnly) {
+  Operation op = MakeQuery(
+      "Select p/citizenship, p/points from p in ATPList//player "
+      "where p/name/lastname = Federer");
+  auto effect = executor_->Execute(op);
+  ASSERT_TRUE(effect.ok()) << effect.status();
+  // Replace mode: one removal (475) + one insertion (890).
+  ASSERT_EQ(effect->edits.size(), 2u);
+  auto nodes = effect->query_result.AllSelected();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(doc_->TextContent(nodes[1]), "890");
+}
+
+TEST_F(ExecutorTest, EagerQueryMaterializesBoth) {
+  Operation op = MakeQuery(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Federer",
+      /*eager=*/true);
+  auto effect = executor_->Execute(op);
+  ASSERT_TRUE(effect.ok()) << effect.status();
+  EXPECT_EQ(effect->materialize_stats.calls_invoked, 2);
+  EXPECT_EQ(effect->materialize_stats.calls_skipped, 0);
+}
+
+TEST_F(ExecutorTest, DeleteByIdAndInsertAtRestorePosition) {
+  NodeId player = xml::FirstDescendantElement(*doc_, doc_->root(), "player");
+  NodeId citizenship =
+      xml::FirstDescendantElement(*doc_, player, "citizenship");
+  size_t index = doc_->IndexInParent(citizenship);
+  auto del = executor_->Execute(MakeDeleteById(citizenship));
+  ASSERT_TRUE(del.ok()) << del.status();
+  EXPECT_FALSE(doc_->Contains(citizenship));
+  auto ins = executor_->Execute(
+      MakeInsertAt(player, index, "<citizenship>Swiss</citizenship>"));
+  ASSERT_TRUE(ins.ok()) << ins.status();
+  ASSERT_EQ(ins->inserted.size(), 1u);
+  EXPECT_EQ(doc_->IndexInParent(ins->inserted[0]), index);
+}
+
+TEST_F(ExecutorTest, FailedOperationLeavesDocumentUntouched) {
+  // getGrandSlamsWonbyYear requires $year; drop the external so the
+  // materialization fails *after* nothing else changed.
+  auto clean_executor =
+      std::make_unique<Executor>(doc_.get(), testing::AtpInvoker());
+  Operation op = MakeQuery(
+      "Select p/grandslamswon from p in ATPList//player "
+      "where p/name/lastname = Federer");
+  auto effect = clean_executor->Execute(op);
+  EXPECT_FALSE(effect.ok());
+  EXPECT_TRUE(Document::Equals(*doc_, *snapshot_));
+}
+
+TEST_F(ExecutorTest, UnknownTargetNodeIsNotFound) {
+  auto effect = executor_->Execute(MakeDeleteById(999999));
+  EXPECT_EQ(effect.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, MissingLocationIsInvalid) {
+  Operation op;
+  op.type = ActionType::kDelete;
+  auto effect = executor_->Execute(op);
+  EXPECT_EQ(effect.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, DeleteWithNoMatchesIsNoOp) {
+  Operation op = MakeDelete(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Borg");
+  auto effect = executor_->Execute(op);
+  ASSERT_TRUE(effect.ok());
+  EXPECT_TRUE(effect->targets.empty());
+  EXPECT_TRUE(Document::Equals(*doc_, *snapshot_));
+}
+
+TEST_F(ExecutorTest, MultiTargetDelete) {
+  Operation op = MakeDelete("Select p/citizenship from p in ATPList//player");
+  auto effect = executor_->Execute(op);
+  ASSERT_TRUE(effect.ok());
+  EXPECT_EQ(effect->targets.size(), 2u);
+  EXPECT_EQ(effect->edits.size(), 2u);
+}
+
+TEST_F(ExecutorTest, InsertBeforeAndAfterAnchors) {
+  // Ordered-document insertion (§3.1): place nodes adjacent to a located
+  // sibling, preserving document order.
+  auto before = executor_->Execute(ops::MakeInsertBefore(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Federer",
+      "<residence>Basel</residence>"));
+  ASSERT_TRUE(before.ok()) << before.status();
+  ASSERT_EQ(before->inserted.size(), 1u);
+  auto after = executor_->Execute(ops::MakeInsertAfter(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Federer",
+      "<coachname>Roche</coachname>"));
+  ASSERT_TRUE(after.ok()) << after.status();
+  // Order within the player: ... residence, citizenship, coachname ...
+  xml::NodeId citizenship = xml::FirstDescendantElement(
+      *doc_, doc_->root(), "citizenship");
+  const xml::Node* parent = doc_->Find(doc_->Find(citizenship)->parent);
+  size_t idx = doc_->IndexInParent(citizenship);
+  EXPECT_EQ(doc_->Find(parent->children[idx - 1])->name, "residence");
+  EXPECT_EQ(doc_->Find(parent->children[idx + 1])->name, "coachname");
+  // Compensation of anchored inserts is the usual delete-by-id.
+  auto del = executor_->Execute(ops::MakeDeleteById(before->inserted[0]));
+  EXPECT_TRUE(del.ok());
+}
+
+TEST_F(ExecutorTest, InsertBesideRootIsRejected) {
+  auto bad = executor_->Execute(ops::MakeInsertAfter(
+      "Select p from p in ATPList//ATPList", "<x/>"));
+  // No ATPList descendant named ATPList: no targets, no-op.
+  ASSERT_TRUE(bad.ok());
+  EXPECT_TRUE(bad->inserted.empty());
+}
+
+TEST(Operation, AnchorSurvivesXmlRoundTrip) {
+  Operation op = MakeInsertAfter("Select p/a from p in D//x", "<n/>");
+  auto parsed = Operation::FromXml(op.ToXml());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->anchor, Operation::Anchor::kAfter);
+}
+
+TEST(Operation, XmlRoundTrip) {
+  Operation op = MakeReplace(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Nadal",
+      "<citizenship>USA</citizenship>");
+  std::string xml_text = op.ToXml();
+  auto parsed = Operation::FromXml(xml_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << xml_text;
+  EXPECT_EQ(parsed->type, ActionType::kReplace);
+  EXPECT_EQ(parsed->location, op.location);
+  EXPECT_EQ(parsed->data_xml, op.data_xml);
+}
+
+TEST(Operation, XmlRoundTripDirectTarget) {
+  Operation op = MakeInsertAt(42, 3, "<a>x</a>");
+  auto parsed = Operation::FromXml(op.ToXml());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->type, ActionType::kInsert);
+  EXPECT_EQ(parsed->target_node, 42u);
+  ASSERT_TRUE(parsed->has_position);
+  EXPECT_EQ(parsed->position, 3u);
+}
+
+TEST(Operation, FromXmlRejectsGarbage) {
+  EXPECT_FALSE(Operation::FromXml("<notaction/>").ok());
+  EXPECT_FALSE(Operation::FromXml("<action/>").ok());
+  EXPECT_FALSE(Operation::FromXml("<action type=\"zap\"/>").ok());
+}
+
+TEST(OpLog, AccumulatesCost) {
+  OpLog log;
+  OpEffect a;
+  xml::Edit e1;
+  e1.nodes_affected = 4;
+  a.edits.Append(std::move(e1));
+  log.Append(std::move(a));
+  OpEffect b;
+  xml::Edit e2;
+  e2.nodes_affected = 6;
+  b.edits.Append(std::move(e2));
+  log.Append(std::move(b));
+  EXPECT_EQ(log.TotalNodesAffected(), 10u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+}  // namespace
+}  // namespace axmlx::ops

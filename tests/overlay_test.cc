@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "overlay/keepalive.h"
+#include "overlay/network.h"
+
+namespace axmlx::overlay {
+namespace {
+
+/// A peer that records received messages and can auto-reply.
+class EchoPeer : public PeerNode {
+ public:
+  EchoPeer(PeerId id, bool super = false) : PeerNode(std::move(id), super) {}
+
+  void OnMessage(const Message& message, Network* net) override {
+    received.push_back(message);
+    if (message.type == "PING") {
+      Message reply;
+      reply.from = id();
+      reply.to = message.from;
+      reply.type = "PONG";
+      (void)net->Send(std::move(reply));
+    }
+  }
+
+  std::vector<Message> received;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<Network>(/*seed=*/1, &trace_);
+    for (const char* id : {"A", "B", "C"}) {
+      auto peer = std::make_unique<EchoPeer>(id);
+      peers_[id] = peer.get();
+      net_->AddPeer(std::move(peer));
+    }
+  }
+
+  Message Msg(const std::string& from, const std::string& to,
+              const std::string& type) {
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.type = type;
+    return m;
+  }
+
+  Trace trace_;
+  std::unique_ptr<Network> net_;
+  std::map<std::string, EchoPeer*> peers_;
+};
+
+TEST_F(NetworkTest, DeliversAfterLatency) {
+  net_->SetLatency(5, 0);
+  ASSERT_TRUE(net_->Send(Msg("A", "B", "HELLO")).ok());
+  EXPECT_TRUE(peers_["B"]->received.empty());
+  net_->RunUntil(4);
+  EXPECT_TRUE(peers_["B"]->received.empty());
+  net_->RunUntil(5);
+  ASSERT_EQ(peers_["B"]->received.size(), 1u);
+  EXPECT_EQ(peers_["B"]->received[0].type, "HELLO");
+  EXPECT_EQ(net_->stats().messages_delivered, 1);
+}
+
+TEST_F(NetworkTest, FifoAmongSameTimeMessages) {
+  net_->SetLatency(1, 0);
+  ASSERT_TRUE(net_->Send(Msg("A", "B", "FIRST")).ok());
+  ASSERT_TRUE(net_->Send(Msg("A", "B", "SECOND")).ok());
+  net_->RunUntilQuiescent();
+  ASSERT_EQ(peers_["B"]->received.size(), 2u);
+  EXPECT_EQ(peers_["B"]->received[0].type, "FIRST");
+  EXPECT_EQ(peers_["B"]->received[1].type, "SECOND");
+}
+
+TEST_F(NetworkTest, PingPongRoundTrip) {
+  ASSERT_TRUE(net_->Send(Msg("A", "B", "PING")).ok());
+  net_->RunUntilQuiescent();
+  ASSERT_EQ(peers_["A"]->received.size(), 1u);
+  EXPECT_EQ(peers_["A"]->received[0].type, "PONG");
+}
+
+TEST_F(NetworkTest, SendToDisconnectedFailsFast) {
+  ASSERT_TRUE(net_->Disconnect("B").ok());
+  auto sent = net_->Send(Msg("A", "B", "HELLO"));
+  EXPECT_EQ(sent.status().code(), StatusCode::kPeerDisconnected);
+  EXPECT_EQ(net_->stats().sends_failed, 1);
+}
+
+TEST_F(NetworkTest, InFlightMessageToDisconnectingPeerIsDropped) {
+  net_->SetLatency(10, 0);
+  ASSERT_TRUE(net_->Send(Msg("A", "B", "HELLO")).ok());
+  net_->DisconnectAt(5, "B");
+  net_->RunUntilQuiescent();
+  EXPECT_TRUE(peers_["B"]->received.empty());
+  EXPECT_EQ(net_->stats().messages_dropped, 1);
+}
+
+TEST_F(NetworkTest, DisconnectedPeerCannotSend) {
+  ASSERT_TRUE(net_->Disconnect("A").ok());
+  auto sent = net_->Send(Msg("A", "B", "HELLO"));
+  EXPECT_FALSE(sent.ok());
+}
+
+TEST_F(NetworkTest, ReconnectRestoresDelivery) {
+  ASSERT_TRUE(net_->Disconnect("B").ok());
+  ASSERT_TRUE(net_->Reconnect("B").ok());
+  ASSERT_TRUE(net_->Send(Msg("A", "B", "HELLO")).ok());
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(peers_["B"]->received.size(), 1u);
+}
+
+TEST_F(NetworkTest, SuperPeerCannotDisconnect) {
+  auto super = std::make_unique<EchoPeer>("S", /*super=*/true);
+  net_->AddPeer(std::move(super));
+  Status s = net_->Disconnect("S");
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(net_->IsConnected("S"));
+}
+
+TEST_F(NetworkTest, UnknownPeerErrors) {
+  EXPECT_EQ(net_->Send(Msg("A", "Z", "X")).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(net_->Disconnect("Z").code(), StatusCode::kNotFound);
+}
+
+TEST_F(NetworkTest, ScheduledFunctionsRunInOrder) {
+  std::vector<int> order;
+  net_->ScheduleAt(10, [&order](Network*) { order.push_back(2); });
+  net_->ScheduleAt(5, [&order](Network*) { order.push_back(1); });
+  net_->ScheduleAt(10, [&order](Network*) { order.push_back(3); });
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(net_->now(), 10);
+}
+
+TEST_F(NetworkTest, LatencyJitterIsBounded) {
+  net_->SetLatency(2, 3);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(net_->Send(Msg("A", "B", "N" + std::to_string(i))).ok());
+  }
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(peers_["B"]->received.size(), 20u);
+  EXPECT_LE(net_->now(), 5);  // base 2 + jitter <= 3
+}
+
+TEST_F(NetworkTest, TraceRecordsLifecycle) {
+  ASSERT_TRUE(net_->Send(Msg("A", "B", "HELLO")).ok());
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(trace_.CountKind("SEND"), 1);
+  EXPECT_EQ(trace_.CountKind("RECV"), 1);
+}
+
+TEST_F(NetworkTest, TraceExportsMermaidSequenceDiagram) {
+  ASSERT_TRUE(net_->Send(Msg("A", "B", "INVOKE")).ok());
+  net_->RunUntilQuiescent();
+  ASSERT_TRUE(net_->Disconnect("C").ok());
+  std::string mermaid = trace_.ToMermaid();
+  EXPECT_NE(mermaid.find("sequenceDiagram"), std::string::npos);
+  EXPECT_NE(mermaid.find("A->>B: INVOKE"), std::string::npos);
+  EXPECT_NE(mermaid.find("Note over C: DISCONNECT"), std::string::npos);
+}
+
+TEST_F(NetworkTest, KeepAliveDetectsDisconnection) {
+  KeepAliveMonitor monitor(net_.get(), "A", /*interval=*/10);
+  PeerId detected;
+  Tick detected_at = -1;
+  monitor.Watch("B", [&](const PeerId& peer, Tick when) {
+    detected = peer;
+    detected_at = when;
+  });
+  monitor.Start();
+  net_->DisconnectAt(25, "B");
+  // Keep the event queue alive past the detection point.
+  net_->ScheduleAt(100, [](Network*) {});
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(detected, "B");
+  // Detection happens at the first ping tick after the disconnect (t=30),
+  // i.e. latency bounded by the ping interval.
+  EXPECT_EQ(detected_at, 30);
+}
+
+TEST_F(NetworkTest, KeepAliveFiresOncePerTarget) {
+  KeepAliveMonitor monitor(net_.get(), "A", 5);
+  int fires = 0;
+  monitor.Watch("B", [&](const PeerId&, Tick) { ++fires; });
+  monitor.Start();
+  net_->DisconnectAt(7, "B");
+  net_->ScheduleAt(100, [](Network*) {});
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(NetworkTest, KeepAliveStopsWhenWatcherDisconnects) {
+  KeepAliveMonitor monitor(net_.get(), "A", 5);
+  int fires = 0;
+  monitor.Watch("B", [&](const PeerId&, Tick) { ++fires; });
+  monitor.Start();
+  ASSERT_TRUE(net_->Disconnect("A").ok());  // a dead peer pings nobody
+  net_->DisconnectAt(7, "B");
+  net_->ScheduleAt(100, [](Network*) {});
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST_F(NetworkTest, KeepAliveUnwatchCancels) {
+  KeepAliveMonitor monitor(net_.get(), "A", 5);
+  int fires = 0;
+  monitor.Watch("B", [&](const PeerId&, Tick) { ++fires; });
+  monitor.Start();
+  monitor.Unwatch("B");
+  net_->DisconnectAt(7, "B");
+  net_->ScheduleAt(50, [](Network*) {});
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(fires, 0);
+}
+
+}  // namespace
+}  // namespace axmlx::overlay

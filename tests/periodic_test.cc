@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "axml/periodic.h"
+#include "axml/service_call.h"
+#include "overlay/network.h"
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+#include "xml/edit.h"
+#include "xml/parser.h"
+
+namespace axmlx::axml {
+namespace {
+
+/// A ticker document: one periodic replace-mode call refreshing <now>.
+const char* kTickerXml =
+    "<Ticker>"
+    "<axml:sc mode=\"replace\" methodName=\"clock\" outputName=\"now\" "
+    "frequency=\"10\"><now>0</now></axml:sc>"
+    "<axml:sc mode=\"merge\" methodName=\"events\" outputName=\"event\" "
+    "frequency=\"25\"/>"
+    "<axml:sc mode=\"replace\" methodName=\"static\" outputName=\"s\"/>"
+    "</Ticker>";
+
+class PeriodicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<overlay::Network>(1, &trace_);
+    net_->AddPeer(std::make_unique<NullPeer>("H"));
+    auto doc = xml::Parse(kTickerXml);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    doc_ = std::move(doc).value();
+    invocations_ = 0;
+    invoker_ = [this](const ServiceRequest& request)
+        -> Result<ServiceResponse> {
+      ++invocations_;
+      ServiceResponse response;
+      std::string body = request.method_name == "clock"
+                             ? "<r><now>" + std::to_string(net_->now()) +
+                                   "</now></r>"
+                             : "<r><event>e</event></r>";
+      auto frag = xml::Parse(body);
+      if (!frag.ok()) return frag.status();
+      response.fragment = std::move(frag).value();
+      return response;
+    };
+  }
+
+  class NullPeer : public overlay::PeerNode {
+   public:
+    explicit NullPeer(overlay::PeerId id)
+        : overlay::PeerNode(std::move(id), false) {}
+    void OnMessage(const overlay::Message&, overlay::Network*) override {}
+  };
+
+  Trace trace_;
+  std::unique_ptr<overlay::Network> net_;
+  std::unique_ptr<xml::Document> doc_;
+  ServiceInvoker invoker_;
+  int invocations_ = 0;
+  xml::EditLog log_;
+};
+
+TEST_F(PeriodicTest, ArmsOnlyPeriodicCalls) {
+  PeriodicRefresher refresher(doc_.get(), invoker_, &log_, net_.get(), "H");
+  EXPECT_EQ(refresher.Start(doc_->root()), 2);  // "static" has no frequency
+}
+
+TEST_F(PeriodicTest, ReplaceModeRefreshesAtFrequency) {
+  PeriodicRefresher refresher(doc_.get(), invoker_, &log_, net_.get(), "H");
+  refresher.Start(doc_->root());
+  net_->RunUntil(55);
+  // clock fires at t=10,20,30,40,50; events at t=25,50.
+  EXPECT_EQ(refresher.refreshes_performed(), 7);
+  // The latest clock value replaced the old one.
+  auto calls = FindServiceCalls(*doc_, doc_->root());
+  auto results = ResultChildren(*doc_, calls[0]);
+  ASSERT_EQ(results.size(), 1u);  // replace keeps exactly one
+  EXPECT_EQ(doc_->TextContent(results[0]), "50");
+  refresher.Stop();
+  net_->RunUntil(200);
+  EXPECT_EQ(refresher.refreshes_performed(), 7);
+}
+
+TEST_F(PeriodicTest, MergeModeAccumulates) {
+  PeriodicRefresher refresher(doc_.get(), invoker_, &log_, net_.get(), "H");
+  refresher.Start(doc_->root());
+  net_->RunUntil(80);  // events at 25, 50, 75
+  auto calls = FindServiceCalls(*doc_, doc_->root());
+  EXPECT_EQ(ResultChildren(*doc_, calls[1]).size(), 3u);
+}
+
+TEST_F(PeriodicTest, RefreshesAreCompensable) {
+  auto snapshot = doc_->Clone();
+  PeriodicRefresher refresher(doc_.get(), invoker_, &log_, net_.get(), "H");
+  refresher.Start(doc_->root());
+  net_->RunUntil(60);
+  refresher.Stop();
+  EXPECT_FALSE(xml::Document::Equals(*doc_, *snapshot));
+  ASSERT_TRUE(xml::RollbackAll(doc_.get(), log_).ok());
+  EXPECT_TRUE(xml::Document::Equals(*doc_, *snapshot));
+}
+
+TEST_F(PeriodicTest, DisconnectedOwnerStopsRefreshing) {
+  PeriodicRefresher refresher(doc_.get(), invoker_, &log_, net_.get(), "H");
+  refresher.Start(doc_->root());
+  net_->DisconnectAt(15, "H");
+  net_->ScheduleAt(100, [](overlay::Network*) {});
+  net_->RunUntilQuiescent();
+  // Only the t=10 clock tick happened before the disconnect.
+  EXPECT_EQ(refresher.refreshes_performed(), 1);
+}
+
+}  // namespace
+}  // namespace axmlx::axml
+
+namespace axmlx::repo {
+namespace {
+
+TEST(TxnTimeout, UndetectedLossDecidesByDeadline) {
+  // The stuck scenario from txn_test, with the origin-side deadline armed:
+  // the transaction aborts (and rolls back) instead of hanging.
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.duration = 20;
+  options.peer_options.txn_timeout = 100;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  repo.network().DisconnectAt(5, "AP5");
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->decided);
+  EXPECT_EQ(outcome->status.code(), StatusCode::kAborted);
+  EXPECT_GE(outcome->duration, 100);
+  // Connected peers rolled back.
+  for (const char* id : {"AP1", "AP2", "AP3", "AP4", "AP6"}) {
+    xml::Document* doc =
+        repo.FindPeer(id)->repository().GetDocument(ScenarioDocName(id));
+    size_t entries = 0;
+    doc->Walk(doc->root(), [&entries](const xml::Node& n) {
+      if (n.is_element() && n.name == "entry") ++entries;
+      return true;
+    });
+    EXPECT_EQ(entries, 0u) << id;
+  }
+}
+
+TEST(TxnTimeout, DoesNotFireOnHealthyTransactions) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.duration = 10;
+  options.peer_options.txn_timeout = 1000;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->status.ok());
+  EXPECT_LT(outcome->duration, 100);
+}
+
+}  // namespace
+}  // namespace axmlx::repo

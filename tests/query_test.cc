@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "query/eval.h"
+#include "query/parser.h"
+#include "tests/test_data.h"
+#include "xml/builder.h"
+
+namespace axmlx::query {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+TEST(QueryParser, ParsesPaperDeleteLocation) {
+  auto q = ParseQuery(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Federer;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->var, "p");
+  EXPECT_EQ(q->doc_name, "ATPList");
+  ASSERT_EQ(q->selects.size(), 1u);
+  ASSERT_EQ(q->selects[0].steps.size(), 1u);
+  EXPECT_EQ(q->selects[0].steps[0].name, "citizenship");
+  ASSERT_EQ(q->source.steps.size(), 1u);
+  EXPECT_EQ(q->source.steps[0].axis, Step::Axis::kDescendant);
+  EXPECT_EQ(q->source.steps[0].name, "player");
+  ASSERT_NE(q->where, nullptr);
+  EXPECT_EQ(q->where->kind, Predicate::Kind::kCompare);
+  EXPECT_EQ(q->where->literal, "Federer");
+}
+
+TEST(QueryParser, ParsesMultipleSelectsAndParentStep) {
+  auto q = ParseQuery(
+      "Select p/citizenship/.., p/points from p in ATPList//player");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->selects.size(), 2u);
+  EXPECT_EQ(q->selects[0].steps[1].axis, Step::Axis::kParent);
+}
+
+TEST(QueryParser, ParsesBooleanPredicates) {
+  auto q = ParseQuery(
+      "Select p/a from p in D//x where p/b = 1 and (p/c != 2 or not p/d > 3)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->where->kind, Predicate::Kind::kAnd);
+}
+
+TEST(QueryParser, ParsesQuotedLiteralsAndComparisons) {
+  auto q = ParseQuery(
+      "Select p/a from p in D//x where p/name = \"Roger Federer\" "
+      "and p/points >= 400");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->where->left->literal, "Roger Federer");
+  EXPECT_EQ(q->where->right->op, CompareOp::kGe);
+}
+
+TEST(QueryParser, RoundTripsThroughToString) {
+  const char* text =
+      "Select p/citizenship, p/grandslamswon from p in ATPList//player "
+      "where p/name/lastname = Federer";
+  auto q = ParseQuery(text);
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseQuery(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q2.status() << " input: " << q->ToString();
+  EXPECT_EQ(q2->ToString(), q->ToString());
+}
+
+TEST(QueryParser, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("Select from p in D//x").ok());
+  EXPECT_FALSE(ParseQuery("Select p/a from p").ok());
+  EXPECT_FALSE(ParseQuery("Select q/a from p in D//x").ok());  // wrong var
+  EXPECT_FALSE(ParseQuery("Select p/a from p in D//x where p/b =").ok());
+  EXPECT_FALSE(ParseQuery("Select p/a from p in D//x trailing").ok());
+}
+
+TEST(QueryParser, MentionedNamesCoverSelectsAndWhere) {
+  auto q = ParseQuery(
+      "Select p/citizenship, p/points from p in ATPList//player "
+      "where p/name/lastname = Federer");
+  ASSERT_TRUE(q.ok());
+  std::vector<std::string> names = q->MentionedNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "points"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "lastname"), names.end());
+}
+
+// --- Evaluation ------------------------------------------------------------
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { doc_ = testing::MakeAtpList(); }
+
+  std::vector<NodeId> Run(const std::string& text) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    auto result = EvaluateQuery(*doc_, *q);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result->AllSelected();
+  }
+
+  std::unique_ptr<Document> doc_;
+};
+
+TEST_F(EvalTest, SelectsCitizenshipOfFederer) {
+  auto nodes = Run(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Federer");
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(doc_->TextContent(nodes[0]), "Swiss");
+}
+
+TEST_F(EvalTest, DescendantAxisFindsAllPlayers) {
+  auto q = ParseQuery("Select p/citizenship from p in ATPList//player");
+  ASSERT_TRUE(q.ok());
+  auto bindings = EvaluateBindings(*doc_, *q);
+  ASSERT_TRUE(bindings.ok());
+  EXPECT_EQ(bindings->size(), 2u);
+}
+
+TEST_F(EvalTest, WherePredicateFilters) {
+  auto nodes = Run(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Nadal");
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(doc_->TextContent(nodes[0]), "Spanish");
+}
+
+TEST_F(EvalTest, NumericComparison) {
+  auto nodes = Run(
+      "Select p/name from p in ATPList//player where p/points >= 400");
+  // Federer's points (475) live inside the getPoints service call — visible
+  // through service-call transparency.
+  ASSERT_EQ(nodes.size(), 1u);
+}
+
+TEST_F(EvalTest, ServiceCallResultsAreTransparentlyVisible) {
+  // points is physically a child of <axml:sc> but logically of <player>.
+  auto nodes = Run(
+      "Select p/points from p in ATPList//player "
+      "where p/name/lastname = Federer");
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(doc_->TextContent(nodes[0]), "475");
+}
+
+TEST_F(EvalTest, MergedResultsAllVisible) {
+  auto nodes = Run(
+      "Select p/grandslamswon from p in ATPList//player "
+      "where p/name/lastname = Federer");
+  EXPECT_EQ(nodes.size(), 2u);  // 2003 and 2004 rows
+}
+
+TEST_F(EvalTest, ParamsAreInvisibleToQueries) {
+  // axml:value "Roger Federer" inside params must not be reachable.
+  auto nodes = Run("Select p/axml:value from p in ATPList//player");
+  EXPECT_TRUE(nodes.empty());
+  auto sc = Run("Select p/axml:sc from p in ATPList//player");
+  EXPECT_TRUE(sc.empty());  // the sc element itself is transparent
+}
+
+TEST_F(EvalTest, ParentStepEscapesServiceCall) {
+  // citizenship/.. is the player element (the paper's compensating-insert
+  // location); points/.. must also be the player, not the axml:sc.
+  auto q = ParseQuery(
+      "Select p/points/.. from p in ATPList//player "
+      "where p/name/lastname = Federer");
+  ASSERT_TRUE(q.ok());
+  auto result = EvaluateQuery(*doc_, *q);
+  ASSERT_TRUE(result.ok());
+  auto nodes = result->AllSelected();
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(doc_->Find(nodes[0])->name, "player");
+}
+
+TEST_F(EvalTest, WildcardStep) {
+  auto nodes = Run(
+      "Select p/name/* from p in ATPList//player "
+      "where p/name/lastname = Federer");
+  EXPECT_EQ(nodes.size(), 2u);  // firstname, lastname
+}
+
+TEST_F(EvalTest, DocNameMismatchIsError) {
+  auto q = ParseQuery("Select p/a from p in WrongDoc//player");
+  ASSERT_TRUE(q.ok());
+  auto result = EvaluateQuery(*doc_, *q);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  auto relaxed = EvaluateQuery(*doc_, *q, /*check_doc_name=*/false);
+  EXPECT_TRUE(relaxed.ok());
+}
+
+TEST_F(EvalTest, DescendantSelectStep) {
+  auto nodes = Run(
+      "Select p//lastname from p in ATPList//player where p/rank = 0");
+  EXPECT_TRUE(nodes.empty());  // rank is an attribute, not an element
+  nodes = Run("Select p//lastname from p in ATPList//player");
+  EXPECT_EQ(nodes.size(), 2u);
+}
+
+TEST_F(EvalTest, AttributePredicateSelectsByRank) {
+  // `p/@rank = 1` tests the player element's own attribute.
+  auto nodes = Run(
+      "Select p/name/lastname from p in ATPList//player where p/@rank = 1");
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(doc_->TextContent(nodes[0]), "Federer");
+  nodes = Run(
+      "Select p/name/lastname from p in ATPList//player where p/@rank > 1");
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(doc_->TextContent(nodes[0]), "Nadal");
+}
+
+TEST_F(EvalTest, AttributePredicateOnDescendantPath) {
+  // grandslamswon rows carry a year attribute (inside a service call —
+  // transparency applies to attribute predicates too).
+  auto nodes = Run(
+      "Select p/name/lastname from p in ATPList//player "
+      "where p/grandslamswon/@year = 2003");
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(doc_->TextContent(nodes[0]), "Federer");
+  nodes = Run(
+      "Select p/name/lastname from p in ATPList//player "
+      "where p/grandslamswon/@year = 1999");
+  EXPECT_TRUE(nodes.empty());
+}
+
+TEST_F(EvalTest, MissingAttributeNeverMatches) {
+  auto nodes = Run(
+      "Select p/name from p in ATPList//player where p/@bogus = 1");
+  EXPECT_TRUE(nodes.empty());
+  // != on a missing attribute is also false (the paper's location language
+  // tests values, not existence).
+  nodes = Run(
+      "Select p/name from p in ATPList//player where p/@bogus != 1");
+  EXPECT_TRUE(nodes.empty());
+}
+
+TEST(QueryParserAttr, AttributeStepsParseAndRoundTrip) {
+  auto q = ParseQuery(
+      "Select p/name from p in ATPList//player "
+      "where p/@rank = 1 and p/grandslamswon/@year >= 2003");
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto again = ParseQuery(q->ToString());
+  ASSERT_TRUE(again.ok()) << again.status() << "\n" << q->ToString();
+  EXPECT_EQ(again->ToString(), q->ToString());
+  // Attribute names don't drive materialization.
+  auto names = q->MentionedNames();
+  EXPECT_EQ(std::find(names.begin(), names.end(), "rank"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "grandslamswon"),
+            names.end());
+}
+
+TEST(QueryParserAttr, RejectsDanglingAt) {
+  EXPECT_FALSE(ParseQuery("Select p/a from p in D//x where p/@ = 1").ok());
+}
+
+// Reference check: a brute-force evaluator over a plain (non-AXML) tree
+// must agree with the engine for child/descendant steps.
+TEST(EvalReference, AgreesWithNaiveWalkOnPlainTrees) {
+  Document doc("lib");
+  for (int i = 0; i < 3; ++i) {
+    NodeId shelf = xml::AddElement(&doc, doc.root(), "shelf");
+    for (int j = 0; j < 4; ++j) {
+      NodeId book = xml::AddElement(&doc, shelf, "book");
+      xml::AddTextElement(&doc, book, "id",
+                          std::to_string(i * 4 + j));
+    }
+  }
+  auto q = ParseQuery("Select b/id from b in lib//book");
+  ASSERT_TRUE(q.ok());
+  auto result = EvaluateQuery(doc, *q);
+  ASSERT_TRUE(result.ok());
+  // Naive reference: every <id> under every <book>, document order.
+  std::vector<NodeId> expected;
+  doc.Walk(doc.root(), [&](const xml::Node& n) {
+    if (n.is_element() && n.name == "id") expected.push_back(n.id);
+    return true;
+  });
+  EXPECT_EQ(result->AllSelected(), expected);
+}
+
+}  // namespace
+}  // namespace axmlx::query

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+
+namespace axmlx::repo {
+namespace {
+
+const std::vector<overlay::PeerId> kFig1Peers = {"AP1", "AP2", "AP3",
+                                                 "AP4", "AP5", "AP6"};
+
+/// Counts <entry> work rows in the document named for `doc_owner` (defaults
+/// to `id` itself) hosted at peer `id` — replicas host the original peer's
+/// document under its original name.
+size_t LogEntries(AxmlRepository* repo, const overlay::PeerId& id,
+                  const overlay::PeerId& doc_owner = "") {
+  xml::Document* doc = repo->FindPeer(id)->repository().GetDocument(
+      ScenarioDocName(doc_owner.empty() ? id : doc_owner));
+  if (doc == nullptr) return 0;
+  size_t count = 0;
+  doc->Walk(doc->root(), [&count](const xml::Node& n) {
+    if (n.is_element() && n.name == "entry") ++count;
+    return true;
+  });
+  return count;
+}
+
+TEST(NestedRecovery, ForwardRecoveryAtAp3AbsorbsTheFault) {
+  // §3.2 step 3: AP3 recovers using the fault handlers defined for the
+  // embedded call S5 — the transaction commits, and only the failed
+  // subtree's work (AP5, AP6) is undone: "undo only as much as required".
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.s5_fault_probability = 1.0;
+  options.s5_handler_at_ap3 = true;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(outcome->status.ok()) << outcome->status;
+  EXPECT_EQ(repo.FindPeer("AP3")->stats().forward_recoveries, 1);
+  // The failed subtree rolled back...
+  EXPECT_EQ(LogEntries(&repo, "AP5"), 0u);
+  EXPECT_EQ(LogEntries(&repo, "AP6"), 0u);
+  // ...while everyone else's work survived.
+  EXPECT_EQ(LogEntries(&repo, "AP1"), 2u);
+  EXPECT_EQ(LogEntries(&repo, "AP2"), 2u);
+  EXPECT_EQ(LogEntries(&repo, "AP3"), 2u);
+  EXPECT_EQ(LogEntries(&repo, "AP4"), 2u);
+}
+
+TEST(NestedRecovery, BackwardThenForwardAtAp1) {
+  // No handler at AP3: the abort propagates one level (AP3's subtree rolls
+  // back, including AP4), then AP1's handler for S3 absorbs it (§3.2 step
+  // 4 with recovery at the next level).
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.s5_fault_probability = 1.0;
+  options.s3_handler_at_ap1 = true;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->status.ok()) << outcome->status;
+  EXPECT_EQ(repo.FindPeer("AP1")->stats().forward_recoveries, 1);
+  EXPECT_EQ(LogEntries(&repo, "AP3"), 0u);
+  EXPECT_EQ(LogEntries(&repo, "AP4"), 0u);
+  EXPECT_EQ(LogEntries(&repo, "AP5"), 0u);
+  EXPECT_EQ(LogEntries(&repo, "AP6"), 0u);
+  EXPECT_EQ(LogEntries(&repo, "AP1"), 2u);
+  EXPECT_EQ(LogEntries(&repo, "AP2"), 2u);
+}
+
+TEST(NestedRecovery, HandlersDisabledFallBackToFullAbort) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.s5_fault_probability = 1.0;
+  options.s5_handler_at_ap3 = true;
+  options.peer_options.use_fault_handlers = false;  // ablation switch
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->status.code(), StatusCode::kAborted);
+  for (const overlay::PeerId& id : kFig1Peers) {
+    EXPECT_EQ(LogEntries(&repo, id), 0u) << id;
+  }
+}
+
+TEST(NestedRecovery, RetryOnReplicaAfterDisconnection) {
+  // AP5 disconnects mid-transaction; AP3 detects it via keep-alive and its
+  // handler retries S5 on the replica AP5R ("retrying the invocation using
+  // a replicated peer", §3.2). The transaction commits.
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.duration = 30;
+  options.add_replicas = true;
+  options.handlers_retry_on_replica = true;
+  options.s5_handler_at_ap3 = true;
+  options.peer_options.keepalive_interval = 10;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  repo.network().DisconnectAt(8, "AP5");
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(outcome->status.ok()) << outcome->status;
+  EXPECT_EQ(repo.FindPeer("AP3")->stats().retries, 1);
+  // The replica (and through it AP6) did the work.
+  EXPECT_EQ(LogEntries(&repo, "AP5R", "AP5"), 2u);
+  EXPECT_EQ(LogEntries(&repo, "AP6"), 2u);
+}
+
+TEST(NestedRecovery, RetrySamePeerAfterTransientFault) {
+  // S5 faults once with a plain retry handler (no replica): the second
+  // invocation on the same peer succeeds.
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  // Replace AP5's S5 with a service that faults exactly once.
+  service::Repository& ap5 = repo.FindPeer("AP5")->repository();
+  service::ServiceDefinition s5 = *ap5.FindService("S5");
+  s5.fault_probability = 0.5;  // seeded: first draw faults, later succeeds
+  s5.fault_after_subcalls = false;
+  ap5.PutService(s5);
+  // Attach a retry handler to AP3's S5 edge.
+  service::Repository& ap3 = repo.FindPeer("AP3")->repository();
+  service::ServiceDefinition s3 = *ap3.FindService("S3");
+  for (auto& sub : s3.subcalls) {
+    if (sub.service == "S5") {
+      axml::FaultHandler handler;
+      handler.has_retry = true;
+      handler.retry.times = 5;
+      handler.retry.wait = 2;
+      sub.handlers.push_back(handler);
+    }
+  }
+  ap3.PutService(s3);
+  // Try seeds until we see at least one fault followed by success.
+  bool exercised = false;
+  for (uint64_t attempt = 0; attempt < 8 && !exercised; ++attempt) {
+    AxmlRepository fresh(attempt + 2);
+    ScenarioOptions opts2;
+    opts2.seed = attempt * 977 + 13;
+    ASSERT_TRUE(BuildFigureOne(&fresh, opts2).ok());
+    service::Repository& r5 = fresh.FindPeer("AP5")->repository();
+    service::ServiceDefinition def5 = *r5.FindService("S5");
+    def5.fault_probability = 0.5;
+    def5.fault_after_subcalls = false;
+    r5.PutService(def5);
+    service::Repository& r3 = fresh.FindPeer("AP3")->repository();
+    service::ServiceDefinition def3 = *r3.FindService("S3");
+    for (auto& sub : def3.subcalls) {
+      if (sub.service == "S5") {
+        axml::FaultHandler handler;
+        handler.has_retry = true;
+        handler.retry.times = 5;
+        handler.retry.wait = 2;
+        sub.handlers.push_back(handler);
+      }
+    }
+    r3.PutService(def3);
+    auto outcome = fresh.RunTransaction("AP1", kTxnName, "S1");
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->status.ok()) << outcome->status;
+    if (fresh.FindPeer("AP3")->stats().retries > 0) exercised = true;
+  }
+  EXPECT_TRUE(exercised) << "no seed exercised the retry path";
+}
+
+TEST(NestedRecovery, RetriesExhaustedPropagateAbort) {
+  // Handler retries once on a replica whose service also faults: the
+  // failure ultimately propagates and the transaction aborts.
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.s5_fault_probability = 1.0;
+  options.add_replicas = true;
+  options.handlers_retry_on_replica = true;
+  options.s5_handler_at_ap3 = true;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  // The replica's S5 definition was cloned including fault injection, so
+  // the retry faults too.
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->status.code(), StatusCode::kAborted);
+  EXPECT_EQ(repo.FindPeer("AP3")->stats().retries, 1);
+}
+
+TEST(PeerIndependent, CompensationSurvivesChildDisconnection) {
+  // AP6 completes its work, returns results, and then disconnects. AP5
+  // faults afterwards. Peer-dependent compensation cannot reach AP6 — but
+  // peer-independent compensation runs AP6's compensating service on the
+  // replica AP6R, which holds the replicated document (§3.2, §3.3).
+  for (bool peer_independent : {false, true}) {
+    AxmlRepository repo(1);
+    ScenarioOptions options;
+    options.s5_fault_probability = 1.0;
+    options.add_replicas = true;
+    options.duration = 10;
+    options.peer_options.peer_independent = peer_independent;
+    ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+    // Timeline (latency 1, duration 10): AP6 begins at t=3, completes and
+    // sends its RESULT at t=13; AP5 completes at t=14 and its pending fault
+    // strikes. Disconnect AP6 at t=14 — after its results are out, before
+    // any abort can reach it.
+    repo.network().DisconnectAt(14, "AP6");
+    auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->status.code(), StatusCode::kAborted);
+
+    // AP6R's replica document is the system's surviving copy of AP6's data.
+    xml::Document* replica_doc =
+        repo.FindPeer("AP6R")->repository().GetDocument(ScenarioDocName("AP6"));
+    size_t entries = 0;
+    replica_doc->Walk(replica_doc->root(), [&entries](const xml::Node& n) {
+      if (n.is_element() && n.name == "entry") ++entries;
+      return true;
+    });
+    if (peer_independent) {
+      // The shipped plan ran on the replica: effects undone.
+      EXPECT_EQ(entries, 0u) << "peer-independent mode must clean the replica";
+      EXPECT_EQ(repo.FindPeer("AP6R")->stats().compensations_executed, 1);
+    } else {
+      // Peer-dependent: AP6's work is stranded on the replica.
+      EXPECT_EQ(entries, 2u);
+      EXPECT_GT(repo.FindPeer("AP5")->stats().compensation_failures +
+                    repo.FindPeer("AP3")->stats().compensation_failures +
+                    repo.FindPeer("AP1")->stats().compensation_failures,
+                0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace axmlx::repo

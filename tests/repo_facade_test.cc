@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compensation/compensation.h"
+#include "ops/executor.h"
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+#include "tests/test_data.h"
+
+namespace axmlx::repo {
+namespace {
+
+TEST(Facade, AddPeerRejectsDuplicates) {
+  AxmlRepository repo(1);
+  AxmlRepository::PeerConfig config;
+  config.id = "P";
+  ASSERT_TRUE(repo.AddPeer(config).ok());
+  EXPECT_EQ(repo.AddPeer(config).status().code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(repo.FindPeer("P"), nullptr);
+  EXPECT_EQ(repo.FindPeer("Q"), nullptr);
+}
+
+TEST(Facade, HostDocumentValidates) {
+  AxmlRepository repo(1);
+  AxmlRepository::PeerConfig config;
+  config.id = "P";
+  ASSERT_TRUE(repo.AddPeer(config).ok());
+  EXPECT_EQ(repo.HostDocument("Q", "<X/>").code(), StatusCode::kNotFound);
+  EXPECT_EQ(repo.HostDocument("P", "<broken").code(),
+            StatusCode::kParseError);
+  EXPECT_TRUE(repo.HostDocument("P", "<X><y/></X>").ok());
+  EXPECT_EQ(repo.HostDocument("P", "<X/>").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Facade, RunTransactionValidatesOrigin) {
+  AxmlRepository repo(1);
+  EXPECT_EQ(repo.RunTransaction("ghost", "T", "S").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Facade, SetReplicaClonesDocumentsAndServices) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  AxmlRepository::PeerConfig replica;
+  replica.id = "AP6X";
+  ASSERT_TRUE(repo.AddPeer(replica).ok());
+  ASSERT_TRUE(repo.SetReplica("AP6", "AP6X").ok());
+  txn::AxmlPeer* r = repo.FindPeer("AP6X");
+  EXPECT_NE(r->repository().GetDocument(ScenarioDocName("AP6")), nullptr);
+  EXPECT_NE(r->repository().FindService("S6"), nullptr);
+  EXPECT_EQ(repo.directory().ReplicaOf("AP6"), "AP6X");
+  EXPECT_EQ(repo.SetReplica("ghost", "AP6X").code(), StatusCode::kNotFound);
+}
+
+TEST(LocalTransaction, GuardsAfterResolution) {
+  auto doc = axmlx::testing::MakeAtpList();
+  LocalTransaction txn(doc.get(), nullptr);
+  EXPECT_TRUE(txn.active());
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_FALSE(txn.active());
+  EXPECT_FALSE(txn.Commit().ok());
+  EXPECT_FALSE(txn.Abort().ok());
+  EXPECT_FALSE(txn.Execute(ops::MakeQuery(
+                       "Select p/name from p in ATPList//player"))
+                   .ok());
+}
+
+TEST(LocalTransaction, PendingCompensationPreview) {
+  auto doc = axmlx::testing::MakeAtpList();
+  LocalTransaction txn(doc.get(), nullptr);
+  EXPECT_TRUE(txn.PendingCompensation().empty());
+  ASSERT_TRUE(txn.Execute(ops::MakeDelete(
+                      "Select p/citizenship from p in ATPList//player"))
+                  .ok());
+  comp::CompensationPlan plan = txn.PendingCompensation();
+  EXPECT_EQ(plan.operations.size(), 2u);  // two players' citizenship
+  EXPECT_EQ(txn.NodesAffected(), 4u);
+  ASSERT_TRUE(txn.Abort().ok());
+}
+
+TEST(WireFormat, ShippedCompensationPlansExecuteFromXml) {
+  // Peer-independent compensation over the wire: a plan rendered to the
+  // paper's <action> XML, parsed back, still restores the document
+  // structurally (ids degrade gracefully to fresh-id inserts).
+  auto doc = axmlx::testing::MakeAtpList();
+  auto snapshot = doc->Clone();
+  ops::Executor executor(doc.get(), axmlx::testing::AtpInvoker());
+  auto effect = executor.Execute(ops::MakeDelete(
+      "Select p/citizenship from p in ATPList//player "
+      "where p/name/lastname = Federer"));
+  ASSERT_TRUE(effect.ok());
+  comp::CompensationPlan plan =
+      comp::CompensationBuilder::ForEffect(*effect);
+  // Serialize the plan to XML (what a real wire would carry) and rebuild.
+  comp::CompensationPlan rebuilt;
+  for (const std::string& xml_text :
+       comp::CompensationBuilder::ToPaperXml(plan)) {
+    auto op = ops::Operation::FromXml(xml_text);
+    ASSERT_TRUE(op.ok()) << op.status() << "\n" << xml_text;
+    rebuilt.operations.push_back(std::move(op).value());
+  }
+  ASSERT_TRUE(comp::ApplyPlan(&executor, rebuilt).ok());
+  EXPECT_TRUE(xml::Document::Equals(*doc, *snapshot));
+}
+
+TEST(Scenarios, UniformTreeBuildsExpectedPeerCount) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  overlay::PeerId origin;
+  ASSERT_TRUE(BuildUniformTree(&repo, options, 3, 2, &origin).ok());
+  EXPECT_EQ(origin, "P");
+  // depth 3, fanout 2: 1 + 2 + 4 + 8 = 15 peers.
+  EXPECT_EQ(repo.network().peer_ids().size(), 15u);
+  auto chain = repo.directory().BuildChain("P", "S");
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->AllPeers().size(), 15u);
+  auto outcome = repo.RunTransaction("P", "T", "S");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->status.ok());
+}
+
+TEST(Scenarios, FigureTwoChainMatchesPaperNotation) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  ASSERT_TRUE(BuildFigureTwo(&repo, options).ok());
+  auto chain = repo.directory().BuildChain("AP1", "S1");
+  ASSERT_TRUE(chain.ok());
+  // The paper's list: [AP1* -> AP2 -> [AP3 -> AP6] || [AP4 -> AP5]].
+  EXPECT_EQ(chain->Serialize(),
+            "[AP1*:S1 -> [AP2:S2 -> [AP3:S3 -> [AP6:S6]] || "
+            "[AP4:S4 -> [AP5:S5]]]]");
+}
+
+}  // namespace
+}  // namespace axmlx::repo

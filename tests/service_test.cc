@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "baseline/locked_executor.h"
+#include "service/description.h"
+#include "xml/builder.h"
+#include "service/repository.h"
+#include "tests/test_data.h"
+#include "xml/parser.h"
+
+namespace axmlx::service {
+namespace {
+
+ServiceDefinition PointsService() {
+  ServiceDefinition def;
+  def.name = "getPoints";
+  def.document = "ATPList";
+  def.ops.push_back(ops::MakeQuery(
+      "Select p/points from p in ATPList//player "
+      "where p/name/lastname = \"${name}\""));
+  def.duration = 3;
+  return def;
+}
+
+TEST(Repository, HostsDocumentsAndServices) {
+  Repository repo;
+  ASSERT_TRUE(repo.AddDocument(testing::MakeAtpList()).ok());
+  EXPECT_NE(repo.GetDocument("ATPList"), nullptr);
+  EXPECT_EQ(repo.GetDocument("nope"), nullptr);
+  EXPECT_EQ(repo.AddDocument(testing::MakeAtpList()).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(repo.AddService(PointsService()).ok());
+  EXPECT_NE(repo.FindService("getPoints"), nullptr);
+  EXPECT_EQ(repo.AddService(PointsService()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(repo.ServiceNames().size(), 1u);
+  EXPECT_EQ(repo.DocumentNames().size(), 1u);
+}
+
+TEST(ServiceHost, QueryServiceReturnsSelectedCopies) {
+  Repository repo;
+  ASSERT_TRUE(repo.AddDocument(testing::MakeAtpList()).ok());
+  ASSERT_TRUE(repo.AddService(PointsService()).ok());
+  ServiceHost host(&repo, testing::AtpInvoker(), nullptr);
+  auto outcome = host.Invoke("getPoints", {{"name", "Federer"}});
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  // Result fragment holds a copy of the (freshly materialized) points node.
+  const xml::Document& frag = *outcome->result_fragment;
+  EXPECT_EQ(frag.TextContent(frag.root()), "890");
+  // The query's materialization produced a compensating-service definition.
+  EXPECT_FALSE(outcome->compensation.empty());
+  EXPECT_GT(outcome->nodes_affected, 0u);
+}
+
+TEST(ServiceHost, UpdateServiceIsAtomicOnFailure) {
+  Repository repo;
+  ASSERT_TRUE(repo.AddDocument(testing::MakeAtpList()).ok());
+  ServiceDefinition def;
+  def.name = "doubleWrite";
+  def.document = "ATPList";
+  def.ops.push_back(ops::MakeInsert(
+      "Select p from p in ATPList//player where p/name/lastname = Nadal",
+      "<first/>"));
+  def.ops.push_back(ops::MakeQuery("This is not a valid query"));
+  ASSERT_TRUE(repo.AddService(def).ok());
+  auto snapshot = repo.GetDocument("ATPList")->Clone();
+  ServiceHost host(&repo, nullptr, nullptr);
+  auto outcome = host.Invoke("doubleWrite", {});
+  EXPECT_FALSE(outcome.ok());
+  // The first op's insert was rolled back before reporting the fault.
+  EXPECT_TRUE(
+      xml::Document::Equals(*repo.GetDocument("ATPList"), *snapshot));
+}
+
+TEST(ServiceHost, UnknownServiceAndDocument) {
+  Repository repo;
+  ServiceHost host(&repo, nullptr, nullptr);
+  EXPECT_EQ(host.Invoke("nope", {}).status().code(), StatusCode::kNotFound);
+  ServiceDefinition def;
+  def.name = "orphan";
+  def.document = "Missing";
+  def.ops.push_back(ops::MakeQuery("Select d from d in Missing//x"));
+  ASSERT_TRUE(repo.AddService(def).ok());
+  EXPECT_EQ(host.Invoke("orphan", {}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(Description, CoversParamsOpsAndSubcalls) {
+  ServiceDefinition def = PointsService();
+  def.subcalls.push_back({"AP4", "S4", {axml::FaultHandler{}}, {}});
+  std::string xml_text = DescribeService(def);
+  auto parsed = xml::Parse(xml_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << xml_text;
+  const xml::Node* root = (*parsed)->Find((*parsed)->root());
+  EXPECT_EQ(root->name, "service");
+  EXPECT_EQ(*root->FindAttribute("name"), "getPoints");
+  EXPECT_NE(xml_text.find("<parameter name=\"name\"/>"), std::string::npos);
+  EXPECT_NE(xml_text.find("subcall peer=\"AP4\""), std::string::npos);
+  EXPECT_NE(xml_text.find("handlers=\"1\""), std::string::npos);
+}
+
+TEST(Description, RepositoryWideListing) {
+  Repository repo;
+  ASSERT_TRUE(repo.AddService(PointsService()).ok());
+  ServiceDefinition other;
+  other.name = "other";
+  ASSERT_TRUE(repo.AddService(other).ok());
+  std::string xml_text = DescribeRepository(repo, "AP2");
+  auto parsed = xml::Parse(xml_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ((*parsed)->Find((*parsed)->root())->children.size(), 2u);
+}
+
+TEST(Description, ReferencedParametersDeduplicated) {
+  ServiceDefinition def;
+  def.name = "s";
+  def.ops.push_back(ops::MakeInsert("Select d from d in D//x",
+                                    "<a who=\"${who}\">${who} ${ref}</a>"));
+  auto params = ReferencedParameters(def);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0], "who");
+  EXPECT_EQ(params[1], "ref");
+}
+
+}  // namespace
+}  // namespace axmlx::service
+
+namespace axmlx::baseline {
+namespace {
+
+class LockedExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = axmlx::testing::MakeAtpList();
+    executor_ = std::make_unique<LockedExecutor>(
+        doc_.get(), axmlx::testing::AtpInvoker(), &locks_);
+  }
+  std::unique_ptr<xml::Document> doc_;
+  PathLockManager locks_;
+  std::unique_ptr<LockedExecutor> executor_;
+};
+
+TEST_F(LockedExecutorTest, QueryTakesSharedLocksOnly) {
+  auto effect = executor_->Execute(
+      1, ops::MakeQuery("Select p/citizenship from p in ATPList//player "
+                        "where p/name/lastname = Federer"));
+  ASSERT_TRUE(effect.ok()) << effect.status();
+  // P locks were taken for the predicate and already released; only the
+  // S lock on the selected node remains.
+  EXPECT_GT(executor_->stats().p_locks_taken, 0);
+  EXPECT_EQ(locks_.HeldCount(), 1u);
+  // Another reader is fine; a writer on the same node conflicts.
+  auto reader = executor_->Execute(
+      2, ops::MakeQuery("Select p/citizenship from p in ATPList//player "
+                        "where p/name/lastname = Federer"));
+  EXPECT_TRUE(reader.ok());
+  auto writer = executor_->Execute(
+      3, ops::MakeReplace("Select p/citizenship from p in ATPList//player "
+                          "where p/name/lastname = Federer",
+                          "<citizenship>X</citizenship>"));
+  EXPECT_EQ(writer.status().code(), StatusCode::kConflict);
+}
+
+TEST_F(LockedExecutorTest, PredicateScansCollideWithWriters) {
+  auto w1 = executor_->Execute(
+      1, ops::MakeReplace("Select p/citizenship from p in ATPList//player "
+                          "where p/name/lastname = Nadal",
+                          "<citizenship>USA</citizenship>"));
+  ASSERT_TRUE(w1.ok()) << w1.status();
+  // Another location query's predicate must P-test *every* player — which
+  // collides with w1's X lock on Nadal's subtree even though the write
+  // targets Federer. Exactly the paper's point about lock-based protocols
+  // on "active" documents.
+  auto w2 = executor_->Execute(
+      2, ops::MakeReplace("Select p/name/firstname from p in ATPList//player "
+                          "where p/name/lastname = Federer",
+                          "<firstname>R</firstname>"));
+  EXPECT_EQ(w2.status().code(), StatusCode::kConflict);
+  // A direct-target write on a disjoint node (no predicate scan) is fine.
+  xml::NodeId federer_first = xml::FirstDescendantElement(
+      *doc_, doc_->root(), "firstname");
+  auto w3 = executor_->Execute(3, ops::MakeDeleteById(federer_first));
+  EXPECT_TRUE(w3.ok()) << w3.status();
+  // Releasing the writers lets the conflicting writer in.
+  executor_->Release(1);
+  executor_->Release(3);
+  auto w4 = executor_->Execute(
+      4, ops::MakeInsert("Select p from p in ATPList//player "
+                         "where p/name/lastname = Nadal",
+                         "<tag/>"));
+  EXPECT_TRUE(w4.ok()) << w4.status();
+}
+
+TEST_F(LockedExecutorTest, PLocksBlockOnlyWriters) {
+  // Hold an X lock on a player subtree; a query whose predicate must test
+  // that player is denied its P lock — writers block readers under 2PL.
+  ASSERT_TRUE(locks_.TryLock(9, "/ATPList/player[1]", LockMode::kExclusive));
+  auto reader = executor_->Execute(
+      1, ops::MakeQuery("Select p/citizenship from p in ATPList//player "
+                        "where p/name/lastname = Nadal"));
+  EXPECT_EQ(reader.status().code(), StatusCode::kConflict);
+  EXPECT_GT(executor_->stats().conflicts, 0);
+  // After the failed attempt, no stray locks remain from txn 1.
+  locks_.ReleaseAll(9);
+  EXPECT_EQ(locks_.HeldCount(), 0u);
+}
+
+TEST_F(LockedExecutorTest, DirectTargetOpsLockTheirPath) {
+  xml::NodeId player =
+      xml::FirstDescendantElement(*doc_, doc_->root(), "player");
+  auto del = executor_->Execute(1, ops::MakeDeleteById(player));
+  ASSERT_TRUE(del.ok()) << del.status();
+  EXPECT_GE(locks_.HeldCount(), 1u);
+}
+
+}  // namespace
+}  // namespace axmlx::baseline

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "overlay/network.h"
+#include "overlay/stream.h"
+#include "recovery/chained_peer.h"
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+
+namespace axmlx::overlay {
+namespace {
+
+class SinkPeer : public PeerNode {
+ public:
+  explicit SinkPeer(PeerId id) : PeerNode(std::move(id), false) {}
+  void OnMessage(const Message& message, Network* /*net*/) override {
+    if (message.type == kStreamMessage) ++streams_received;
+    if (watcher != nullptr) watcher->OnStreamMessage(message);
+  }
+  int streams_received = 0;
+  StreamWatcher* watcher = nullptr;
+};
+
+class StreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<Network>(1, &trace_);
+    for (const char* id : {"A", "B"}) {
+      auto peer = std::make_unique<SinkPeer>(id);
+      peers_[id] = peer.get();
+      net_->AddPeer(std::move(peer));
+    }
+  }
+  Trace trace_;
+  std::unique_ptr<Network> net_;
+  std::map<std::string, SinkPeer*> peers_;
+};
+
+TEST_F(StreamTest, PublisherEmitsAtInterval) {
+  StreamPublisher pub(net_.get(), "A", "B", /*interval=*/10, "ticker");
+  pub.Start();
+  net_->RunUntil(55);
+  EXPECT_EQ(pub.messages_sent(), 5);
+  EXPECT_EQ(peers_["B"]->streams_received, 5);
+  pub.Stop();
+  net_->RunUntil(200);
+  EXPECT_EQ(pub.messages_sent(), 5);
+}
+
+TEST_F(StreamTest, DisconnectedPublisherGoesSilent) {
+  StreamPublisher pub(net_.get(), "A", "B", 10, "ticker");
+  pub.Start();
+  net_->DisconnectAt(25, "A");
+  net_->ScheduleAt(100, [](Network*) {});
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(pub.messages_sent(), 2);  // t=10, t=20; silent afterwards
+}
+
+TEST_F(StreamTest, WatcherDetectsSilence) {
+  StreamPublisher pub(net_.get(), "A", "B", 10, "ticker");
+  StreamWatcher watcher(net_.get(), "B", 10, /*grace=*/2);
+  peers_["B"]->watcher = &watcher;
+  PeerId silent_peer;
+  Tick detected_at = -1;
+  watcher.Expect("A", [&](const PeerId& from, Tick when) {
+    silent_peer = from;
+    detected_at = when;
+  });
+  pub.Start();
+  net_->DisconnectAt(35, "A");
+  net_->ScheduleAt(200, [](Network*) {});
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(silent_peer, "A");
+  // Last data arrived ~t=31; detection after 2 missed intervals, bounded by
+  // ~3 intervals.
+  EXPECT_GT(detected_at, 35);
+  EXPECT_LE(detected_at, 70);
+}
+
+TEST_F(StreamTest, WatcherStaysQuietWhileDataFlows) {
+  StreamPublisher pub(net_.get(), "A", "B", 10, "ticker");
+  StreamWatcher watcher(net_.get(), "B", 10, 2);
+  peers_["B"]->watcher = &watcher;
+  int fired = 0;
+  watcher.Expect("A", [&](const PeerId&, Tick) { ++fired; });
+  pub.Start();
+  net_->RunUntil(300);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(StreamTest, ForgetCancelsDetection) {
+  StreamPublisher pub(net_.get(), "A", "B", 10, "ticker");
+  StreamWatcher watcher(net_.get(), "B", 10, 2);
+  peers_["B"]->watcher = &watcher;
+  int fired = 0;
+  watcher.Expect("A", [&](const PeerId&, Tick) { ++fired; });
+  watcher.Forget("A");
+  net_->DisconnectAt(15, "A");
+  net_->ScheduleAt(150, [](Network*) {});
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace axmlx::overlay
+
+namespace axmlx::repo {
+namespace {
+
+// Case (d) with a *real* data stream: AP3 publishes to its sibling AP4
+// ("for data intensive applications, it is often the case that data is
+// passed directly between siblings"); AP4 detects the silence after AP3
+// disconnects and notifies AP3's parent and child from the chain.
+TEST(StreamCaseD, SiblingStreamSilenceTriggersRecovery) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.protocol = AxmlRepository::Protocol::kChained;
+  options.duration = 60;
+  options.add_replicas = true;
+  options.handlers_retry_on_replica = true;
+  options.peer_options.use_chaining = true;
+  ASSERT_TRUE(BuildFigureTwo(&repo, options).ok());
+
+  bool decided = false;
+  Status final_status;
+  txn::AxmlPeer* origin = repo.FindPeer("AP1");
+  ASSERT_TRUE(origin
+                  ->Submit(&repo.network(), kTxnName, "S1", {},
+                           [&](const std::string&, Status s) {
+                             decided = true;
+                             final_status = std::move(s);
+                           })
+                  .ok());
+  repo.network().RunUntil(4);
+
+  auto* ap3 = dynamic_cast<recovery::ChainedPeer*>(repo.FindPeer("AP3"));
+  auto* ap4 = dynamic_cast<recovery::ChainedPeer*>(repo.FindPeer("AP4"));
+  ASSERT_NE(ap3, nullptr);
+  ASSERT_NE(ap4, nullptr);
+  size_t pub = ap3->PublishStream(&repo.network(), "AP4", /*interval=*/5,
+                                  "S3-data");
+  ap4->WatchSiblingStream(&repo.network(), kTxnName, "AP3", 5, /*grace=*/2);
+
+  repo.network().DisconnectAt(22, "AP3");
+  repo.network().RunUntilQuiescent();
+
+  EXPECT_TRUE(decided);
+  EXPECT_TRUE(final_status.ok()) << final_status;
+  // The stream actually flowed before the disconnect...
+  EXPECT_GE(ap3->StreamMessagesSent(pub), 2);
+  // ...and the silence produced the two chain notifications.
+  EXPECT_EQ(ap4->stats().notifications_sent, 2);
+  // AP6's work survived recovery.
+  xml::Document* doc =
+      repo.FindPeer("AP6")->repository().GetDocument(ScenarioDocName("AP6"));
+  size_t entries = 0;
+  doc->Walk(doc->root(), [&entries](const xml::Node& n) {
+    if (n.is_element() && n.name == "entry") ++entries;
+    return true;
+  });
+  EXPECT_EQ(entries, 2u);
+}
+
+}  // namespace
+}  // namespace axmlx::repo

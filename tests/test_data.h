@@ -1,0 +1,88 @@
+#ifndef AXMLX_TESTS_TEST_DATA_H_
+#define AXMLX_TESTS_TEST_DATA_H_
+
+#include <memory>
+#include <string>
+
+#include "axml/materializer.h"
+#include "xml/document.h"
+#include "xml/parser.h"
+
+namespace axmlx::testing {
+
+/// The paper's running example document (§3.1, ATPList.xml): a tennis
+/// ranking list with two embedded service calls on the first player —
+/// `getPoints` (mode replace, current result `<points>475</points>`) and
+/// `getGrandSlamsWonbyYear` (mode merge, two existing result rows).
+inline const char* kAtpListXml = R"(<?xml version="1.0" encoding="UTF-8"?>
+<ATPList date="18042005">
+  <player rank="1">
+    <name>
+      <firstname>Roger</firstname>
+      <lastname>Federer</lastname>
+    </name>
+    <citizenship>Swiss</citizenship>
+    <axml:sc mode="replace" serviceNameSpace="getPoints" serviceURL="ap2"
+             methodName="getPoints" outputName="points">
+      <axml:params>
+        <axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param>
+      </axml:params>
+      <points>475</points>
+    </axml:sc>
+    <axml:sc mode="merge" serviceNameSpace="getGrandSlamsWonbyYear"
+             serviceURL="ap3" methodName="getGrandSlamsWonbyYear"
+             outputName="grandslamswon">
+      <axml:params>
+        <axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param>
+        <axml:param name="year"><axml:value>$year (external value)</axml:value></axml:param>
+      </axml:params>
+      <grandslamswon year="2003">A, W</grandslamswon>
+      <grandslamswon year="2004">A, U</grandslamswon>
+    </axml:sc>
+  </player>
+  <player rank="2">
+    <name>
+      <firstname>Rafael</firstname>
+      <lastname>Nadal</lastname>
+    </name>
+    <citizenship>Spanish</citizenship>
+  </player>
+</ATPList>
+)";
+
+/// Parses kAtpListXml; aborts on parse failure.
+inline std::unique_ptr<xml::Document> MakeAtpList() {
+  auto doc = xml::Parse(kAtpListXml);
+  if (!doc.ok()) std::abort();
+  return std::move(doc).value();
+}
+
+/// A deterministic invoker for the ATP services:
+/// - getPoints returns `<points>890</points>` (the paper's Query B result);
+/// - getGrandSlamsWonbyYear returns
+///   `<grandslamswon year="2005">A, F</grandslamswon>` (Query A result);
+/// - anything else faults with "UnknownService".
+inline axml::ServiceInvoker AtpInvoker() {
+  return [](const axml::ServiceRequest& req)
+             -> Result<axml::ServiceResponse> {
+    axml::ServiceResponse resp;
+    if (req.method_name == "getPoints") {
+      auto frag = xml::Parse("<r><points>890</points></r>");
+      if (!frag.ok()) return frag.status();
+      resp.fragment = std::move(frag).value();
+      return resp;
+    }
+    if (req.method_name == "getGrandSlamsWonbyYear") {
+      auto frag =
+          xml::Parse("<r><grandslamswon year=\"2005\">A, F</grandslamswon></r>");
+      if (!frag.ok()) return frag.status();
+      resp.fragment = std::move(frag).value();
+      return resp;
+    }
+    return ServiceFault("UnknownService: " + req.method_name);
+  };
+}
+
+}  // namespace axmlx::testing
+
+#endif  // AXMLX_TESTS_TEST_DATA_H_

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+#include "service/repository.h"
+#include "txn/payload.h"
+
+namespace axmlx::repo {
+namespace {
+
+const std::vector<overlay::PeerId> kFig1Peers = {"AP1", "AP2", "AP3",
+                                                 "AP4", "AP5", "AP6"};
+
+std::map<overlay::PeerId, std::string> SnapshotDocs(
+    AxmlRepository* repo, const std::vector<overlay::PeerId>& peers) {
+  std::map<overlay::PeerId, std::string> out;
+  for (const overlay::PeerId& id : peers) {
+    const xml::Document* doc =
+        repo->FindPeer(id)->repository().GetDocument(ScenarioDocName(id));
+    out[id] = doc->Serialize();
+  }
+  return out;
+}
+
+size_t LogEntries(AxmlRepository* repo, const overlay::PeerId& id) {
+  xml::Document* doc =
+      repo->FindPeer(id)->repository().GetDocument(ScenarioDocName(id));
+  size_t count = 0;
+  doc->Walk(doc->root(), [&count](const xml::Node& n) {
+    if (n.is_element() && n.name == "entry") ++count;
+    return true;
+  });
+  return count;
+}
+
+TEST(Payload, ParamsRoundTrip) {
+  txn::Params params = {{"name", "Roger Federer"}, {"year", "2005"}};
+  auto decoded = txn::DecodeParams(txn::EncodeParams(params));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, params);
+  auto empty = txn::DecodeParams("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(Directory, BuildChainMatchesFigureOne) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  auto chain = repo.directory().BuildChain("AP1", "S1");
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  EXPECT_EQ(chain->ParentOf("AP6"), "AP5");
+  EXPECT_EQ(chain->ParentOf("AP5"), "AP3");
+  EXPECT_EQ(chain->ChildrenOf("AP1"),
+            (std::vector<overlay::PeerId>{"AP2", "AP3"}));
+  EXPECT_TRUE(chain->Contains("AP4"));
+  // AP1 is the scenario's super peer.
+  EXPECT_EQ(chain->NearestSuperPeer("AP6"), "AP1");
+}
+
+TEST(Directory, UnknownServiceFailsChainBuild) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  EXPECT_FALSE(repo.directory().BuildChain("AP1", "NoSuch").ok());
+}
+
+TEST(TxnProtocol, FigureOneCommitsWithoutFailure) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.ops_per_service = 2;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_TRUE(outcome->decided);
+  EXPECT_TRUE(outcome->status.ok()) << outcome->status;
+  // Every peer performed and kept its work.
+  for (const overlay::PeerId& id : kFig1Peers) {
+    EXPECT_EQ(LogEntries(&repo, id), 2u) << id;
+    EXPECT_FALSE(repo.FindPeer(id)->HasContext(kTxnName)) << id;
+  }
+  EXPECT_EQ(repo.FindPeer("AP1")->stats().txns_committed, 1);
+  // Commit released 5 participants.
+  EXPECT_EQ(repo.trace().CountKind("SEND"), outcome->messages);
+}
+
+TEST(TxnProtocol, FigureOneAbortRestoresEveryDocument) {
+  // The paper's Figure 1 failure with no fault handlers anywhere: the abort
+  // propagates to the origin and the whole transaction rolls back.
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.s5_fault_probability = 1.0;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  auto before = SnapshotDocs(&repo, kFig1Peers);
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_TRUE(outcome->decided);
+  EXPECT_EQ(outcome->status.code(), StatusCode::kAborted);
+  // Relaxed atomicity: every peer's document is back to its initial state.
+  auto after = SnapshotDocs(&repo, kFig1Peers);
+  for (const overlay::PeerId& id : kFig1Peers) {
+    EXPECT_EQ(after[id], before[id]) << "peer " << id << " not restored";
+    EXPECT_FALSE(repo.FindPeer(id)->HasContext(kTxnName)) << id;
+  }
+  EXPECT_EQ(repo.FindPeer("AP1")->stats().txns_aborted, 1);
+}
+
+TEST(TxnProtocol, FigureOneAbortMessageFlowMatchesPaper) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.s5_fault_probability = 1.0;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  ASSERT_TRUE(outcome.ok());
+  // §3.2 step 1: AP5 sends "Abort TA" to AP6 (its invokee) and AP3 (its
+  // invoker) — 2 aborts.
+  EXPECT_EQ(repo.FindPeer("AP5")->stats().aborts_sent, 2);
+  // Step 4: AP3 sends aborts to AP4 and AP1 — 2 aborts.
+  EXPECT_EQ(repo.FindPeer("AP3")->stats().aborts_sent, 2);
+  // Origin AP1 aborts and tells AP2.
+  EXPECT_EQ(repo.FindPeer("AP1")->stats().aborts_sent, 1);
+  // AP6 and AP2 abort their contexts without propagating further.
+  EXPECT_EQ(repo.FindPeer("AP6")->stats().aborts_sent, 0);
+  EXPECT_EQ(repo.FindPeer("AP2")->stats().aborts_sent, 0);
+  EXPECT_EQ(repo.FindPeer("AP6")->stats().contexts_aborted, 1);
+}
+
+TEST(TxnProtocol, CompensationCostMatchesWorkDone) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.s5_fault_probability = 1.0;
+  options.ops_per_service = 3;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  ASSERT_TRUE(outcome.ok());
+  // Each service inserted 3 <entry>work</entry> pairs = 6 nodes; every peer
+  // that did work compensated exactly that much.
+  for (const overlay::PeerId& id : kFig1Peers) {
+    EXPECT_EQ(repo.FindPeer(id)->stats().nodes_compensated, 6u) << id;
+    EXPECT_EQ(repo.FindPeer(id)->stats().wasted_nodes, 6u) << id;
+  }
+}
+
+TEST(TxnProtocol, EarlyFaultAbortsBeforeChildren) {
+  // Fault before subcalls: AP5 rolls back its local work and AP6 is never
+  // invoked.
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.s5_fault_probability = 1.0;
+  options.s5_fault_after_subcalls = false;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->status.code(), StatusCode::kAborted);
+  EXPECT_EQ(repo.FindPeer("AP6")->stats().contexts_aborted, 0);
+  EXPECT_EQ(LogEntries(&repo, "AP6"), 0u);
+  // AP5 still compensated its partial local work.
+  EXPECT_GT(repo.FindPeer("AP5")->stats().nodes_compensated, 0u);
+}
+
+TEST(TxnProtocol, DuplicateSubmitRejected) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.duration = 50;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  txn::AxmlPeer* origin = repo.FindPeer("AP1");
+  ASSERT_TRUE(origin
+                  ->Submit(&repo.network(), kTxnName, "S1", {},
+                           [](const std::string&, Status) {})
+                  .ok());
+  Status dup = origin->Submit(&repo.network(), kTxnName, "S1", {},
+                              [](const std::string&, Status) {});
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TxnProtocol, TwoSequentialTransactionsBothCommit) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  auto t1 = repo.RunTransaction("AP1", "TA", "S1");
+  ASSERT_TRUE(t1.ok());
+  EXPECT_TRUE(t1->status.ok());
+  auto t2 = repo.RunTransaction("AP1", "TB", "S1");
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(t2->status.ok());
+  for (const overlay::PeerId& id : kFig1Peers) {
+    EXPECT_EQ(LogEntries(&repo, id), 4u) << id;  // 2 ops per txn
+  }
+}
+
+TEST(TxnProtocol, ConcurrentTransactionsInterleave) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.duration = 10;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  int decided = 0;
+  txn::AxmlPeer* origin = repo.FindPeer("AP1");
+  for (const char* name : {"T1", "T2", "T3"}) {
+    ASSERT_TRUE(origin
+                    ->Submit(&repo.network(), name, "S1", {},
+                             [&decided](const std::string&, Status s) {
+                               EXPECT_TRUE(s.ok()) << s;
+                               ++decided;
+                             })
+                    .ok());
+  }
+  repo.network().RunUntilQuiescent();
+  EXPECT_EQ(decided, 3);
+  EXPECT_EQ(LogEntries(&repo, "AP6"), 6u);
+}
+
+TEST(TxnProtocol, ParamsReachRemoteServices) {
+  AxmlRepository repo(1);
+  AxmlRepository::PeerConfig a{"A", false, AxmlRepository::Protocol::kBaseline,
+                               {}, 1};
+  AxmlRepository::PeerConfig b{"B", false, AxmlRepository::Protocol::kBaseline,
+                               {}, 2};
+  ASSERT_TRUE(repo.AddPeer(a).ok());
+  ASSERT_TRUE(repo.AddPeer(b).ok());
+  ASSERT_TRUE(repo.HostDocument("A", "<DataA><log/></DataA>").ok());
+  ASSERT_TRUE(repo.HostDocument("B", "<DataB><log/></DataB>").ok());
+  service::ServiceDefinition child;
+  child.name = "Record";
+  child.document = "DataB";
+  child.ops.push_back(ops::MakeInsert("Select d from d in DataB//log",
+                                      "<entry who=\"${who}\">x</entry>"));
+  ASSERT_TRUE(repo.HostService("B", std::move(child)).ok());
+  service::ServiceDefinition root;
+  root.name = "Root";
+  root.document = "DataA";
+  root.subcalls.push_back({"B", "Record", {}, {{"who", "federer"}}});
+  ASSERT_TRUE(repo.HostService("A", std::move(root)).ok());
+  auto outcome = repo.RunTransaction("A", "TP", "Root");
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(outcome->status.ok()) << outcome->status;
+  xml::Document* doc = repo.FindPeer("B")->repository().GetDocument("DataB");
+  bool found = false;
+  doc->Walk(doc->root(), [&found](const xml::Node& n) {
+    if (n.is_element() && n.name == "entry") {
+      const std::string* who = n.FindAttribute("who");
+      found = who != nullptr && *who == "federer";
+    }
+    return true;
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(TxnProtocol, PeerIndependentCompensationUsesPlans) {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.s5_fault_probability = 1.0;
+  options.peer_options.peer_independent = true;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  auto before = SnapshotDocs(&repo, kFig1Peers);
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->status.code(), StatusCode::kAborted);
+  auto after = SnapshotDocs(&repo, kFig1Peers);
+  for (const overlay::PeerId& id : kFig1Peers) {
+    EXPECT_EQ(after[id], before[id]) << "peer " << id << " not restored";
+  }
+  // AP6's rollback was driven by a shipped compensating-service definition,
+  // not by its own context: "the original peers do not even need to be
+  // aware that the services they are executing are, basically,
+  // compensating services" (§3.2).
+  EXPECT_EQ(repo.FindPeer("AP6")->stats().compensations_executed, 1);
+}
+
+TEST(TxnProtocol, StuckWithoutDetectionWhenChildDies) {
+  // A child disconnects mid-transaction and nobody watches: the transaction
+  // never decides (the paper's motivation for detection machinery, §3.3).
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.duration = 20;
+  ASSERT_TRUE(BuildFigureOne(&repo, options).ok());
+  repo.network().DisconnectAt(5, "AP5");
+  auto outcome = repo.RunTransaction("AP1", kTxnName, "S1");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->decided);
+  EXPECT_EQ(outcome->status.code(), StatusCode::kTimeout);
+}
+
+}  // namespace
+}  // namespace axmlx::repo

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chaining_reuse.dir/bench_chaining_reuse.cpp.o"
+  "CMakeFiles/bench_chaining_reuse.dir/bench_chaining_reuse.cpp.o.d"
+  "bench_chaining_reuse"
+  "bench_chaining_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chaining_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compensation_construction.dir/bench_compensation_construction.cpp.o"
+  "CMakeFiles/bench_compensation_construction.dir/bench_compensation_construction.cpp.o.d"
+  "bench_compensation_construction"
+  "bench_compensation_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compensation_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_nested_recovery.dir/bench_fig1_nested_recovery.cpp.o"
+  "CMakeFiles/bench_fig1_nested_recovery.dir/bench_fig1_nested_recovery.cpp.o.d"
+  "bench_fig1_nested_recovery"
+  "bench_fig1_nested_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_nested_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_disconnection.dir/bench_fig2_disconnection.cpp.o"
+  "CMakeFiles/bench_fig2_disconnection.dir/bench_fig2_disconnection.cpp.o.d"
+  "bench_fig2_disconnection"
+  "bench_fig2_disconnection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_disconnection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forward_vs_backward.dir/bench_forward_vs_backward.cpp.o"
+  "CMakeFiles/bench_forward_vs_backward.dir/bench_forward_vs_backward.cpp.o.d"
+  "bench_forward_vs_backward"
+  "bench_forward_vs_backward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forward_vs_backward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_peer_independent.dir/bench_peer_independent.cpp.o"
+  "CMakeFiles/bench_peer_independent.dir/bench_peer_independent.cpp.o.d"
+  "bench_peer_independent"
+  "bench_peer_independent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_peer_independent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

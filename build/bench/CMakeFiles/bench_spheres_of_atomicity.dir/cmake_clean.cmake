@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spheres_of_atomicity.dir/bench_spheres_of_atomicity.cpp.o"
+  "CMakeFiles/bench_spheres_of_atomicity.dir/bench_spheres_of_atomicity.cpp.o.d"
+  "bench_spheres_of_atomicity"
+  "bench_spheres_of_atomicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spheres_of_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

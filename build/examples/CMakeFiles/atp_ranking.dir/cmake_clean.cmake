@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atp_ranking.dir/atp_ranking.cpp.o"
+  "CMakeFiles/atp_ranking.dir/atp_ranking.cpp.o.d"
+  "atp_ranking"
+  "atp_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atp_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

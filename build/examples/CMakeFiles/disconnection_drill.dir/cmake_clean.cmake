@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disconnection_drill.dir/disconnection_drill.cpp.o"
+  "CMakeFiles/disconnection_drill.dir/disconnection_drill.cpp.o.d"
+  "disconnection_drill"
+  "disconnection_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disconnection_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

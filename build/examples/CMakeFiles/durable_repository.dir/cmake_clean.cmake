@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_repository.dir/durable_repository.cpp.o"
+  "CMakeFiles/durable_repository.dir/durable_repository.cpp.o.d"
+  "durable_repository"
+  "durable_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

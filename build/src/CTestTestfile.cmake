@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("query")
+subdirs("axml")
+subdirs("ops")
+subdirs("compensation")
+subdirs("overlay")
+subdirs("service")
+subdirs("chain")
+subdirs("txn")
+subdirs("recovery")
+subdirs("baseline")
+subdirs("repo")
+subdirs("storage")

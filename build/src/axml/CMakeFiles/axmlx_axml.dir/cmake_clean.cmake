@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_axml.dir/materializer.cc.o"
+  "CMakeFiles/axmlx_axml.dir/materializer.cc.o.d"
+  "CMakeFiles/axmlx_axml.dir/periodic.cc.o"
+  "CMakeFiles/axmlx_axml.dir/periodic.cc.o.d"
+  "CMakeFiles/axmlx_axml.dir/service_call.cc.o"
+  "CMakeFiles/axmlx_axml.dir/service_call.cc.o.d"
+  "libaxmlx_axml.a"
+  "libaxmlx_axml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmlx_axml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

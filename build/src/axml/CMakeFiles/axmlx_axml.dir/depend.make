@@ -1,0 +1,2 @@
+# Empty dependencies file for axmlx_axml.
+# This may be replaced when dependencies are built.

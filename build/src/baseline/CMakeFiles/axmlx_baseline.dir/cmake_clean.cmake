@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_baseline.dir/lock_sim.cc.o"
+  "CMakeFiles/axmlx_baseline.dir/lock_sim.cc.o.d"
+  "CMakeFiles/axmlx_baseline.dir/locked_executor.cc.o"
+  "CMakeFiles/axmlx_baseline.dir/locked_executor.cc.o.d"
+  "CMakeFiles/axmlx_baseline.dir/xpath_lock.cc.o"
+  "CMakeFiles/axmlx_baseline.dir/xpath_lock.cc.o.d"
+  "libaxmlx_baseline.a"
+  "libaxmlx_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmlx_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_chain.dir/active_chain.cc.o"
+  "CMakeFiles/axmlx_chain.dir/active_chain.cc.o.d"
+  "libaxmlx_chain.a"
+  "libaxmlx_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmlx_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

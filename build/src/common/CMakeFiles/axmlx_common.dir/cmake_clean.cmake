@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_common.dir/status.cc.o"
+  "CMakeFiles/axmlx_common.dir/status.cc.o.d"
+  "CMakeFiles/axmlx_common.dir/strings.cc.o"
+  "CMakeFiles/axmlx_common.dir/strings.cc.o.d"
+  "CMakeFiles/axmlx_common.dir/trace.cc.o"
+  "CMakeFiles/axmlx_common.dir/trace.cc.o.d"
+  "libaxmlx_common.a"
+  "libaxmlx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmlx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

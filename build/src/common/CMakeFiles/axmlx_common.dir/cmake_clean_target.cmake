@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaxmlx_common.a"
+)

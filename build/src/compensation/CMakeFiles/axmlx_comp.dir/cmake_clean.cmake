@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_comp.dir/compensation.cc.o"
+  "CMakeFiles/axmlx_comp.dir/compensation.cc.o.d"
+  "libaxmlx_comp.a"
+  "libaxmlx_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmlx_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

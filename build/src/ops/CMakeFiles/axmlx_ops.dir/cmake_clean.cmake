@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_ops.dir/executor.cc.o"
+  "CMakeFiles/axmlx_ops.dir/executor.cc.o.d"
+  "CMakeFiles/axmlx_ops.dir/operation.cc.o"
+  "CMakeFiles/axmlx_ops.dir/operation.cc.o.d"
+  "libaxmlx_ops.a"
+  "libaxmlx_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmlx_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/keepalive.cc" "src/overlay/CMakeFiles/axmlx_overlay.dir/keepalive.cc.o" "gcc" "src/overlay/CMakeFiles/axmlx_overlay.dir/keepalive.cc.o.d"
+  "/root/repo/src/overlay/network.cc" "src/overlay/CMakeFiles/axmlx_overlay.dir/network.cc.o" "gcc" "src/overlay/CMakeFiles/axmlx_overlay.dir/network.cc.o.d"
+  "/root/repo/src/overlay/stream.cc" "src/overlay/CMakeFiles/axmlx_overlay.dir/stream.cc.o" "gcc" "src/overlay/CMakeFiles/axmlx_overlay.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/axmlx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

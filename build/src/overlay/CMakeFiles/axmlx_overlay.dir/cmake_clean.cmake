@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_overlay.dir/keepalive.cc.o"
+  "CMakeFiles/axmlx_overlay.dir/keepalive.cc.o.d"
+  "CMakeFiles/axmlx_overlay.dir/network.cc.o"
+  "CMakeFiles/axmlx_overlay.dir/network.cc.o.d"
+  "CMakeFiles/axmlx_overlay.dir/stream.cc.o"
+  "CMakeFiles/axmlx_overlay.dir/stream.cc.o.d"
+  "libaxmlx_overlay.a"
+  "libaxmlx_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmlx_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_query.dir/ast.cc.o"
+  "CMakeFiles/axmlx_query.dir/ast.cc.o.d"
+  "CMakeFiles/axmlx_query.dir/eval.cc.o"
+  "CMakeFiles/axmlx_query.dir/eval.cc.o.d"
+  "CMakeFiles/axmlx_query.dir/parser.cc.o"
+  "CMakeFiles/axmlx_query.dir/parser.cc.o.d"
+  "libaxmlx_query.a"
+  "libaxmlx_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmlx_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

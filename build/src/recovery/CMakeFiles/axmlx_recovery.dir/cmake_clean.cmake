@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_recovery.dir/chained_peer.cc.o"
+  "CMakeFiles/axmlx_recovery.dir/chained_peer.cc.o.d"
+  "CMakeFiles/axmlx_recovery.dir/recovering_peer.cc.o"
+  "CMakeFiles/axmlx_recovery.dir/recovering_peer.cc.o.d"
+  "libaxmlx_recovery.a"
+  "libaxmlx_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmlx_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_repo.dir/axml_repository.cc.o"
+  "CMakeFiles/axmlx_repo.dir/axml_repository.cc.o.d"
+  "CMakeFiles/axmlx_repo.dir/scenarios.cc.o"
+  "CMakeFiles/axmlx_repo.dir/scenarios.cc.o.d"
+  "libaxmlx_repo.a"
+  "libaxmlx_repo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmlx_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_service.dir/description.cc.o"
+  "CMakeFiles/axmlx_service.dir/description.cc.o.d"
+  "CMakeFiles/axmlx_service.dir/repository.cc.o"
+  "CMakeFiles/axmlx_service.dir/repository.cc.o.d"
+  "libaxmlx_service.a"
+  "libaxmlx_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmlx_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

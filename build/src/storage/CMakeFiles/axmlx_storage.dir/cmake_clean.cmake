@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_storage.dir/durable_store.cc.o"
+  "CMakeFiles/axmlx_storage.dir/durable_store.cc.o.d"
+  "libaxmlx_storage.a"
+  "libaxmlx_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmlx_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

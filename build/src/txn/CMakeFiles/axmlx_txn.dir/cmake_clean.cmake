@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_txn.dir/directory.cc.o"
+  "CMakeFiles/axmlx_txn.dir/directory.cc.o.d"
+  "CMakeFiles/axmlx_txn.dir/payload.cc.o"
+  "CMakeFiles/axmlx_txn.dir/payload.cc.o.d"
+  "CMakeFiles/axmlx_txn.dir/peer.cc.o"
+  "CMakeFiles/axmlx_txn.dir/peer.cc.o.d"
+  "libaxmlx_txn.a"
+  "libaxmlx_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmlx_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

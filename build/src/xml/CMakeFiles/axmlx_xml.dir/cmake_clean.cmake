@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_xml.dir/builder.cc.o"
+  "CMakeFiles/axmlx_xml.dir/builder.cc.o.d"
+  "CMakeFiles/axmlx_xml.dir/diff.cc.o"
+  "CMakeFiles/axmlx_xml.dir/diff.cc.o.d"
+  "CMakeFiles/axmlx_xml.dir/document.cc.o"
+  "CMakeFiles/axmlx_xml.dir/document.cc.o.d"
+  "CMakeFiles/axmlx_xml.dir/edit.cc.o"
+  "CMakeFiles/axmlx_xml.dir/edit.cc.o.d"
+  "CMakeFiles/axmlx_xml.dir/parser.cc.o"
+  "CMakeFiles/axmlx_xml.dir/parser.cc.o.d"
+  "libaxmlx_xml.a"
+  "libaxmlx_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmlx_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axml_test.dir/axml_test.cc.o"
+  "CMakeFiles/axml_test.dir/axml_test.cc.o.d"
+  "axml_test"
+  "axml_test.pdb"
+  "axml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disconnection_test.dir/disconnection_test.cc.o"
+  "CMakeFiles/disconnection_test.dir/disconnection_test.cc.o.d"
+  "disconnection_test"
+  "disconnection_test.pdb"
+  "disconnection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disconnection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

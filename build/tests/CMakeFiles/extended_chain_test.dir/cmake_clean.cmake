@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_chain_test.dir/extended_chain_test.cc.o"
+  "CMakeFiles/extended_chain_test.dir/extended_chain_test.cc.o.d"
+  "extended_chain_test"
+  "extended_chain_test.pdb"
+  "extended_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locking_peer_test.dir/locking_peer_test.cc.o"
+  "CMakeFiles/locking_peer_test.dir/locking_peer_test.cc.o.d"
+  "locking_peer_test"
+  "locking_peer_test.pdb"
+  "locking_peer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locking_peer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repo_facade_test.dir/repo_facade_test.cc.o"
+  "CMakeFiles/repo_facade_test.dir/repo_facade_test.cc.o.d"
+  "repo_facade_test"
+  "repo_facade_test.pdb"
+  "repo_facade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repo_facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

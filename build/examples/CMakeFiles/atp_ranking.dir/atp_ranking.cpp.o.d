@@ -227,5 +227,7 @@ examples/CMakeFiles/atp_ranking.dir/atp_ranking.cpp.o: \
  /root/repo/src/baseline/locked_executor.h \
  /root/repo/src/baseline/xpath_lock.h /root/repo/src/txn/directory.h \
  /root/repo/src/chain/active_chain.h /root/repo/src/txn/peer.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/overlay/keepalive.h /root/repo/src/txn/payload.h \
  /root/repo/src/repo/scenarios.h /root/repo/src/xml/parser.h

@@ -221,6 +221,8 @@ examples/CMakeFiles/disconnection_drill.dir/disconnection_drill.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/trace.h \
  /root/repo/src/overlay/stream.h \
  /root/repo/src/recovery/recovering_peer.h /root/repo/src/txn/peer.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/axml/materializer.h /root/repo/src/axml/service_call.h \
  /root/repo/src/xml/document.h /root/repo/src/xml/node.h \
  /root/repo/src/query/ast.h /root/repo/src/xml/edit.h \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/fault_injection.cc" "src/overlay/CMakeFiles/axmlx_overlay.dir/fault_injection.cc.o" "gcc" "src/overlay/CMakeFiles/axmlx_overlay.dir/fault_injection.cc.o.d"
   "/root/repo/src/overlay/keepalive.cc" "src/overlay/CMakeFiles/axmlx_overlay.dir/keepalive.cc.o" "gcc" "src/overlay/CMakeFiles/axmlx_overlay.dir/keepalive.cc.o.d"
   "/root/repo/src/overlay/network.cc" "src/overlay/CMakeFiles/axmlx_overlay.dir/network.cc.o" "gcc" "src/overlay/CMakeFiles/axmlx_overlay.dir/network.cc.o.d"
   "/root/repo/src/overlay/stream.cc" "src/overlay/CMakeFiles/axmlx_overlay.dir/stream.cc.o" "gcc" "src/overlay/CMakeFiles/axmlx_overlay.dir/stream.cc.o.d"

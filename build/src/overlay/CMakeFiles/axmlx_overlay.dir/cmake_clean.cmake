@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/axmlx_overlay.dir/fault_injection.cc.o"
+  "CMakeFiles/axmlx_overlay.dir/fault_injection.cc.o.d"
   "CMakeFiles/axmlx_overlay.dir/keepalive.cc.o"
   "CMakeFiles/axmlx_overlay.dir/keepalive.cc.o.d"
   "CMakeFiles/axmlx_overlay.dir/network.cc.o"

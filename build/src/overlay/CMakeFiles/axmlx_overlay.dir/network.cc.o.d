@@ -215,4 +215,8 @@ src/overlay/CMakeFiles/axmlx_overlay.dir/network.cc.o: \
  /root/repo/src/common/rng.h /root/repo/src/common/status.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/trace.h
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/trace.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/overlay/fault_injection.h

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/repo/axml_repository.cc" "src/repo/CMakeFiles/axmlx_repo.dir/axml_repository.cc.o" "gcc" "src/repo/CMakeFiles/axmlx_repo.dir/axml_repository.cc.o.d"
+  "/root/repo/src/repo/fault_drill.cc" "src/repo/CMakeFiles/axmlx_repo.dir/fault_drill.cc.o" "gcc" "src/repo/CMakeFiles/axmlx_repo.dir/fault_drill.cc.o.d"
   "/root/repo/src/repo/scenarios.cc" "src/repo/CMakeFiles/axmlx_repo.dir/scenarios.cc.o" "gcc" "src/repo/CMakeFiles/axmlx_repo.dir/scenarios.cc.o.d"
   )
 
@@ -16,14 +17,15 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/txn/CMakeFiles/axmlx_txn.dir/DependInfo.cmake"
   "/root/repo/build/src/recovery/CMakeFiles/axmlx_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/axmlx_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/service/CMakeFiles/axmlx_service.dir/DependInfo.cmake"
-  "/root/repo/build/src/compensation/CMakeFiles/axmlx_comp.dir/DependInfo.cmake"
   "/root/repo/build/src/baseline/CMakeFiles/axmlx_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/axmlx_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/compensation/CMakeFiles/axmlx_comp.dir/DependInfo.cmake"
   "/root/repo/build/src/ops/CMakeFiles/axmlx_ops.dir/DependInfo.cmake"
   "/root/repo/build/src/axml/CMakeFiles/axmlx_axml.dir/DependInfo.cmake"
   "/root/repo/build/src/query/CMakeFiles/axmlx_query.dir/DependInfo.cmake"
   "/root/repo/build/src/xml/CMakeFiles/axmlx_xml.dir/DependInfo.cmake"
-  "/root/repo/build/src/chain/CMakeFiles/axmlx_chain.dir/DependInfo.cmake"
   "/root/repo/build/src/overlay/CMakeFiles/axmlx_overlay.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/axmlx_common.dir/DependInfo.cmake"
   )

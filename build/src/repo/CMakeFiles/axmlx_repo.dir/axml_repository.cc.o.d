@@ -228,6 +228,8 @@ src/repo/CMakeFiles/axmlx_repo.dir/axml_repository.cc.o: \
  /root/repo/src/baseline/locked_executor.h \
  /root/repo/src/baseline/xpath_lock.h /root/repo/src/txn/directory.h \
  /root/repo/src/chain/active_chain.h /root/repo/src/txn/peer.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/overlay/keepalive.h /root/repo/src/txn/payload.h \
  /root/repo/src/recovery/chained_peer.h /root/repo/src/overlay/stream.h \
  /root/repo/src/recovery/recovering_peer.h /root/repo/src/xml/diff.h \

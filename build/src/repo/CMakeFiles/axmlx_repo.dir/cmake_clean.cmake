@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/axmlx_repo.dir/axml_repository.cc.o"
   "CMakeFiles/axmlx_repo.dir/axml_repository.cc.o.d"
+  "CMakeFiles/axmlx_repo.dir/fault_drill.cc.o"
+  "CMakeFiles/axmlx_repo.dir/fault_drill.cc.o.d"
   "CMakeFiles/axmlx_repo.dir/scenarios.cc.o"
   "CMakeFiles/axmlx_repo.dir/scenarios.cc.o.d"
   "libaxmlx_repo.a"

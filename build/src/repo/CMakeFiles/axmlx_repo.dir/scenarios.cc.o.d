@@ -229,4 +229,6 @@ src/repo/CMakeFiles/axmlx_repo.dir/scenarios.cc.o: \
  /root/repo/src/baseline/locked_executor.h \
  /root/repo/src/baseline/xpath_lock.h /root/repo/src/txn/directory.h \
  /root/repo/src/chain/active_chain.h /root/repo/src/txn/peer.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/overlay/keepalive.h /root/repo/src/txn/payload.h

@@ -209,20 +209,21 @@ src/txn/CMakeFiles/axmlx_txn.dir/peer.cc.o: /root/repo/src/txn/peer.cc \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/axml/materializer.h /root/repo/src/axml/service_call.h \
  /root/repo/src/common/status.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/optional \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/xml/document.h /root/repo/src/xml/node.h \
- /root/repo/src/query/ast.h /root/repo/src/xml/edit.h \
- /usr/include/c++/12/cstddef /root/repo/src/baseline/xpath_lock.h \
- /root/repo/src/chain/active_chain.h /root/repo/src/overlay/network.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/rng.h \
- /root/repo/src/common/trace.h /root/repo/src/overlay/keepalive.h \
- /root/repo/src/service/repository.h \
+ /usr/include/assert.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/xml/document.h \
+ /root/repo/src/xml/node.h /root/repo/src/query/ast.h \
+ /root/repo/src/xml/edit.h /usr/include/c++/12/cstddef \
+ /root/repo/src/baseline/xpath_lock.h /root/repo/src/chain/active_chain.h \
+ /root/repo/src/overlay/network.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/common/rng.h /root/repo/src/common/trace.h \
+ /root/repo/src/overlay/keepalive.h /root/repo/src/service/repository.h \
  /root/repo/src/baseline/locked_executor.h /root/repo/src/ops/executor.h \
  /root/repo/src/ops/operation.h /root/repo/src/query/eval.h \
  /root/repo/src/compensation/compensation.h /root/repo/src/ops/op_log.h \

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_drill_test.dir/fault_drill_test.cc.o"
+  "CMakeFiles/fault_drill_test.dir/fault_drill_test.cc.o.d"
+  "fault_drill_test"
+  "fault_drill_test.pdb"
+  "fault_drill_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_drill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

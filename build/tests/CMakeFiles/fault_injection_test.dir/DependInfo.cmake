@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/fault_injection_test.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/fault_injection_test.dir/fault_injection_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/repo/CMakeFiles/axmlx_repo.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/axmlx_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/axmlx_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/axmlx_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/axmlx_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/axmlx_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/axmlx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compensation/CMakeFiles/axmlx_comp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/axmlx_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/axml/CMakeFiles/axmlx_axml.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/axmlx_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/axmlx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/axmlx_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/axmlx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

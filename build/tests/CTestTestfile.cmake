@@ -26,3 +26,5 @@ include("/root/repo/build/tests/diff_test[1]_include.cmake")
 include("/root/repo/build/tests/common_test[1]_include.cmake")
 include("/root/repo/build/tests/periodic_test[1]_include.cmake")
 include("/root/repo/build/tests/repo_facade_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_drill_test[1]_include.cmake")

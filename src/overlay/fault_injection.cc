@@ -1,0 +1,81 @@
+#include "overlay/fault_injection.h"
+
+#include <utility>
+
+namespace axmlx::overlay {
+
+void FaultPlan::Partition(std::vector<std::vector<PeerId>> groups) {
+  side_.clear();
+  partitioned_ = false;
+  int group_index = 0;
+  for (const std::vector<PeerId>& group : groups) {
+    for (const PeerId& id : group) side_[id] = group_index;
+    ++group_index;
+  }
+  partitioned_ = group_index > 0;
+}
+
+bool FaultPlan::SameSide(const PeerId& a, const PeerId& b) const {
+  if (!partitioned_) return true;
+  if (a.empty() || b.empty()) return true;  // the harness reaches everything
+  // Unlisted peers share one implicit group (index -1).
+  auto side_of = [this](const PeerId& id) {
+    auto it = side_.find(id);
+    return it == side_.end() ? -1 : it->second;
+  };
+  return side_of(a) == side_of(b);
+}
+
+const FaultRule* FaultPlan::Match(const Message& message) const {
+  for (const FaultRule& rule : rules_) {
+    if (!rule.from.empty() && rule.from != message.from) continue;
+    if (!rule.to.empty() && rule.to != message.to) continue;
+    if (!rule.type.empty() && rule.type != message.type) continue;
+    return &rule;
+  }
+  return nullptr;
+}
+
+std::vector<FaultPlan::Delivery> FaultPlan::Decide(
+    const Message& message, const std::vector<PeerId>& all_peers) {
+  std::vector<Delivery> deliveries;
+  const FaultRule* rule = Match(message);
+  if (rule == nullptr) {
+    deliveries.push_back({});
+    return deliveries;
+  }
+  if (rule->drop_rate > 0 && rng_.Bernoulli(rule->drop_rate)) {
+    ++stats_.dropped;
+    return deliveries;  // empty: lost in transit
+  }
+  int copies = 1;
+  if (rule->dup_rate > 0 && rng_.Bernoulli(rule->dup_rate)) {
+    ++stats_.duplicated;
+    copies = 2;
+  }
+  for (int i = 0; i < copies; ++i) {
+    Delivery d;
+    if (rule->delay_max > 0) {
+      d.extra_delay = static_cast<Tick>(
+          rng_.Uniform(static_cast<uint64_t>(rule->delay_max) + 1));
+      if (d.extra_delay > 0) ++stats_.delayed;
+    }
+    if (rule->misroute_rate > 0 && rng_.Bernoulli(rule->misroute_rate) &&
+        all_peers.size() > 1) {
+      // Deliver to a uniformly random peer other than the intended one.
+      PeerId wrong;
+      for (int attempt = 0; attempt < 8 && wrong.empty(); ++attempt) {
+        const PeerId& pick = all_peers[rng_.Uniform(all_peers.size())];
+        if (pick != message.to) wrong = pick;
+      }
+      if (!wrong.empty()) {
+        d.redirect_to = std::move(wrong);
+        ++stats_.misrouted;
+      }
+    }
+    deliveries.push_back(std::move(d));
+  }
+  return deliveries;
+}
+
+}  // namespace axmlx::overlay

@@ -1,0 +1,100 @@
+#ifndef AXMLX_OVERLAY_FAULT_INJECTION_H_
+#define AXMLX_OVERLAY_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "overlay/network.h"
+
+namespace axmlx::overlay {
+
+/// One link-level fault rule. Empty `from`/`to`/`type` act as wildcards;
+/// the first matching rule (in AddRule order) decides a message's fate, so
+/// specific rules should be added before blanket ones.
+struct FaultRule {
+  PeerId from;       ///< Sender filter; empty matches any sender.
+  PeerId to;         ///< Destination filter; empty matches any destination.
+  std::string type;  ///< Message-type filter ("RESULT", ...); empty = any.
+
+  double drop_rate = 0.0;      ///< P(message silently lost in transit).
+  double dup_rate = 0.0;       ///< P(a second copy is delivered).
+  double misroute_rate = 0.0;  ///< P(delivered to a random wrong peer).
+  Tick delay_max = 0;          ///< Extra delay, uniform in [0, delay_max].
+};
+
+/// Seeded, deterministic adversary for the overlay: decides per message
+/// whether it is dropped, duplicated, delayed (and thereby reordered past
+/// later traffic), or delivered to the wrong peer — and models network
+/// partitions that split the overlay into groups that cannot talk to each
+/// other until Heal().
+///
+/// The plan draws all randomness from its own splitmix64 stream, so a fault
+/// schedule is reproducible from (seed, rule set, message sequence) alone;
+/// two runs of the same workload under the same plan see byte-identical
+/// fault interleavings. Attach to a network with Network::SetFaultPlan.
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed) : rng_(seed) {}
+
+  /// Appends a rule; earlier rules win on overlap.
+  void AddRule(FaultRule rule) { rules_.push_back(std::move(rule)); }
+  void ClearRules() { rules_.clear(); }
+
+  // --- Partitions ----------------------------------------------------------
+
+  /// Splits the overlay: peers in different groups cannot exchange messages
+  /// (sends fail fast, in-flight messages are dropped at delivery time).
+  /// Peers not listed in any group form one extra implicit group.
+  void Partition(std::vector<std::vector<PeerId>> groups);
+
+  /// Removes the partition; all peers can talk again.
+  void Heal() { side_.clear(); partitioned_ = false; }
+
+  bool partitioned() const { return partitioned_; }
+
+  /// True when `a` and `b` are on the same side of the current partition
+  /// (always true when no partition is active). An empty id denotes the
+  /// harness/simulator itself, which reaches everything.
+  bool SameSide(const PeerId& a, const PeerId& b) const;
+
+  // --- Per-message decisions -----------------------------------------------
+
+  /// One physical delivery of a (possibly duplicated/misrouted) message.
+  struct Delivery {
+    Tick extra_delay = 0;  ///< Added on top of the link latency.
+    PeerId redirect_to;    ///< Non-empty: deliver here instead of `to`.
+  };
+
+  /// Decides the fate of `message`: an empty vector means the message is
+  /// dropped in transit; otherwise each entry is one delivery to schedule.
+  /// `all_peers` supplies misroute targets. Called once per logical send.
+  std::vector<Delivery> Decide(const Message& message,
+                               const std::vector<PeerId>& all_peers);
+
+  struct Stats {
+    int64_t dropped = 0;
+    int64_t duplicated = 0;
+    int64_t delayed = 0;
+    int64_t misrouted = 0;
+    int64_t partition_blocked = 0;  ///< Sends/deliveries cut by a partition.
+  };
+  const Stats& stats() const { return stats_; }
+  Stats* mutable_stats() { return &stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  const FaultRule* Match(const Message& message) const;
+
+  Rng rng_;
+  std::vector<FaultRule> rules_;
+  std::map<PeerId, int> side_;  ///< Partition group index per listed peer.
+  bool partitioned_ = false;
+  Stats stats_;
+};
+
+}  // namespace axmlx::overlay
+
+#endif  // AXMLX_OVERLAY_FAULT_INJECTION_H_

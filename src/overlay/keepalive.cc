@@ -32,19 +32,30 @@ void KeepAliveMonitor::CheckRound(std::shared_ptr<State> state) {
     return;
   }
   // The watcher itself may have disconnected; a dead peer pings nobody.
-  if (!state->net->IsConnected(state->watcher)) return;
+  // Go idle (rather than silently dropping the chain with running still
+  // set) so Start() can re-arm the monitor after a reconnect.
+  if (!state->net->IsConnected(state->watcher)) {
+    state->running = false;
+    return;
+  }
   std::vector<PeerId> down;
   for (const auto& [target, cb] : state->watched) {
-    if (!state->net->IsConnected(target)) down.push_back(target);
+    // A ping needs a round trip: a crashed peer or one on the far side of a
+    // partition looks exactly like a disconnected one.
+    if (!state->net->CanReach(state->watcher, target)) down.push_back(target);
   }
   Tick now = state->net->now();
   for (const PeerId& target : down) {
+    // An earlier callback this round may have unwatched this target (e.g.
+    // by resolving the transaction that was waiting on it).
+    auto it = state->watched.find(target);
+    if (it == state->watched.end()) continue;
     if (state->net->trace() != nullptr) {
       state->net->trace()->Add(now, state->watcher, "PING_TIMEOUT",
                                "detected disconnection of " + target);
     }
-    DownCallback cb = std::move(state->watched[target]);
-    state->watched.erase(target);
+    DownCallback cb = std::move(it->second);
+    state->watched.erase(it);
     cb(target, now);
   }
   if (state->running) {

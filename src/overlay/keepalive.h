@@ -28,6 +28,19 @@ class KeepAliveMonitor {
     state_->interval = interval;
   }
 
+  /// Scheduled check rounds hold the shared state, but the registered
+  /// callbacks typically capture the owning peer — a crash-stop destroys
+  /// that peer, so the monitor must silence itself when it goes away.
+  ~KeepAliveMonitor() {
+    if (state_ != nullptr) {
+      state_->running = false;
+      state_->watched.clear();
+    }
+  }
+
+  KeepAliveMonitor(KeepAliveMonitor&&) = default;
+  KeepAliveMonitor& operator=(KeepAliveMonitor&&) = default;
+
   /// Starts watching `target`. The callback fires at most once per target.
   void Watch(const PeerId& target, DownCallback on_down);
 

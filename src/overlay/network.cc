@@ -1,6 +1,9 @@
 #include "overlay/network.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "overlay/fault_injection.h"
 
 namespace axmlx::overlay {
 
@@ -23,6 +26,9 @@ PeerNode* Network::FindPeer(const PeerId& id) {
 Status Network::Disconnect(const PeerId& id) {
   auto it = peers_.find(id);
   if (it == peers_.end()) return NotFound("Disconnect: unknown peer " + id);
+  if (it->second == nullptr) {
+    return FailedPrecondition("Disconnect: " + id + " is crashed");
+  }
   if (it->second->super_peer()) {
     return FailedPrecondition("Disconnect: " + id +
                               " is a super peer and never disconnects");
@@ -35,6 +41,10 @@ Status Network::Disconnect(const PeerId& id) {
 Status Network::Reconnect(const PeerId& id) {
   auto it = peers_.find(id);
   if (it == peers_.end()) return NotFound("Reconnect: unknown peer " + id);
+  if (it->second == nullptr) {
+    return FailedPrecondition("Reconnect: " + id +
+                              " is crashed; use Restart with a rebuilt node");
+  }
   connected_[id] = true;
   TraceEventf(id, "RECONNECT", "peer rejoined the overlay");
   return Status::Ok();
@@ -45,12 +55,71 @@ bool Network::IsConnected(const PeerId& id) const {
   return it != connected_.end() && it->second;
 }
 
+Status Network::Crash(const PeerId& id) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) return NotFound("Crash: unknown peer " + id);
+  if (it->second == nullptr) {
+    return FailedPrecondition("Crash: " + id + " is already crashed");
+  }
+  if (it->second->super_peer()) {
+    return FailedPrecondition("Crash: " + id +
+                              " is a super peer and never crashes");
+  }
+  connected_[id] = false;
+  CancelTicks(id);
+  it->second.reset();  // destroy all in-memory state
+  TraceEventf(id, "CRASH", "peer crashed; in-memory state lost");
+  return Status::Ok();
+}
+
+Status Network::Restart(std::unique_ptr<PeerNode> peer) {
+  PeerId id = peer->id();
+  auto it = peers_.find(id);
+  if (it == peers_.end()) return NotFound("Restart: unknown peer " + id);
+  if (it->second != nullptr) {
+    return FailedPrecondition("Restart: " + id + " is not crashed");
+  }
+  it->second = std::move(peer);
+  connected_[id] = true;
+  TraceEventf(id, "RESTART", "peer rebuilt from durable state and rejoined");
+  return Status::Ok();
+}
+
+bool Network::IsCrashed(const PeerId& id) const {
+  auto it = peers_.find(id);
+  return it != peers_.end() && it->second == nullptr;
+}
+
+bool Network::CanReach(const PeerId& from, const PeerId& to) const {
+  if (!IsConnected(to)) return false;
+  if (!from.empty() && !IsConnected(from)) return false;
+  if (fault_plan_ != nullptr && !fault_plan_->SameSide(from, to)) return false;
+  return true;
+}
+
 void Network::DisconnectAt(Tick when, const PeerId& id) {
   ScheduleAt(when, [id](Network* net) { (void)net->Disconnect(id); });
 }
 
+void Network::EnqueueDelivery(Message message, Tick extra_delay) {
+  Tick jitter = latency_jitter_ > 0
+                    ? static_cast<Tick>(rng_.Uniform(
+                          static_cast<uint64_t>(latency_jitter_) + 1))
+                    : 0;
+  Event ev;
+  ev.time = now_ + latency_base_ + jitter + extra_delay;
+  ev.seq = next_seq_++;
+  ev.message = std::make_shared<Message>(std::move(message));
+  queue_.push(std::move(ev));
+}
+
 Result<int64_t> Network::Send(Message message) {
   if (peers_.find(message.to) == peers_.end()) {
+    // Unknown destinations are accounted like any other failed send so
+    // fault drills (and operators) can see misdirected traffic.
+    ++stats_.sends_rejected;
+    TraceEventf(message.from, "SEND_REJECT",
+                message.type + " to " + message.to + " (unknown peer)");
     return NotFound("Send: unknown peer " + message.to);
   }
   if (!IsConnected(message.to)) {
@@ -60,24 +129,65 @@ Result<int64_t> Network::Send(Message message) {
     return PeerDisconnected("Send: " + message.to + " is unreachable");
   }
   if (!message.from.empty() && !IsConnected(message.from)) {
-    // A disconnected peer cannot emit messages.
+    // A disconnected peer cannot emit messages. Symmetric with the
+    // disconnected-destination path: counted and traced.
+    ++stats_.sends_failed;
+    TraceEventf(message.from, "SEND_FAIL",
+                message.type + " to " + message.to +
+                    " (sender disconnected)");
     return PeerDisconnected("Send: sender " + message.from +
                             " is disconnected");
   }
+  if (fault_plan_ != nullptr &&
+      !fault_plan_->SameSide(message.from, message.to)) {
+    // A partition fails the connection attempt fast — the same signal the
+    // paper's peers use to detect disconnection (§3.3(b)).
+    ++stats_.sends_failed;
+    ++fault_plan_->mutable_stats()->partition_blocked;
+    TraceEventf(message.from, "SEND_FAIL",
+                message.type + " to " + message.to + " (partitioned)");
+    return PeerDisconnected("Send: " + message.to +
+                            " is unreachable (partitioned)");
+  }
   message.id = next_message_id_++;
-  Tick jitter = latency_jitter_ > 0
-                    ? static_cast<Tick>(rng_.Uniform(
-                          static_cast<uint64_t>(latency_jitter_) + 1))
-                    : 0;
-  Event ev;
-  ev.time = now_ + latency_base_ + jitter;
-  ev.seq = next_seq_++;
-  ev.message = std::make_shared<Message>(std::move(message));
   ++stats_.messages_sent;
-  TraceEventf(ev.message->from, "SEND",
-              ev.message->type + " -> " + ev.message->to);
-  int64_t id = ev.message->id;
-  queue_.push(std::move(ev));
+  TraceEventf(message.from, "SEND", message.type + " -> " + message.to);
+  int64_t id = message.id;
+  if (fault_plan_ == nullptr) {
+    EnqueueDelivery(std::move(message), /*extra_delay=*/0);
+    return id;
+  }
+  // Fault injection: the sender sees a successful send; what actually
+  // reaches the other side is up to the plan. Duplicates keep the same
+  // message id (they are copies of one logical send), which is what makes
+  // receiver-side dedup by id possible.
+  std::vector<FaultPlan::Delivery> deliveries =
+      fault_plan_->Decide(message, order_);
+  if (deliveries.empty()) {
+    ++stats_.faults_injected;
+    TraceEventf(message.from, "FAULT_DROP",
+                message.type + " to " + message.to + " lost in transit");
+    return id;
+  }
+  bool first = true;
+  for (const FaultPlan::Delivery& d : deliveries) {
+    Message copy = message;
+    if (!d.redirect_to.empty()) {
+      ++stats_.faults_injected;
+      TraceEventf(copy.from, "FAULT_MISROUTE",
+                  copy.type + " to " + copy.to + " rerouted to " +
+                      d.redirect_to);
+      copy.to = d.redirect_to;
+    }
+    if (!first) {
+      ++stats_.faults_injected;
+      TraceEventf(copy.from, "FAULT_DUP",
+                  copy.type + " to " + copy.to + " duplicated");
+    }
+    if (d.extra_delay > 0) ++stats_.faults_injected;
+    EnqueueDelivery(std::move(copy), d.extra_delay);
+    first = false;
+  }
   return id;
 }
 
@@ -93,6 +203,19 @@ void Network::ScheduleAfter(Tick delay, std::function<void(Network*)> fn) {
   ScheduleAt(now_ + delay, std::move(fn));
 }
 
+void Network::RequestTicks(const PeerId& id) {
+  for (const PeerId& existing : tick_subscribers_) {
+    if (existing == id) return;
+  }
+  tick_subscribers_.push_back(id);
+}
+
+void Network::CancelTicks(const PeerId& id) {
+  tick_subscribers_.erase(
+      std::remove(tick_subscribers_.begin(), tick_subscribers_.end(), id),
+      tick_subscribers_.end());
+}
+
 void Network::RunUntil(Tick until) {
   while (!queue_.empty() && queue_.top().time <= until) {
     Event ev = queue_.top();
@@ -103,19 +226,32 @@ void Network::RunUntil(Tick until) {
       continue;
     }
     const Message& msg = *ev.message;
-    if (!IsConnected(msg.to)) {
+    if (!IsConnected(msg.to) || FindPeer(msg.to) == nullptr) {
       ++stats_.messages_dropped;
       TraceEventf(msg.to, "DROP", msg.type + " from " + msg.from);
+      continue;
+    }
+    if (fault_plan_ != nullptr && !fault_plan_->SameSide(msg.from, msg.to)) {
+      // The partition came up while the message was in flight.
+      ++stats_.messages_dropped;
+      ++fault_plan_->mutable_stats()->partition_blocked;
+      TraceEventf(msg.to, "DROP",
+                  msg.type + " from " + msg.from + " (partitioned)");
       continue;
     }
     PeerNode* peer = FindPeer(msg.to);
     ++stats_.messages_delivered;
     TraceEventf(msg.to, "RECV", msg.type + " from " + msg.from);
     peer->OnMessage(msg, this);
-    // Give every connected peer a tick after each delivery, so periodic
-    // logic (keep-alive checks) interleaves deterministically.
-    for (const PeerId& id : order_) {
-      if (IsConnected(id)) FindPeer(id)->OnTick(now_, this);
+    // Periodic work interleaves deterministically after each delivery, but
+    // only for peers that asked for ticks — delivery cost does not scale
+    // with overlay size.
+    for (const PeerId& id : tick_subscribers_) {
+      if (!IsConnected(id)) continue;
+      PeerNode* subscriber = FindPeer(id);
+      if (subscriber == nullptr) continue;
+      ++stats_.tick_calls;
+      subscriber->OnTick(now_, this);
     }
   }
   if (now_ < until) now_ = until;

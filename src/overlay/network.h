@@ -37,6 +37,7 @@ struct Message {
 };
 
 class Network;
+class FaultPlan;
 
 /// Base class for simulated peers. Subclasses implement the AXML peer
 /// behaviour (transaction manager, recovery protocol, ...).
@@ -53,8 +54,10 @@ class PeerNode {
   /// connected).
   virtual void OnMessage(const Message& message, Network* net) = 0;
 
-  /// Called on every simulation tick that delivers at least one event, for
-  /// periodic work such as keep-alive checks. Default: nothing.
+  /// Called after each delivery for peers that opted in via
+  /// Network::RequestTicks (periodic work such as keep-alive checks that is
+  /// not driven by scheduled closures). Default: nothing. A subclass that
+  /// overrides this must call RequestTicks(id()) to receive ticks.
   virtual void OnTick(Tick now, Network* net);
 
   const PeerId& id() const { return id_; }
@@ -96,6 +99,33 @@ class Network {
   /// Schedules a disconnection at an absolute time.
   void DisconnectAt(Tick when, const PeerId& id);
 
+  /// Crash-stop: destroys the peer object — all of its in-memory state
+  /// (contexts, documents, monitors) is lost — while its slot and id stay
+  /// registered. Messages to a crashed peer fail/drop like a disconnected
+  /// one. Super peers cannot crash. Recover with Restart().
+  Status Crash(const PeerId& id);
+
+  /// Rejoins a crashed peer with a rebuilt node (same id). The caller is
+  /// responsible for having restored the node's durable state (e.g. by
+  /// replaying a storage::DurableStore WAL) before rejoining.
+  Status Restart(std::unique_ptr<PeerNode> peer);
+
+  /// True when `id` is registered but its node was destroyed by Crash().
+  bool IsCrashed(const PeerId& id) const;
+
+  /// True when `from` can currently reach `to`: both connected (and not
+  /// crashed) and on the same side of any active fault-plan partition. An
+  /// empty `from` denotes the harness, which only needs `to` reachable.
+  bool CanReach(const PeerId& from, const PeerId& to) const;
+
+  // --- Fault injection -----------------------------------------------------
+
+  /// Attaches `plan` (not owned; null detaches). Every subsequent send and
+  /// delivery is filtered through it: messages may be dropped, duplicated,
+  /// delayed, misrouted, or blocked by a partition.
+  void SetFaultPlan(FaultPlan* plan) { fault_plan_ = plan; }
+  FaultPlan* fault_plan() { return fault_plan_; }
+
   // --- Messaging -----------------------------------------------------------
 
   /// Enqueues `message` for delivery after the link latency. Returns
@@ -127,11 +157,21 @@ class Network {
 
   Tick now() const { return now_; }
 
+  /// Opts `id` into OnTick dispatch after each delivery. Ticks are opt-in:
+  /// delivering a message costs O(subscribers), not O(peers), so a network
+  /// with no periodic work pays nothing. Dispatch order follows
+  /// registration order, keeping interleavings deterministic.
+  void RequestTicks(const PeerId& id);
+  void CancelTicks(const PeerId& id);
+
   struct Stats {
     int64_t messages_sent = 0;
     int64_t messages_delivered = 0;
     int64_t messages_dropped = 0;   ///< Destination vanished in flight.
     int64_t sends_failed = 0;       ///< Destination unreachable at send.
+    int64_t sends_rejected = 0;     ///< Destination id was never registered.
+    int64_t faults_injected = 0;    ///< Plan-made drops/dups/delays/misroutes.
+    int64_t tick_calls = 0;         ///< OnTick dispatches (perf accounting).
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
@@ -156,8 +196,12 @@ class Network {
   void TraceEventf(const std::string& actor, const std::string& kind,
                    const std::string& detail);
 
+  /// Enqueues one physical delivery of `message` (already id-stamped).
+  void EnqueueDelivery(Message message, Tick extra_delay);
+
   std::map<PeerId, std::unique_ptr<PeerNode>> peers_;
   std::vector<PeerId> order_;
+  std::vector<PeerId> tick_subscribers_;  ///< Registration order.
   std::map<PeerId, bool> connected_;
   std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
   Tick now_ = 0;
@@ -168,6 +212,7 @@ class Network {
   Rng rng_;
   Stats stats_;
   Trace* trace_;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace axmlx::overlay

@@ -62,6 +62,18 @@ class StreamWatcher {
   /// `grace`: how many intervals of silence mean "disconnected" (>= 1).
   StreamWatcher(Network* net, PeerId watcher, Tick interval, int grace = 2);
 
+  /// Silence callbacks typically capture the owning peer; a crash-stop
+  /// destroys it while check rounds are still queued, so drop them here.
+  ~StreamWatcher() {
+    if (state_ != nullptr) {
+      state_->running = false;
+      state_->expected.clear();
+    }
+  }
+
+  StreamWatcher(StreamWatcher&&) = default;
+  StreamWatcher& operator=(StreamWatcher&&) = default;
+
   /// Starts expecting a stream from `from`. The clock starts now.
   void Expect(const PeerId& from, SilenceCallback on_silence);
 

@@ -10,7 +10,7 @@ void ChainedPeer::OnParentUnreachable(Ctx* ctx, overlay::Network* net) {
   overlay::PeerId target;
   for (const overlay::PeerId& ancestor : ctx->chain.AncestorsOf(id())) {
     if (ancestor == dead_parent) continue;
-    if (net->IsConnected(ancestor)) {
+    if (net->CanReach(id(), ancestor)) {
       target = ancestor;
       break;
     }
@@ -25,7 +25,7 @@ void ChainedPeer::OnParentUnreachable(Ctx* ctx, overlay::Network* net) {
       const std::string txn = ctx->txn;
       for (const overlay::PeerId& relative :
            ctx->chain.RelativesByDistance(id())) {
-        if (!net->IsConnected(relative)) continue;
+        if (!net->CanReach(id(), relative)) continue;
         overlay::Message m;
         m.from = id();
         m.to = relative;
@@ -72,6 +72,10 @@ void ChainedPeer::OnRedirectedResult(const overlay::Message& message,
   if (payload == nullptr) return;
   const std::string& txn = message.headers.at("txn");
   if (FindContext(txn) == nullptr) {
+    // A late duplicate of a reroute for a transaction that committed here
+    // must not trigger a rollback of committed work.
+    auto resolved = ResolvedOutcome(txn);
+    if (resolved.has_value() && *resolved) return;
     // Presumed abort: the transaction is already dead here — the rerouted
     // work is stale and its producer must roll back.
     overlay::Message reply;
@@ -143,7 +147,7 @@ void ChainedPeer::OnNotifyDisconnect(const overlay::Message& message,
 void ChainedPeer::NotifySubtree(const Ctx& ctx, const overlay::PeerId& dead,
                                 overlay::Network* net) {
   for (const overlay::PeerId& peer : ctx.chain.SubtreeOf(dead)) {
-    if (peer == dead || peer == id() || !net->IsConnected(peer)) continue;
+    if (peer == dead || peer == id() || !net->CanReach(id(), peer)) continue;
     overlay::Message m;
     m.from = id();
     m.to = peer;
@@ -170,7 +174,7 @@ void ChainedPeer::OnTxnResolved(const std::string& txn, bool committed,
     // are still live; their producers must learn about the abort directly
     // (their own parent is the disconnected peer).
     for (const auto& [service, payload] : it->second->by_service) {
-      if (!net->IsConnected(payload->executed_by)) continue;
+      if (!net->CanReach(id(), payload->executed_by)) continue;
       overlay::Message m;
       m.from = id();
       m.to = payload->executed_by;
@@ -211,7 +215,7 @@ void ChainedPeer::NotifyRelativesOfDeath(const std::string& txn,
     targets.push_back(child);
   }
   for (const overlay::PeerId& t : targets) {
-    if (!net->IsConnected(t)) continue;
+    if (!net->CanReach(id(), t)) continue;
     overlay::Message m;
     m.from = id();
     m.to = t;

@@ -8,7 +8,9 @@ overlay::PeerId RecoveringPeer::RetryTarget(const ChildEdge& edge,
                                             overlay::Network* net) {
   if (!retry.replica_url.empty()) return retry.replica_url;
   const overlay::PeerId& original = edge.def.peer;
-  if (fault == "PeerDisconnected" || !net->IsConnected(original)) {
+  // Crashed and partitioned-away peers look disconnected too; a retry must
+  // go where the invocation can actually land.
+  if (fault == "PeerDisconnected" || !net->CanReach(id(), original)) {
     return directory()->ReplicaOf(original);
   }
   return original;
@@ -24,7 +26,7 @@ void RecoveringPeer::OnChildFailure(Ctx* ctx, ChildEdge* edge,
         if (edge->retries_used < handler.retry.times) {
           overlay::PeerId target =
               RetryTarget(*edge, handler.retry, fault, net);
-          if (!target.empty() && net->IsConnected(target)) {
+          if (!target.empty() && net->CanReach(id(), target)) {
             ++edge->retries_used;
             ++mutable_stats()->retries;
             // Record the new target immediately so duplicate failure
@@ -34,11 +36,13 @@ void RecoveringPeer::OnChildFailure(Ctx* ctx, ChildEdge* edge,
             const std::string txn = ctx->txn;
             const size_t edge_index =
                 static_cast<size_t>(edge - ctx->children.data());
+            std::weak_ptr<void> alive = AliveToken();
             // Honour the handler's wait before re-invoking.
             net->ScheduleAfter(
                 handler.retry.wait,
-                [this, txn, edge_index, target](overlay::Network* n) {
-                  if (!n->IsConnected(id())) return;
+                [this, txn, edge_index, target,
+                 alive](overlay::Network* n) {
+                  if (alive.expired() || !n->IsConnected(id())) return;
                   Ctx* live = FindContext(txn);
                   if (live == nullptr || live->state != Ctx::State::kRunning ||
                       edge_index >= live->children.size()) {

@@ -50,31 +50,60 @@ AxmlRepository::AxmlRepository(uint64_t seed) {
   network_ = std::make_unique<overlay::Network>(seed, &trace_);
 }
 
+std::unique_ptr<txn::AxmlPeer> AxmlRepository::MakePeer(
+    const PeerConfig& config) {
+  switch (config.protocol) {
+    case Protocol::kBaseline:
+      return std::make_unique<txn::AxmlPeer>(config.id, config.super_peer,
+                                             config.seed, config.options,
+                                             &directory_);
+    case Protocol::kRecovering:
+      return std::make_unique<recovery::RecoveringPeer>(
+          config.id, config.super_peer, config.seed, config.options,
+          &directory_);
+    case Protocol::kChained:
+      return std::make_unique<recovery::ChainedPeer>(
+          config.id, config.super_peer, config.seed, config.options,
+          &directory_);
+  }
+  return nullptr;
+}
+
 Result<txn::AxmlPeer*> AxmlRepository::AddPeer(const PeerConfig& config) {
   if (FindPeer(config.id) != nullptr) {
     return AlreadyExists("peer " + config.id + " already exists");
   }
-  std::unique_ptr<txn::AxmlPeer> peer;
-  switch (config.protocol) {
-    case Protocol::kBaseline:
-      peer = std::make_unique<txn::AxmlPeer>(config.id, config.super_peer,
-                                             config.seed, config.options,
-                                             &directory_);
-      break;
-    case Protocol::kRecovering:
-      peer = std::make_unique<recovery::RecoveringPeer>(
-          config.id, config.super_peer, config.seed, config.options,
-          &directory_);
-      break;
-    case Protocol::kChained:
-      peer = std::make_unique<recovery::ChainedPeer>(
-          config.id, config.super_peer, config.seed, config.options,
-          &directory_);
-      break;
-  }
+  std::unique_ptr<txn::AxmlPeer> peer = MakePeer(config);
   txn::AxmlPeer* raw = peer.get();
   directory_.Register(config.id, &raw->repository(), config.super_peer);
   network_->AddPeer(std::move(peer));
+  peers_.push_back(raw);
+  return raw;
+}
+
+Status AxmlRepository::CrashPeer(const overlay::PeerId& id) {
+  txn::AxmlPeer* peer = FindPeer(id);
+  if (peer == nullptr) return NotFound("unknown peer " + id);
+  // Deregister before the repository object dies with the peer.
+  directory_.Deregister(id);
+  AXMLX_RETURN_IF_ERROR(network_->Crash(id));
+  for (auto it = peers_.begin(); it != peers_.end(); ++it) {
+    if (*it == peer) {
+      peers_.erase(it);
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<txn::AxmlPeer*> AxmlRepository::RestartPeer(const PeerConfig& config) {
+  if (!network_->IsCrashed(config.id)) {
+    return FailedPrecondition("peer " + config.id + " is not crashed");
+  }
+  std::unique_ptr<txn::AxmlPeer> peer = MakePeer(config);
+  txn::AxmlPeer* raw = peer.get();
+  directory_.Register(config.id, &raw->repository(), config.super_peer);
+  AXMLX_RETURN_IF_ERROR(network_->Restart(std::move(peer)));
   peers_.push_back(raw);
   return raw;
 }

@@ -94,6 +94,17 @@ class AxmlRepository {
 
   txn::AxmlPeer* FindPeer(const overlay::PeerId& id);
 
+  /// Crash-stops `peer`: removes it from the directory and destroys the
+  /// in-memory peer object (contexts, repository documents, dedup state —
+  /// everything volatile is gone, exactly like a process kill). The overlay
+  /// slot is kept so the peer can be rebuilt and restarted later.
+  Status CrashPeer(const overlay::PeerId& id);
+
+  /// Rebuilds a previously crashed peer from scratch (empty repository) and
+  /// rejoins it to the overlay. The caller re-hosts documents/services —
+  /// typically from recovered durable state — before using it.
+  Result<txn::AxmlPeer*> RestartPeer(const PeerConfig& config);
+
   /// Parses `xml_text` and hosts it on `peer` under its root element name.
   Status HostDocument(const overlay::PeerId& peer,
                       const std::string& xml_text);
@@ -128,6 +139,8 @@ class AxmlRepository {
   Trace& trace() { return trace_; }
 
  private:
+  std::unique_ptr<txn::AxmlPeer> MakePeer(const PeerConfig& config);
+
   Trace trace_;
   std::unique_ptr<overlay::Network> network_;
   txn::ServiceDirectory directory_;

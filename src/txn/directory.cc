@@ -7,6 +7,10 @@ void ServiceDirectory::Register(const overlay::PeerId& peer,
   entries_[peer] = {repo, super_peer};
 }
 
+void ServiceDirectory::Deregister(const overlay::PeerId& peer) {
+  entries_.erase(peer);
+}
+
 service::Repository* ServiceDirectory::MutableRepo(
     const overlay::PeerId& peer) const {
   auto it = entries_.find(peer);

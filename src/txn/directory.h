@@ -28,6 +28,11 @@ class ServiceDirectory {
   void Register(const overlay::PeerId& peer, service::Repository* repo,
                 bool super_peer);
 
+  /// Removes a peer's entry (crash-stop: its repository is being destroyed
+  /// and must not be handed out). Replica mappings are kept — they name
+  /// peers, not repositories, and the crashed peer's replica stays useful.
+  void Deregister(const overlay::PeerId& peer);
+
   /// Mutable repository access for simulator-level synchronous data-plane
   /// calls (embedded service calls whose serviceURL names another peer).
   service::Repository* MutableRepo(const overlay::PeerId& peer) const;

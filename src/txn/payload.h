@@ -21,6 +21,10 @@ inline constexpr char kMsgCompensate[] = "COMPENSATE";
 inline constexpr char kMsgCompAck[] = "COMP_ACK";
 inline constexpr char kMsgNotifyDisconnect[] = "NOTIFY_DISCONNECT";
 inline constexpr char kMsgStream[] = "STREAM";
+/// Delivery acknowledgement for control messages sent with an "rsvp"
+/// header (at-least-once control delivery under fault injection). The ACK
+/// echoes the message's "dedup" key in its "ack_of" header.
+inline constexpr char kMsgAck[] = "ACK";
 
 using Params = std::vector<std::pair<std::string, std::string>>;
 

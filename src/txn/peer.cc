@@ -66,12 +66,14 @@ Status AxmlPeer::Submit(overlay::Network* net, const std::string& txn,
   StartContext(txn, /*parent=*/"", service, params, std::move(chain_info),
                std::move(on_done), net);
   if (options_.txn_timeout > 0) {
-    net->ScheduleAfter(options_.txn_timeout, [this, txn](overlay::Network* n) {
-      if (!n->IsConnected(id())) return;
-      Ctx* live = FindContext(txn);
-      if (live == nullptr || live->state != Ctx::State::kRunning) return;
-      AbortContext(live, "TxnTimeout", /*notify_parent=*/false, n);
-    });
+    std::weak_ptr<void> alive = AliveToken();
+    net->ScheduleAfter(
+        options_.txn_timeout, [this, txn, alive](overlay::Network* n) {
+          if (alive.expired() || !n->IsConnected(id())) return;
+          Ctx* live = FindContext(txn);
+          if (live == nullptr || live->state != Ctx::State::kRunning) return;
+          AbortContext(live, "TxnTimeout", /*notify_parent=*/false, n);
+        });
   }
   return Status::Ok();
 }
@@ -114,6 +116,15 @@ void AxmlPeer::Begin(Ctx* ctx, overlay::Network* net) {
   }
   ctx->local = std::move(outcome_or).value();
   ctx->local_done = true;
+  if (journal_ != nullptr && !def->document.empty() &&
+      !ctx->local.effects.empty()) {
+    std::vector<ops::Operation> applied;
+    applied.reserve(ctx->local.effects.size());
+    for (const ops::OpEffect& effect : ctx->local.effects.effects()) {
+      applied.push_back(effect.op);
+    }
+    journal_->OnApply(ctx->txn, def->document, applied);
+  }
   // Injected failure (experiments): either fail now — partial local work
   // already done and compensated — or arm a fault that strikes after the
   // subcalls complete (the paper's Figure 1 timing).
@@ -224,8 +235,107 @@ void AxmlPeer::WatchChild(Ctx* ctx, const overlay::PeerId& child,
   keepalive_->Start();  // re-arms an idle monitor
 }
 
+std::string AxmlPeer::DedupKeyOf(const overlay::Message& message) {
+  auto it = message.headers.find("dedup");
+  if (it != message.headers.end()) return it->second;
+  if (message.id != 0) return "m/" + std::to_string(message.id);
+  return std::string();
+}
+
+std::optional<bool> AxmlPeer::ResolvedOutcome(const std::string& txn) const {
+  auto it = resolved_txns_.find(txn);
+  if (it == resolved_txns_.end()) return std::nullopt;
+  return it->second;
+}
+
+void AxmlPeer::RecordResolution(const std::string& txn, bool committed) {
+  resolved_txns_[txn] = committed;
+  if (journal_ != nullptr) journal_->OnResolved(txn, committed);
+}
+
+Status AxmlPeer::SendControl(overlay::Message m, overlay::Network* net) {
+  if (options_.control_resend_interval <= 0) {
+    return net->Send(std::move(m)).status();
+  }
+  std::string txn;
+  auto txn_it = m.headers.find("txn");
+  if (txn_it != m.headers.end()) txn = txn_it->second;
+  const std::string key = "c/" + id() + "/" + m.type + "/" + txn + "/" + m.to;
+  m.headers["rsvp"] = "1";
+  m.headers["dedup"] = key;
+  auto [it, inserted] = pending_control_.try_emplace(key);
+  if (inserted) {
+    it->second.message = m;
+    it->second.attempts = 1;
+    ArmControlResend(key, net);
+  }
+  // Duplicate logical sends (e.g. an abort raced with a timeout) collapse
+  // onto the already-pending entry; the retransmission loop covers them.
+  return net->Send(std::move(m)).status();
+}
+
+void AxmlPeer::ArmControlResend(const std::string& key,
+                                overlay::Network* net) {
+  std::weak_ptr<void> alive = AliveToken();
+  net->ScheduleAfter(
+      options_.control_resend_interval,
+      [this, key, alive](overlay::Network* n) {
+        if (alive.expired()) return;
+        auto it = pending_control_.find(key);
+        if (it == pending_control_.end()) return;  // acknowledged
+        if (it->second.attempts >= options_.control_resend_limit) {
+          pending_control_.erase(it);
+          return;
+        }
+        // A disconnected sender skips the attempt but keeps the message
+        // pending — retransmission resumes once it reconnects.
+        if (n->IsConnected(id())) {
+          ++it->second.attempts;
+          overlay::Message copy = it->second.message;
+          (void)n->Send(std::move(copy));
+        }
+        ArmControlResend(key, n);
+      });
+}
+
+void AxmlPeer::HandleAck(const overlay::Message& message) {
+  auto it = message.headers.find("ack_of");
+  if (it == message.headers.end()) return;
+  auto pending = pending_control_.find(it->second);
+  // Only the intended target's acknowledgement counts — a misrouted copy
+  // acked by a bystander must not stop retransmission to the real target.
+  if (pending != pending_control_.end() &&
+      pending->second.message.to == message.from) {
+    pending_control_.erase(pending);
+  }
+}
+
 void AxmlPeer::OnMessage(const overlay::Message& message,
                          overlay::Network* net) {
+  if (message.type == kMsgAck) {
+    HandleAck(message);
+    return;
+  }
+  // Reliable control delivery: acknowledge every copy (the sender may have
+  // missed an earlier ACK), even ones suppressed as duplicates below.
+  if (message.headers.count("rsvp") > 0) {
+    overlay::Message ack;
+    ack.from = id();
+    ack.to = message.from;
+    ack.type = kMsgAck;
+    auto dedup_it = message.headers.find("dedup");
+    if (dedup_it != message.headers.end()) {
+      ack.headers["ack_of"] = dedup_it->second;
+    }
+    auto txn_it = message.headers.find("txn");
+    if (txn_it != message.headers.end()) ack.headers["txn"] = txn_it->second;
+    (void)net->Send(std::move(ack));
+  }
+  // Duplicate suppression: the overlay can deliver one logical send twice
+  // (fault-injected duplicates share a message id, control retransmissions
+  // share a "dedup" header). Handlers below may assume at-most-once.
+  const std::string key = DedupKeyOf(message);
+  if (!key.empty() && !seen_messages_.insert(key).second) return;
   if (message.type == kMsgInvoke) {
     HandleInvoke(message, net);
   } else if (message.type == kMsgResult) {
@@ -281,6 +391,9 @@ void AxmlPeer::HandleInvoke(const overlay::Message& message,
         (void)net->Send(std::move(abort));
       }
     }
+    // The discarded execution's journaled writes are stale — roll them
+    // back before the fresh execution journals its own.
+    RecordResolution(txn, /*committed=*/false);
     EraseContext(txn);
     // Fall through to a fresh StartContext below.
   }
@@ -306,6 +419,11 @@ void AxmlPeer::HandleResult(const overlay::Message& message,
   }
   Ctx* ctx = FindContext(message.headers.at("txn"));
   if (ctx == nullptr) {
+    // A late duplicate (or misrouted copy) of a result for a transaction
+    // that committed here is stale chatter, not stale work — replying with
+    // a presumed abort would wrongly roll back committed effects.
+    auto resolved = ResolvedOutcome(message.headers.at("txn"));
+    if (resolved.has_value() && *resolved) return;
     // Presumed abort: a result for a transaction we no longer know means
     // our context aborted (commit keeps contexts until all results are in).
     // The sender's subtree is stale work — tell it to roll back.
@@ -379,6 +497,7 @@ void AxmlPeer::HandleCommit(const overlay::Message& message,
   const std::string& txn = message.headers.at("txn");
   EraseContext(txn);
   if (options_.use_locking) locks_.ReleaseAll(LockIdFor(txn));
+  RecordResolution(txn, /*committed=*/true);
   OnTxnResolved(txn, /*committed=*/true, net);
 }
 
@@ -389,8 +508,21 @@ void AxmlPeer::HandleCompensate(const overlay::Message& message,
   if (payload == nullptr) return;
   const std::string& txn = message.headers.at("txn");
   xml::Document* doc = repo_.GetDocument(payload->document);
+  if (doc == nullptr) {
+    // A plan for a document we do not host: a misrouted copy (or a replica
+    // mapping gone stale). It says nothing about OUR work for this
+    // transaction, so leave any local context alone.
+    overlay::Message nack;
+    nack.from = id();
+    nack.to = message.from;
+    nack.type = kMsgCompAck;
+    nack.headers["txn"] = txn;
+    nack.headers["ok"] = "0";
+    (void)net->Send(std::move(nack));
+    return;
+  }
   bool ok = false;
-  if (doc != nullptr) {
+  {
     ops::Executor executor(doc, MakeLocalInvoker());
     size_t nodes = 0;
     Status s = comp::ApplyPlan(&executor, payload->plan, &nodes);
@@ -411,6 +543,7 @@ void AxmlPeer::HandleCompensate(const overlay::Message& message,
     EraseContext(txn);
     if (options_.use_locking) locks_.ReleaseAll(LockIdFor(txn));
   }
+  RecordResolution(txn, /*committed=*/false);
   overlay::Message ack;
   ack.from = id();
   ack.to = message.from;
@@ -430,10 +563,11 @@ void AxmlPeer::TryComplete(Ctx* ctx, overlay::Network* net) {
   }
   if (net->now() < ctx->ready_time) {
     const std::string txn = ctx->txn;
-    net->ScheduleAt(ctx->ready_time, [this, txn](overlay::Network* n) {
-      // A peer that has since left the overlay is inert: it neither
-      // completes nor touches shared state (its context is stranded).
-      if (!n->IsConnected(id())) return;
+    std::weak_ptr<void> alive = AliveToken();
+    net->ScheduleAt(ctx->ready_time, [this, txn, alive](overlay::Network* n) {
+      // A peer that has since left the overlay (or crashed) is inert: it
+      // neither completes nor touches shared state.
+      if (alive.expired() || !n->IsConnected(id())) return;
       Ctx* live = FindContext(txn);
       if (live != nullptr) TryComplete(live, n);
     });
@@ -470,13 +604,14 @@ void AxmlPeer::Complete(Ctx* ctx, overlay::Network* net) {
       m.to = p;
       m.type = kMsgCommit;
       m.headers["txn"] = ctx->txn;
-      (void)net->Send(std::move(m));
+      (void)SendControl(std::move(m), net);
     }
     ++stats_.txns_committed;
     if (ctx->on_done) ctx->on_done(ctx->txn, Status::Ok());
     const std::string txn = ctx->txn;
     EraseContext(txn);
     if (options_.use_locking) locks_.ReleaseAll(LockIdFor(txn));
+    RecordResolution(txn, /*committed=*/true);
     OnTxnResolved(txn, /*committed=*/true, net);
     return;
   }
@@ -543,17 +678,23 @@ void AxmlPeer::CompensateLocal(Ctx* ctx) {
 }
 
 void AxmlPeer::CompensateParticipants(Ctx* ctx, overlay::Network* net) {
+  const bool reliable = options_.control_resend_interval > 0;
   for (const ParticipantPlan& plan : ctx->plans) {
     if (plan.peer == id()) continue;  // local plan handled by CompensateLocal
     overlay::PeerId target = plan.peer;
-    if (!net->IsConnected(target)) {
+    if (!net->CanReach(id(), target)) {
       // §3.3: peer-independent compensation lets us run the compensating
-      // service on a replica of the disconnected peer's document.
-      target = directory_->ReplicaOf(plan.peer);
-    }
-    if (target.empty() || !net->IsConnected(target)) {
-      ++stats_.compensation_failures;
-      continue;
+      // service on a replica of the disconnected (or crashed, or
+      // partitioned-away) peer's document.
+      overlay::PeerId replica = directory_->ReplicaOf(plan.peer);
+      if (!replica.empty() && net->CanReach(id(), replica)) {
+        target = replica;
+      } else if (!reliable) {
+        ++stats_.compensation_failures;
+        continue;
+      }
+      // Reliable-control mode: keep the original target — retransmission
+      // rides out crashes and partitions until the peer is back.
     }
     auto payload = std::make_shared<CompensatePayload>();
     payload->document = plan.document;
@@ -564,7 +705,9 @@ void AxmlPeer::CompensateParticipants(Ctx* ctx, overlay::Network* net) {
     m.type = kMsgCompensate;
     m.headers["txn"] = ctx->txn;
     m.attachment = payload;
-    if (!net->Send(std::move(m)).ok()) ++stats_.compensation_failures;
+    if (!SendControl(std::move(m), net).ok() && !reliable) {
+      ++stats_.compensation_failures;
+    }
   }
 }
 
@@ -587,7 +730,7 @@ void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
         m.headers["txn"] = txn;
         m.headers["fault"] = fault;
         ++stats_.aborts_sent;
-        (void)net->Send(std::move(m));
+        (void)SendControl(std::move(m), net);
       }
     }
   } else {
@@ -605,10 +748,13 @@ void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
       m.headers["txn"] = txn;
       m.headers["fault"] = fault;
       ++stats_.aborts_sent;
-      if (!net->Send(std::move(m)).ok() &&
-          edge.state == ChildEdge::State::kDone) {
+      if (!SendControl(std::move(m), net).ok() &&
+          edge.state == ChildEdge::State::kDone &&
+          options_.control_resend_interval <= 0) {
         // The child completed work and is now unreachable: its effects
         // cannot be compensated (motivates peer-independent mode, §3.2).
+        // In reliable-control mode the retransmission loop keeps trying,
+        // so this is not yet a failure.
         ++stats_.compensation_failures;
       }
     }
@@ -622,7 +768,7 @@ void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
     m.headers["fault"] = fault;
     m.headers["failed_service"] = ctx->service;
     ++stats_.aborts_sent;
-    (void)net->Send(std::move(m));
+    (void)SendControl(std::move(m), net);
   }
   if (ctx->parent.empty()) {
     ++stats_.txns_aborted;
@@ -631,6 +777,7 @@ void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
   ++stats_.contexts_aborted;
   EraseContext(txn);
   if (options_.use_locking) locks_.ReleaseAll(LockIdFor(txn));
+  RecordResolution(txn, /*committed=*/false);
   OnTxnResolved(txn, /*committed=*/false, net);
 }
 
@@ -676,6 +823,33 @@ AxmlPeer::Ctx* AxmlPeer::FindContext(const std::string& txn) {
   return it == contexts_.end() ? nullptr : &it->second;
 }
 
-void AxmlPeer::EraseContext(const std::string& txn) { contexts_.erase(txn); }
+void AxmlPeer::EraseContext(const std::string& txn) {
+  auto it = contexts_.find(txn);
+  if (it == contexts_.end()) return;
+  std::vector<overlay::PeerId> invoked;
+  for (const ChildEdge& edge : it->second.children) {
+    if (!edge.invoked_peer.empty()) invoked.push_back(edge.invoked_peer);
+  }
+  contexts_.erase(it);
+  if (keepalive_ == nullptr) return;
+  // Stop watching children no other live context still waits on — a leaked
+  // watch keeps the keepalive monitor rescheduling itself forever, pinning
+  // the event queue (and the simulated clock) long after the transaction
+  // is resolved.
+  for (const overlay::PeerId& child : invoked) {
+    bool still_needed = false;
+    for (const auto& [other_txn, other_ctx] : contexts_) {
+      for (const ChildEdge& edge : other_ctx.children) {
+        if (edge.invoked_peer == child &&
+            edge.state == ChildEdge::State::kInvoked) {
+          still_needed = true;
+          break;
+        }
+      }
+      if (still_needed) break;
+    }
+    if (!still_needed) keepalive_->Unwatch(child);
+  }
+}
 
 }  // namespace axmlx::txn

@@ -4,6 +4,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,26 @@ struct PeerStats {
   int adoptions = 0;               ///< Re-INVOKEs answered from existing work.
   int notifications_sent = 0;      ///< NOTIFY_DISCONNECT messages emitted.
   int early_aborts = 0;            ///< Contexts stopped by a notification.
+};
+
+/// Observer interface for durable journaling of a peer's transactional
+/// writes. The fault-drill harness wires a storage::DurableStore-backed
+/// adapter here; the peer reports every applied forward operation and every
+/// final decision, which is exactly what WAL-based crash recovery needs: on
+/// restart the store replays its log and rolls back unresolved (in-flight)
+/// transactions, and the peer is rebuilt from the recovered documents.
+class WriteJournal {
+ public:
+  virtual ~WriteJournal() = default;
+
+  /// `ops` are the fully parameter-substituted operations this peer just
+  /// applied to `document` under `txn`, in execution order.
+  virtual void OnApply(const std::string& txn, const std::string& document,
+                      const std::vector<ops::Operation>& ops) = 0;
+
+  /// `txn` reached a final local decision: committed (keep the work) or
+  /// aborted (the journal must undo the journaled forward operations).
+  virtual void OnResolved(const std::string& txn, bool committed) = 0;
 };
 
 /// A transactional AXML peer (paper §3.2).
@@ -91,6 +113,14 @@ class AxmlPeer : public overlay::PeerNode {
     /// relatives — uncles, cousins, ... in chain distance order — so they
     /// compensate instead of waiting forever. ChainedPeer only.
     bool extended_chaining = false;
+    /// At-least-once delivery for decision-carrying control messages
+    /// (ABORT / COMMIT / COMPENSATE): they are sent with an "rsvp" header,
+    /// acknowledged by the receiver, and resent every this-many ticks until
+    /// acknowledged (or `control_resend_limit` attempts). 0 disables —
+    /// the default, matching the paper's reliable-channel assumption; fault
+    /// drills enable it so dropped/partitioned decisions still land.
+    overlay::Tick control_resend_interval = 0;
+    int control_resend_limit = 50;
   };
 
   using DoneCallback = std::function<void(const std::string& txn, Status)>;
@@ -117,6 +147,14 @@ class AxmlPeer : public overlay::PeerNode {
   bool HasContext(const std::string& txn) const {
     return contexts_.count(txn) > 0;
   }
+
+  /// Attaches a durable write journal (not owned; null detaches). Must be
+  /// set before the peer does transactional work.
+  void AttachJournal(WriteJournal* journal) { journal_ = journal; }
+
+  /// Control messages still awaiting acknowledgement (reliable-control
+  /// mode); 0 when idle or when control_resend_interval is 0.
+  size_t PendingControlMessages() const { return pending_control_.size(); }
 
   /// Invoker for data-plane use (embedded service-call materialization
   /// against this peer's services, or — when serviceURL names another peer
@@ -238,15 +276,45 @@ class AxmlPeer : public overlay::PeerNode {
   Ctx* FindContext(const std::string& txn);
   void EraseContext(const std::string& txn);
 
+  /// Final decision this peer recorded for `txn`: unset = never resolved
+  /// here, true = committed, false = aborted. Lets handlers distinguish a
+  /// stale duplicate/misrouted RESULT for a committed transaction (ignore)
+  /// from genuinely stale work (presumed-abort reply).
+  std::optional<bool> ResolvedOutcome(const std::string& txn) const;
+
+  /// Sends `m` as a decision-carrying control message. In reliable-control
+  /// mode (control_resend_interval > 0) the message carries "rsvp" and
+  /// "dedup" headers and is resent until the target acknowledges it;
+  /// otherwise this is a plain Send. Returns the first attempt's status.
+  Status SendControl(overlay::Message m, overlay::Network* net);
+
   ServiceDirectory* directory() { return directory_; }
   PeerStats* mutable_stats() { return &stats_; }
   Rng* rng() { return &rng_; }
+  WriteJournal* journal() { return journal_; }
 
   /// Invoker wired into the local executor for embedded service-call
   /// materializations: looks the method up in the local repository first.
   axml::ServiceInvoker MakeLocalInvoker();
 
+  /// Liveness token for closures scheduled on the network: a crash-stop
+  /// (Network::Crash) destroys the peer while its scheduled closures are
+  /// still queued, so every closure capturing `this` must also capture this
+  /// token and bail out when it has expired.
+  std::weak_ptr<void> AliveToken() const { return alive_; }
+
  private:
+  /// Dedup key of a delivered message: the explicit "dedup" header when
+  /// present (stable across control retransmissions), else the overlay
+  /// message id (stable across fault-injected duplicates).
+  static std::string DedupKeyOf(const overlay::Message& message);
+  /// Records the final decision for `txn` and journals it.
+  void RecordResolution(const std::string& txn, bool committed);
+  void HandleAck(const overlay::Message& message);
+  /// Schedules the next retransmission of the pending control message
+  /// `key` after the resend interval.
+  void ArmControlResend(const std::string& key, overlay::Network* net);
+
   void HandleInvoke(const overlay::Message& message, overlay::Network* net);
   void HandleResult(const overlay::Message& message, overlay::Network* net);
   void HandleAbort(const overlay::Message& message, overlay::Network* net);
@@ -277,6 +345,19 @@ class AxmlPeer : public overlay::PeerNode {
   PeerStats stats_;
   std::map<std::string, Ctx> contexts_;
   std::unique_ptr<overlay::KeepAliveMonitor> keepalive_;
+  WriteJournal* journal_ = nullptr;
+  /// Delivered-message dedup keys (duplicate suppression, at-most-once
+  /// processing on top of the overlay's at-least-once faults).
+  std::set<std::string> seen_messages_;
+  /// Final decisions recorded here, by transaction (true = committed).
+  std::map<std::string, bool> resolved_txns_;
+  /// Unacknowledged reliable control messages by dedup key.
+  struct PendingControl {
+    overlay::Message message;
+    int attempts = 0;
+  };
+  std::map<std::string, PendingControl> pending_control_;
+  std::shared_ptr<void> alive_ = std::make_shared<int>(0);
 };
 
 }  // namespace axmlx::txn

@@ -1,0 +1,385 @@
+#include "overlay/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "overlay/network.h"
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+
+namespace axmlx::overlay {
+namespace {
+
+class SinkPeer : public PeerNode {
+ public:
+  explicit SinkPeer(PeerId id, bool super = false)
+      : PeerNode(std::move(id), super) {}
+
+  void OnMessage(const Message& message, Network*) override {
+    received.push_back(message);
+  }
+
+  void OnTick(Tick, Network*) override { ++ticks; }
+
+  std::vector<Message> received;
+  int ticks = 0;
+};
+
+class FaultNetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<Network>(/*seed=*/1, &trace_);
+    for (const char* id : {"A", "B", "C", "D"}) {
+      auto peer = std::make_unique<SinkPeer>(id);
+      peers_[id] = peer.get();
+      net_->AddPeer(std::move(peer));
+    }
+  }
+
+  Message Msg(const std::string& from, const std::string& to,
+              const std::string& type = "DATA") {
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.type = type;
+    return m;
+  }
+
+  Trace trace_;
+  std::unique_ptr<Network> net_;
+  std::map<std::string, SinkPeer*> peers_;
+};
+
+// --- FaultPlan unit behaviour ----------------------------------------------
+
+TEST(FaultPlanTest, NoRulesMeansCleanDelivery) {
+  FaultPlan plan(7);
+  Message m;
+  m.from = "A";
+  m.to = "B";
+  m.type = "DATA";
+  auto deliveries = plan.Decide(m, {"A", "B"});
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].extra_delay, 0);
+  EXPECT_TRUE(deliveries[0].redirect_to.empty());
+}
+
+TEST(FaultPlanTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    FaultPlan plan(seed);
+    FaultRule rule;
+    rule.drop_rate = 0.3;
+    rule.dup_rate = 0.3;
+    rule.delay_max = 5;
+    plan.AddRule(rule);
+    std::vector<std::string> fates;
+    for (int i = 0; i < 200; ++i) {
+      Message m;
+      m.from = "A";
+      m.to = "B";
+      m.type = "DATA";
+      m.id = i;
+      auto ds = plan.Decide(m, {"A", "B", "C"});
+      std::string fate = std::to_string(ds.size());
+      for (const auto& d : ds) fate += "/" + std::to_string(d.extra_delay);
+      fates.push_back(fate);
+    }
+    return fates;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // and the seed actually matters
+}
+
+TEST(FaultPlanTest, DropRateOneDropsEverything) {
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.drop_rate = 1.0;
+  plan.AddRule(rule);
+  Message m;
+  m.from = "A";
+  m.to = "B";
+  EXPECT_TRUE(plan.Decide(m, {"A", "B"}).empty());
+  EXPECT_EQ(plan.stats().dropped, 1);
+}
+
+TEST(FaultPlanTest, DupRateOneDeliversTwice) {
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.dup_rate = 1.0;
+  plan.AddRule(rule);
+  Message m;
+  m.from = "A";
+  m.to = "B";
+  EXPECT_EQ(plan.Decide(m, {"A", "B"}).size(), 2u);
+  EXPECT_EQ(plan.stats().duplicated, 1);
+}
+
+TEST(FaultPlanTest, MisrouteRedirectsToAnotherPeer) {
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.misroute_rate = 1.0;
+  plan.AddRule(rule);
+  Message m;
+  m.from = "A";
+  m.to = "B";
+  auto ds = plan.Decide(m, {"A", "B", "C", "D"});
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_FALSE(ds[0].redirect_to.empty());
+  EXPECT_NE(ds[0].redirect_to, "B");
+  EXPECT_EQ(plan.stats().misrouted, 1);
+}
+
+TEST(FaultPlanTest, RulesFilterBySenderReceiverAndType) {
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.from = "A";
+  rule.to = "B";
+  rule.type = "RESULT";
+  rule.drop_rate = 1.0;
+  plan.AddRule(rule);
+  Message hit;
+  hit.from = "A";
+  hit.to = "B";
+  hit.type = "RESULT";
+  EXPECT_TRUE(plan.Decide(hit, {"A", "B"}).empty());
+  Message miss = hit;
+  miss.type = "INVOKE";
+  EXPECT_EQ(plan.Decide(miss, {"A", "B"}).size(), 1u);
+  Message other = hit;
+  other.to = "C";
+  EXPECT_EQ(plan.Decide(other, {"A", "B", "C"}).size(), 1u);
+}
+
+TEST(FaultPlanTest, PartitionSidesAndHeal) {
+  FaultPlan plan(1);
+  EXPECT_TRUE(plan.SameSide("A", "B"));
+  plan.Partition({{"A", "B"}, {"C"}});
+  EXPECT_TRUE(plan.partitioned());
+  EXPECT_TRUE(plan.SameSide("A", "B"));
+  EXPECT_FALSE(plan.SameSide("A", "C"));
+  // The harness (empty id) reaches everyone; unlisted peers share the
+  // implicit extra group.
+  EXPECT_TRUE(plan.SameSide("", "C"));
+  EXPECT_FALSE(plan.SameSide("A", "Unlisted"));
+  EXPECT_TRUE(plan.SameSide("Unlisted1", "Unlisted2"));
+  plan.Heal();
+  EXPECT_FALSE(plan.partitioned());
+  EXPECT_TRUE(plan.SameSide("A", "C"));
+}
+
+// --- Network integration ----------------------------------------------------
+
+TEST_F(FaultNetworkTest, PlanDropsAreTracedAndCounted) {
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.drop_rate = 1.0;
+  plan.AddRule(rule);
+  net_->SetFaultPlan(&plan);
+  ASSERT_TRUE(net_->Send(Msg("A", "B")).ok());  // sender sees success
+  net_->RunUntilQuiescent();
+  EXPECT_TRUE(peers_["B"]->received.empty());
+  EXPECT_EQ(trace_.CountKind("FAULT_DROP"), 1);
+  EXPECT_EQ(net_->stats().faults_injected, 1);
+  EXPECT_EQ(net_->stats().messages_delivered, 0);
+}
+
+TEST_F(FaultNetworkTest, DuplicatedCopiesShareOneMessageId) {
+  FaultPlan plan(1);
+  FaultRule rule;
+  rule.dup_rate = 1.0;
+  plan.AddRule(rule);
+  net_->SetFaultPlan(&plan);
+  ASSERT_TRUE(net_->Send(Msg("A", "B")).ok());
+  net_->RunUntilQuiescent();
+  ASSERT_EQ(peers_["B"]->received.size(), 2u);
+  EXPECT_EQ(peers_["B"]->received[0].id, peers_["B"]->received[1].id);
+  EXPECT_NE(peers_["B"]->received[0].id, 0);
+  EXPECT_EQ(trace_.CountKind("FAULT_DUP"), 1);
+}
+
+TEST_F(FaultNetworkTest, PartitionBlocksSendsAndInFlightDeliveries) {
+  net_->SetLatency(5, 0);
+  FaultPlan plan(1);
+  net_->SetFaultPlan(&plan);
+  ASSERT_TRUE(net_->Send(Msg("A", "C")).ok());  // in flight across the cut
+  plan.Partition({{"A", "B"}, {"C", "D"}});
+  EXPECT_FALSE(net_->Send(Msg("A", "C")).ok());  // fails fast at send
+  EXPECT_TRUE(net_->Send(Msg("A", "B")).ok());   // same side still works
+  EXPECT_FALSE(net_->CanReach("A", "C"));
+  EXPECT_TRUE(net_->CanReach("A", "B"));
+  net_->RunUntilQuiescent();
+  EXPECT_TRUE(peers_["C"]->received.empty());  // in-flight copy was cut
+  ASSERT_EQ(peers_["B"]->received.size(), 1u);
+  EXPECT_GE(plan.stats().partition_blocked, 2);
+  plan.Heal();
+  ASSERT_TRUE(net_->Send(Msg("A", "C")).ok());
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(peers_["C"]->received.size(), 1u);
+}
+
+// --- Crash / restart ---------------------------------------------------------
+
+TEST_F(FaultNetworkTest, CrashDestroysPeerAndRestartRejoins) {
+  ASSERT_TRUE(net_->Crash("B").ok());
+  EXPECT_TRUE(net_->IsCrashed("B"));
+  EXPECT_FALSE(net_->IsConnected("B"));
+  EXPECT_EQ(net_->FindPeer("B"), nullptr);
+  EXPECT_FALSE(net_->Send(Msg("A", "B")).ok());
+  EXPECT_FALSE(net_->Crash("B").ok());        // already crashed
+  EXPECT_FALSE(net_->Crash("nobody").ok());   // unknown id
+  EXPECT_EQ(trace_.CountKind("CRASH"), 1);
+
+  auto rebuilt = std::make_unique<SinkPeer>("B");
+  SinkPeer* raw = rebuilt.get();
+  ASSERT_TRUE(net_->Restart(std::move(rebuilt)).ok());
+  EXPECT_FALSE(net_->IsCrashed("B"));
+  EXPECT_TRUE(net_->IsConnected("B"));
+  EXPECT_EQ(trace_.CountKind("RESTART"), 1);
+  ASSERT_TRUE(net_->Send(Msg("A", "B")).ok());
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(raw->received.size(), 1u);
+}
+
+TEST_F(FaultNetworkTest, RestartOfLivePeerIsRejected) {
+  EXPECT_FALSE(net_->Restart(std::make_unique<SinkPeer>("A")).ok());
+}
+
+TEST_F(FaultNetworkTest, InFlightMessagesToCrashedPeerAreDropped) {
+  net_->SetLatency(10, 0);
+  ASSERT_TRUE(net_->Send(Msg("A", "B")).ok());
+  ASSERT_TRUE(net_->Crash("B").ok());
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(net_->stats().messages_dropped, 1);
+}
+
+// --- Send accounting (delivery-accounting bugfixes) --------------------------
+
+TEST_F(FaultNetworkTest, DisconnectedSenderCountsAsFailedSend) {
+  ASSERT_TRUE(net_->Disconnect("A").ok());
+  int64_t before = net_->stats().sends_failed;
+  Status s = net_->Send(Msg("A", "B")).status();
+  EXPECT_FALSE(s.ok());
+  // The disconnected-*sender* path must account exactly like the
+  // disconnected-destination path: counted and traced.
+  EXPECT_EQ(net_->stats().sends_failed, before + 1);
+  EXPECT_EQ(trace_.CountKind("SEND_FAIL"), 1);
+}
+
+TEST_F(FaultNetworkTest, DisconnectedDestinationCountsAsFailedSend) {
+  ASSERT_TRUE(net_->Disconnect("B").ok());
+  EXPECT_FALSE(net_->Send(Msg("A", "B")).ok());
+  EXPECT_EQ(net_->stats().sends_failed, 1);
+  EXPECT_EQ(trace_.CountKind("SEND_FAIL"), 1);
+}
+
+TEST_F(FaultNetworkTest, UnknownDestinationIsRejectedCountedAndTraced) {
+  Status s = net_->Send(Msg("A", "Nowhere")).status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(net_->stats().sends_rejected, 1);
+  EXPECT_EQ(net_->stats().sends_failed, 0);  // distinct counter
+  EXPECT_EQ(net_->stats().messages_sent, 0);
+  EXPECT_EQ(trace_.CountKind("SEND_REJECT"), 1);
+}
+
+// --- Opt-in ticks (RunUntil perf fix) ---------------------------------------
+
+TEST_F(FaultNetworkTest, TicksAreOptIn) {
+  ASSERT_TRUE(net_->Send(Msg("A", "B")).ok());
+  net_->RunUntilQuiescent();
+  // Nobody subscribed: no tick dispatch at all.
+  EXPECT_EQ(net_->stats().tick_calls, 0);
+  for (auto& [id, peer] : peers_) EXPECT_EQ(peer->ticks, 0);
+
+  net_->RequestTicks("C");
+  ASSERT_TRUE(net_->Send(Msg("A", "B")).ok());
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(peers_["C"]->ticks, 1);  // one delivery -> one tick
+  EXPECT_EQ(peers_["A"]->ticks, 0);
+  EXPECT_EQ(net_->stats().tick_calls, 1);
+
+  net_->CancelTicks("C");
+  ASSERT_TRUE(net_->Send(Msg("A", "B")).ok());
+  net_->RunUntilQuiescent();
+  EXPECT_EQ(peers_["C"]->ticks, 1);
+}
+
+// --- Duplicate-delivery idempotence at the protocol layer --------------------
+
+class DuplicateDeliveryTest : public ::testing::Test {
+ protected:
+  /// Figure-1 world with replicas; `types` lists message types the plan
+  /// duplicates on every send. `s5_fault` injects the paper's S5 failure.
+  void Build(const std::vector<std::string>& types, double s5_fault) {
+    repo_ = std::make_unique<repo::AxmlRepository>(11);
+    repo::ScenarioOptions scen;
+    scen.protocol = repo::AxmlRepository::Protocol::kRecovering;
+    scen.peer_options.peer_independent = true;
+    scen.peer_options.txn_timeout = 300;
+    scen.add_replicas = true;
+    scen.s5_fault_probability = s5_fault;
+    scen_ = scen;
+    ASSERT_TRUE(repo::BuildFigureOne(repo_.get(), scen).ok());
+    plan_ = std::make_unique<FaultPlan>(5);
+    for (const std::string& type : types) {
+      FaultRule rule;
+      rule.type = type;
+      rule.dup_rate = 1.0;
+      plan_->AddRule(rule);
+    }
+    repo_->network().SetFaultPlan(plan_.get());
+  }
+
+  size_t Entries(const PeerId& id) {
+    const xml::Document* doc =
+        repo_->FindPeer(id)->repository().GetDocument(
+            repo::ScenarioDocName(id));
+    size_t count = 0;
+    doc->Walk(doc->root(), [&count](const xml::Node& n) {
+      if (n.is_element() && n.name == "entry") ++count;
+      return true;
+    });
+    return count;
+  }
+
+  std::unique_ptr<repo::AxmlRepository> repo_;
+  std::unique_ptr<FaultPlan> plan_;
+  repo::ScenarioOptions scen_;
+};
+
+TEST_F(DuplicateDeliveryTest, DuplicatedResultsDoNotDoubleCommit) {
+  Build({"RESULT"}, /*s5_fault=*/0.0);
+  auto outcome = repo_->RunTransaction("AP1", "TA", "S1");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->status.ok()) << outcome->status;
+  // Every RESULT was delivered twice; dedup on the shared message id must
+  // keep the protocol at exactly-once: each peer holds exactly
+  // ops_per_service committed entries.
+  for (const PeerId& id : {"AP1", "AP2", "AP3", "AP4", "AP5", "AP6"}) {
+    EXPECT_EQ(Entries(id), static_cast<size_t>(scen_.ops_per_service))
+        << "peer " << id;
+  }
+  EXPECT_GT(plan_->stats().duplicated, 0);
+}
+
+TEST_F(DuplicateDeliveryTest, DuplicatedAbortsCompensateExactlyOnce) {
+  // Force the Figure-1 fault so the transaction aborts and ABORT/COMPENSATE
+  // traffic flows (each delivered twice).
+  Build({"ABORT", "COMPENSATE"}, /*s5_fault=*/1.0);
+  auto outcome = repo_->RunTransaction("AP1", "TA", "S1");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->status.ok());  // aborted by the injected S5 fault
+  // Aborted transaction: all work compensated, exactly once — a double
+  // compensation would leave negative/garbled documents, a missed one
+  // leftover entries.
+  for (const PeerId& id : {"AP1", "AP2", "AP3", "AP4", "AP5", "AP6"}) {
+    EXPECT_EQ(Entries(id), 0u) << "peer " << id;
+  }
+  EXPECT_GT(plan_->stats().duplicated, 0);
+}
+
+}  // namespace
+}  // namespace axmlx::overlay

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate for axmlx: warnings-as-errors build, full test suite, project
+# linter, then the fault-injection suites under ASan/UBSan. Exits non-zero
+# on the first failure. See DESIGN.md §6b.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-check)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-check}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "configure + build (-DAXMLX_WERROR=ON)"
+cmake -B "$BUILD_DIR" -S . -DAXMLX_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+step "full test suite"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+step "static analysis (ctest -L lint)"
+ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure
+
+step "sanitizer build (-DAXMLX_SANITIZE=ON) + fault-labeled suites"
+SAN_DIR="$BUILD_DIR-asan"
+cmake -B "$SAN_DIR" -S . -DAXMLX_WERROR=ON -DAXMLX_SANITIZE=ON
+cmake --build "$SAN_DIR" -j "$JOBS" \
+  --target fault_injection_test fault_drill_test
+ctest --test-dir "$SAN_DIR" -L fault --output-on-failure -j "$JOBS"
+
+step "OK: all gates passed"

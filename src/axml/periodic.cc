@@ -51,7 +51,7 @@ void PeriodicRefresher::Refresh(std::shared_ptr<State> state, xml::NodeId sc,
   if (result.ok()) {
     ++state->refreshes;
     if (state->net->trace() != nullptr) {
-      state->net->trace()->Add(state->net->now(), state->owner, "REFRESH",
+      state->net->trace()->Add(state->net->now(), state->owner, kEvRefresh,
                                "periodic materialization of call " +
                                    std::to_string(sc));
     }

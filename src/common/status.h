@@ -37,7 +37,14 @@ const char* StatusCodeName(StatusCode code);
 /// Value-type result of an operation that can fail. `Status` carries a code
 /// and a message; it is cheap to copy in the OK case. The library does not
 /// use exceptions: every fallible API returns `Status` or `Result<T>`.
-class Status {
+///
+/// Marked [[nodiscard]] at class level, which makes *every* function
+/// returning `Status` warn when the result is ignored (lint rule R2 keeps
+/// the attribute in place). A silently dropped abort status is exactly the
+/// "partial effects survive" bug the compensation framework exists to
+/// prevent, so discarding must be explicit: handle the status, propagate
+/// it, or account it (e.g. AxmlPeer::BestEffortSend) — never a bare cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -82,9 +89,10 @@ Status Conflict(std::string message);
 
 /// `Result<T>` holds either a value or a non-OK `Status`. Analogous to
 /// absl::StatusOr. Accessing `value()` on an error result is a programming
-/// error and asserts in debug builds.
+/// error and asserts in debug builds. [[nodiscard]] for the same reason as
+/// `Status`: a dropped error result hides a failed protocol step.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or from an error status keeps call
   /// sites terse (`return node;` / `return NotFound(...);`).

@@ -7,6 +7,27 @@
 
 namespace axmlx {
 
+/// Declared trace-event kinds. Every `kind` emitted into a Trace must come
+/// from this table (lint rule R3): benches and tests assert on kind strings
+/// (`CountKind("SEND")`), so an emitter inventing an off-table spelling
+/// silently breaks those assertions instead of failing loudly.
+inline constexpr char kEvSend[] = "SEND";
+inline constexpr char kEvRecv[] = "RECV";
+inline constexpr char kEvDrop[] = "DROP";
+inline constexpr char kEvSendFail[] = "SEND_FAIL";
+inline constexpr char kEvSendReject[] = "SEND_REJECT";
+inline constexpr char kEvDisconnect[] = "DISCONNECT";
+inline constexpr char kEvDisconnectRefused[] = "DISCONNECT_REFUSED";
+inline constexpr char kEvReconnect[] = "RECONNECT";
+inline constexpr char kEvCrash[] = "CRASH";
+inline constexpr char kEvRestart[] = "RESTART";
+inline constexpr char kEvFaultDrop[] = "FAULT_DROP";
+inline constexpr char kEvFaultDup[] = "FAULT_DUP";
+inline constexpr char kEvFaultMisroute[] = "FAULT_MISROUTE";
+inline constexpr char kEvPingTimeout[] = "PING_TIMEOUT";
+inline constexpr char kEvStreamSilence[] = "STREAM_SILENCE";
+inline constexpr char kEvRefresh[] = "REFRESH";
+
 /// A single protocol event. The recovery and disconnection benches assert
 /// against (and print) these traces to reproduce the paper's Figure 1 and
 /// Figure 2 narratives step by step.

@@ -51,7 +51,7 @@ void KeepAliveMonitor::CheckRound(std::shared_ptr<State> state) {
     auto it = state->watched.find(target);
     if (it == state->watched.end()) continue;
     if (state->net->trace() != nullptr) {
-      state->net->trace()->Add(now, state->watcher, "PING_TIMEOUT",
+      state->net->trace()->Add(now, state->watcher, kEvPingTimeout,
                                "detected disconnection of " + target);
     }
     DownCallback cb = std::move(it->second);

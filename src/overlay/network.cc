@@ -34,7 +34,7 @@ Status Network::Disconnect(const PeerId& id) {
                               " is a super peer and never disconnects");
   }
   connected_[id] = false;
-  TraceEventf(id, "DISCONNECT", "peer left the overlay");
+  TraceEventf(id, kEvDisconnect, "peer left the overlay");
   return Status::Ok();
 }
 
@@ -46,7 +46,7 @@ Status Network::Reconnect(const PeerId& id) {
                               " is crashed; use Restart with a rebuilt node");
   }
   connected_[id] = true;
-  TraceEventf(id, "RECONNECT", "peer rejoined the overlay");
+  TraceEventf(id, kEvReconnect, "peer rejoined the overlay");
   return Status::Ok();
 }
 
@@ -68,7 +68,7 @@ Status Network::Crash(const PeerId& id) {
   connected_[id] = false;
   CancelTicks(id);
   it->second.reset();  // destroy all in-memory state
-  TraceEventf(id, "CRASH", "peer crashed; in-memory state lost");
+  TraceEventf(id, kEvCrash, "peer crashed; in-memory state lost");
   return Status::Ok();
 }
 
@@ -81,7 +81,7 @@ Status Network::Restart(std::unique_ptr<PeerNode> peer) {
   }
   it->second = std::move(peer);
   connected_[id] = true;
-  TraceEventf(id, "RESTART", "peer rebuilt from durable state and rejoined");
+  TraceEventf(id, kEvRestart, "peer rebuilt from durable state and rejoined");
   return Status::Ok();
 }
 
@@ -98,7 +98,13 @@ bool Network::CanReach(const PeerId& from, const PeerId& to) const {
 }
 
 void Network::DisconnectAt(Tick when, const PeerId& id) {
-  ScheduleAt(when, [id](Network* net) { (void)net->Disconnect(id); });
+  ScheduleAt(when, [id](Network* net) {
+    Status s = net->Disconnect(id);
+    // A scheduled disconnect can be refused (super peer, already crashed,
+    // never registered). Drills that scheduled it must be able to see that
+    // the peer in fact stayed up.
+    if (!s.ok()) net->TraceEventf(id, kEvDisconnectRefused, s.ToString());
+  });
 }
 
 void Network::EnqueueDelivery(Message message, Tick extra_delay) {
@@ -118,13 +124,13 @@ Result<int64_t> Network::Send(Message message) {
     // Unknown destinations are accounted like any other failed send so
     // fault drills (and operators) can see misdirected traffic.
     ++stats_.sends_rejected;
-    TraceEventf(message.from, "SEND_REJECT",
+    TraceEventf(message.from, kEvSendReject,
                 message.type + " to " + message.to + " (unknown peer)");
     return NotFound("Send: unknown peer " + message.to);
   }
   if (!IsConnected(message.to)) {
     ++stats_.sends_failed;
-    TraceEventf(message.from, "SEND_FAIL",
+    TraceEventf(message.from, kEvSendFail,
                 message.type + " to " + message.to + " (disconnected)");
     return PeerDisconnected("Send: " + message.to + " is unreachable");
   }
@@ -132,7 +138,7 @@ Result<int64_t> Network::Send(Message message) {
     // A disconnected peer cannot emit messages. Symmetric with the
     // disconnected-destination path: counted and traced.
     ++stats_.sends_failed;
-    TraceEventf(message.from, "SEND_FAIL",
+    TraceEventf(message.from, kEvSendFail,
                 message.type + " to " + message.to +
                     " (sender disconnected)");
     return PeerDisconnected("Send: sender " + message.from +
@@ -144,14 +150,14 @@ Result<int64_t> Network::Send(Message message) {
     // paper's peers use to detect disconnection (§3.3(b)).
     ++stats_.sends_failed;
     ++fault_plan_->mutable_stats()->partition_blocked;
-    TraceEventf(message.from, "SEND_FAIL",
+    TraceEventf(message.from, kEvSendFail,
                 message.type + " to " + message.to + " (partitioned)");
     return PeerDisconnected("Send: " + message.to +
                             " is unreachable (partitioned)");
   }
   message.id = next_message_id_++;
   ++stats_.messages_sent;
-  TraceEventf(message.from, "SEND", message.type + " -> " + message.to);
+  TraceEventf(message.from, kEvSend, message.type + " -> " + message.to);
   int64_t id = message.id;
   if (fault_plan_ == nullptr) {
     EnqueueDelivery(std::move(message), /*extra_delay=*/0);
@@ -165,7 +171,7 @@ Result<int64_t> Network::Send(Message message) {
       fault_plan_->Decide(message, order_);
   if (deliveries.empty()) {
     ++stats_.faults_injected;
-    TraceEventf(message.from, "FAULT_DROP",
+    TraceEventf(message.from, kEvFaultDrop,
                 message.type + " to " + message.to + " lost in transit");
     return id;
   }
@@ -174,14 +180,14 @@ Result<int64_t> Network::Send(Message message) {
     Message copy = message;
     if (!d.redirect_to.empty()) {
       ++stats_.faults_injected;
-      TraceEventf(copy.from, "FAULT_MISROUTE",
+      TraceEventf(copy.from, kEvFaultMisroute,
                   copy.type + " to " + copy.to + " rerouted to " +
                       d.redirect_to);
       copy.to = d.redirect_to;
     }
     if (!first) {
       ++stats_.faults_injected;
-      TraceEventf(copy.from, "FAULT_DUP",
+      TraceEventf(copy.from, kEvFaultDup,
                   copy.type + " to " + copy.to + " duplicated");
     }
     if (d.extra_delay > 0) ++stats_.faults_injected;
@@ -228,20 +234,20 @@ void Network::RunUntil(Tick until) {
     const Message& msg = *ev.message;
     if (!IsConnected(msg.to) || FindPeer(msg.to) == nullptr) {
       ++stats_.messages_dropped;
-      TraceEventf(msg.to, "DROP", msg.type + " from " + msg.from);
+      TraceEventf(msg.to, kEvDrop, msg.type + " from " + msg.from);
       continue;
     }
     if (fault_plan_ != nullptr && !fault_plan_->SameSide(msg.from, msg.to)) {
       // The partition came up while the message was in flight.
       ++stats_.messages_dropped;
       ++fault_plan_->mutable_stats()->partition_blocked;
-      TraceEventf(msg.to, "DROP",
+      TraceEventf(msg.to, kEvDrop,
                   msg.type + " from " + msg.from + " (partitioned)");
       continue;
     }
     PeerNode* peer = FindPeer(msg.to);
     ++stats_.messages_delivered;
-    TraceEventf(msg.to, "RECV", msg.type + " from " + msg.from);
+    TraceEventf(msg.to, kEvRecv, msg.type + " from " + msg.from);
     peer->OnMessage(msg, this);
     // Periodic work interleaves deterministically after each delivery, but
     // only for peers that asked for ticks — delivery cost does not scale

@@ -93,7 +93,7 @@ void StreamWatcher::CheckRound(std::shared_ptr<State> state) {
   }
   for (const PeerId& from : silent) {
     if (state->net->trace() != nullptr) {
-      state->net->trace()->Add(now, state->watcher, "STREAM_SILENCE",
+      state->net->trace()->Add(now, state->watcher, kEvStreamSilence,
                                "no data from " + from);
     }
     SilenceCallback cb = std::move(state->expected[from].on_silence);

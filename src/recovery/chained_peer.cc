@@ -30,10 +30,10 @@ void ChainedPeer::OnParentUnreachable(Ctx* ctx, overlay::Network* net) {
         m.from = id();
         m.to = relative;
         m.type = txn::kMsgAbort;
-        m.headers["txn"] = txn;
-        m.headers["fault"] = "OriginUnreachable";
+        m.headers[txn::kHdrTxn] = txn;
+        m.headers[txn::kHdrFault] = "OriginUnreachable";
         ++mutable_stats()->aborts_sent;
-        (void)net->Send(std::move(m));
+        BestEffortSend(std::move(m), net);
       }
     }
     RecoveringPeer::OnParentUnreachable(ctx, net);  // presumed abort
@@ -52,10 +52,10 @@ void ChainedPeer::OnParentUnreachable(Ctx* ctx, overlay::Network* net) {
   m.from = id();
   m.to = target;
   m.type = txn::kMsgResult;
-  m.headers["txn"] = ctx->txn;
-  m.headers["service"] = ctx->service;
-  m.headers["redirect_for"] = dead_parent;
-  m.headers["disconnected"] = dead_parent;
+  m.headers[txn::kHdrTxn] = ctx->txn;
+  m.headers[txn::kHdrService] = ctx->service;
+  m.headers[txn::kHdrRedirectFor] = dead_parent;
+  m.headers[txn::kHdrDisconnected] = dead_parent;
   m.attachment = payload;
   if (net->Send(std::move(m)).ok()) {
     ++mutable_stats()->results_rerouted;
@@ -70,7 +70,7 @@ void ChainedPeer::OnRedirectedResult(const overlay::Message& message,
   auto payload =
       std::static_pointer_cast<const txn::ResultPayload>(message.attachment);
   if (payload == nullptr) return;
-  const std::string& txn = message.headers.at("txn");
+  const std::string& txn = message.headers.at(txn::kHdrTxn);
   if (FindContext(txn) == nullptr) {
     // A late duplicate of a reroute for a transaction that committed here
     // must not trigger a rollback of committed work.
@@ -82,13 +82,13 @@ void ChainedPeer::OnRedirectedResult(const overlay::Message& message,
     reply.from = id();
     reply.to = message.from;
     reply.type = txn::kMsgAbort;
-    reply.headers["txn"] = txn;
-    reply.headers["fault"] = "TxnUnknown";
+    reply.headers[txn::kHdrTxn] = txn;
+    reply.headers[txn::kHdrFault] = "TxnUnknown";
     ++mutable_stats()->aborts_sent;
-    (void)net->Send(std::move(reply));
+    BestEffortSend(std::move(reply), net);
     return;
   }
-  const overlay::PeerId& dead = message.headers.at("disconnected");
+  const overlay::PeerId& dead = message.headers.at(txn::kHdrDisconnected);
   auto& bundle = orphan_results_[txn];
   if (bundle == nullptr) bundle = std::make_shared<txn::ReusedResults>();
   bundle->by_service[payload->service] = payload;
@@ -107,8 +107,8 @@ void ChainedPeer::OnRedirectedResult(const overlay::Message& message,
 
 void ChainedPeer::OnNotifyDisconnect(const overlay::Message& message,
                                      overlay::Network* net) {
-  const std::string& txn = message.headers.at("txn");
-  const overlay::PeerId& dead = message.headers.at("disconnected");
+  const std::string& txn = message.headers.at(txn::kHdrTxn);
+  const overlay::PeerId& dead = message.headers.at(txn::kHdrDisconnected);
   Ctx* ctx = FindContext(txn);
   if (ctx == nullptr) return;
   if (dead == ctx->parent) {
@@ -152,8 +152,8 @@ void ChainedPeer::NotifySubtree(const Ctx& ctx, const overlay::PeerId& dead,
     m.from = id();
     m.to = peer;
     m.type = txn::kMsgNotifyDisconnect;
-    m.headers["txn"] = ctx.txn;
-    m.headers["disconnected"] = dead;
+    m.headers[txn::kHdrTxn] = ctx.txn;
+    m.headers[txn::kHdrDisconnected] = dead;
     if (net->Send(std::move(m)).ok()) ++mutable_stats()->notifications_sent;
   }
 }
@@ -179,10 +179,10 @@ void ChainedPeer::OnTxnResolved(const std::string& txn, bool committed,
       m.from = id();
       m.to = payload->executed_by;
       m.type = txn::kMsgAbort;
-      m.headers["txn"] = txn;
-      m.headers["fault"] = "TxnAborted";
+      m.headers[txn::kHdrTxn] = txn;
+      m.headers[txn::kHdrFault] = "TxnAborted";
       ++mutable_stats()->aborts_sent;
-      (void)net->Send(std::move(m));
+      BestEffortSend(std::move(m), net);
     }
   }
   orphan_results_.erase(it);
@@ -220,8 +220,8 @@ void ChainedPeer::NotifyRelativesOfDeath(const std::string& txn,
     m.from = id();
     m.to = t;
     m.type = txn::kMsgNotifyDisconnect;
-    m.headers["txn"] = txn;
-    m.headers["disconnected"] = dead;
+    m.headers[txn::kHdrTxn] = txn;
+    m.headers[txn::kHdrDisconnected] = dead;
     if (net->Send(std::move(m)).ok()) ++mutable_stats()->notifications_sent;
   }
 }

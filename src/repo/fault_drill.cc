@@ -18,18 +18,24 @@ namespace {
 /// consistent state from the WAL alone.
 class StoreJournal : public txn::WriteJournal {
  public:
-  explicit StoreJournal(storage::DurableStore* store) : store_(store) {}
+  /// `errors` (drill-owned, outlives the journal) counts store operations
+  /// that failed: the journal interface is fire-and-forget, but a WAL that
+  /// diverges from the in-memory documents must not go unnoticed — the
+  /// drill report surfaces the count and tests assert it is zero.
+  StoreJournal(storage::DurableStore* store, int64_t* errors)
+      : store_(store), errors_(errors) {}
 
   void OnApply(const std::string& txn, const std::string& document,
                const std::vector<ops::Operation>& ops) override {
     if (begun_.insert(txn).second) {
       if (!store_->Begin(txn).ok()) {
         begun_.erase(txn);
+        ++*errors_;
         return;
       }
     }
     for (const ops::Operation& op : ops) {
-      (void)store_->Execute(txn, document, op);
+      if (!store_->Execute(txn, document, op).ok()) ++*errors_;
     }
   }
 
@@ -37,15 +43,13 @@ class StoreJournal : public txn::WriteJournal {
     // Resolutions repeat (duplicate COMMITs, compensate-after-abort); only
     // the first one after journaled work does anything.
     if (begun_.erase(txn) == 0) return;
-    if (committed) {
-      (void)store_->Commit(txn);
-    } else {
-      (void)store_->Abort(txn);
-    }
+    Status s = committed ? store_->Commit(txn) : store_->Abort(txn);
+    if (!s.ok()) ++*errors_;
   }
 
  private:
   storage::DurableStore* store_;
+  int64_t* errors_;
   std::set<std::string> begun_;
 };
 
@@ -83,7 +87,8 @@ Status FaultDrill::AttachStorage(const overlay::PeerId& id,
   for (const std::string& xml_text : docs) {
     AXMLX_RETURN_IF_ERROR(ps.store->CreateDocument(xml_text));
   }
-  ps.journal = std::make_unique<StoreJournal>(ps.store.get());
+  ps.journal = std::make_unique<StoreJournal>(ps.store.get(),
+                                              &journal_errors_);
   txn::AxmlPeer* peer = repo_->FindPeer(id);
   if (peer == nullptr) return NotFound("no peer " + id + " to journal");
   peer->AttachJournal(ps.journal.get());
@@ -295,13 +300,22 @@ Result<FaultDrillReport> FaultDrill::Run() {
         !victims.empty()) {
       overlay::PeerId victim =
           victims[static_cast<size_t>(crash_rotation++) % victims.size()];
+      // A refused scheduled crash/restart (peer already down, replica
+      // missing, ...) is a harness defect, not a protocol outcome; the
+      // defensive healing loop below retries restarts, so count and go on.
       net->ScheduleAfter(options_.crash_at,
                          [this, victim](overlay::Network*) {
-                           (void)CrashNow(victim);
+                           if (!CrashNow(victim).ok() &&
+                               active_report_ != nullptr) {
+                             ++active_report_->harness_errors;
+                           }
                          });
       net->ScheduleAfter(options_.crash_at + options_.restart_after,
                          [this, victim](overlay::Network*) {
-                           (void)RestartNow(victim);
+                           if (!RestartNow(victim).ok() &&
+                               active_report_ != nullptr) {
+                             ++active_report_->harness_errors;
+                           }
                          });
     }
 
@@ -358,6 +372,7 @@ Result<FaultDrillReport> FaultDrill::Run() {
   }
   report.net = net->stats();
   report.faults = plan_->stats();
+  report.journal_errors = journal_errors_;
   active_report_ = nullptr;
   return report;
 }

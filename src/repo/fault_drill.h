@@ -80,6 +80,9 @@ struct FaultDrillReport {
   int dangling_contexts = 0;   ///< Contexts still live at drill end.
   size_t pending_control = 0;  ///< Unacked control messages at drill end.
 
+  int64_t journal_errors = 0;  ///< WAL ops that failed (store diverged).
+  int harness_errors = 0;      ///< Scheduled crash/restart steps refused.
+
   overlay::Network::Stats net;
   overlay::FaultPlan::Stats faults;
 };
@@ -127,6 +130,7 @@ class FaultDrill {
   std::map<overlay::PeerId, PeerStorage> storage_;
   std::vector<std::string> txn_names_;
   int committed_so_far_ = 0;
+  int64_t journal_errors_ = 0;
   FaultDrillReport* active_report_ = nullptr;
 };
 

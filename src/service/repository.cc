@@ -135,7 +135,13 @@ Result<InvocationOutcome> ServiceHost::Invoke(
         effect_or.status().code() == StatusCode::kConflict) {
       comp::CompensationPlan partial =
           comp::CompensationBuilder::ForLog(outcome.effects);
-      (void)comp::ApplyPlan(&executor, partial);
+      Status undo = comp::ApplyPlan(&executor, partial);
+      if (!undo.ok()) {
+        // The partial rollback itself failed: the document now holds a
+        // half-applied invocation, which is worse than the conflict.
+        return Internal("partial rollback failed after LockConflict: " +
+                        undo.ToString());
+      }
       return ServiceFault("LockConflict: " + effect_or.status().message());
     }
     if (!effect_or.ok()) {
@@ -143,7 +149,12 @@ Result<InvocationOutcome> ServiceHost::Invoke(
       // the service invocation itself is atomic on its hosting peer.
       comp::CompensationPlan partial =
           comp::CompensationBuilder::ForLog(outcome.effects);
-      (void)comp::ApplyPlan(&executor, partial);
+      Status undo = comp::ApplyPlan(&executor, partial);
+      if (!undo.ok()) {
+        return Internal("partial rollback failed after " +
+                        effect_or.status().ToString() + ": " +
+                        undo.ToString());
+      }
       return effect_or.status();
     }
     ops::OpEffect effect = std::move(effect_or).value();

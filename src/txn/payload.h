@@ -9,10 +9,13 @@
 #include "common/status.h"
 #include "compensation/compensation.h"
 #include "overlay/network.h"
+#include "overlay/stream.h"
 
 namespace axmlx::txn {
 
-/// Message types used by the transactional protocol.
+/// Message types used by the transactional protocol. Every constant here
+/// must have a dispatch arm in AxmlPeer::OnMessage (lint rule R1); peers
+/// must never compare `message.type` against a raw string literal.
 inline constexpr char kMsgInvoke[] = "INVOKE";
 inline constexpr char kMsgResult[] = "RESULT";
 inline constexpr char kMsgAbort[] = "ABORT";
@@ -20,11 +23,29 @@ inline constexpr char kMsgCommit[] = "COMMIT";
 inline constexpr char kMsgCompensate[] = "COMPENSATE";
 inline constexpr char kMsgCompAck[] = "COMP_ACK";
 inline constexpr char kMsgNotifyDisconnect[] = "NOTIFY_DISCONNECT";
-inline constexpr char kMsgStream[] = "STREAM";
+/// STREAM is the overlay data-plane heartbeat and is owned by
+/// overlay/stream.h; aliased here (not redeclared) so the publisher and the
+/// txn dispatcher cannot drift apart.
+inline constexpr const char* kMsgStream = overlay::kStreamMessage;
 /// Delivery acknowledgement for control messages sent with an "rsvp"
 /// header (at-least-once control delivery under fault injection). The ACK
 /// echoes the message's "dedup" key in its "ack_of" header.
 inline constexpr char kMsgAck[] = "ACK";
+
+/// Protocol header names. Shared constants rather than string literals at
+/// each call site: a sender writing "ack-of" while the receiver reads
+/// "ack_of" would silently disable control-channel retransmission cleanup.
+inline constexpr char kHdrTxn[] = "txn";
+inline constexpr char kHdrService[] = "service";
+inline constexpr char kHdrFault[] = "fault";
+inline constexpr char kHdrFailedService[] = "failed_service";
+inline constexpr char kHdrChain[] = "chain";
+inline constexpr char kHdrRsvp[] = "rsvp";
+inline constexpr char kHdrDedup[] = "dedup";
+inline constexpr char kHdrAckOf[] = "ack_of";
+inline constexpr char kHdrRedirectFor[] = "redirect_for";
+inline constexpr char kHdrDisconnected[] = "disconnected";
+inline constexpr char kHdrOk[] = "ok";
 
 using Params = std::vector<std::pair<std::string, std::string>>;
 

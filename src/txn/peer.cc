@@ -192,10 +192,10 @@ void AxmlPeer::InvokeChild(Ctx* ctx, ChildEdge* edge,
   m.from = id();
   m.to = target;
   m.type = kMsgInvoke;
-  m.headers["txn"] = ctx->txn;
-  m.headers["service"] = edge->def.service;
+  m.headers[kHdrTxn] = ctx->txn;
+  m.headers[kHdrService] = edge->def.service;
   if (options_.use_chaining) {
-    m.headers["chain"] = ctx->chain.Serialize();
+    m.headers[kHdrChain] = ctx->chain.Serialize();
   }
   m.body = EncodeParams(edge->def.params);
   m.attachment = ReuseFor(*ctx);
@@ -236,7 +236,7 @@ void AxmlPeer::WatchChild(Ctx* ctx, const overlay::PeerId& child,
 }
 
 std::string AxmlPeer::DedupKeyOf(const overlay::Message& message) {
-  auto it = message.headers.find("dedup");
+  auto it = message.headers.find(kHdrDedup);
   if (it != message.headers.end()) return it->second;
   if (message.id != 0) return "m/" + std::to_string(message.id);
   return std::string();
@@ -258,11 +258,11 @@ Status AxmlPeer::SendControl(overlay::Message m, overlay::Network* net) {
     return net->Send(std::move(m)).status();
   }
   std::string txn;
-  auto txn_it = m.headers.find("txn");
+  auto txn_it = m.headers.find(kHdrTxn);
   if (txn_it != m.headers.end()) txn = txn_it->second;
   const std::string key = "c/" + id() + "/" + m.type + "/" + txn + "/" + m.to;
-  m.headers["rsvp"] = "1";
-  m.headers["dedup"] = key;
+  m.headers[kHdrRsvp] = "1";
+  m.headers[kHdrDedup] = key;
   auto [it, inserted] = pending_control_.try_emplace(key);
   if (inserted) {
     it->second.message = m;
@@ -292,14 +292,14 @@ void AxmlPeer::ArmControlResend(const std::string& key,
         if (n->IsConnected(id())) {
           ++it->second.attempts;
           overlay::Message copy = it->second.message;
-          (void)n->Send(std::move(copy));
+          BestEffortSend(std::move(copy), n);
         }
         ArmControlResend(key, n);
       });
 }
 
 void AxmlPeer::HandleAck(const overlay::Message& message) {
-  auto it = message.headers.find("ack_of");
+  auto it = message.headers.find(kHdrAckOf);
   if (it == message.headers.end()) return;
   auto pending = pending_control_.find(it->second);
   // Only the intended target's acknowledgement counts — a misrouted copy
@@ -318,18 +318,18 @@ void AxmlPeer::OnMessage(const overlay::Message& message,
   }
   // Reliable control delivery: acknowledge every copy (the sender may have
   // missed an earlier ACK), even ones suppressed as duplicates below.
-  if (message.headers.count("rsvp") > 0) {
+  if (message.headers.count(kHdrRsvp) > 0) {
     overlay::Message ack;
     ack.from = id();
     ack.to = message.from;
     ack.type = kMsgAck;
-    auto dedup_it = message.headers.find("dedup");
+    auto dedup_it = message.headers.find(kHdrDedup);
     if (dedup_it != message.headers.end()) {
-      ack.headers["ack_of"] = dedup_it->second;
+      ack.headers[kHdrAckOf] = dedup_it->second;
     }
-    auto txn_it = message.headers.find("txn");
-    if (txn_it != message.headers.end()) ack.headers["txn"] = txn_it->second;
-    (void)net->Send(std::move(ack));
+    auto txn_it = message.headers.find(kHdrTxn);
+    if (txn_it != message.headers.end()) ack.headers[kHdrTxn] = txn_it->second;
+    BestEffortSend(std::move(ack), net);
   }
   // Duplicate suppression: the overlay can deliver one logical send twice
   // (fault-injected duplicates share a message id, control retransmissions
@@ -350,14 +350,31 @@ void AxmlPeer::OnMessage(const overlay::Message& message,
     OnNotifyDisconnect(message, net);
   } else if (message.type == kMsgStream) {
     OnStream(message, net);
+  } else if (message.type == kMsgCompAck) {
+    HandleCompAck(message);
   }
-  // COMP_ACK is informational at this layer.
+}
+
+void AxmlPeer::HandleCompAck(const overlay::Message& message) {
+  // The outcome of a shipped compensation plan. No protocol action hangs on
+  // it (the decision is already final), but a rejected plan means a
+  // participant could not undo its work — drills assert these counters.
+  auto it = message.headers.find(kHdrOk);
+  if (it != message.headers.end() && it->second == "0") {
+    ++stats_.comp_acks_failed;
+  } else {
+    ++stats_.comp_acks_ok;
+  }
+}
+
+void AxmlPeer::BestEffortSend(overlay::Message m, overlay::Network* net) {
+  if (!net->Send(std::move(m)).ok()) ++stats_.sends_best_effort_failed;
 }
 
 void AxmlPeer::HandleInvoke(const overlay::Message& message,
                             overlay::Network* net) {
-  const std::string& txn = message.headers.at("txn");
-  const std::string& service = message.headers.at("service");
+  const std::string& txn = message.headers.at(kHdrTxn);
+  const std::string& service = message.headers.at(kHdrService);
   // Re-invocation of work we already hold (the original parent died and an
   // ancestor re-drove the call): adopt the new parent and reuse the work
   // instead of re-executing (§3.3(c), "see if any part of their work can be
@@ -385,10 +402,10 @@ void AxmlPeer::HandleInvoke(const overlay::Message& message,
         abort.from = id();
         abort.to = edge.invoked_peer;
         abort.type = kMsgAbort;
-        abort.headers["txn"] = txn;
-        abort.headers["fault"] = "Superseded";
+        abort.headers[kHdrTxn] = txn;
+        abort.headers[kHdrFault] = "Superseded";
         ++stats_.aborts_sent;
-        (void)net->Send(std::move(abort));
+        BestEffortSend(std::move(abort), net);
       }
     }
     // The discarded execution's journaled writes are stale — roll them
@@ -400,7 +417,7 @@ void AxmlPeer::HandleInvoke(const overlay::Message& message,
   auto params_or = DecodeParams(message.body);
   if (!params_or.ok()) return;
   chain::ActivePeerChain chain_info;
-  auto chain_it = message.headers.find("chain");
+  auto chain_it = message.headers.find(kHdrChain);
   if (chain_it != message.headers.end()) {
     auto parsed = chain::ActivePeerChain::Parse(chain_it->second);
     if (parsed.ok()) chain_info = std::move(parsed).value();
@@ -413,16 +430,16 @@ void AxmlPeer::HandleInvoke(const overlay::Message& message,
 
 void AxmlPeer::HandleResult(const overlay::Message& message,
                             overlay::Network* net) {
-  if (message.headers.count("redirect_for") > 0) {
+  if (message.headers.count(kHdrRedirectFor) > 0) {
     OnRedirectedResult(message, net);
     return;
   }
-  Ctx* ctx = FindContext(message.headers.at("txn"));
+  Ctx* ctx = FindContext(message.headers.at(kHdrTxn));
   if (ctx == nullptr) {
     // A late duplicate (or misrouted copy) of a result for a transaction
     // that committed here is stale chatter, not stale work — replying with
     // a presumed abort would wrongly roll back committed effects.
-    auto resolved = ResolvedOutcome(message.headers.at("txn"));
+    auto resolved = ResolvedOutcome(message.headers.at(kHdrTxn));
     if (resolved.has_value() && *resolved) return;
     // Presumed abort: a result for a transaction we no longer know means
     // our context aborted (commit keeps contexts until all results are in).
@@ -431,10 +448,10 @@ void AxmlPeer::HandleResult(const overlay::Message& message,
     reply.from = id();
     reply.to = message.from;
     reply.type = kMsgAbort;
-    reply.headers["txn"] = message.headers.at("txn");
-    reply.headers["fault"] = "TxnUnknown";
+    reply.headers[kHdrTxn] = message.headers.at(kHdrTxn);
+    reply.headers[kHdrFault] = "TxnUnknown";
     ++stats_.aborts_sent;
-    (void)net->Send(std::move(reply));
+    BestEffortSend(std::move(reply), net);
     return;
   }
   if (ctx->state != Ctx::State::kRunning) return;
@@ -467,10 +484,10 @@ void AxmlPeer::HandleResult(const overlay::Message& message,
 
 void AxmlPeer::HandleAbort(const overlay::Message& message,
                            overlay::Network* net) {
-  Ctx* ctx = FindContext(message.headers.at("txn"));
+  Ctx* ctx = FindContext(message.headers.at(kHdrTxn));
   if (ctx == nullptr) return;
   std::string fault = "Abort";
-  auto it = message.headers.find("fault");
+  auto it = message.headers.find(kHdrFault);
   if (it != message.headers.end()) fault = it->second;
   if (message.from == ctx->parent) {
     // §3.2 step 2: abort received from above — roll back and cascade down.
@@ -494,7 +511,7 @@ void AxmlPeer::HandleAbort(const overlay::Message& message,
 void AxmlPeer::HandleCommit(const overlay::Message& message,
                             overlay::Network* net) {
   // Transaction completed: discard the context (and with it the logs).
-  const std::string& txn = message.headers.at("txn");
+  const std::string& txn = message.headers.at(kHdrTxn);
   EraseContext(txn);
   if (options_.use_locking) locks_.ReleaseAll(LockIdFor(txn));
   RecordResolution(txn, /*committed=*/true);
@@ -506,7 +523,7 @@ void AxmlPeer::HandleCompensate(const overlay::Message& message,
   auto payload =
       std::static_pointer_cast<const CompensatePayload>(message.attachment);
   if (payload == nullptr) return;
-  const std::string& txn = message.headers.at("txn");
+  const std::string& txn = message.headers.at(kHdrTxn);
   xml::Document* doc = repo_.GetDocument(payload->document);
   if (doc == nullptr) {
     // A plan for a document we do not host: a misrouted copy (or a replica
@@ -516,9 +533,9 @@ void AxmlPeer::HandleCompensate(const overlay::Message& message,
     nack.from = id();
     nack.to = message.from;
     nack.type = kMsgCompAck;
-    nack.headers["txn"] = txn;
-    nack.headers["ok"] = "0";
-    (void)net->Send(std::move(nack));
+    nack.headers[kHdrTxn] = txn;
+    nack.headers[kHdrOk] = "0";
+    BestEffortSend(std::move(nack), net);
     return;
   }
   bool ok = false;
@@ -548,9 +565,9 @@ void AxmlPeer::HandleCompensate(const overlay::Message& message,
   ack.from = id();
   ack.to = message.from;
   ack.type = kMsgCompAck;
-  ack.headers["txn"] = txn;
-  ack.headers["ok"] = ok ? "1" : "0";
-  (void)net->Send(std::move(ack));
+  ack.headers[kHdrTxn] = txn;
+  ack.headers[kHdrOk] = ok ? "1" : "0";
+  BestEffortSend(std::move(ack), net);
 }
 
 void AxmlPeer::TryComplete(Ctx* ctx, overlay::Network* net) {
@@ -603,8 +620,8 @@ void AxmlPeer::Complete(Ctx* ctx, overlay::Network* net) {
       m.from = id();
       m.to = p;
       m.type = kMsgCommit;
-      m.headers["txn"] = ctx->txn;
-      (void)SendControl(std::move(m), net);
+      m.headers[kHdrTxn] = ctx->txn;
+      if (!SendControl(std::move(m), net).ok()) ++stats_.sends_best_effort_failed;
     }
     ++stats_.txns_committed;
     if (ctx->on_done) ctx->on_done(ctx->txn, Status::Ok());
@@ -632,8 +649,8 @@ void AxmlPeer::SendResult(Ctx* ctx, overlay::Network* net) {
   m.from = id();
   m.to = ctx->parent;
   m.type = kMsgResult;
-  m.headers["txn"] = ctx->txn;
-  m.headers["service"] = ctx->service;
+  m.headers[kHdrTxn] = ctx->txn;
+  m.headers[kHdrService] = ctx->service;
   m.attachment = payload;
   auto sent = net->Send(std::move(m));
   if (!sent.ok()) {
@@ -703,7 +720,7 @@ void AxmlPeer::CompensateParticipants(Ctx* ctx, overlay::Network* net) {
     m.from = id();
     m.to = target;
     m.type = kMsgCompensate;
-    m.headers["txn"] = ctx->txn;
+    m.headers[kHdrTxn] = ctx->txn;
     m.attachment = payload;
     if (!SendControl(std::move(m), net).ok() && !reliable) {
       ++stats_.compensation_failures;
@@ -727,10 +744,10 @@ void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
         m.from = id();
         m.to = edge.invoked_peer;
         m.type = kMsgAbort;
-        m.headers["txn"] = txn;
-        m.headers["fault"] = fault;
+        m.headers[kHdrTxn] = txn;
+        m.headers[kHdrFault] = fault;
         ++stats_.aborts_sent;
-        (void)SendControl(std::move(m), net);
+        if (!SendControl(std::move(m), net).ok()) ++stats_.sends_best_effort_failed;
       }
     }
   } else {
@@ -745,8 +762,8 @@ void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
       m.from = id();
       m.to = edge.invoked_peer;
       m.type = kMsgAbort;
-      m.headers["txn"] = txn;
-      m.headers["fault"] = fault;
+      m.headers[kHdrTxn] = txn;
+      m.headers[kHdrFault] = fault;
       ++stats_.aborts_sent;
       if (!SendControl(std::move(m), net).ok() &&
           edge.state == ChildEdge::State::kDone &&
@@ -764,11 +781,11 @@ void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
     m.from = id();
     m.to = ctx->parent;
     m.type = kMsgAbort;
-    m.headers["txn"] = txn;
-    m.headers["fault"] = fault;
-    m.headers["failed_service"] = ctx->service;
+    m.headers[kHdrTxn] = txn;
+    m.headers[kHdrFault] = fault;
+    m.headers[kHdrFailedService] = ctx->service;
     ++stats_.aborts_sent;
-    (void)SendControl(std::move(m), net);
+    if (!SendControl(std::move(m), net).ok()) ++stats_.sends_best_effort_failed;
   }
   if (ctx->parent.empty()) {
     ++stats_.txns_aborted;

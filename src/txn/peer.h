@@ -40,6 +40,12 @@ struct PeerStats {
   int adoptions = 0;               ///< Re-INVOKEs answered from existing work.
   int notifications_sent = 0;      ///< NOTIFY_DISCONNECT messages emitted.
   int early_aborts = 0;            ///< Contexts stopped by a notification.
+  int comp_acks_ok = 0;            ///< COMP_ACK confirmations received.
+  int comp_acks_failed = 0;        ///< COMP_ACK rejections (ok="0") received.
+  /// Fire-and-forget protocol sends that failed at the overlay. The overlay
+  /// traces each one (kEvSendFail); this keeps the loss visible per peer so
+  /// drills can assert nothing important vanished silently.
+  int sends_best_effort_failed = 0;
 };
 
 /// Observer interface for durable journaling of a peer's transactional
@@ -288,6 +294,13 @@ class AxmlPeer : public overlay::PeerNode {
   /// otherwise this is a plain Send. Returns the first attempt's status.
   Status SendControl(overlay::Message m, overlay::Network* net);
 
+  /// Sends a fire-and-forget protocol message (ACK, presumed-abort reply,
+  /// cascade ABORT, ...). A failed send is not an error for the caller —
+  /// retransmission, detection, or presumed-abort covers the loss — but it
+  /// is never silently dropped either: the overlay traces it and
+  /// `sends_best_effort_failed` accounts it here.
+  void BestEffortSend(overlay::Message m, overlay::Network* net);
+
   ServiceDirectory* directory() { return directory_; }
   PeerStats* mutable_stats() { return &stats_; }
   Rng* rng() { return &rng_; }
@@ -321,6 +334,7 @@ class AxmlPeer : public overlay::PeerNode {
   void HandleCommit(const overlay::Message& message, overlay::Network* net);
   void HandleCompensate(const overlay::Message& message,
                         overlay::Network* net);
+  void HandleCompAck(const overlay::Message& message);
 
   void Begin(Ctx* ctx, overlay::Network* net);
   void Complete(Ctx* ctx, overlay::Network* net);

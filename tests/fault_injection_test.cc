@@ -358,7 +358,7 @@ TEST_F(DuplicateDeliveryTest, DuplicatedResultsDoNotDoubleCommit) {
   // Every RESULT was delivered twice; dedup on the shared message id must
   // keep the protocol at exactly-once: each peer holds exactly
   // ops_per_service committed entries.
-  for (const PeerId& id : {"AP1", "AP2", "AP3", "AP4", "AP5", "AP6"}) {
+  for (const PeerId id : {"AP1", "AP2", "AP3", "AP4", "AP5", "AP6"}) {
     EXPECT_EQ(Entries(id), static_cast<size_t>(scen_.ops_per_service))
         << "peer " << id;
   }
@@ -375,7 +375,7 @@ TEST_F(DuplicateDeliveryTest, DuplicatedAbortsCompensateExactlyOnce) {
   // Aborted transaction: all work compensated, exactly once — a double
   // compensation would leave negative/garbled documents, a missed one
   // leftover entries.
-  for (const PeerId& id : {"AP1", "AP2", "AP3", "AP4", "AP5", "AP6"}) {
+  for (const PeerId id : {"AP1", "AP2", "AP3", "AP4", "AP5", "AP6"}) {
     EXPECT_EQ(Entries(id), 0u) << "peer " << id;
   }
   EXPECT_GT(plan_->stats().duplicated, 0);

@@ -1,0 +1,395 @@
+// Tests for tools/axmlx_lint: a clean miniature tree passes, and each rule
+// R1..R5 fires on a fixture seeding exactly that violation, with the finding
+// anchored to the right file and line.
+
+#include "axmlx_lint/lint.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace axmlx::lint {
+namespace {
+
+/// Miniature source tree that satisfies every rule. Tests copy it and
+/// perturb one file to seed a violation.
+std::vector<SourceFile> CleanTree() {
+  std::vector<SourceFile> files;
+  files.push_back({"txn/payload.h", R"cc(#ifndef AXMLX_TXN_PAYLOAD_H_
+#define AXMLX_TXN_PAYLOAD_H_
+namespace axmlx::txn {
+inline constexpr char kMsgInvoke[] = "INVOKE";
+inline constexpr char kMsgAck[] = "ACK";
+}  // namespace axmlx::txn
+#endif  // AXMLX_TXN_PAYLOAD_H_
+)cc"});
+  files.push_back({"txn/peer.cc", R"cc(#include "txn/payload.h"
+namespace axmlx::txn {
+void AxmlPeer::OnMessage(const Message& message) {
+  if (message.type == kMsgInvoke) {
+    HandleInvoke(message);
+  } else if (message.type == kMsgAck) {
+    HandleAck(message);
+  }
+}
+}  // namespace axmlx::txn
+)cc"});
+  files.push_back({"common/status.h", R"cc(#ifndef AXMLX_COMMON_STATUS_H_
+#define AXMLX_COMMON_STATUS_H_
+namespace axmlx {
+enum class StatusCode { kOk, kAborted };
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  bool ok() const { return true; }
+};
+}  // namespace axmlx
+#endif  // AXMLX_COMMON_STATUS_H_
+)cc"});
+  files.push_back({"common/status.cc", R"cc(#include "common/status.h"
+namespace axmlx {
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kAborted:
+      return "ABORTED";
+  }
+  return "UNKNOWN";
+}
+}  // namespace axmlx
+)cc"});
+  files.push_back({"common/trace.h", R"cc(#ifndef AXMLX_COMMON_TRACE_H_
+#define AXMLX_COMMON_TRACE_H_
+namespace axmlx {
+inline constexpr char kEvSend[] = "SEND";
+}  // namespace axmlx
+#endif  // AXMLX_COMMON_TRACE_H_
+)cc"});
+  files.push_back({"overlay/network.cc", R"cc(#include "common/trace.h"
+namespace axmlx::overlay {
+void Network::TraceSend() { trace_->Add(now_, actor_, kEvSend, ""); }
+}  // namespace axmlx::overlay
+)cc"});
+  return files;
+}
+
+SourceFile* FindFile(std::vector<SourceFile>* files, const std::string& path) {
+  for (SourceFile& f : *files) {
+    if (f.path == path) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<Finding> OfRule(const std::vector<Finding>& findings,
+                            const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+TEST(LintTest, CleanTreeHasNoFindings) {
+  const std::vector<Finding> findings = RunLint(CleanTree());
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+TEST(LintTest, R1FlagsDeclaredMessageWithoutDispatchArm) {
+  std::vector<SourceFile> files = CleanTree();
+  FindFile(&files, "txn/peer.cc")->content =
+      R"cc(#include "txn/payload.h"
+namespace axmlx::txn {
+void AxmlPeer::OnMessage(const Message& message) {
+  if (message.type == kMsgInvoke) {
+    HandleInvoke(message);
+  }
+}
+}  // namespace axmlx::txn
+)cc";
+  const std::vector<Finding> r1 = OfRule(RunLint(files), "R1");
+  ASSERT_EQ(r1.size(), 1u) << FormatFindings(r1);
+  EXPECT_EQ(r1[0].file, "txn/payload.h");
+  EXPECT_EQ(r1[0].line, 5);  // The kMsgAck declaration.
+  EXPECT_NE(r1[0].message.find("kMsgAck"), std::string::npos);
+}
+
+TEST(LintTest, R1FlagsUndeclaredMessageConstant) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"recovery/chained_peer.cc", R"cc(#include "txn/payload.h"
+namespace axmlx::recovery {
+void ChainedPeer::Nudge(const Message& message) {
+  if (message.type == kMsgBogus) {
+    Panic();
+  }
+}
+}  // namespace axmlx::recovery
+)cc"});
+  const std::vector<Finding> r1 = OfRule(RunLint(files), "R1");
+  ASSERT_EQ(r1.size(), 1u) << FormatFindings(r1);
+  EXPECT_EQ(r1[0].file, "recovery/chained_peer.cc");
+  EXPECT_EQ(r1[0].line, 4);
+  EXPECT_NE(r1[0].message.find("kMsgBogus"), std::string::npos);
+}
+
+TEST(LintTest, R1FlagsRawStringLiteralDispatch) {
+  std::vector<SourceFile> files = CleanTree();
+  SourceFile* peer = FindFile(&files, "txn/peer.cc");
+  peer->content = R"cc(#include "txn/payload.h"
+namespace axmlx::txn {
+void AxmlPeer::OnMessage(const Message& message) {
+  if (message.type == kMsgInvoke) {
+    HandleInvoke(message);
+  } else if (message.type == kMsgAck) {
+    HandleAck(message);
+  } else if (message.type == "COMMIT") {
+    HandleCommit(message);
+  }
+}
+}  // namespace axmlx::txn
+)cc";
+  const std::vector<Finding> r1 = OfRule(RunLint(files), "R1");
+  ASSERT_EQ(r1.size(), 1u) << FormatFindings(r1);
+  EXPECT_EQ(r1[0].file, "txn/peer.cc");
+  EXPECT_EQ(r1[0].line, 8);
+  EXPECT_NE(r1[0].message.find("COMMIT"), std::string::npos);
+}
+
+TEST(LintTest, R2FlagsStatusWithoutNodiscard) {
+  std::vector<SourceFile> files = CleanTree();
+  FindFile(&files, "common/status.h")->content =
+      R"cc(#ifndef AXMLX_COMMON_STATUS_H_
+#define AXMLX_COMMON_STATUS_H_
+namespace axmlx {
+enum class StatusCode { kOk, kAborted };
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  bool ok() const { return true; }
+};
+}  // namespace axmlx
+#endif  // AXMLX_COMMON_STATUS_H_
+)cc";
+  const std::vector<Finding> r2 = OfRule(RunLint(files), "R2");
+  ASSERT_EQ(r2.size(), 1u) << FormatFindings(r2);
+  EXPECT_EQ(r2[0].file, "common/status.h");
+  EXPECT_EQ(r2[0].line, 5);
+  EXPECT_NE(r2[0].message.find("Status"), std::string::npos);
+}
+
+TEST(LintTest, R3FlagsEnumeratorMissingFromStatusCodeName) {
+  std::vector<SourceFile> files = CleanTree();
+  FindFile(&files, "common/status.h")->content =
+      R"cc(#ifndef AXMLX_COMMON_STATUS_H_
+#define AXMLX_COMMON_STATUS_H_
+namespace axmlx {
+enum class StatusCode {
+  kOk,
+  kAborted,
+  kTimeout,
+};
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  bool ok() const { return true; }
+};
+}  // namespace axmlx
+#endif  // AXMLX_COMMON_STATUS_H_
+)cc";
+  const std::vector<Finding> r3 = OfRule(RunLint(files), "R3");
+  ASSERT_EQ(r3.size(), 1u) << FormatFindings(r3);
+  EXPECT_EQ(r3[0].file, "common/status.h");
+  EXPECT_EQ(r3[0].line, 7);  // kTimeout.
+  EXPECT_NE(r3[0].message.find("kTimeout"), std::string::npos);
+}
+
+TEST(LintTest, R3FlagsUndeclaredTraceKindLiteral) {
+  std::vector<SourceFile> files = CleanTree();
+  FindFile(&files, "overlay/network.cc")->content =
+      R"cc(#include "common/trace.h"
+namespace axmlx::overlay {
+void Network::TraceSend() { trace_->Add(now_, actor_, kEvSend, ""); }
+void Network::TraceDrop() { trace_->Add(now_, actor_, "DROP", ""); }
+}  // namespace axmlx::overlay
+)cc";
+  const std::vector<Finding> r3 = OfRule(RunLint(files), "R3");
+  ASSERT_EQ(r3.size(), 1u) << FormatFindings(r3);
+  EXPECT_EQ(r3[0].file, "overlay/network.cc");
+  EXPECT_EQ(r3[0].line, 4);
+  EXPECT_NE(r3[0].message.find("DROP"), std::string::npos);
+}
+
+TEST(LintTest, R4FlagsWrongIncludeGuard) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"query/path.h", R"cc(#ifndef AXMLX_QUERY_WRONG_H_
+#define AXMLX_QUERY_WRONG_H_
+namespace axmlx::query {
+struct Path {};
+}  // namespace axmlx::query
+#endif  // AXMLX_QUERY_WRONG_H_
+)cc"});
+  const std::vector<Finding> r4 = OfRule(RunLint(files), "R4");
+  ASSERT_EQ(r4.size(), 1u) << FormatFindings(r4);
+  EXPECT_EQ(r4[0].file, "query/path.h");
+  EXPECT_EQ(r4[0].line, 1);
+  EXPECT_NE(r4[0].message.find("AXMLX_QUERY_PATH_H_"), std::string::npos);
+}
+
+TEST(LintTest, R4FlagsUsingNamespaceInHeader) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"query/path.h", R"cc(#ifndef AXMLX_QUERY_PATH_H_
+#define AXMLX_QUERY_PATH_H_
+#include <string>
+using namespace std;
+namespace axmlx::query {
+struct Path {
+  string text;
+};
+}  // namespace axmlx::query
+#endif  // AXMLX_QUERY_PATH_H_
+)cc"});
+  const std::vector<Finding> r4 = OfRule(RunLint(files), "R4");
+  ASSERT_EQ(r4.size(), 1u) << FormatFindings(r4);
+  EXPECT_EQ(r4[0].file, "query/path.h");
+  EXPECT_EQ(r4[0].line, 4);
+  EXPECT_NE(r4[0].message.find("using namespace"), std::string::npos);
+}
+
+TEST(LintTest, R4AllowsUsingNamespaceInsideFunction) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"query/path.h", R"cc(#ifndef AXMLX_QUERY_PATH_H_
+#define AXMLX_QUERY_PATH_H_
+namespace axmlx::query {
+inline int Depth() {
+  using namespace std;  // function-local: legal, if questionable
+  return 1;
+}
+}  // namespace axmlx::query
+#endif  // AXMLX_QUERY_PATH_H_
+)cc"});
+  const std::vector<Finding> r4 = OfRule(RunLint(files), "R4");
+  EXPECT_TRUE(r4.empty()) << FormatFindings(r4);
+}
+
+TEST(LintTest, R5FlagsAssertInStatusReturningFunction) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"txn/commit.cc", R"cc(#include "common/status.h"
+namespace axmlx::txn {
+Status Coordinator::Decide(bool ready) {
+  assert(ready && "coordinator not ready");
+  return Status();
+}
+}  // namespace axmlx::txn
+)cc"});
+  const std::vector<Finding> r5 = OfRule(RunLint(files), "R5");
+  ASSERT_EQ(r5.size(), 1u) << FormatFindings(r5);
+  EXPECT_EQ(r5[0].file, "txn/commit.cc");
+  EXPECT_EQ(r5[0].line, 4);
+}
+
+TEST(LintTest, R5AllowsAssertOutsideStatusReturningFunctions) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"xml/builder.cc", R"cc(#include "common/status.h"
+namespace axmlx::xml {
+int AddElement(Document* doc) {
+  Status s = doc->Append();
+  assert(s.ok());  // int-returning helper: no Status channel to use
+  (void)s;
+  return 1;
+}
+Result<int> Import(Document* doc) {
+  if (doc == nullptr) return Result<int>();
+  return Result<int>();
+}
+}  // namespace axmlx::xml
+)cc"});
+  const std::vector<Finding> r5 = OfRule(RunLint(files), "R5");
+  EXPECT_TRUE(r5.empty()) << FormatFindings(r5);
+}
+
+TEST(LintTest, R5FlagsAssertInResultReturningFunction) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"txn/commit.cc", R"cc(#include "common/status.h"
+namespace axmlx::txn {
+Result<int> Coordinator::Votes(bool ready) {
+  if (ready) {
+    assert(count_ > 0);
+  }
+  return Result<int>();
+}
+}  // namespace axmlx::txn
+)cc"});
+  const std::vector<Finding> r5 = OfRule(RunLint(files), "R5");
+  ASSERT_EQ(r5.size(), 1u) << FormatFindings(r5);
+  EXPECT_EQ(r5[0].file, "txn/commit.cc");
+  EXPECT_EQ(r5[0].line, 5);
+}
+
+TEST(LintTest, SuppressionCommentSilencesFinding) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"txn/commit.cc", R"cc(#include "common/status.h"
+namespace axmlx::txn {
+Status Coordinator::Decide(bool ready) {
+  assert(ready);  // lint:allow(R5) -- invariant, not an input fault
+  return Status();
+}
+}  // namespace axmlx::txn
+)cc"});
+  const std::vector<Finding> r5 = OfRule(RunLint(files), "R5");
+  EXPECT_TRUE(r5.empty()) << FormatFindings(r5);
+}
+
+TEST(LintTest, FindingsAreSortedAndFormatted) {
+  std::vector<SourceFile> files = CleanTree();
+  FindFile(&files, "txn/peer.cc")->content =
+      R"cc(#include "txn/payload.h"
+namespace axmlx::txn {
+void AxmlPeer::OnMessage(const Message& message) {
+  if (message.type == kMsgInvoke) {
+    HandleInvoke(message);
+  }
+}
+Status AxmlPeer::Flush() {
+  assert(open_);
+  return Status();
+}
+}  // namespace axmlx::txn
+)cc";
+  const std::vector<Finding> findings = RunLint(files);
+  ASSERT_EQ(findings.size(), 2u) << FormatFindings(findings);
+  EXPECT_EQ(findings[0].rule, "R1");
+  EXPECT_EQ(findings[1].rule, "R5");
+  const std::string text = FormatFindings(findings);
+  EXPECT_NE(text.find("txn/payload.h:5: [R1]"), std::string::npos) << text;
+  EXPECT_NE(text.find("txn/peer.cc:9: [R5]"), std::string::npos) << text;
+}
+
+TEST(LintTest, CommentsAndStringsDoNotTriggerRules) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"txn/notes.cc", R"cc(#include "txn/payload.h"
+namespace axmlx::txn {
+// In a comment: kMsgPhantom, assert(x), using namespace std.
+const char* Describe() {
+  return "mentions kMsgPhantom and assert( in a string";
+}
+}  // namespace axmlx::txn
+)cc"});
+  const std::vector<Finding> findings = RunLint(files);
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+}  // namespace
+}  // namespace axmlx::lint

@@ -1,0 +1,756 @@
+#include "axmlx_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace axmlx::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lightweight tokenizer. Comments are dropped; string/char literals become
+// single tokens carrying their value, so identifier rules can never match
+// inside a literal and literal rules can never match inside an identifier.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;  ///< Identifier spelling, literal value, or punctuator.
+  size_t pos = 0;    ///< Byte offset in the original content.
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators the rules care about. Everything else is
+/// tokenized one character at a time.
+const char* const kPuncts[] = {"::", "->", "==", "!=", "<=", ">=", "&&", "||"};
+
+std::vector<Token> Tokenize(const std::string& s) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = s.size();
+  while (i < n) {
+    const char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      while (i < n && s[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(s[i] == '*' && s[i + 1] == '/')) ++i;
+      i = std::min(n, i + 2);
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
+      size_t d = i + 2;
+      while (d < n && s[d] != '(') ++d;
+      const std::string delim = s.substr(i + 2, d - (i + 2));
+      const std::string close = ")" + delim + "\"";
+      size_t end = s.find(close, d + 1);
+      if (end == std::string::npos) end = n;
+      out.push_back({Token::Kind::kString,
+                     s.substr(d + 1, end - (d + 1)), i});
+      i = std::min(n, end + close.size());
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const size_t start = i++;
+      std::string value;
+      while (i < n && s[i] != quote) {
+        if (s[i] == '\\' && i + 1 < n) {
+          value += s[i + 1];
+          i += 2;
+        } else {
+          value += s[i++];
+        }
+      }
+      ++i;  // closing quote
+      out.push_back({quote == '"' ? Token::Kind::kString : Token::Kind::kChar,
+                     std::move(value), start});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(s[i])) ++i;
+      out.push_back({Token::Kind::kIdent, s.substr(start, i - start), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const size_t start = i;
+      while (i < n && (IsIdentChar(s[i]) || s[i] == '.' || s[i] == '\'')) ++i;
+      out.push_back({Token::Kind::kNumber, s.substr(start, i - start), start});
+      continue;
+    }
+    for (const char* p : kPuncts) {
+      if (s.compare(i, 2, p) == 0) {
+        out.push_back({Token::Kind::kPunct, p, i});
+        i += 2;
+        goto next;
+      }
+    }
+    out.push_back({Token::Kind::kPunct, std::string(1, c), i});
+    ++i;
+  next:;
+  }
+  return out;
+}
+
+int LineOf(const std::string& content, size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(content.begin(),
+                            content.begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    std::min(pos, content.size())),
+                            '\n'));
+}
+
+/// True when the source line holding `pos` carries a `lint:allow(Rn)`
+/// suppression comment for `rule`.
+bool Suppressed(const std::string& content, size_t pos,
+                const std::string& rule) {
+  size_t begin = content.rfind('\n', pos);
+  begin = begin == std::string::npos ? 0 : begin + 1;
+  size_t end = content.find('\n', pos);
+  if (end == std::string::npos) end = content.size();
+  const std::string line = content.substr(begin, end - begin);
+  return line.find("lint:allow(" + rule + ")") != std::string::npos;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool IsHeader(const std::string& path) { return EndsWith(path, ".h"); }
+
+bool IsAllCaps(const std::string& s) {
+  if (s.size() < 3) return false;
+  if (!std::isupper(static_cast<unsigned char>(s[0]))) return false;
+  for (char c : s) {
+    if (!std::isupper(static_cast<unsigned char>(c)) &&
+        !std::isdigit(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Index of the token matching the opener at `open` ("(" / "{"), or the
+/// token count when unbalanced.
+size_t MatchForward(const std::vector<Token>& toks, size_t open) {
+  const std::string& o = toks[open].text;
+  const std::string c = o == "(" ? ")" : "}";
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kPunct) continue;
+    if (toks[i].text == o) ++depth;
+    if (toks[i].text == c && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+/// Pre-tokenized file.
+struct File {
+  const SourceFile* src = nullptr;
+  std::vector<Token> toks;
+};
+
+void Report(std::vector<Finding>* findings, const File& f,
+            const std::string& rule, size_t pos, std::string message) {
+  if (Suppressed(f.src->content, pos, rule)) return;
+  findings->push_back(
+      {rule, f.src->path, LineOf(f.src->content, pos), std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Scope analysis: classifies every brace so R4 can tell namespace scope
+// from function bodies and R5 knows the return type of the innermost
+// enclosing function. Single forward pass.
+// ---------------------------------------------------------------------------
+
+struct Scope {
+  enum class Kind { kNamespace, kFunction, kType, kInitializer, kBlock };
+  Kind kind = Kind::kBlock;
+  bool returns_status = false;  ///< Function scope returning Status/Result.
+};
+
+bool TokIs(const std::vector<Token>& toks, size_t i, const char* text) {
+  return i < toks.size() && toks[i].text == text;
+}
+
+/// Skips trailing function-signature qualifiers backwards from `i`
+/// (exclusive). Returns the index of the last token of the declarator core.
+size_t SkipQualifiersBack(const std::vector<Token>& toks, size_t i) {
+  static const std::set<std::string> kQuals = {"const",    "noexcept",
+                                               "override", "final",
+                                               "mutable",  "&", "&&"};
+  while (i > 0 && kQuals.count(toks[i - 1].text) > 0) --i;
+  return i;
+}
+
+/// True when the return type spelled by tokens starting at `i` is Status or
+/// Result<...> (optionally axmlx:: / lint:: qualified).
+bool TypeIsStatusLike(const std::vector<Token>& toks, size_t i) {
+  while (i + 1 < toks.size() &&
+         (toks[i + 1].text == "::" ||
+          (toks[i].kind == Token::Kind::kIdent && TokIs(toks, i + 1, "::")))) {
+    if (!TokIs(toks, i + 1, "::")) break;
+    i += 2;  // consume `ns ::`
+  }
+  return i < toks.size() && (toks[i].text == "Status" ||
+                             toks[i].text == "Result");
+}
+
+/// Classifies the `{` at token index `open`. `matching_paren` receives the
+/// index of the `(` opening the parameter list when the brace starts a
+/// function body.
+Scope ClassifyBrace(const std::vector<Token>& toks, size_t open,
+                    const std::vector<Scope>& stack) {
+  Scope scope;
+  size_t i = SkipQualifiersBack(toks, open);
+  // `extern "C" {` behaves like a namespace.
+  if (i >= 2 && toks[i - 1].kind == Token::Kind::kString &&
+      TokIs(toks, i - 2, "extern")) {
+    scope.kind = Scope::Kind::kNamespace;
+    return scope;
+  }
+  // Trailing return type: `) -> Type... {`.
+  {
+    size_t j = i;
+    while (j > 0 && (toks[j - 1].kind == Token::Kind::kIdent ||
+                     toks[j - 1].text == "::" || toks[j - 1].text == "<" ||
+                     toks[j - 1].text == ">" || toks[j - 1].text == "*" ||
+                     toks[j - 1].text == "&")) {
+      --j;
+    }
+    if (j > 1 && TokIs(toks, j - 1, "->") &&
+        SkipQualifiersBack(toks, j - 1) >= 1 &&
+        TokIs(toks, SkipQualifiersBack(toks, j - 1) - 1, ")")) {
+      scope.kind = Scope::Kind::kFunction;
+      scope.returns_status = TypeIsStatusLike(toks, j);
+      return scope;
+    }
+  }
+  if (i == 0) {
+    scope.kind = Scope::Kind::kBlock;
+    return scope;
+  }
+  const Token& prev = toks[i - 1];
+  if (prev.text == ")") {
+    // Function body, lambda body, or a control statement (`if (...) {`);
+    // control statements only occur inside functions, where the enclosing
+    // scope already carries the return type, so treat uniformly.
+    scope.kind = Scope::Kind::kFunction;
+    // Find the matching `(` backwards, then the return type before the
+    // declarator name.
+    int depth = 0;
+    size_t j = i - 1;
+    for (;; --j) {
+      if (toks[j].text == ")") ++depth;
+      if (toks[j].text == "(" && --depth == 0) break;
+      if (j == 0) return scope;
+    }
+    // j is the `(` of the parameter list; before it: the declarator name —
+    // the maximal `id(::id)*` chain immediately left of the paren — and
+    // before that the return type tokens.
+    size_t name_end = j;  // exclusive
+    size_t k = name_end;
+    if (k > 0 && (toks[k - 1].kind == Token::Kind::kIdent ||
+                  toks[k - 1].text == "~")) {
+      --k;
+      if (k > 0 && toks[k - 1].text == "~") --k;  // destructor
+      while (k > 1 && toks[k - 1].text == "::" &&
+             toks[k - 2].kind == Token::Kind::kIdent) {
+        k -= 2;
+      }
+    }
+    // Control statements (`if`, `for`, `while`, `switch`) inherit status
+    // context from the enclosing function; mark as plain block instead.
+    static const std::set<std::string> kControl = {"if",     "for", "while",
+                                                   "switch", "catch"};
+    if (k < name_end && kControl.count(toks[k].text) > 0) {
+      scope.kind = Scope::Kind::kBlock;
+      return scope;
+    }
+    // Scan back from the name over the return-type spelling to its first
+    // token, then test whether that type is Status/Result.
+    if (k >= 1) {
+      size_t t = k;
+      // Walk back over the full return type spelling (`Result < T > ` etc.).
+      int angle = 0;
+      while (t > 0) {
+        const std::string& txt = toks[t - 1].text;
+        if (txt == ">") ++angle;
+        if (txt == "<") --angle;
+        if (angle == 0 && (txt == ";" || txt == "}" || txt == "{" ||
+                           txt == ":" || txt == "(" || txt == ",")) {
+          break;
+        }
+        --t;
+      }
+      static const std::set<std::string> kDeclQuals = {
+          "inline", "static", "virtual", "constexpr", "explicit", "friend"};
+      while (t < k && (kDeclQuals.count(toks[t].text) > 0 ||
+                       toks[t].text == "[" || toks[t].text == "]" ||
+                       toks[t].text == "nodiscard")) {
+        ++t;
+      }
+      scope.returns_status = t < k && TypeIsStatusLike(toks, t);
+    }
+    return scope;
+  }
+  if (prev.text == "else" || prev.text == "do" || prev.text == "try") {
+    scope.kind = Scope::Kind::kBlock;
+    return scope;
+  }
+  if (prev.text == "=" || prev.text == "," || prev.text == "(" ||
+      prev.text == "{" || prev.text == "return") {
+    scope.kind = Scope::Kind::kInitializer;
+    return scope;
+  }
+  // `namespace foo {`, `namespace a::b {`, or anonymous `namespace {`.
+  {
+    size_t j = i;
+    while (j > 0 && (toks[j - 1].kind == Token::Kind::kIdent ||
+                     toks[j - 1].text == "::")) {
+      --j;
+    }
+    if ((j < i && TokIs(toks, j - 1, "namespace")) ||
+        TokIs(toks, i - 1, "namespace")) {
+      scope.kind = Scope::Kind::kNamespace;
+      return scope;
+    }
+  }
+  if (!stack.empty() && (stack.back().kind == Scope::Kind::kFunction ||
+                         stack.back().kind == Scope::Kind::kBlock)) {
+    scope.kind = Scope::Kind::kBlock;
+    return scope;
+  }
+  scope.kind = Scope::Kind::kType;
+  return scope;
+}
+
+/// True when any enclosing scope is a function/block (i.e. NOT namespace or
+/// type scope all the way down).
+bool InsideFunction(const std::vector<Scope>& stack) {
+  for (const Scope& s : stack) {
+    if (s.kind == Scope::Kind::kFunction ||
+        s.kind == Scope::Kind::kBlock ||
+        s.kind == Scope::Kind::kInitializer) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Innermost function scope's returns_status, or false when not in one.
+bool InnermostReturnsStatus(const std::vector<Scope>& stack) {
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->kind == Scope::Kind::kFunction) return it->returns_status;
+    if (it->kind == Scope::Kind::kInitializer) continue;
+    if (it->kind == Scope::Kind::kType ||
+        it->kind == Scope::Kind::kNamespace) {
+      return false;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// R1: protocol message dispatch.
+// ---------------------------------------------------------------------------
+
+void CheckMessageDispatch(const std::vector<File>& files,
+                          std::vector<Finding>* findings) {
+  const File* payload = nullptr;
+  const File* peer = nullptr;
+  for (const File& f : files) {
+    if (EndsWith(f.src->path, "txn/payload.h")) payload = &f;
+    if (EndsWith(f.src->path, "txn/peer.cc")) peer = &f;
+  }
+
+  // Declared constants: `kMsgX[] = "..."` or the alias form `kMsgX = ...`.
+  std::map<std::string, size_t> declared;  // name -> pos in payload.h
+  if (payload != nullptr) {
+    const std::vector<Token>& toks = payload->toks;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind == Token::Kind::kIdent &&
+          StartsWith(toks[i].text, "kMsg") &&
+          (toks[i + 1].text == "[" || toks[i + 1].text == "=")) {
+        declared.emplace(toks[i].text, toks[i].pos);
+      }
+    }
+  }
+
+  // Dispatch arms: every kMsg* identifier inside AxmlPeer::OnMessage.
+  std::set<std::string> handled;
+  bool found_dispatcher = false;
+  if (peer != nullptr) {
+    const std::vector<Token>& toks = peer->toks;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].text != "OnMessage" || !TokIs(toks, i + 1, "(")) continue;
+      size_t close = MatchForward(toks, i + 1);
+      // Skip declarations (`OnMessage(...);`): need a body.
+      size_t body = close + 1;
+      while (body < toks.size() && toks[body].text != "{" &&
+             toks[body].text != ";") {
+        ++body;
+      }
+      if (body >= toks.size() || toks[body].text != "{") continue;
+      found_dispatcher = true;
+      size_t end = MatchForward(toks, body);
+      for (size_t j = body; j < end && j < toks.size(); ++j) {
+        if (toks[j].kind == Token::Kind::kIdent &&
+            StartsWith(toks[j].text, "kMsg")) {
+          handled.insert(toks[j].text);
+        }
+      }
+    }
+  }
+
+  if (payload != nullptr && peer != nullptr && found_dispatcher) {
+    for (const auto& [name, pos] : declared) {
+      if (handled.count(name) == 0) {
+        Report(findings, *payload, "R1", pos,
+               name + " is declared but has no dispatch arm in "
+                      "AxmlPeer::OnMessage (txn/peer.cc)");
+      }
+    }
+  }
+
+  for (const File& f : files) {
+    const bool dispatcher_dir = StartsWith(f.src->path, "txn/") ||
+                                StartsWith(f.src->path, "recovery/") ||
+                                StartsWith(f.src->path, "repo/") ||
+                                StartsWith(f.src->path, "overlay/");
+    if (!dispatcher_dir) continue;
+    const std::vector<Token>& toks = f.toks;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      // Undeclared kMsg* identifier (only meaningful with a payload.h in
+      // the file set; overlay/ owns its own constants and is exempt).
+      if (payload != nullptr && !StartsWith(f.src->path, "overlay/") &&
+          toks[i].kind == Token::Kind::kIdent &&
+          StartsWith(toks[i].text, "kMsg") &&
+          declared.count(toks[i].text) == 0) {
+        Report(findings, f, "R1", toks[i].pos,
+               toks[i].text +
+                   " is not declared in txn/payload.h — dispatching on an "
+                   "undeclared message kind");
+      }
+      // Raw string literal compared with / assigned to a message type:
+      // `x.type == "INVOKE"`, `m.type = "ABORT"`.
+      if (toks[i].text == "type" && i >= 2 && TokIs(toks, i - 1, ".") &&
+          i + 2 < toks.size() &&
+          (toks[i + 1].text == "==" || toks[i + 1].text == "!=" ||
+           toks[i + 1].text == "=") &&
+          toks[i + 2].kind == Token::Kind::kString) {
+        Report(findings, f, "R1", toks[i + 2].pos,
+               "message type " + std::string("\"") + toks[i + 2].text +
+                   "\" spelled as a raw literal; use the kMsg* constant "
+                   "from txn/payload.h");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2: [[nodiscard]] on Status / Result.
+// ---------------------------------------------------------------------------
+
+void CheckNodiscard(const std::vector<File>& files,
+                    std::vector<Finding>* findings) {
+  for (const File& f : files) {
+    if (!EndsWith(f.src->path, "common/status.h")) continue;
+    const std::vector<Token>& toks = f.toks;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].text != "class") continue;
+      // `class [[nodiscard]] Name` or `class Name`.
+      bool has_attr = false;
+      size_t j = i + 1;
+      if (TokIs(toks, j, "[") && TokIs(toks, j + 1, "[") &&
+          TokIs(toks, j + 2, "nodiscard") && TokIs(toks, j + 3, "]") &&
+          TokIs(toks, j + 4, "]")) {
+        has_attr = true;
+        j += 5;
+      }
+      if (j >= toks.size() || toks[j].kind != Token::Kind::kIdent) continue;
+      const std::string& name = toks[j].text;
+      if (name != "Status" && name != "Result") continue;
+      // Only the definition counts (next significant token `{` or `:`), so
+      // forward declarations and `enum class StatusCode` stay exempt.
+      if (j + 1 < toks.size() &&
+          (toks[j + 1].text == "{" || toks[j + 1].text == ":")) {
+        if (!has_attr) {
+          Report(findings, f, "R2", toks[i].pos,
+                 "class " + name +
+                     " must be declared [[nodiscard]]: a silently dropped "
+                     "abort status is a partial-effects bug (§3.2)");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3: StatusCodeName completeness + declared trace-kind table.
+// ---------------------------------------------------------------------------
+
+void CheckNameTables(const std::vector<File>& files,
+                     std::vector<Finding>* findings) {
+  const File* status_h = nullptr;
+  const File* status_cc = nullptr;
+  const File* trace_h = nullptr;
+  for (const File& f : files) {
+    if (EndsWith(f.src->path, "common/status.h")) status_h = &f;
+    if (EndsWith(f.src->path, "common/status.cc")) status_cc = &f;
+    if (EndsWith(f.src->path, "common/trace.h")) trace_h = &f;
+  }
+
+  // --- StatusCode enumerators vs StatusCodeName cases ---
+  if (status_h != nullptr && status_cc != nullptr) {
+    std::map<std::string, size_t> enumerators;
+    const std::vector<Token>& ht = status_h->toks;
+    for (size_t i = 0; i + 3 < ht.size(); ++i) {
+      if (ht[i].text == "enum" && TokIs(ht, i + 1, "class") &&
+          TokIs(ht, i + 2, "StatusCode")) {
+        size_t open = i + 3;
+        while (open < ht.size() && ht[open].text != "{") ++open;
+        if (open >= ht.size()) break;
+        size_t end = MatchForward(ht, open);
+        for (size_t j = open + 1; j < end; ++j) {
+          if (ht[j].kind == Token::Kind::kIdent &&
+              (TokIs(ht, j + 1, ",") || TokIs(ht, j + 1, "=") ||
+               TokIs(ht, j + 1, "}"))) {
+            enumerators.emplace(ht[j].text, ht[j].pos);
+          }
+        }
+        break;
+      }
+    }
+    std::set<std::string> cased;
+    const std::vector<Token>& ct = status_cc->toks;
+    for (size_t i = 0; i + 3 < ct.size(); ++i) {
+      if (ct[i].text == "case" && TokIs(ct, i + 1, "StatusCode") &&
+          TokIs(ct, i + 2, "::")) {
+        cased.insert(ct[i + 3].text);
+      }
+    }
+    for (const auto& [name, pos] : enumerators) {
+      if (cased.count(name) == 0) {
+        Report(findings, *status_h, "R3", pos,
+               "StatusCode::" + name +
+                   " has no case in StatusCodeName (common/status.cc); its "
+                   "diagnostics would print UNKNOWN");
+      }
+    }
+  }
+
+  // --- Trace kinds: literals at emit sites must be in the kEv* table ---
+  std::set<std::string> declared_kinds;
+  bool have_table = false;
+  if (trace_h != nullptr) {
+    const std::vector<Token>& tt = trace_h->toks;
+    for (size_t i = 0; i + 3 < tt.size(); ++i) {
+      if (tt[i].kind == Token::Kind::kIdent &&
+          StartsWith(tt[i].text, "kEv") && TokIs(tt, i + 1, "[") &&
+          TokIs(tt, i + 2, "]") && TokIs(tt, i + 3, "=") &&
+          i + 4 < tt.size() && tt[i + 4].kind == Token::Kind::kString) {
+        declared_kinds.insert(tt[i + 4].text);
+        have_table = true;
+      }
+    }
+  }
+  if (!have_table) return;
+  for (const File& f : files) {
+    const std::vector<Token>& toks = f.toks;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != Token::Kind::kIdent ||
+          (toks[i].text != "Add" && toks[i].text != "TraceEventf") ||
+          !TokIs(toks, i + 1, "(")) {
+        continue;
+      }
+      // `Add` must be a member call on a trace (`.Add(` / `->Add(`) so
+      // unrelated Add methods are not inspected.
+      if (toks[i].text == "Add" &&
+          !(i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->"))) {
+        continue;
+      }
+      size_t close = MatchForward(toks, i + 1);
+      for (size_t j = i + 2; j < close; ++j) {
+        if (toks[j].kind == Token::Kind::kString && IsAllCaps(toks[j].text) &&
+            declared_kinds.count(toks[j].text) == 0) {
+          Report(findings, f, "R3", toks[j].pos,
+                 "trace kind \"" + toks[j].text +
+                     "\" is not declared in the kEv* table "
+                     "(common/trace.h); CountKind assertions cannot see it");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4: header hygiene.
+// ---------------------------------------------------------------------------
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string g = "AXMLX_";
+  for (char c : path) {
+    if (c == '/' || c == '.' || c == '-') {
+      g += '_';
+    } else {
+      g += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  g += '_';
+  return g;
+}
+
+void CheckHeaderHygiene(const std::vector<File>& files,
+                        std::vector<Finding>* findings) {
+  for (const File& f : files) {
+    if (!IsHeader(f.src->path)) continue;
+    const std::vector<Token>& toks = f.toks;
+
+    // Include guard: the first two directives must be
+    // `#ifndef <guard>` / `#define <guard>` with the path-derived name.
+    const std::string guard = ExpectedGuard(f.src->path);
+    bool guard_ok = false;
+    if (toks.size() >= 6 && toks[0].text == "#" &&
+        TokIs(toks, 1, "ifndef") && toks[2].kind == Token::Kind::kIdent &&
+        toks[3].text == "#" && TokIs(toks, 4, "define") &&
+        toks[5].text == toks[2].text) {
+      guard_ok = toks[2].text == guard;
+    }
+    if (!guard_ok) {
+      Report(findings, f, "R4", toks.empty() ? 0 : toks[0].pos,
+             "include guard must be `#ifndef " + guard + "` / `#define " +
+                 guard + "` derived from the header path");
+    }
+
+    // `using namespace` at namespace scope leaks into every includer.
+    std::vector<Scope> stack;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].text == "{") {
+        stack.push_back(ClassifyBrace(toks, i, stack));
+      } else if (toks[i].text == "}") {
+        if (!stack.empty()) stack.pop_back();
+      } else if (toks[i].text == "using" && TokIs(toks, i + 1, "namespace") &&
+                 !InsideFunction(stack)) {
+        Report(findings, f, "R4", toks[i].pos,
+               "`using namespace` at namespace scope in a header leaks the "
+               "namespace into every includer");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5: assert() inside Status/Result-returning library functions.
+// ---------------------------------------------------------------------------
+
+void CheckAsserts(const std::vector<File>& files,
+                  std::vector<Finding>* findings) {
+  for (const File& f : files) {
+    const std::vector<Token>& toks = f.toks;
+    std::vector<Scope> stack;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].text == "{") {
+        stack.push_back(ClassifyBrace(toks, i, stack));
+      } else if (toks[i].text == "}") {
+        if (!stack.empty()) stack.pop_back();
+      } else if (toks[i].text == "assert" && TokIs(toks, i + 1, "(") &&
+                 InnermostReturnsStatus(stack)) {
+        Report(findings, f, "R5", toks[i].pos,
+               "assert() inside a Status/Result-returning function; return "
+               "the error instead so the recovery protocol can propagate "
+               "and compensate it (§3.2)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> RunLint(const std::vector<SourceFile>& files) {
+  std::vector<File> prepared;
+  prepared.reserve(files.size());
+  for (const SourceFile& src : files) {
+    prepared.push_back({&src, Tokenize(src.content)});
+  }
+  std::vector<Finding> findings;
+  CheckMessageDispatch(prepared, &findings);
+  CheckNodiscard(prepared, &findings);
+  CheckNameTables(prepared, &findings);
+  CheckHeaderHygiene(prepared, &findings);
+  CheckAsserts(prepared, &findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.rule != b.rule) return a.rule < b.rule;
+              if (a.file != b.file) return a.file < b.file;
+              return a.line < b.line;
+            });
+  return findings;
+}
+
+std::string FormatFindings(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const Finding& f : findings) {
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+  }
+  return os.str();
+}
+
+bool LoadTree(const std::string& root, std::vector<SourceFile>* files,
+              std::string* error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    if (error != nullptr) *error = "not a directory: " + root;
+    return false;
+  }
+  std::vector<fs::path> paths;
+  for (auto it = fs::recursive_directory_iterator(root, ec);
+       !ec && it != fs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc") paths.push_back(it->path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      if (error != nullptr) *error = "cannot read " + p.string();
+      return false;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    files->push_back({fs::relative(p, root).generic_string(),
+                      content.str()});
+  }
+  return true;
+}
+
+}  // namespace axmlx::lint

@@ -1,0 +1,72 @@
+#ifndef AXMLX_TOOLS_AXMLX_LINT_LINT_H_
+#define AXMLX_TOOLS_AXMLX_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+/// axmlx-lint: project-specific static analysis for the AXML repository.
+///
+/// The paper's correctness story (§3.1-§3.3) rests on invariants the C++
+/// compiler never checks: every protocol message kind needs a dispatch arm,
+/// no fallible Status may be silently dropped, every StatusCode must have a
+/// printable name, and trace-event kinds must come from one declared table
+/// (benches assert on them by string). This linter turns those review-time
+/// conventions into CI-enforced rules. It is a lightweight tokenizer over
+/// the source tree — no libclang — which keeps it dependency-free and fast
+/// enough to run as an ordinary ctest (label `lint`).
+///
+/// Rules:
+///  R1  message dispatch: every `kMsg*` constant declared in txn/payload.h
+///      has a dispatch arm in AxmlPeer::OnMessage (txn/peer.cc); no peer or
+///      recovery code references an undeclared `kMsg*` identifier; and no
+///      dispatcher compares or assigns `.type` against a raw string literal.
+///  R2  [[nodiscard]]: `class Status` and `class Result` in common/status.h
+///      carry a class-level [[nodiscard]], which makes every Status- or
+///      Result-returning API warn when its result is ignored.
+///  R3  name tables: every StatusCode enumerator has a `case` in
+///      StatusCodeName (common/status.cc), and every ALL_CAPS string passed
+///      as a trace-event kind (Trace::Add / TraceEventf call sites) is
+///      declared in the `kEv*` table in common/trace.h.
+///  R4  header hygiene: every header's include guard is AXMLX_<PATH>_H_
+///      derived from its path, and headers contain no `using namespace` at
+///      namespace scope.
+///  R5  no assert where a Status return is available: library functions
+///      returning Status/Result must report failures, not assert(); the
+///      paper's recovery protocol depends on faults being propagated.
+///
+/// A finding can be suppressed by putting `lint:allow(Rn)` in a comment on
+/// the offending line (reserved for cases the rule cannot see, e.g. a
+/// dispatch arm handled by a subclass override).
+namespace axmlx::lint {
+
+/// One input to the linter. `path` is relative to the scanned root
+/// (e.g. "txn/peer.cc") — rules select special files by path suffix.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// One rule violation, anchored to file:line.
+struct Finding {
+  std::string rule;     ///< "R1".."R5".
+  std::string file;     ///< SourceFile::path of the offending file.
+  int line = 1;         ///< 1-based line of the violation.
+  std::string message;  ///< Human-readable explanation.
+};
+
+/// Runs all rules over `files` and returns the findings, ordered by rule
+/// then file then line. An empty result means the tree is clean.
+std::vector<Finding> RunLint(const std::vector<SourceFile>& files);
+
+/// Renders findings one per line: "path:line: [Rn] message".
+std::string FormatFindings(const std::vector<Finding>& findings);
+
+/// Loads every .h/.cc file under `root` (recursively) with root-relative
+/// paths, sorted for determinism. Returns false if `root` is not a
+/// readable directory.
+bool LoadTree(const std::string& root, std::vector<SourceFile>* files,
+              std::string* error);
+
+}  // namespace axmlx::lint
+
+#endif  // AXMLX_TOOLS_AXMLX_LINT_LINT_H_

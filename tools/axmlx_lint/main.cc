@@ -1,0 +1,29 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "axmlx_lint/lint.h"
+
+/// CLI: `axmlx_lint <source-root>`. Scans every .h/.cc under the root,
+/// prints findings as "path:line: [Rn] message", and exits non-zero when any
+/// rule fires — which is what makes it usable as a ctest.
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <source-root>\n", argv[0]);
+    return 2;
+  }
+  std::vector<axmlx::lint::SourceFile> files;
+  std::string error;
+  if (!axmlx::lint::LoadTree(argv[1], &files, &error)) {
+    std::fprintf(stderr, "axmlx-lint: %s\n", error.c_str());
+    return 2;
+  }
+  const std::vector<axmlx::lint::Finding> findings =
+      axmlx::lint::RunLint(files);
+  if (!findings.empty()) {
+    std::fputs(axmlx::lint::FormatFindings(findings).c_str(), stdout);
+  }
+  std::printf("axmlx-lint: %zu finding(s) over %zu file(s)\n",
+              findings.size(), files.size());
+  return findings.empty() ? 0 : 1;
+}

@@ -126,6 +126,24 @@ void PrintExperiment() {
       "AP2) and AP6's effort is lost.\n\n");
 }
 
+/// Machine-readable report: chained+reuse case (b) latency and the
+/// wasted/reused comparison against the no-chaining baseline.
+void WriteReport(bool smoke) {
+  axmlx::bench::JsonReport report("chaining_reuse", smoke);
+  axmlx::bench::MeasureThroughput(
+      &report, "case_b_latency_us", smoke ? 3 : 10,
+      [] { (void)Run({true, true, 0}, 5, "AP3", 10); });
+  E6Row chained = Run({true, true, 0}, 5, "AP3", 10);
+  report.AddCounter("chained.wasted_nodes",
+                    static_cast<int64_t>(chained.wasted));
+  report.AddCounter("chained.work_reused", chained.reused);
+  E6Row unchained = Run({false, true, 0}, 5, "AP3", 10);
+  report.AddCounter("no_chaining.wasted_nodes",
+                    static_cast<int64_t>(unchained.wasted));
+  report.AddCounter("no_chaining.work_reused", unchained.reused);
+  (void)report.Write();
+}
+
 void BM_ChainedReuseCaseB(benchmark::State& state) {
   for (auto _ : state) {
     E6Row row = Run({true, true, 0}, 5, "AP3", 10);
@@ -145,7 +163,10 @@ BENCHMARK(BM_NoChainingCaseB)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintExperiment();
+  const bool smoke = axmlx::bench::StripSmokeFlag(&argc, argv);
+  if (!smoke) PrintExperiment();
+  WriteReport(smoke);
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -159,6 +159,23 @@ void PrintExperiment() {
       "plan cost tracks nodes touched, not document size.\n\n");
 }
 
+/// Machine-readable report: execute-and-compensate latency at 100 players,
+/// mixed workload, plus the plan shape and restoration check of one run.
+void WriteReport(bool smoke) {
+  axmlx::bench::JsonReport report("compensation_construction", smoke);
+  uint64_t seed = 100;
+  axmlx::bench::MeasureThroughput(
+      &report, "compensate_latency_us", smoke ? 3 : 15,
+      [&] { (void)RunOnce(100, 20, 0.5, seed++); });
+  E3Row row = RunOnce(100, 20, 0.5, 42);
+  report.AddCounter("plan_ops", static_cast<int64_t>(row.plan_ops));
+  report.AddCounter("plan_cost_nodes", static_cast<int64_t>(row.plan_cost));
+  report.AddCounter("restored_exactly", row.restored ? 1 : 0);
+  report.AddCounter("static_coverage_pct",
+                    static_cast<int64_t>(row.static_coverage));
+  (void)report.Write();
+}
+
 void BM_ExecuteAndCompensate(benchmark::State& state) {
   const int players = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -194,7 +211,10 @@ BENCHMARK(BM_PlanConstructionOnly)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintExperiment();
+  const bool smoke = axmlx::bench::StripSmokeFlag(&argc, argv);
+  if (!smoke) PrintExperiment();
+  WriteReport(smoke);
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -93,6 +93,23 @@ void PrintExperiment() {
       "disconnection as soon as possible\" is what shortens recovery.\n\n");
 }
 
+/// Machine-readable report: case-(c) wall latency at ping interval 2 plus
+/// the detection/decision ticks for a short and a long ping interval.
+void WriteReport(bool smoke) {
+  axmlx::bench::JsonReport report("detection_latency", smoke);
+  axmlx::bench::MeasureThroughput(&report, "case_c_latency_us", smoke ? 3 : 10,
+                                  [] { (void)Run(2); });
+  E11Row fast = Run(2);
+  report.AddCounter("ping2.detect_tick", fast.detect);
+  report.AddCounter("ping2.decide_tick", fast.decide);
+  report.AddCounter("ping2.wasted_nodes", static_cast<int64_t>(fast.wasted));
+  E11Row slow = Run(20);
+  report.AddCounter("ping20.detect_tick", slow.detect);
+  report.AddCounter("ping20.decide_tick", slow.decide);
+  report.AddCounter("ping20.wasted_nodes", static_cast<int64_t>(slow.wasted));
+  (void)report.Write();
+}
+
 void BM_CaseCDetection(benchmark::State& state) {
   const auto interval = static_cast<axmlx::overlay::Tick>(state.range(0));
   for (auto _ : state) {
@@ -105,7 +122,10 @@ BENCHMARK(BM_CaseCDetection)->Arg(2)->Arg(20)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintExperiment();
+  const bool smoke = axmlx::bench::StripSmokeFlag(&argc, argv);
+  if (!smoke) PrintExperiment();
+  WriteReport(smoke);
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

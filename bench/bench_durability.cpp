@@ -99,6 +99,28 @@ void PrintExperiment() {
       "compensation on top.\n\n");
 }
 
+/// Machine-readable report: WAL-recovery (reopen) latency on a fixed
+/// workload plus the replay counters of one recovery.
+void WriteReport(bool smoke) {
+  axmlx::bench::JsonReport report("durability", smoke);
+  const int n_txns = smoke ? 10 : 100;
+  std::string dir = Workload(n_txns, 4, 2, /*checkpoint_at_end=*/false);
+  axmlx::bench::MeasureThroughput(&report, "recovery_latency_us",
+                                  smoke ? 3 : 10, [&] {
+                                    DurableStore reopened(dir, nullptr);
+                                    (void)reopened.Open();
+                                  });
+  DurableStore reopened(dir, nullptr);
+  if (reopened.Open().ok()) {
+    report.AddCounter("wal_txns", n_txns);
+    report.AddCounter("replayed_ops",
+                      static_cast<int64_t>(reopened.stats().replayed_ops));
+    report.AddCounter("recovered_txns",
+                      static_cast<int64_t>(reopened.stats().recovered_txns));
+  }
+  (void)report.Write();
+}
+
 void BM_ExecuteWithWal(benchmark::State& state) {
   std::string dir = FreshDir();
   DurableStore store(dir, nullptr);
@@ -140,7 +162,10 @@ BENCHMARK(BM_Recovery)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintExperiment();
+  const bool smoke = axmlx::bench::StripSmokeFlag(&argc, argv);
+  if (!smoke) PrintExperiment();
+  WriteReport(smoke);
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

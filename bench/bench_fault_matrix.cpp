@@ -182,6 +182,46 @@ void RunTickCheck() {
   }
 }
 
+/// Machine-readable report: one drop+dup drill cell — wall latency, verdict
+/// counters, and the drill's own txn-duration histogram (simulation ticks)
+/// pulled straight from its metrics registry.
+void WriteReport(bool smoke) {
+  axmlx::bench::JsonReport report("fault_matrix", smoke);
+  uint64_t seed = 9700;
+  axmlx::bench::MeasureThroughput(
+      &report, "drill_latency_us", smoke ? 2 : 5, [&] {
+        FaultDrillOptions options = MatrixOptions("report", seed++);
+        options.transactions = smoke ? 4 : 12;
+        options.drop_rate = 0.05;
+        options.dup_rate = 0.1;
+        options.delay_max = 3;
+        FaultDrill drill(options);
+        (void)drill.Run();
+      });
+  FaultDrillOptions options = MatrixOptions("report", 9800);
+  options.transactions = smoke ? 4 : 12;
+  options.drop_rate = 0.05;
+  options.dup_rate = 0.1;
+  options.delay_max = 3;
+  FaultDrill drill(options);
+  auto drill_report = drill.Run();
+  if (drill_report.ok()) {
+    report.AddCounter("committed", drill_report->committed);
+    report.AddCounter("aborted", drill_report->aborted);
+    report.AddCounter("undecided", drill_report->undecided);
+    report.AddCounter("violations", drill_report->violations);
+    report.AddCounter("faults_injected",
+                      drill_report->faults.dropped +
+                          drill_report->faults.duplicated);
+    const axmlx::obs::MetricsSnapshot metrics = drill.metrics().Snapshot();
+    auto hist = metrics.histograms.find("drill.txn_duration_ticks");
+    if (hist != metrics.histograms.end()) {
+      report.AddHistogram("txn_duration_ticks", hist->second);
+    }
+  }
+  (void)report.Write();
+}
+
 void BM_FaultDrillDropDup(benchmark::State& state) {
   int iter = 0;
   for (auto _ : state) {
@@ -200,8 +240,14 @@ BENCHMARK(BM_FaultDrillDropDup)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = axmlx::bench::StripSmokeFlag(&argc, argv);
+  if (smoke) {
+    WriteReport(true);
+    return 0;
+  }
   RunMatrix();
   RunTickCheck();
+  WriteReport(false);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   if (total_violations > 0) {

@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -143,6 +144,49 @@ void PrintExperiment() {
       "no-handler runs undo everything (24 nodes) and reach the origin.\n\n");
 }
 
+/// Replays the no-handler full-abort scenario and dumps the causal span log
+/// so `axmlx_report SPANS_fig1_nested_recovery.jsonl` renders the Figure 1
+/// invocation tree with the AP5 -> AP3 -> AP1 abort-propagation path.
+void WriteSpanLog() {
+  AxmlRepository repo(1);
+  ScenarioOptions options;
+  options.s5_fault_probability = 1.0;
+  if (!BuildFigureOne(&repo, options).ok()) return;
+  (void)repo.RunTransaction("AP1", kTxnName, "S1");
+  std::ofstream out("SPANS_fig1_nested_recovery.jsonl",
+                    std::ios::binary | std::ios::trunc);
+  if (out) out << repo.spans().ToJsonl();
+}
+
+/// Machine-readable report: throughput/latency of the full-abort scenario
+/// plus the protocol counters for one abort run and one forward-recovery
+/// run (see the table for the full sweep).
+void WriteReport(bool smoke) {
+  axmlx::bench::JsonReport report("fig1_nested_recovery", smoke);
+  ScenarioOptions abort_options;
+  abort_options.s5_fault_probability = 1.0;
+  axmlx::bench::MeasureThroughput(&report, "txn_latency_us", smoke ? 3 : 15,
+                                  [&] { (void)RunScenario(abort_options); });
+  RunMetrics full_abort = RunScenario(abort_options);
+  report.AddCounter("abort.aborts_sent", full_abort.aborts_sent);
+  report.AddCounter("abort.contexts_aborted", full_abort.contexts_aborted);
+  report.AddCounter("abort.nodes_compensated",
+                    static_cast<int64_t>(full_abort.nodes_compensated));
+  report.AddCounter("abort.messages", full_abort.messages);
+  ScenarioOptions recover_options;
+  recover_options.s5_fault_probability = 1.0;
+  recover_options.s5_handler_at_ap3 = true;
+  RunMetrics recovered = RunScenario(recover_options);
+  report.AddCounter("recovery.forward_recoveries",
+                    recovered.forward_recoveries);
+  report.AddCounter("recovery.retries", recovered.retries);
+  report.AddCounter("recovery.nodes_compensated",
+                    static_cast<int64_t>(recovered.nodes_compensated));
+  report.AddCounter("recovery.work_kept",
+                    static_cast<int64_t>(recovered.surviving_work));
+  (void)report.Write();
+}
+
 void BM_Fig1HealthyTransaction(benchmark::State& state) {
   for (auto _ : state) {
     ScenarioOptions options;
@@ -177,7 +221,11 @@ BENCHMARK(BM_Fig1ForwardRecovery)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintExperiment();
+  const bool smoke = axmlx::bench::StripSmokeFlag(&argc, argv);
+  if (!smoke) PrintExperiment();
+  WriteReport(smoke);
+  WriteSpanLog();
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

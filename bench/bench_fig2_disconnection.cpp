@@ -181,6 +181,26 @@ void PrintExperiment() {
       "whole subtree.\n\n");
 }
 
+/// Machine-readable report built around case (c) (parent pings, AP6
+/// mid-flight) under the chained protocol, with case-(b) reuse counters
+/// alongside.
+void WriteReport(bool smoke) {
+  axmlx::bench::JsonReport report("fig2_disconnection", smoke);
+  axmlx::bench::MeasureThroughput(&report, "case_c_latency_us", smoke ? 3 : 10,
+                                  [] { (void)RunCaseC(true); });
+  CaseMetrics case_b = RunCaseB(true);
+  report.AddCounter("case_b.work_reused", case_b.reused);
+  report.AddCounter("case_b.wasted_nodes",
+                    static_cast<int64_t>(case_b.wasted_nodes));
+  CaseMetrics case_c = RunCaseC(true);
+  report.AddCounter("case_c.work_reused", case_c.reused);
+  report.AddCounter("case_c.wasted_nodes",
+                    static_cast<int64_t>(case_c.wasted_nodes));
+  report.AddCounter("case_c.notifications", case_c.notifications);
+  report.AddCounter("case_c.decision_time", case_c.decision_time);
+  (void)report.Write();
+}
+
 void BM_Fig2CaseB_Chained(benchmark::State& state) {
   for (auto _ : state) {
     CaseMetrics m = RunCaseB(true);
@@ -200,7 +220,10 @@ BENCHMARK(BM_Fig2CaseC_Chained)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintExperiment();
+  const bool smoke = axmlx::bench::StripSmokeFlag(&argc, argv);
+  if (!smoke) PrintExperiment();
+  WriteReport(smoke);
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

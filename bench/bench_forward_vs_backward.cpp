@@ -119,6 +119,24 @@ void PrintExperiment() {
       "forward recovery and 'undo only as much as required'.\n\n");
 }
 
+/// Machine-readable report: backward-recovery latency on the 3x2 tree plus
+/// the paper's cost measure (nodes undone) for both strategies at depth 2.
+void WriteReport(bool smoke) {
+  axmlx::bench::JsonReport report("forward_vs_backward", smoke);
+  axmlx::bench::MeasureThroughput(
+      &report, "backward_latency_us", smoke ? 3 : 10,
+      [] { (void)Run(3, 2, 2, /*forward=*/false); });
+  E4Row backward = Run(3, 2, 2, /*forward=*/false);
+  report.AddCounter("backward.nodes_undone",
+                    static_cast<int64_t>(backward.nodes_undone));
+  report.AddCounter("backward.aborts", backward.aborts);
+  E4Row forward = Run(3, 2, 2, /*forward=*/true);
+  report.AddCounter("forward.nodes_undone",
+                    static_cast<int64_t>(forward.nodes_undone));
+  report.AddCounter("forward.aborts", forward.aborts);
+  (void)report.Write();
+}
+
 void BM_BackwardRecoveryDepth(benchmark::State& state) {
   const int depth = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -148,7 +166,10 @@ BENCHMARK(BM_ForwardRecoveryDepth)
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintExperiment();
+  const bool smoke = axmlx::bench::StripSmokeFlag(&argc, argv);
+  if (!smoke) PrintExperiment();
+  WriteReport(smoke);
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -119,6 +119,24 @@ void PrintExperiment() {
       "the query needed one field.\n\n");
 }
 
+/// Machine-readable report: lazy-query latency at n=16, k=1 and the
+/// invocation/compensation comparison against eager evaluation.
+void WriteReport(bool smoke) {
+  axmlx::bench::JsonReport report("lazy_vs_eager", smoke);
+  axmlx::bench::MeasureThroughput(&report, "lazy_query_latency_us",
+                                  smoke ? 3 : 15,
+                                  [] { (void)Run(16, 1, /*eager=*/false); });
+  E7Row lazy = Run(16, 1, /*eager=*/false);
+  report.AddCounter("lazy.invocations", lazy.invocations);
+  report.AddCounter("lazy.comp_cost_nodes",
+                    static_cast<int64_t>(lazy.comp_cost));
+  E7Row eager = Run(16, 1, /*eager=*/true);
+  report.AddCounter("eager.invocations", eager.invocations);
+  report.AddCounter("eager.comp_cost_nodes",
+                    static_cast<int64_t>(eager.comp_cost));
+  (void)report.Write();
+}
+
 void BM_LazyQuery(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -142,7 +160,10 @@ BENCHMARK(BM_EagerQuery)->Arg(4)->Arg(16)->Arg(64)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintExperiment();
+  const bool smoke = axmlx::bench::StripSmokeFlag(&argc, argv);
+  if (!smoke) PrintExperiment();
+  WriteReport(smoke);
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -156,6 +156,32 @@ void PrintRealPeerExperiment() {
       "model commits all of them.\n\n");
 }
 
+/// Machine-readable report: compensation-model simulation latency at
+/// duration=100 plus committed/aborted for both models on that workload.
+void WriteReport(bool smoke) {
+  axmlx::bench::JsonReport report("lock_vs_compensation", smoke);
+  WorkloadConfig config;
+  config.num_txns = smoke ? 50 : 300;
+  config.ops_per_txn = 3;
+  config.hot_fraction = 0.4;
+  config.write_fraction = 0.5;
+  config.service_duration = 100;
+  config.arrival_gap = 2;
+  config.fault_probability = 0.05;
+  axmlx::bench::MeasureThroughput(
+      &report, "comp_sim_latency_us", smoke ? 3 : 10,
+      [&] { (void)RunCompensationSimulation(config); });
+  SimResult lock = RunLockingSimulation(config);
+  report.AddCounter("locking.committed", lock.committed);
+  report.AddCounter("locking.aborted", lock.aborted);
+  report.AddCounter("locking.lock_denials", lock.lock_denials);
+  SimResult comp = RunCompensationSimulation(config);
+  report.AddCounter("compensation.committed", comp.committed);
+  report.AddCounter("compensation.aborted", comp.aborted);
+  report.AddCounter("compensation.compensation_ops", comp.compensation_ops);
+  (void)report.Write();
+}
+
 void BM_LockingSim(benchmark::State& state) {
   WorkloadConfig config;
   config.num_txns = 300;
@@ -184,8 +210,13 @@ BENCHMARK(BM_CompensationSim)->Arg(10)->Arg(1000)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintExperiment();
-  PrintRealPeerExperiment();
+  const bool smoke = axmlx::bench::StripSmokeFlag(&argc, argv);
+  if (!smoke) {
+    PrintExperiment();
+    PrintRealPeerExperiment();
+  }
+  WriteReport(smoke);
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -129,6 +129,29 @@ void PrintExperiment() {
       "executed on replicas) stays at 100%%.\n\n");
 }
 
+/// Machine-readable report: per-trial latency at p=0.4 (peer-independent)
+/// and the success/stranded comparison over a small sweep.
+void WriteReport(bool smoke) {
+  axmlx::bench::JsonReport report("peer_independent", smoke);
+  uint64_t seed = 500;
+  axmlx::bench::MeasureThroughput(
+      &report, "trial_latency_us", smoke ? 3 : 10,
+      [&] { (void)RunTrial(0.4, /*independent=*/true, seed++); });
+  const int trials = smoke ? 5 : 25;
+  SweepRow dependent = Sweep(0.4, /*independent=*/false, trials);
+  SweepRow independent = Sweep(0.4, /*independent=*/true, trials);
+  report.AddCounter("trials", trials);
+  report.AddCounter("dependent.success_pct",
+                    static_cast<int64_t>(dependent.success_rate));
+  report.AddCounter("independent.success_pct",
+                    static_cast<int64_t>(independent.success_rate));
+  report.AddCounter("dependent.avg_stranded_x100",
+                    static_cast<int64_t>(dependent.avg_stranded * 100));
+  report.AddCounter("independent.avg_stranded_x100",
+                    static_cast<int64_t>(independent.avg_stranded * 100));
+  (void)report.Write();
+}
+
 void BM_TrialPeerDependent(benchmark::State& state) {
   uint64_t seed = 0;
   for (auto _ : state) {
@@ -150,7 +173,10 @@ BENCHMARK(BM_TrialPeerIndependent)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintExperiment();
+  const bool smoke = axmlx::bench::StripSmokeFlag(&argc, argv);
+  if (!smoke) PrintExperiment();
+  WriteReport(smoke);
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -159,6 +159,28 @@ void PrintExperiment() {
       "f=1 no disconnections — hence no violations — are possible.\n\n");
 }
 
+/// Machine-readable report: one random-overlay transaction's latency and a
+/// small sweep at f=0.5 (guaranteed/violation/decided percentages).
+void WriteReport(bool smoke) {
+  axmlx::bench::JsonReport report("spheres_of_atomicity", smoke);
+  int t = 0;
+  axmlx::bench::MeasureThroughput(
+      &report, "txn_latency_us", smoke ? 3 : 10, [&] {
+        Rng rng(static_cast<uint64_t>(t++));
+        RandomOverlay overlay(static_cast<uint64_t>(t));
+        if (!BuildRandomOverlay(&overlay, 8, 0.5, &rng).ok()) return;
+        (void)overlay.repo->RunTransaction("N0", "TA", "S");
+      });
+  const int trials = smoke ? 5 : 25;
+  E9Row row = Sweep(0.5, trials);
+  report.AddCounter("trials", trials);
+  report.AddCounter("guaranteed_pct",
+                    static_cast<int64_t>(row.guaranteed_pct));
+  report.AddCounter("violation_pct", static_cast<int64_t>(row.violation_pct));
+  report.AddCounter("decided_pct", static_cast<int64_t>(row.decided_pct));
+  (void)report.Write();
+}
+
 void BM_RandomOverlayTransaction(benchmark::State& state) {
   int t = 0;
   for (auto _ : state) {
@@ -174,7 +196,10 @@ BENCHMARK(BM_RandomOverlayTransaction)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintExperiment();
+  const bool smoke = axmlx::bench::StripSmokeFlag(&argc, argv);
+  if (!smoke) PrintExperiment();
+  WriteReport(smoke);
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

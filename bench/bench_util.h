@@ -1,11 +1,19 @@
 #ifndef AXMLX_BENCH_BENCH_UTIL_H_
 #define AXMLX_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <initializer_list>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace axmlx::bench {
 
@@ -68,6 +76,118 @@ template <typename T>
   requires std::is_integral_v<T>
 std::string Fmt(T v) {
   return std::to_string(v);
+}
+
+/// Removes `--smoke` from argv (so google benchmark never sees it) and
+/// reports whether it was present. Call BEFORE benchmark::Initialize.
+/// Smoke mode means: write the JSON report from a few iterations and skip
+/// the full google-benchmark run — scripts/check.sh uses it to validate the
+/// machine-readable pipeline quickly.
+inline bool StripSmokeFlag(int* argc, char** argv) {
+  bool smoke = false;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  argv[w] = nullptr;
+  return smoke;
+}
+
+/// Microsecond-scale latency buckets shared by every bench histogram, wide
+/// enough for whole simulated transactions (up to 1s per op).
+inline std::vector<int64_t> LatencyBucketsUs() {
+  return {50,    100,   250,    500,    1000,   2500,   5000,
+          10000, 25000, 50000,  100000, 250000, 500000, 1000000};
+}
+
+/// Machine-readable bench report (schema "axmlx-bench-v1"). Every bench_*
+/// binary writes BENCH_<name>.json into the working directory so
+/// `axmlx_report --check` and downstream tooling can consume the numbers
+/// without scraping tables.
+class JsonReport {
+ public:
+  JsonReport(std::string name, bool smoke)
+      : name_(std::move(name)), smoke_(smoke) {}
+
+  void SetOpsPerSec(double ops) { ops_per_sec_ = ops; }
+  void AddCounter(const std::string& name, int64_t value) {
+    counters_.emplace_back(name, value);
+  }
+  void AddHistogram(const std::string& name,
+                    const obs::HistogramSnapshot& snap) {
+    histograms_.emplace_back(name, snap);
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"schema\":\"axmlx-bench-v1\",\"bench\":\"" +
+                      obs::JsonEscape(name_) + "\",\"smoke\":" +
+                      (smoke_ ? "true" : "false") + ",\"ops_per_sec\":";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", ops_per_sec_);
+    out += buf;
+    out += ",\"counters\":{";
+    for (size_t i = 0; i < counters_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + obs::JsonEscape(counters_[i].first) +
+             "\":" + std::to_string(counters_[i].second);
+    }
+    out += "},\"histograms\":{";
+    for (size_t i = 0; i < histograms_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + obs::JsonEscape(histograms_[i].first) +
+             "\":" + histograms_[i].second.ToJson();
+    }
+    out += "}}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json; returns false (and warns) on I/O failure so
+  /// a read-only working directory degrades the report, not the bench.
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << ToJson();
+    return out.good();
+  }
+
+ private:
+  std::string name_;
+  bool smoke_ = false;
+  double ops_per_sec_ = 0;
+  std::vector<std::pair<std::string, int64_t>> counters_;
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> histograms_;
+};
+
+/// Runs `fn` `iters` times against the wall clock, records each call's
+/// latency into histogram `hist_name` (microseconds), and sets the report's
+/// ops/sec from the total. The histogram snapshot lands in the report too.
+template <typename Fn>
+void MeasureThroughput(JsonReport* report, const std::string& hist_name,
+                       int iters, Fn&& fn) {
+  obs::Histogram hist(LatencyBucketsUs());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    const auto s = std::chrono::steady_clock::now();
+    fn();
+    const auto e = std::chrono::steady_clock::now();
+    hist.Observe(
+        std::chrono::duration_cast<std::chrono::microseconds>(e - s).count());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double total_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  report->SetOpsPerSec(total_s > 0 ? iters / total_s : 0);
+  report->AddHistogram(hist_name, hist.Snapshot());
 }
 
 }  // namespace axmlx::bench

@@ -22,6 +22,24 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 step "static analysis (ctest -L lint)"
 ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure
 
+step "bench smoke (--smoke reports validated by axmlx_report --check)"
+BUILD_ABS="$(cd "$BUILD_DIR" && pwd)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+(
+  cd "$SMOKE_DIR"
+  for bench in "$BUILD_ABS"/bench/bench_*; do
+    [ -x "$bench" ] || continue
+    "$bench" --smoke
+  done
+  reports=(BENCH_*.json)
+  if [ ! -e "${reports[0]}" ]; then
+    echo "FAIL: no BENCH_*.json reports produced by the smoke run" >&2
+    exit 1
+  fi
+  "$BUILD_ABS/tools/axmlx_report" --check BENCH_*.json
+)
+
 step "sanitizer build (-DAXMLX_SANITIZE=ON) + fault-labeled suites"
 SAN_DIR="$BUILD_DIR-asan"
 cmake -B "$SAN_DIR" -S . -DAXMLX_WERROR=ON -DAXMLX_SANITIZE=ON

@@ -1,15 +1,46 @@
 #include "common/trace.h"
 
+#include <cctype>
 #include <sstream>
+
+#include "obs/json.h"
 
 namespace axmlx {
 
-int Trace::CountKind(const std::string& kind) const {
-  int n = 0;
-  for (const TraceEvent& e : events_) {
-    if (e.kind == kind) ++n;
+namespace {
+
+/// A Mermaid participant must be a plain identifier; anything else would be
+/// spliced into the diagram source and corrupt it.
+bool IsMermaidIdent(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '-') {
+      return false;
+    }
   }
-  return n;
+  return true;
+}
+
+/// Keeps labels on one line and free of Mermaid-significant characters.
+std::string MermaidLabel(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == ';' || c == ':') {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int Trace::CountKind(const std::string& kind) const {
+  auto it = kind_counts_.find(kind);
+  return it == kind_counts_.end() ? 0 : it->second;
 }
 
 std::string Trace::ToMermaid() const {
@@ -17,23 +48,34 @@ std::string Trace::ToMermaid() const {
   os << "sequenceDiagram\n";
   for (const TraceEvent& e : events_) {
     if (e.kind == "SEND") {
-      // detail is "<TYPE> -> <peer>".
+      // detail is "<TYPE> -> <peer>"; skip entries that deviate.
       size_t arrow = e.detail.find(" -> ");
-      if (arrow != std::string::npos) {
-        std::string type = e.detail.substr(0, arrow);
-        std::string to = e.detail.substr(arrow + 4);
-        os << "  " << e.actor << "->>" << to << ": " << type << " (t="
-           << e.time << ")\n";
-      }
+      if (arrow == std::string::npos) continue;
+      std::string type = e.detail.substr(0, arrow);
+      std::string to = e.detail.substr(arrow + 4);
+      if (!IsMermaidIdent(e.actor) || !IsMermaidIdent(to)) continue;
+      os << "  " << e.actor << "->>" << to << ": " << MermaidLabel(type)
+         << " (t=" << e.time << ")\n";
       continue;
     }
     if (e.kind == "RECV") continue;  // implied by the arrow
     if (e.kind == "DISCONNECT" || e.kind == "RECONNECT" ||
         e.kind == "PING_TIMEOUT" || e.kind == "STREAM_SILENCE" ||
         e.kind == "SEND_FAIL") {
-      os << "  Note over " << e.actor << ": " << e.kind << " t=" << e.time
-         << "\n";
+      if (!IsMermaidIdent(e.actor)) continue;
+      os << "  Note over " << e.actor << ": " << MermaidLabel(e.kind)
+         << " t=" << e.time << "\n";
     }
+  }
+  return os.str();
+}
+
+std::string Trace::ToJsonl() const {
+  std::ostringstream os;
+  for (const TraceEvent& e : events_) {
+    os << "{\"time\":" << e.time << ",\"actor\":\"" << obs::JsonEscape(e.actor)
+       << "\",\"kind\":\"" << obs::JsonEscape(e.kind) << "\",\"detail\":\""
+       << obs::JsonEscape(e.detail) << "\"}\n";
   }
   return os.str();
 }

@@ -2,6 +2,7 @@
 #define AXMLX_COMMON_TRACE_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -44,14 +45,19 @@ class Trace {
  public:
   void Add(int64_t time, std::string actor, std::string kind,
            std::string detail) {
+    ++kind_counts_[kind];
     events_.push_back({time, std::move(actor), std::move(kind),
                        std::move(detail)});
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
-  void Clear() { events_.clear(); }
+  void Clear() {
+    events_.clear();
+    kind_counts_.clear();
+  }
 
-  /// Returns the number of events whose `kind` matches exactly.
+  /// Returns the number of events whose `kind` matches exactly. O(log k) in
+  /// the number of distinct kinds — benches call this per iteration.
   int CountKind(const std::string& kind) const;
 
   /// Renders the trace as one line per event, for example output and tests.
@@ -59,11 +65,19 @@ class Trace {
 
   /// Renders message events (SEND kind "X -> P") as a Mermaid sequence
   /// diagram, for embedding protocol runs in documentation. Non-message
-  /// events become participant notes.
+  /// events become participant notes. SEND details that do not follow the
+  /// "X -> P" convention (or whose peer token is not a plain identifier) are
+  /// skipped, and note labels are sanitized, so free-form details cannot
+  /// corrupt the diagram syntax.
   std::string ToMermaid() const;
+
+  /// Renders the trace as JSON Lines, one
+  /// {"time":...,"actor":...,"kind":...,"detail":...} object per event.
+  std::string ToJsonl() const;
 
  private:
   std::vector<TraceEvent> events_;
+  std::map<std::string, int> kind_counts_;  ///< Maintained by Add/Clear.
 };
 
 }  // namespace axmlx

@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace axmlx::obs {
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+void Histogram::Observe(int64_t value) {
+  size_t bucket = bounds_.size();  // overflow by default
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+int64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based.
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      return i < bounds_.size() ? std::min(bounds_[i], max()) : max();
+    }
+  }
+  return max();
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts = counts_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min();
+  snap.max = max();
+  snap.p50 = Quantile(0.50);
+  snap.p95 = Quantile(0.95);
+  return snap;
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+namespace {
+
+void AppendIntArray(std::ostringstream* os, const std::vector<int64_t>& v) {
+  *os << "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) *os << ",";
+    *os << v[i];
+  }
+  *os << "]";
+}
+
+}  // namespace
+
+std::string HistogramSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"bounds\":";
+  AppendIntArray(&os, bounds);
+  os << ",\"counts\":";
+  AppendIntArray(&os, counts);
+  os << ",\"count\":" << count << ",\"sum\":" << sum << ",\"min\":" << min
+     << ",\"max\":" << max << ",\"p50\":" << p50 << ",\"p95\":" << p95 << "}";
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << hist.ToJson();
+  }
+  os << "}}";
+  return os.str();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return &counters_[name];
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return &gauges_[name];
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<int64_t> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  }
+  return &it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h.Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, g] : gauges_) g.Reset();
+  for (auto& [name, h] : histograms_) h.Reset();
+}
+
+}  // namespace axmlx::obs

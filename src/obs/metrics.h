@@ -1,0 +1,134 @@
+#ifndef AXMLX_OBS_METRICS_H_
+#define AXMLX_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace axmlx::obs {
+
+/// Monotonic event counter. Supports `++counter` and `counter += n` so
+/// migrated struct-field call sites keep their spelling.
+class Counter {
+ public:
+  Counter& operator++() {
+    ++value_;
+    return *this;
+  }
+  Counter& operator+=(int64_t delta) {
+    value_ += delta;
+    return *this;
+  }
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Last-value gauge (queue depths, configured rates, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// One histogram's data, frozen at snapshot time.
+struct HistogramSnapshot {
+  std::vector<int64_t> bounds;  ///< Inclusive upper bounds, ascending.
+  std::vector<int64_t> counts;  ///< bounds.size() + 1 (last = overflow).
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;  ///< 0 when empty.
+  int64_t max = 0;
+  int64_t p50 = 0;
+  int64_t p95 = 0;
+
+  /// {"bounds":[...],"counts":[...],"count":N,...,"p95":N}.
+  std::string ToJson() const;
+};
+
+/// Fixed-bucket histogram over int64 values (latencies in simulation ticks
+/// or wall-clock microseconds). A value lands in the first bucket whose
+/// upper bound is >= the value; everything past the last bound goes to an
+/// implicit overflow bucket.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Observe(int64_t value);
+
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  const std::vector<int64_t>& bucket_counts() const { return counts_; }
+  int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Value at quantile `q` in [0, 1], estimated as the upper bound of the
+  /// bucket holding that rank (the max observed value for the overflow
+  /// bucket). 0 when empty.
+  int64_t Quantile(double q) const;
+
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::vector<int64_t> counts_;  ///< bounds_.size() + 1.
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+/// All registered metrics, frozen at snapshot time.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+};
+
+/// Named-metric registry. Handles returned by the Get* methods are stable
+/// for the registry's lifetime (node-based storage), so hot paths cache the
+/// pointer once and never pay the name lookup per event. Not thread-safe;
+/// the simulator is single-threaded by design.
+///
+/// Naming scheme (see DESIGN.md §7): `<domain>.<metric>` with domains
+/// `overlay.*` (message bus), `txn.*` (peer protocol), `drill.*` (fault
+/// drills), `bench.*` (benchmark harness).
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies on first creation; later calls for the same name
+  /// return the existing histogram unchanged.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds);
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToJson() const { return Snapshot().ToJson(); }
+
+  /// Zeroes every metric, keeping registrations (and handed-out pointers)
+  /// valid.
+  void Reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace axmlx::obs
+
+#endif  // AXMLX_OBS_METRICS_H_

@@ -1,0 +1,67 @@
+#include "obs/span.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace axmlx::obs {
+
+uint64_t SpanTracker::OpenSpan(const std::string& txn, const std::string& peer,
+                               const std::string& kind,
+                               uint64_t parent_span_id, int64_t start,
+                               const std::string& detail) {
+  SpanRecord rec;
+  rec.txn = txn;
+  rec.span_id = next_id_++;
+  rec.parent_span_id = parent_span_id;
+  rec.peer = peer;
+  rec.kind = kind;
+  rec.detail = detail;
+  rec.start = start;
+  index_[rec.span_id] = spans_.size();
+  spans_.push_back(std::move(rec));
+  return spans_.back().span_id;
+}
+
+void SpanTracker::CloseSpan(uint64_t span_id, int64_t end,
+                            const std::string& outcome,
+                            const std::string& fault) {
+  auto it = index_.find(span_id);
+  if (it == index_.end()) return;
+  SpanRecord& rec = spans_[it->second];
+  if (rec.end >= 0) return;  // already closed; first close wins
+  rec.end = end;
+  rec.outcome = outcome;
+  rec.fault = fault;
+}
+
+const SpanRecord* SpanTracker::Find(uint64_t span_id) const {
+  auto it = index_.find(span_id);
+  if (it == index_.end()) return nullptr;
+  return &spans_[it->second];
+}
+
+std::string SpanTracker::ToJsonl() const {
+  std::ostringstream os;
+  for (const SpanRecord& s : spans_) {
+    os << "{\"txn\":\"" << JsonEscape(s.txn) << "\",\"span\":" << s.span_id
+       << ",\"parent\":" << s.parent_span_id << ",\"peer\":\""
+       << JsonEscape(s.peer) << "\",\"kind\":\"" << JsonEscape(s.kind)
+       << "\",\"detail\":\"" << JsonEscape(s.detail)
+       << "\",\"start\":" << s.start << ",\"end\":" << s.end
+       << ",\"outcome\":\"" << JsonEscape(s.outcome) << "\"";
+    if (!s.fault.empty()) {
+      os << ",\"fault\":\"" << JsonEscape(s.fault) << "\"";
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+void SpanTracker::Clear() {
+  spans_.clear();
+  index_.clear();
+  next_id_ = 1;
+}
+
+}  // namespace axmlx::obs

@@ -1,0 +1,82 @@
+#ifndef AXMLX_OBS_SPAN_H_
+#define AXMLX_OBS_SPAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace axmlx::obs {
+
+/// Declared span kinds. Every `kind` passed to SpanTracker::OpenSpan must
+/// come from this table (lint rule R3, same contract as the kEv* trace
+/// kinds): the report tooling groups and renders by these strings, so an
+/// emitter inventing an off-table spelling silently falls out of the
+/// invocation-tree reconstruction.
+inline constexpr char kSpanTxn[] = "TXN";
+inline constexpr char kSpanService[] = "SERVICE";
+inline constexpr char kSpanCompensation[] = "COMPENSATION";
+inline constexpr char kSpanRecovery[] = "RECOVERY";
+
+/// Span outcomes (deliberately NOT kSpan*-prefixed: they are not kinds and
+/// must not enter the lint table).
+inline constexpr char kOutcomeCommitted[] = "COMMITTED";
+inline constexpr char kOutcomeAborted[] = "ABORTED";
+inline constexpr char kOutcomeOk[] = "OK";
+inline constexpr char kOutcomeFailed[] = "FAILED";
+inline constexpr char kOutcomeAbsorbed[] = "ABSORBED";
+inline constexpr char kOutcomeRetried[] = "RETRIED";
+
+/// One causal span in the distributed invocation tree (paper §3.2): a
+/// transaction, a nested service execution, a compensation, or a recovery
+/// attempt. Parent links cross peers — the parent id travels in the INVOKE
+/// message's span header — so the per-transaction tree reconstructs the
+/// paper's Figure 1/2 narratives end to end.
+struct SpanRecord {
+  std::string txn;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  ///< 0 = root.
+  std::string peer;
+  std::string kind;    ///< One of the kSpan* table.
+  std::string detail;  ///< Service name, document, or fault context.
+  int64_t start = 0;   ///< Simulation time.
+  int64_t end = -1;    ///< -1 while the span is open.
+  std::string outcome;  ///< Empty while open.
+  std::string fault;    ///< Fault name for aborted/failed spans.
+};
+
+/// Append-only span log with process-wide unique ids. One tracker is shared
+/// by every peer of a repository (the discrete-event simulator is
+/// single-threaded), which is what makes cross-peer parent links unambiguous.
+class SpanTracker {
+ public:
+  /// Opens a span and returns its id (never 0).
+  uint64_t OpenSpan(const std::string& txn, const std::string& peer,
+                    const std::string& kind, uint64_t parent_span_id,
+                    int64_t start, const std::string& detail = std::string());
+
+  /// Closes `span_id` with `outcome` (and optionally the fault that ended
+  /// it). Unknown or already-closed ids are ignored — close points race
+  /// benignly under duplicated control messages.
+  void CloseSpan(uint64_t span_id, int64_t end, const std::string& outcome,
+                 const std::string& fault = std::string());
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  const SpanRecord* Find(uint64_t span_id) const;
+
+  /// One JSON object per line:
+  /// {"txn":...,"span":N,"parent":N,"peer":...,"kind":...,"detail":...,
+  ///  "start":T,"end":T,"outcome":...[,"fault":...]}
+  std::string ToJsonl() const;
+
+  void Clear();
+
+ private:
+  std::vector<SpanRecord> spans_;
+  std::map<uint64_t, size_t> index_;  ///< span_id -> index in spans_.
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace axmlx::obs
+
+#endif  // AXMLX_OBS_SPAN_H_

@@ -9,6 +9,27 @@ namespace axmlx::overlay {
 
 void PeerNode::OnTick(Tick /*now*/, Network* /*net*/) {}
 
+Network::NetCounters::NetCounters(obs::MetricsRegistry* metrics)
+    : messages_sent(*metrics->GetCounter("overlay.messages_sent")),
+      messages_delivered(*metrics->GetCounter("overlay.messages_delivered")),
+      messages_dropped(*metrics->GetCounter("overlay.messages_dropped")),
+      sends_failed(*metrics->GetCounter("overlay.sends_failed")),
+      sends_rejected(*metrics->GetCounter("overlay.sends_rejected")),
+      faults_injected(*metrics->GetCounter("overlay.faults_injected")),
+      tick_calls(*metrics->GetCounter("overlay.tick_calls")) {}
+
+Network::Stats Network::stats() const {
+  Stats s;
+  s.messages_sent = counters_.messages_sent.value();
+  s.messages_delivered = counters_.messages_delivered.value();
+  s.messages_dropped = counters_.messages_dropped.value();
+  s.sends_failed = counters_.sends_failed.value();
+  s.sends_rejected = counters_.sends_rejected.value();
+  s.faults_injected = counters_.faults_injected.value();
+  s.tick_calls = counters_.tick_calls.value();
+  return s;
+}
+
 Network::Network(uint64_t seed, Trace* trace) : rng_(seed), trace_(trace) {}
 
 void Network::AddPeer(std::unique_ptr<PeerNode> peer) {
@@ -123,13 +144,13 @@ Result<int64_t> Network::Send(Message message) {
   if (peers_.find(message.to) == peers_.end()) {
     // Unknown destinations are accounted like any other failed send so
     // fault drills (and operators) can see misdirected traffic.
-    ++stats_.sends_rejected;
+    ++counters_.sends_rejected;
     TraceEventf(message.from, kEvSendReject,
                 message.type + " to " + message.to + " (unknown peer)");
     return NotFound("Send: unknown peer " + message.to);
   }
   if (!IsConnected(message.to)) {
-    ++stats_.sends_failed;
+    ++counters_.sends_failed;
     TraceEventf(message.from, kEvSendFail,
                 message.type + " to " + message.to + " (disconnected)");
     return PeerDisconnected("Send: " + message.to + " is unreachable");
@@ -137,7 +158,7 @@ Result<int64_t> Network::Send(Message message) {
   if (!message.from.empty() && !IsConnected(message.from)) {
     // A disconnected peer cannot emit messages. Symmetric with the
     // disconnected-destination path: counted and traced.
-    ++stats_.sends_failed;
+    ++counters_.sends_failed;
     TraceEventf(message.from, kEvSendFail,
                 message.type + " to " + message.to +
                     " (sender disconnected)");
@@ -148,7 +169,7 @@ Result<int64_t> Network::Send(Message message) {
       !fault_plan_->SameSide(message.from, message.to)) {
     // A partition fails the connection attempt fast — the same signal the
     // paper's peers use to detect disconnection (§3.3(b)).
-    ++stats_.sends_failed;
+    ++counters_.sends_failed;
     ++fault_plan_->mutable_stats()->partition_blocked;
     TraceEventf(message.from, kEvSendFail,
                 message.type + " to " + message.to + " (partitioned)");
@@ -156,7 +177,7 @@ Result<int64_t> Network::Send(Message message) {
                             " is unreachable (partitioned)");
   }
   message.id = next_message_id_++;
-  ++stats_.messages_sent;
+  ++counters_.messages_sent;
   TraceEventf(message.from, kEvSend, message.type + " -> " + message.to);
   int64_t id = message.id;
   if (fault_plan_ == nullptr) {
@@ -170,7 +191,7 @@ Result<int64_t> Network::Send(Message message) {
   std::vector<FaultPlan::Delivery> deliveries =
       fault_plan_->Decide(message, order_);
   if (deliveries.empty()) {
-    ++stats_.faults_injected;
+    ++counters_.faults_injected;
     TraceEventf(message.from, kEvFaultDrop,
                 message.type + " to " + message.to + " lost in transit");
     return id;
@@ -179,18 +200,18 @@ Result<int64_t> Network::Send(Message message) {
   for (const FaultPlan::Delivery& d : deliveries) {
     Message copy = message;
     if (!d.redirect_to.empty()) {
-      ++stats_.faults_injected;
+      ++counters_.faults_injected;
       TraceEventf(copy.from, kEvFaultMisroute,
                   copy.type + " to " + copy.to + " rerouted to " +
                       d.redirect_to);
       copy.to = d.redirect_to;
     }
     if (!first) {
-      ++stats_.faults_injected;
+      ++counters_.faults_injected;
       TraceEventf(copy.from, kEvFaultDup,
                   copy.type + " to " + copy.to + " duplicated");
     }
-    if (d.extra_delay > 0) ++stats_.faults_injected;
+    if (d.extra_delay > 0) ++counters_.faults_injected;
     EnqueueDelivery(std::move(copy), d.extra_delay);
     first = false;
   }
@@ -233,20 +254,20 @@ void Network::RunUntil(Tick until) {
     }
     const Message& msg = *ev.message;
     if (!IsConnected(msg.to) || FindPeer(msg.to) == nullptr) {
-      ++stats_.messages_dropped;
+      ++counters_.messages_dropped;
       TraceEventf(msg.to, kEvDrop, msg.type + " from " + msg.from);
       continue;
     }
     if (fault_plan_ != nullptr && !fault_plan_->SameSide(msg.from, msg.to)) {
       // The partition came up while the message was in flight.
-      ++stats_.messages_dropped;
+      ++counters_.messages_dropped;
       ++fault_plan_->mutable_stats()->partition_blocked;
       TraceEventf(msg.to, kEvDrop,
                   msg.type + " from " + msg.from + " (partitioned)");
       continue;
     }
     PeerNode* peer = FindPeer(msg.to);
-    ++stats_.messages_delivered;
+    ++counters_.messages_delivered;
     TraceEventf(msg.to, kEvRecv, msg.type + " from " + msg.from);
     peer->OnMessage(msg, this);
     // Periodic work interleaves deterministically after each delivery, but
@@ -256,7 +277,7 @@ void Network::RunUntil(Tick until) {
       if (!IsConnected(id)) continue;
       PeerNode* subscriber = FindPeer(id);
       if (subscriber == nullptr) continue;
-      ++stats_.tick_calls;
+      ++counters_.tick_calls;
       subscriber->OnTick(now_, this);
     }
   }

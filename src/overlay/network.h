@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/trace.h"
+#include "obs/metrics.h"
 
 namespace axmlx::overlay {
 
@@ -173,8 +174,12 @@ class Network {
     int64_t faults_injected = 0;    ///< Plan-made drops/dups/delays/misroutes.
     int64_t tick_calls = 0;         ///< OnTick dispatches (perf accounting).
   };
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  /// Thin view assembled from the metrics registry (`overlay.*` counters).
+  Stats stats() const;
+  void ResetStats() { metrics_.Reset(); }
+
+  /// The registry backing the overlay.* counters.
+  obs::MetricsRegistry& metrics() { return metrics_; }
 
   Trace* trace() { return trace_; }
 
@@ -196,6 +201,19 @@ class Network {
   void TraceEventf(const std::string& actor, const std::string& kind,
                    const std::string& detail);
 
+  /// Cached registry handles for the hot send/deliver paths; the registry
+  /// remains the source of truth (Stats is assembled from it on demand).
+  struct NetCounters {
+    explicit NetCounters(obs::MetricsRegistry* metrics);
+    obs::Counter& messages_sent;
+    obs::Counter& messages_delivered;
+    obs::Counter& messages_dropped;
+    obs::Counter& sends_failed;
+    obs::Counter& sends_rejected;
+    obs::Counter& faults_injected;
+    obs::Counter& tick_calls;
+  };
+
   /// Enqueues one physical delivery of `message` (already id-stamped).
   void EnqueueDelivery(Message message, Tick extra_delay);
 
@@ -210,7 +228,8 @@ class Network {
   Tick latency_base_ = 1;
   Tick latency_jitter_ = 0;
   Rng rng_;
-  Stats stats_;
+  obs::MetricsRegistry metrics_;      ///< Must precede counters_.
+  NetCounters counters_{&metrics_};
   Trace* trace_;
   FaultPlan* fault_plan_ = nullptr;
 };

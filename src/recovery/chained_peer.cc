@@ -32,7 +32,7 @@ void ChainedPeer::OnParentUnreachable(Ctx* ctx, overlay::Network* net) {
         m.type = txn::kMsgAbort;
         m.headers[txn::kHdrTxn] = txn;
         m.headers[txn::kHdrFault] = "OriginUnreachable";
-        ++mutable_stats()->aborts_sent;
+        ++counters()->aborts_sent;
         BestEffortSend(std::move(m), net);
       }
     }
@@ -58,7 +58,7 @@ void ChainedPeer::OnParentUnreachable(Ctx* ctx, overlay::Network* net) {
   m.headers[txn::kHdrDisconnected] = dead_parent;
   m.attachment = payload;
   if (net->Send(std::move(m)).ok()) {
-    ++mutable_stats()->results_rerouted;
+    ++counters()->results_rerouted;
     ctx->state = Ctx::State::kDone;  // await COMMIT/ABORT as usual
   } else {
     RecoveringPeer::OnParentUnreachable(ctx, net);
@@ -84,7 +84,7 @@ void ChainedPeer::OnRedirectedResult(const overlay::Message& message,
     reply.type = txn::kMsgAbort;
     reply.headers[txn::kHdrTxn] = txn;
     reply.headers[txn::kHdrFault] = "TxnUnknown";
-    ++mutable_stats()->aborts_sent;
+    ++counters()->aborts_sent;
     BestEffortSend(std::move(reply), net);
     return;
   }
@@ -117,7 +117,7 @@ void ChainedPeer::OnNotifyDisconnect(const overlay::Message& message,
     if (!options().reuse_work && ctx->state == Ctx::State::kRunning) {
       // No reuse planned for our branch: stop now rather than finish work
       // that is "ultimately going to be discarded" (§3.3(c)).
-      ++mutable_stats()->early_aborts;
+      ++counters()->early_aborts;
       AbortContext(ctx, "ParentDisconnected", /*notify_parent=*/false, net);
       return;
     }
@@ -154,7 +154,7 @@ void ChainedPeer::NotifySubtree(const Ctx& ctx, const overlay::PeerId& dead,
     m.type = txn::kMsgNotifyDisconnect;
     m.headers[txn::kHdrTxn] = ctx.txn;
     m.headers[txn::kHdrDisconnected] = dead;
-    if (net->Send(std::move(m)).ok()) ++mutable_stats()->notifications_sent;
+    if (net->Send(std::move(m)).ok()) ++counters()->notifications_sent;
   }
 }
 
@@ -181,7 +181,7 @@ void ChainedPeer::OnTxnResolved(const std::string& txn, bool committed,
       m.type = txn::kMsgAbort;
       m.headers[txn::kHdrTxn] = txn;
       m.headers[txn::kHdrFault] = "TxnAborted";
-      ++mutable_stats()->aborts_sent;
+      ++counters()->aborts_sent;
       BestEffortSend(std::move(m), net);
     }
   }
@@ -222,7 +222,7 @@ void ChainedPeer::NotifyRelativesOfDeath(const std::string& txn,
     m.type = txn::kMsgNotifyDisconnect;
     m.headers[txn::kHdrTxn] = txn;
     m.headers[txn::kHdrDisconnected] = dead;
-    if (net->Send(std::move(m)).ok()) ++mutable_stats()->notifications_sent;
+    if (net->Send(std::move(m)).ok()) ++counters()->notifications_sent;
   }
 }
 

@@ -28,7 +28,16 @@ void RecoveringPeer::OnChildFailure(Ctx* ctx, ChildEdge* edge,
               RetryTarget(*edge, handler.retry, fault, net);
           if (!target.empty() && net->CanReach(id(), target)) {
             ++edge->retries_used;
-            ++mutable_stats()->retries;
+            ++counters()->retries;
+            if (spans() != nullptr) {
+              // Instant span: the recovery decision happens at detection
+              // time; the re-invocation itself becomes a fresh SERVICE span
+              // on the retry target.
+              uint64_t rec = spans()->OpenSpan(ctx->txn, id(),
+                                              obs::kSpanRecovery,
+                                              ctx->span_id, net->now(), fault);
+              spans()->CloseSpan(rec, net->now(), obs::kOutcomeRetried);
+            }
             // Record the new target immediately so duplicate failure
             // detections (keep-alive + redirected results) for the old peer
             // no longer match this edge.
@@ -66,7 +75,12 @@ void RecoveringPeer::OnChildFailure(Ctx* ctx, ChildEdge* edge,
       // required", §3.2).
       edge->state = ChildEdge::State::kAbsorbed;
       edge->invoked_peer.clear();
-      ++mutable_stats()->forward_recoveries;
+      ++counters()->forward_recoveries;
+      if (spans() != nullptr) {
+        uint64_t rec = spans()->OpenSpan(ctx->txn, id(), obs::kSpanRecovery,
+                                         ctx->span_id, net->now(), fault);
+        spans()->CloseSpan(rec, net->now(), obs::kOutcomeAbsorbed);
+      }
       TryComplete(ctx, net);
       return;
     }

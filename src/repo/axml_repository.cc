@@ -75,6 +75,7 @@ Result<txn::AxmlPeer*> AxmlRepository::AddPeer(const PeerConfig& config) {
   }
   std::unique_ptr<txn::AxmlPeer> peer = MakePeer(config);
   txn::AxmlPeer* raw = peer.get();
+  raw->AttachSpans(&spans_);
   directory_.Register(config.id, &raw->repository(), config.super_peer);
   network_->AddPeer(std::move(peer));
   peers_.push_back(raw);
@@ -102,6 +103,7 @@ Result<txn::AxmlPeer*> AxmlRepository::RestartPeer(const PeerConfig& config) {
   }
   std::unique_ptr<txn::AxmlPeer> peer = MakePeer(config);
   txn::AxmlPeer* raw = peer.get();
+  raw->AttachSpans(&spans_);
   directory_.Register(config.id, &raw->repository(), config.super_peer);
   AXMLX_RETURN_IF_ERROR(network_->Restart(std::move(peer)));
   peers_.push_back(raw);

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "common/trace.h"
+#include "obs/span.h"
 #include "compensation/compensation.h"
 #include "ops/executor.h"
 #include "ops/op_log.h"
@@ -137,11 +138,16 @@ class AxmlRepository {
   overlay::Network& network() { return *network_; }
   txn::ServiceDirectory& directory() { return directory_; }
   Trace& trace() { return trace_; }
+  /// Causal span log shared by every peer of this repository — the
+  /// cross-peer invocation tree (TXN/SERVICE/COMPENSATION/RECOVERY spans)
+  /// reconstructs from it; render with tools/axmlx_report.
+  obs::SpanTracker& spans() { return spans_; }
 
  private:
   std::unique_ptr<txn::AxmlPeer> MakePeer(const PeerConfig& config);
 
   Trace trace_;
+  obs::SpanTracker spans_;
   std::unique_ptr<overlay::Network> network_;
   txn::ServiceDirectory directory_;
   std::vector<txn::AxmlPeer*> peers_;

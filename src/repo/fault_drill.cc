@@ -18,11 +18,11 @@ namespace {
 /// consistent state from the WAL alone.
 class StoreJournal : public txn::WriteJournal {
  public:
-  /// `errors` (drill-owned, outlives the journal) counts store operations
-  /// that failed: the journal interface is fire-and-forget, but a WAL that
-  /// diverges from the in-memory documents must not go unnoticed — the
-  /// drill report surfaces the count and tests assert it is zero.
-  StoreJournal(storage::DurableStore* store, int64_t* errors)
+  /// `errors` (drill-registry-owned, outlives the journal) counts store
+  /// operations that failed: the journal interface is fire-and-forget, but a
+  /// WAL that diverges from the in-memory documents must not go unnoticed —
+  /// the drill report surfaces the count and tests assert it is zero.
+  StoreJournal(storage::DurableStore* store, obs::Counter* errors)
       : store_(store), errors_(errors) {}
 
   void OnApply(const std::string& txn, const std::string& document,
@@ -49,7 +49,7 @@ class StoreJournal : public txn::WriteJournal {
 
  private:
   storage::DurableStore* store_;
-  int64_t* errors_;
+  obs::Counter* errors_;
   std::set<std::string> begun_;
 };
 
@@ -87,8 +87,8 @@ Status FaultDrill::AttachStorage(const overlay::PeerId& id,
   for (const std::string& xml_text : docs) {
     AXMLX_RETURN_IF_ERROR(ps.store->CreateDocument(xml_text));
   }
-  ps.journal = std::make_unique<StoreJournal>(ps.store.get(),
-                                              &journal_errors_);
+  ps.journal = std::make_unique<StoreJournal>(
+      ps.store.get(), metrics_.GetCounter("drill.journal_errors"));
   txn::AxmlPeer* peer = repo_->FindPeer(id);
   if (peer == nullptr) return NotFound("no peer " + id + " to journal");
   peer->AttachJournal(ps.journal.get());
@@ -170,7 +170,7 @@ Status FaultDrill::CrashNow(const overlay::PeerId& id) {
   PeerStorage& ps = storage_[id];
   ps.journal.reset();
   ps.store.reset();
-  if (active_report_ != nullptr) ++active_report_->crashes;
+  ++*metrics_.GetCounter("drill.crashes");
   return Status::Ok();
 }
 
@@ -185,10 +185,10 @@ Status FaultDrill::RestartNow(const overlay::PeerId& id) {
     storage::DurableStore recovery(StoreDir(id, ps.incarnation),
                                    /*invoker=*/nullptr);
     AXMLX_RETURN_IF_ERROR(recovery.Open());
-    if (active_report_ != nullptr) {
-      active_report_->wal_replayed_ops += recovery.stats().replayed_ops;
-      active_report_->wal_recovered_txns += recovery.stats().recovered_txns;
-    }
+    *metrics_.GetCounter("drill.wal_replayed_ops") +=
+        recovery.stats().replayed_ops;
+    *metrics_.GetCounter("drill.wal_recovered_txns") +=
+        recovery.stats().recovered_txns;
     for (const std::string& name : recovery.DocumentNames()) {
       recovered_docs.push_back(recovery.Get(name)->Serialize());
     }
@@ -221,10 +221,8 @@ Status FaultDrill::RestartNow(const overlay::PeerId& id) {
   // Distributed catch-up: transactions that committed while this peer was
   // down ran on (and were pushed to) its replica; diff-sync from it.
   AXMLX_ASSIGN_OR_RETURN(size_t nodes, repo_->ResyncFromReplica(id));
-  if (active_report_ != nullptr) {
-    active_report_->resync_nodes += nodes;
-    ++active_report_->restarts;
-  }
+  *metrics_.GetCounter("drill.resync_nodes") += static_cast<int64_t>(nodes);
+  ++*metrics_.GetCounter("drill.restarts");
 
   // Fresh durable incarnation seeded from the caught-up live state.
   ++ps.incarnation;
@@ -262,7 +260,11 @@ void FaultDrill::CheckInvariant(const std::string& txn,
 Result<FaultDrillReport> FaultDrill::Run() {
   AXMLX_RETURN_IF_ERROR(SetUp());
   FaultDrillReport report;
-  active_report_ = &report;
+  // Per-transaction submit-to-decision time, in ticks. The bounds cover the
+  // spread between clean commits (tens of ticks) and timeout-decided aborts.
+  obs::Histogram* durations = metrics_.GetHistogram(
+      "drill.txn_duration_ticks",
+      {10, 25, 50, 100, 200, 400, 800, 1600, 3200});
 
   std::vector<overlay::PeerId> victims;
   for (const overlay::PeerId& id : workers_) {
@@ -305,16 +307,14 @@ Result<FaultDrillReport> FaultDrill::Run() {
       // defensive healing loop below retries restarts, so count and go on.
       net->ScheduleAfter(options_.crash_at,
                          [this, victim](overlay::Network*) {
-                           if (!CrashNow(victim).ok() &&
-                               active_report_ != nullptr) {
-                             ++active_report_->harness_errors;
+                           if (!CrashNow(victim).ok()) {
+                             ++*metrics_.GetCounter("drill.harness_errors");
                            }
                          });
       net->ScheduleAfter(options_.crash_at + options_.restart_after,
                          [this, victim](overlay::Network*) {
-                           if (!RestartNow(victim).ok() &&
-                               active_report_ != nullptr) {
-                             ++active_report_->harness_errors;
+                           if (!RestartNow(victim).ok()) {
+                             ++*metrics_.GetCounter("drill.harness_errors");
                            }
                          });
     }
@@ -322,16 +322,17 @@ Result<FaultDrillReport> FaultDrill::Run() {
     if (options_.debug) repo_->trace().Clear();
     AXMLX_ASSIGN_OR_RETURN(TxnOutcome outcome,
                            repo_->RunTransaction(origin_, txn, "S"));
+    durations->Observe(outcome.duration);
     std::string verdict;
     if (!outcome.decided) {
-      ++report.undecided;
+      ++*metrics_.GetCounter("drill.undecided");
       verdict = "undecided";
     } else if (outcome.status.ok()) {
-      ++report.committed;
+      ++*metrics_.GetCounter("drill.committed");
       ++committed_so_far_;
       verdict = "committed";
     } else {
-      ++report.aborted;
+      ++*metrics_.GetCounter("drill.aborted");
       verdict = "aborted";
     }
 
@@ -370,10 +371,29 @@ Result<FaultDrillReport> FaultDrill::Run() {
       if (peer->HasContext(txn)) ++report.dangling_contexts;
     }
   }
+  // The report is a thin view over the registry; the registry itself stays
+  // available (with the duration histogram) through metrics().
+  report.committed =
+      static_cast<int>(metrics_.GetCounter("drill.committed")->value());
+  report.aborted =
+      static_cast<int>(metrics_.GetCounter("drill.aborted")->value());
+  report.undecided =
+      static_cast<int>(metrics_.GetCounter("drill.undecided")->value());
+  report.crashes =
+      static_cast<int>(metrics_.GetCounter("drill.crashes")->value());
+  report.restarts =
+      static_cast<int>(metrics_.GetCounter("drill.restarts")->value());
+  report.wal_replayed_ops =
+      metrics_.GetCounter("drill.wal_replayed_ops")->value();
+  report.wal_recovered_txns =
+      metrics_.GetCounter("drill.wal_recovered_txns")->value();
+  report.resync_nodes = static_cast<size_t>(
+      metrics_.GetCounter("drill.resync_nodes")->value());
+  report.harness_errors =
+      static_cast<int>(metrics_.GetCounter("drill.harness_errors")->value());
   report.net = net->stats();
   report.faults = plan_->stats();
-  report.journal_errors = journal_errors_;
-  active_report_ = nullptr;
+  report.journal_errors = metrics_.GetCounter("drill.journal_errors")->value();
   return report;
 }
 

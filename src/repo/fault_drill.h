@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "overlay/fault_injection.h"
 #include "repo/axml_repository.h"
 #include "storage/durable_store.h"
@@ -102,6 +103,10 @@ class FaultDrill {
 
   AxmlRepository& repo() { return *repo_; }
 
+  /// The registry backing the drill's `drill.*` counters and the
+  /// per-transaction duration histogram; the report is a thin view over it.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
  private:
   /// Durable storage of one peer across crash incarnations.
   struct PeerStorage {
@@ -130,8 +135,7 @@ class FaultDrill {
   std::map<overlay::PeerId, PeerStorage> storage_;
   std::vector<std::string> txn_names_;
   int committed_so_far_ = 0;
-  int64_t journal_errors_ = 0;
-  FaultDrillReport* active_report_ = nullptr;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace axmlx::repo

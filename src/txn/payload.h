@@ -46,6 +46,10 @@ inline constexpr char kHdrAckOf[] = "ack_of";
 inline constexpr char kHdrRedirectFor[] = "redirect_for";
 inline constexpr char kHdrDisconnected[] = "disconnected";
 inline constexpr char kHdrOk[] = "ok";
+/// Sender's causal span id, carried on INVOKE and COMPENSATE so the
+/// receiver's span parents into the caller's — the cross-peer invocation
+/// tree (paper Figures 1/2) reconstructs from these links.
+inline constexpr char kHdrSpan[] = "span";
 
 using Params = std::vector<std::pair<std::string, std::string>>;
 

@@ -1,11 +1,74 @@
 #include "txn/peer.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "axml/materializer.h"
 #include "ops/executor.h"
 
 namespace axmlx::txn {
+
+PeerCounters::PeerCounters(obs::MetricsRegistry* metrics)
+    : txns_committed(*metrics->GetCounter("txn.txns_committed")),
+      txns_aborted(*metrics->GetCounter("txn.txns_aborted")),
+      contexts_aborted(*metrics->GetCounter("txn.contexts_aborted")),
+      aborts_sent(*metrics->GetCounter("txn.aborts_sent")),
+      forward_recoveries(*metrics->GetCounter("txn.forward_recoveries")),
+      retries(*metrics->GetCounter("txn.retries")),
+      compensations_executed(
+          *metrics->GetCounter("txn.compensations_executed")),
+      compensation_failures(*metrics->GetCounter("txn.compensation_failures")),
+      nodes_compensated(*metrics->GetCounter("txn.nodes_compensated")),
+      wasted_nodes(*metrics->GetCounter("txn.wasted_nodes")),
+      results_rerouted(*metrics->GetCounter("txn.results_rerouted")),
+      subcalls_reused(*metrics->GetCounter("txn.subcalls_reused")),
+      adoptions(*metrics->GetCounter("txn.adoptions")),
+      notifications_sent(*metrics->GetCounter("txn.notifications_sent")),
+      early_aborts(*metrics->GetCounter("txn.early_aborts")),
+      comp_acks_ok(*metrics->GetCounter("txn.comp_acks_ok")),
+      comp_acks_failed(*metrics->GetCounter("txn.comp_acks_failed")),
+      sends_best_effort_failed(
+          *metrics->GetCounter("txn.sends_best_effort_failed")) {}
+
+PeerStats AxmlPeer::stats() const {
+  PeerStats s;
+  s.txns_committed = static_cast<int>(counters_.txns_committed.value());
+  s.txns_aborted = static_cast<int>(counters_.txns_aborted.value());
+  s.contexts_aborted = static_cast<int>(counters_.contexts_aborted.value());
+  s.aborts_sent = static_cast<int>(counters_.aborts_sent.value());
+  s.forward_recoveries =
+      static_cast<int>(counters_.forward_recoveries.value());
+  s.retries = static_cast<int>(counters_.retries.value());
+  s.compensations_executed =
+      static_cast<int>(counters_.compensations_executed.value());
+  s.compensation_failures =
+      static_cast<int>(counters_.compensation_failures.value());
+  s.nodes_compensated =
+      static_cast<size_t>(counters_.nodes_compensated.value());
+  s.wasted_nodes = static_cast<size_t>(counters_.wasted_nodes.value());
+  s.results_rerouted = static_cast<int>(counters_.results_rerouted.value());
+  s.subcalls_reused = static_cast<int>(counters_.subcalls_reused.value());
+  s.adoptions = static_cast<int>(counters_.adoptions.value());
+  s.notifications_sent =
+      static_cast<int>(counters_.notifications_sent.value());
+  s.early_aborts = static_cast<int>(counters_.early_aborts.value());
+  s.comp_acks_ok = static_cast<int>(counters_.comp_acks_ok.value());
+  s.comp_acks_failed = static_cast<int>(counters_.comp_acks_failed.value());
+  s.sends_best_effort_failed =
+      static_cast<int>(counters_.sends_best_effort_failed.value());
+  return s;
+}
+
+void AxmlPeer::CloseCtxSpan(Ctx* ctx, overlay::Network* net,
+                            const std::string& outcome,
+                            const std::string& fault) {
+  if (spans_ == nullptr || ctx->span_id == 0) return;
+  const obs::SpanRecord* rec = spans_->Find(ctx->span_id);
+  const int64_t end =
+      net != nullptr ? net->now() : (rec != nullptr ? rec->start : 0);
+  spans_->CloseSpan(ctx->span_id, end, outcome, fault);
+  ctx->span_id = 0;
+}
 
 AxmlPeer::AxmlPeer(overlay::PeerId id, bool super_peer, uint64_t seed,
                    Options options, ServiceDirectory* directory)
@@ -61,10 +124,32 @@ Status AxmlPeer::Submit(overlay::Network* net, const std::string& txn,
     return AlreadyExists("transaction " + txn + " already has a context at " +
                          id());
   }
+  uint64_t txn_span = 0;
+  if (spans_ != nullptr) {
+    txn_span = spans_->OpenSpan(txn, id(), obs::kSpanTxn, /*parent_span_id=*/0,
+                                net->now(), service);
+    // Close the TXN span with the transaction's final outcome by wrapping
+    // the origin callback. The network outlives every peer, so capturing it
+    // here is safe.
+    obs::SpanTracker* spans = spans_;
+    DoneCallback inner = std::move(on_done);
+    on_done = [spans, txn_span, net, inner = std::move(inner)](
+                  const std::string& done_txn, Status status) {
+      spans->CloseSpan(txn_span, net->now(),
+                       status.ok() ? obs::kOutcomeCommitted
+                                   : obs::kOutcomeAborted,
+                       status.ok() ? std::string()
+                                   : axml::FaultNameOf(status));
+      if (inner) inner(done_txn, std::move(status));
+    };
+  }
   // The context may decide synchronously (e.g. an immediate local fault);
   // StartContext returning null then just means the callback already fired.
-  StartContext(txn, /*parent=*/"", service, params, std::move(chain_info),
-               std::move(on_done), net);
+  Ctx* created =
+      StartContext(txn, /*parent=*/"", service, params, std::move(chain_info),
+                   std::move(on_done), net, /*reused=*/nullptr,
+                   /*parent_span=*/txn_span);
+  if (created != nullptr) created->txn_span_id = txn_span;
   if (options_.txn_timeout > 0) {
     std::weak_ptr<void> alive = AliveToken();
     net->ScheduleAfter(
@@ -82,7 +167,8 @@ AxmlPeer::Ctx* AxmlPeer::StartContext(
     const std::string& txn, const overlay::PeerId& parent,
     const std::string& service, Params params,
     chain::ActivePeerChain chain_info, DoneCallback on_done,
-    overlay::Network* net, std::shared_ptr<const ReusedResults> reused) {
+    overlay::Network* net, std::shared_ptr<const ReusedResults> reused,
+    uint64_t parent_span) {
   if (contexts_.count(txn) > 0) return nullptr;
   Ctx& ctx = contexts_[txn];
   ctx.txn = txn;
@@ -92,6 +178,10 @@ AxmlPeer::Ctx* AxmlPeer::StartContext(
   ctx.chain = std::move(chain_info);
   ctx.on_done = std::move(on_done);
   ctx.reused = std::move(reused);
+  if (spans_ != nullptr) {
+    ctx.span_id = spans_->OpenSpan(txn, id(), obs::kSpanService, parent_span,
+                                   net->now(), service);
+  }
   Begin(&ctx, net);
   return FindContext(txn);
 }
@@ -166,7 +256,7 @@ void AxmlPeer::Begin(Ctx* ctx, overlay::Network* net) {
           ctx->plans.push_back(plan);
         }
         ctx->subtree_nodes_affected += it->second->subtree_nodes_affected;
-        ++stats_.subcalls_reused;
+        ++counters_.subcalls_reused;
       }
     }
     ctx->children.push_back(std::move(edge));
@@ -194,6 +284,9 @@ void AxmlPeer::InvokeChild(Ctx* ctx, ChildEdge* edge,
   m.type = kMsgInvoke;
   m.headers[kHdrTxn] = ctx->txn;
   m.headers[kHdrService] = edge->def.service;
+  if (ctx->span_id != 0) {
+    m.headers[kHdrSpan] = std::to_string(ctx->span_id);
+  }
   if (options_.use_chaining) {
     m.headers[kHdrChain] = ctx->chain.Serialize();
   }
@@ -361,14 +454,14 @@ void AxmlPeer::HandleCompAck(const overlay::Message& message) {
   // participant could not undo its work — drills assert these counters.
   auto it = message.headers.find(kHdrOk);
   if (it != message.headers.end() && it->second == "0") {
-    ++stats_.comp_acks_failed;
+    ++counters_.comp_acks_failed;
   } else {
-    ++stats_.comp_acks_ok;
+    ++counters_.comp_acks_ok;
   }
 }
 
 void AxmlPeer::BestEffortSend(overlay::Message m, overlay::Network* net) {
-  if (!net->Send(std::move(m)).ok()) ++stats_.sends_best_effort_failed;
+  if (!net->Send(std::move(m)).ok()) ++counters_.sends_best_effort_failed;
 }
 
 void AxmlPeer::HandleInvoke(const overlay::Message& message,
@@ -385,7 +478,7 @@ void AxmlPeer::HandleInvoke(const overlay::Message& message,
     if (options_.reuse_work) {
       existing->parent = message.from;
       existing->parent_dead = false;
-      ++stats_.adoptions;
+      ++counters_.adoptions;
       if (existing->state == Ctx::State::kDone) {
         SendResult(existing, net);
       }
@@ -394,7 +487,7 @@ void AxmlPeer::HandleInvoke(const overlay::Message& message,
     }
     // Reuse disabled (ablation): discard the old execution and redo the
     // service from scratch for the new invoker.
-    CompensateLocal(existing);
+    CompensateLocal(existing, net);
     for (ChildEdge& edge : existing->children) {
       if (edge.state == ChildEdge::State::kInvoked ||
           edge.state == ChildEdge::State::kDone) {
@@ -404,12 +497,13 @@ void AxmlPeer::HandleInvoke(const overlay::Message& message,
         abort.type = kMsgAbort;
         abort.headers[kHdrTxn] = txn;
         abort.headers[kHdrFault] = "Superseded";
-        ++stats_.aborts_sent;
+        ++counters_.aborts_sent;
         BestEffortSend(std::move(abort), net);
       }
     }
     // The discarded execution's journaled writes are stale — roll them
     // back before the fresh execution journals its own.
+    CloseCtxSpan(existing, net, obs::kOutcomeAborted, "Superseded");
     RecordResolution(txn, /*committed=*/false);
     EraseContext(txn);
     // Fall through to a fresh StartContext below.
@@ -424,8 +518,16 @@ void AxmlPeer::HandleInvoke(const overlay::Message& message,
   }
   auto reused =
       std::static_pointer_cast<const ReusedResults>(message.attachment);
+  // The caller's span id rides in the message header; it becomes the parent
+  // of the SERVICE span opened here, linking the tree across peers.
+  uint64_t parent_span = 0;
+  auto span_it = message.headers.find(kHdrSpan);
+  if (span_it != message.headers.end()) {
+    parent_span = std::strtoull(span_it->second.c_str(), nullptr, 10);
+  }
   StartContext(txn, message.from, service, std::move(params_or).value(),
-               std::move(chain_info), nullptr, net, std::move(reused));
+               std::move(chain_info), nullptr, net, std::move(reused),
+               parent_span);
 }
 
 void AxmlPeer::HandleResult(const overlay::Message& message,
@@ -450,7 +552,7 @@ void AxmlPeer::HandleResult(const overlay::Message& message,
     reply.type = kMsgAbort;
     reply.headers[kHdrTxn] = message.headers.at(kHdrTxn);
     reply.headers[kHdrFault] = "TxnUnknown";
-    ++stats_.aborts_sent;
+    ++counters_.aborts_sent;
     BestEffortSend(std::move(reply), net);
     return;
   }
@@ -512,6 +614,8 @@ void AxmlPeer::HandleCommit(const overlay::Message& message,
                             overlay::Network* net) {
   // Transaction completed: discard the context (and with it the logs).
   const std::string& txn = message.headers.at(kHdrTxn);
+  Ctx* ctx = FindContext(txn);
+  if (ctx != nullptr) CloseCtxSpan(ctx, net, obs::kOutcomeCommitted);
   EraseContext(txn);
   if (options_.use_locking) locks_.ReleaseAll(LockIdFor(txn));
   RecordResolution(txn, /*committed=*/true);
@@ -545,18 +649,33 @@ void AxmlPeer::HandleCompensate(const overlay::Message& message,
     Status s = comp::ApplyPlan(&executor, payload->plan, &nodes);
     ok = s.ok();
     if (ok) {
-      ++stats_.compensations_executed;
-      stats_.nodes_compensated += nodes;
+      ++counters_.compensations_executed;
+      counters_.nodes_compensated += static_cast<int64_t>(nodes);
       PushToReplica(payload->document, net);
     }
   }
-  if (!ok) ++stats_.compensation_failures;
+  if (!ok) ++counters_.compensation_failures;
+  if (spans_ != nullptr) {
+    // Instant span: a shipped plan executes within one delivery. Its parent
+    // is the sender's context span, carried in the message header.
+    uint64_t parent_span = 0;
+    auto span_it = message.headers.find(kHdrSpan);
+    if (span_it != message.headers.end()) {
+      parent_span = std::strtoull(span_it->second.c_str(), nullptr, 10);
+    }
+    uint64_t comp_span =
+        spans_->OpenSpan(txn, id(), obs::kSpanCompensation, parent_span,
+                         net->now(), payload->document);
+    spans_->CloseSpan(comp_span, net->now(),
+                      ok ? obs::kOutcomeOk : obs::kOutcomeFailed);
+  }
   // Our own context for this transaction (if any) is superseded by the
   // shipped plan — discard it without double-compensating.
   Ctx* ctx = FindContext(txn);
   if (ctx != nullptr) {
     ctx->local_compensated = true;
-    ++stats_.contexts_aborted;
+    ++counters_.contexts_aborted;
+    CloseCtxSpan(ctx, net, obs::kOutcomeAborted, "Superseded");
     EraseContext(txn);
     if (options_.use_locking) locks_.ReleaseAll(LockIdFor(txn));
   }
@@ -621,9 +740,10 @@ void AxmlPeer::Complete(Ctx* ctx, overlay::Network* net) {
       m.to = p;
       m.type = kMsgCommit;
       m.headers[kHdrTxn] = ctx->txn;
-      if (!SendControl(std::move(m), net).ok()) ++stats_.sends_best_effort_failed;
+      if (!SendControl(std::move(m), net).ok()) ++counters_.sends_best_effort_failed;
     }
-    ++stats_.txns_committed;
+    ++counters_.txns_committed;
+    CloseCtxSpan(ctx, net, obs::kOutcomeCommitted);
     if (ctx->on_done) ctx->on_done(ctx->txn, Status::Ok());
     const std::string txn = ctx->txn;
     EraseContext(txn);
@@ -675,7 +795,7 @@ void AxmlPeer::PushToReplica(const std::string& document,
   replica_repo->PutDocument(doc->Clone());
 }
 
-void AxmlPeer::CompensateLocal(Ctx* ctx) {
+void AxmlPeer::CompensateLocal(Ctx* ctx, overlay::Network* net) {
   if (!ctx->local_done || ctx->local_compensated) return;
   ctx->local_compensated = true;
   const service::ServiceDefinition* def = repo_.FindService(ctx->service);
@@ -686,10 +806,21 @@ void AxmlPeer::CompensateLocal(Ctx* ctx) {
   size_t nodes = 0;
   Status s = comp::ApplyPlan(&executor, ctx->local.compensation, &nodes);
   if (s.ok()) {
-    stats_.nodes_compensated += nodes;
-    stats_.wasted_nodes += ctx->local.nodes_affected;
+    counters_.nodes_compensated += static_cast<int64_t>(nodes);
+    counters_.wasted_nodes += static_cast<int64_t>(ctx->local.nodes_affected);
   } else {
-    ++stats_.compensation_failures;
+    ++counters_.compensation_failures;
+  }
+  if (spans_ != nullptr) {
+    // Instant span parented under this context's SERVICE span: the local
+    // rollback is part of the abort narrative, not a separate execution.
+    const int64_t now = net != nullptr ? net->now() : 0;
+    uint64_t comp_span = spans_->OpenSpan(
+        ctx->txn, id(), obs::kSpanCompensation, ctx->span_id, now,
+        ctx->service);
+    spans_->CloseSpan(comp_span, now,
+                      s.ok() ? obs::kOutcomeOk : obs::kOutcomeFailed,
+                      s.ok() ? std::string() : axml::FaultNameOf(s));
   }
   PushToReplica(def->document, nullptr);
 }
@@ -707,7 +838,7 @@ void AxmlPeer::CompensateParticipants(Ctx* ctx, overlay::Network* net) {
       if (!replica.empty() && net->CanReach(id(), replica)) {
         target = replica;
       } else if (!reliable) {
-        ++stats_.compensation_failures;
+        ++counters_.compensation_failures;
         continue;
       }
       // Reliable-control mode: keep the original target — retransmission
@@ -721,9 +852,12 @@ void AxmlPeer::CompensateParticipants(Ctx* ctx, overlay::Network* net) {
     m.to = target;
     m.type = kMsgCompensate;
     m.headers[kHdrTxn] = ctx->txn;
+    if (ctx->span_id != 0) {
+      m.headers[kHdrSpan] = std::to_string(ctx->span_id);
+    }
     m.attachment = payload;
     if (!SendControl(std::move(m), net).ok() && !reliable) {
-      ++stats_.compensation_failures;
+      ++counters_.compensation_failures;
     }
   }
 }
@@ -733,7 +867,7 @@ void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
   if (ctx->state == Ctx::State::kAborted) return;
   ctx->state = Ctx::State::kAborted;
   const std::string txn = ctx->txn;
-  CompensateLocal(ctx);
+  CompensateLocal(ctx, net);
   if (options_.peer_independent) {
     // Undo completed subtrees by invoking their compensating services
     // directly (§3.2); abort only the still-running children.
@@ -746,8 +880,8 @@ void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
         m.type = kMsgAbort;
         m.headers[kHdrTxn] = txn;
         m.headers[kHdrFault] = fault;
-        ++stats_.aborts_sent;
-        if (!SendControl(std::move(m), net).ok()) ++stats_.sends_best_effort_failed;
+        ++counters_.aborts_sent;
+        if (!SendControl(std::move(m), net).ok()) ++counters_.sends_best_effort_failed;
       }
     }
   } else {
@@ -764,7 +898,7 @@ void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
       m.type = kMsgAbort;
       m.headers[kHdrTxn] = txn;
       m.headers[kHdrFault] = fault;
-      ++stats_.aborts_sent;
+      ++counters_.aborts_sent;
       if (!SendControl(std::move(m), net).ok() &&
           edge.state == ChildEdge::State::kDone &&
           options_.control_resend_interval <= 0) {
@@ -772,7 +906,7 @@ void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
         // cannot be compensated (motivates peer-independent mode, §3.2).
         // In reliable-control mode the retransmission loop keeps trying,
         // so this is not yet a failure.
-        ++stats_.compensation_failures;
+        ++counters_.compensation_failures;
       }
     }
   }
@@ -784,14 +918,15 @@ void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
     m.headers[kHdrTxn] = txn;
     m.headers[kHdrFault] = fault;
     m.headers[kHdrFailedService] = ctx->service;
-    ++stats_.aborts_sent;
-    if (!SendControl(std::move(m), net).ok()) ++stats_.sends_best_effort_failed;
+    ++counters_.aborts_sent;
+    if (!SendControl(std::move(m), net).ok()) ++counters_.sends_best_effort_failed;
   }
+  CloseCtxSpan(ctx, net, obs::kOutcomeAborted, fault);
   if (ctx->parent.empty()) {
-    ++stats_.txns_aborted;
+    ++counters_.txns_aborted;
     if (ctx->on_done) ctx->on_done(txn, Aborted(fault));
   }
-  ++stats_.contexts_aborted;
+  ++counters_.contexts_aborted;
   EraseContext(txn);
   if (options_.use_locking) locks_.ReleaseAll(LockIdFor(txn));
   RecordResolution(txn, /*committed=*/false);

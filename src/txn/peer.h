@@ -14,6 +14,8 @@
 #include "chain/active_chain.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "overlay/keepalive.h"
 #include "overlay/network.h"
 #include "service/repository.h"
@@ -46,6 +48,31 @@ struct PeerStats {
   /// traces each one (kEvSendFail); this keeps the loss visible per peer so
   /// drills can assert nothing important vanished silently.
   int sends_best_effort_failed = 0;
+};
+
+/// Cached registry handles (`txn.*` counters) for the protocol hot paths.
+/// The registry is the source of truth; PeerStats is assembled from these on
+/// demand so existing readers keep their field-access spelling.
+struct PeerCounters {
+  explicit PeerCounters(obs::MetricsRegistry* metrics);
+  obs::Counter& txns_committed;
+  obs::Counter& txns_aborted;
+  obs::Counter& contexts_aborted;
+  obs::Counter& aborts_sent;
+  obs::Counter& forward_recoveries;
+  obs::Counter& retries;
+  obs::Counter& compensations_executed;
+  obs::Counter& compensation_failures;
+  obs::Counter& nodes_compensated;
+  obs::Counter& wasted_nodes;
+  obs::Counter& results_rerouted;
+  obs::Counter& subcalls_reused;
+  obs::Counter& adoptions;
+  obs::Counter& notifications_sent;
+  obs::Counter& early_aborts;
+  obs::Counter& comp_acks_ok;
+  obs::Counter& comp_acks_failed;
+  obs::Counter& sends_best_effort_failed;
 };
 
 /// Observer interface for durable journaling of a peer's transactional
@@ -138,8 +165,11 @@ class AxmlPeer : public overlay::PeerNode {
   ~AxmlPeer() override;
 
   service::Repository& repository() { return repo_; }
-  const PeerStats& stats() const { return stats_; }
+  /// Thin view over the metrics registry's `txn.*` counters.
+  PeerStats stats() const;
   const Options& options() const { return options_; }
+  /// The registry backing this peer's counters.
+  obs::MetricsRegistry& metrics() { return metrics_; }
 
   /// Submits transaction `txn` at this (origin) peer: runs `service` (hosted
   /// here) with `params`. `on_done` fires at commit or abort.
@@ -157,6 +187,11 @@ class AxmlPeer : public overlay::PeerNode {
   /// Attaches a durable write journal (not owned; null detaches). Must be
   /// set before the peer does transactional work.
   void AttachJournal(WriteJournal* journal) { journal_ = journal; }
+
+  /// Attaches a causal span tracker (not owned; null detaches). Shared by
+  /// every peer of a repository so cross-peer parent links resolve; must be
+  /// set before the peer does transactional work.
+  void AttachSpans(obs::SpanTracker* spans) { spans_ = spans; }
 
   /// Control messages still awaiting acknowledgement (reliable-control
   /// mode); 0 when idle or when control_resend_interval is 0.
@@ -204,6 +239,10 @@ class AxmlPeer : public overlay::PeerNode {
     std::vector<overlay::PeerId> participants;
     std::vector<ParticipantPlan> plans;
     size_t subtree_nodes_affected = 0;
+    /// SERVICE span covering this context's execution (0 = no tracker).
+    uint64_t span_id = 0;
+    /// Origin only: the enclosing TXN span.
+    uint64_t txn_span_id = 0;
   };
 
   // --- Hook points for recovery subclasses ---------------------------------
@@ -250,19 +289,23 @@ class AxmlPeer : public overlay::PeerNode {
 
   /// Creates and begins a context. Returns null on duplicate txn. `reused`
   /// optionally supplies completed subcall results (reuse on re-invocation).
+  /// `parent_span` is the caller's span id (cross-peer: parsed from the
+  /// INVOKE's span header), parent of the SERVICE span opened here.
   Ctx* StartContext(const std::string& txn, const overlay::PeerId& parent,
                     const std::string& service, Params params,
                     chain::ActivePeerChain chain_info, DoneCallback on_done,
                     overlay::Network* net,
-                    std::shared_ptr<const ReusedResults> reused = nullptr);
+                    std::shared_ptr<const ReusedResults> reused = nullptr,
+                    uint64_t parent_span = 0);
 
   /// Sends INVOKE for `edge` to `target`. On unreachable target, reports
   /// through OnChildFailure (with fault "PeerDisconnected").
   void InvokeChild(Ctx* ctx, ChildEdge* edge, const overlay::PeerId& target,
                    overlay::Network* net);
 
-  /// Compensates this peer's local effects for `ctx` (once).
-  void CompensateLocal(Ctx* ctx);
+  /// Compensates this peer's local effects for `ctx` (once). `net` is used
+  /// for span timestamps only and may be null.
+  void CompensateLocal(Ctx* ctx, overlay::Network* net);
 
   /// Aborts the context: compensates locally, sends ABORT to all invoked
   /// children, optionally notifies the parent, finishes the origin callback.
@@ -302,9 +345,10 @@ class AxmlPeer : public overlay::PeerNode {
   void BestEffortSend(overlay::Message m, overlay::Network* net);
 
   ServiceDirectory* directory() { return directory_; }
-  PeerStats* mutable_stats() { return &stats_; }
+  PeerCounters* counters() { return &counters_; }
   Rng* rng() { return &rng_; }
   WriteJournal* journal() { return journal_; }
+  obs::SpanTracker* spans() { return spans_; }
 
   /// Invoker wired into the local executor for embedded service-call
   /// materializations: looks the method up in the local repository first.
@@ -336,6 +380,12 @@ class AxmlPeer : public overlay::PeerNode {
                         overlay::Network* net);
   void HandleCompAck(const overlay::Message& message);
 
+  /// Closes the context's SERVICE span (idempotent: zeroes ctx->span_id).
+  /// `net` supplies the close timestamp; null closes at the span's start.
+  void CloseCtxSpan(Ctx* ctx, overlay::Network* net,
+                    const std::string& outcome,
+                    const std::string& fault = std::string());
+
   void Begin(Ctx* ctx, overlay::Network* net);
   void Complete(Ctx* ctx, overlay::Network* net);
   /// Sends this context's RESULT to `ctx->parent`; on unreachable parent
@@ -356,7 +406,9 @@ class AxmlPeer : public overlay::PeerNode {
   ServiceDirectory* directory_;
   Options options_;
   Rng rng_;
-  PeerStats stats_;
+  obs::MetricsRegistry metrics_;      ///< Must precede counters_.
+  PeerCounters counters_{&metrics_};
+  obs::SpanTracker* spans_ = nullptr;
   std::map<std::string, Ctx> contexts_;
   std::unique_ptr<overlay::KeepAliveMonitor> keepalive_;
   WriteJournal* journal_ = nullptr;

@@ -76,6 +76,23 @@ namespace axmlx::overlay {
 void Network::TraceSend() { trace_->Add(now_, actor_, kEvSend, ""); }
 }  // namespace axmlx::overlay
 )cc"});
+  files.push_back({"obs/span.h", R"cc(#ifndef AXMLX_OBS_SPAN_H_
+#define AXMLX_OBS_SPAN_H_
+namespace axmlx::obs {
+inline constexpr char kSpanTxn[] = "TXN";
+inline constexpr char kSpanService[] = "SERVICE";
+class SpanTracker {
+ public:
+  int OpenSpan(int txn, const char* kind);
+};
+}  // namespace axmlx::obs
+#endif  // AXMLX_OBS_SPAN_H_
+)cc"});
+  files.push_back({"txn/submit.cc", R"cc(#include "obs/span.h"
+namespace axmlx::txn {
+void AxmlPeer::Submit(int txn) { spans_->OpenSpan(txn, obs::kSpanTxn); }
+}  // namespace axmlx::txn
+)cc"});
   return files;
 }
 
@@ -230,6 +247,43 @@ void Network::TraceDrop() { trace_->Add(now_, actor_, "DROP", ""); }
   EXPECT_EQ(r3[0].file, "overlay/network.cc");
   EXPECT_EQ(r3[0].line, 4);
   EXPECT_NE(r3[0].message.find("DROP"), std::string::npos);
+}
+
+TEST(LintTest, R3FlagsUndeclaredSpanKindLiteral) {
+  std::vector<SourceFile> files = CleanTree();
+  FindFile(&files, "txn/submit.cc")->content =
+      R"cc(#include "obs/span.h"
+namespace axmlx::txn {
+void AxmlPeer::Submit(int txn) { spans_->OpenSpan(txn, obs::kSpanTxn); }
+void AxmlPeer::Start(int txn) { spans_->OpenSpan(txn, "CHECKPOINT"); }
+}  // namespace axmlx::txn
+)cc";
+  const std::vector<Finding> r3 = OfRule(RunLint(files), "R3");
+  ASSERT_EQ(r3.size(), 1u) << FormatFindings(r3);
+  EXPECT_EQ(r3[0].file, "txn/submit.cc");
+  EXPECT_EQ(r3[0].line, 4);
+  EXPECT_NE(r3[0].message.find("CHECKPOINT"), std::string::npos);
+  EXPECT_NE(r3[0].message.find("kSpan"), std::string::npos);
+}
+
+TEST(LintTest, R3AllowsDeclaredSpanKindAndNonMemberOpenSpan) {
+  std::vector<SourceFile> files = CleanTree();
+  // A declared kind spelled as its literal value is fine (the constants
+  // exist so constants should be used, but the table is the contract), and
+  // the SpanTracker::OpenSpan definition itself is not an emit site.
+  files.push_back({"obs/span.cc", R"cc(#include "obs/span.h"
+namespace axmlx::obs {
+int SpanTracker::OpenSpan(int txn, const char* kind) { return txn; }
+}  // namespace axmlx::obs
+)cc"});
+  FindFile(&files, "txn/submit.cc")->content =
+      R"cc(#include "obs/span.h"
+namespace axmlx::txn {
+void AxmlPeer::Submit(int txn) { spans_->OpenSpan(txn, "SERVICE"); }
+}  // namespace axmlx::txn
+)cc";
+  const std::vector<Finding> r3 = OfRule(RunLint(files), "R3");
+  EXPECT_TRUE(r3.empty()) << FormatFindings(r3);
 }
 
 TEST(LintTest, R4FlagsWrongIncludeGuard) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "axmlx_report/report.h"
 #include "repo/axml_repository.h"
 #include "repo/scenarios.h"
 
@@ -86,6 +87,20 @@ TEST(NestedRecovery, HandlersDisabledFallBackToFullAbort) {
   for (const overlay::PeerId& id : kFig1Peers) {
     EXPECT_EQ(LogEntries(&repo, id), 0u) << id;
   }
+
+  // The traced span tree must tell the same story: reconstructing the
+  // invocation tree from the JSONL span log yields an abort-propagation
+  // path from the failing peer back to the origin, AP5 -> AP3 -> AP1.
+  std::vector<report::SpanRow> rows;
+  std::string parse_error;
+  ASSERT_TRUE(report::ParseSpans(repo.spans().ToJsonl(), &rows, &parse_error))
+      << parse_error;
+  std::string rendered = report::RenderSpanReport(rows);
+  EXPECT_NE(rendered.find("abort path: AP5(S5) -> AP3(S3) -> AP1(S1)"),
+            std::string::npos)
+      << rendered;
+  // Every peer's SERVICE span aborted, so no outcome claims committed work.
+  EXPECT_EQ(rendered.find("COMMITTED"), std::string::npos) << rendered;
 }
 
 TEST(NestedRecovery, RetryOnReplicaAfterDisconnection) {

@@ -512,7 +512,7 @@ void CheckNodiscard(const std::vector<File>& files,
 }
 
 // ---------------------------------------------------------------------------
-// R3: StatusCodeName completeness + declared trace-kind table.
+// R3: StatusCodeName completeness + declared trace-kind and span-kind tables.
 // ---------------------------------------------------------------------------
 
 void CheckNameTables(const std::vector<File>& files,
@@ -520,10 +520,12 @@ void CheckNameTables(const std::vector<File>& files,
   const File* status_h = nullptr;
   const File* status_cc = nullptr;
   const File* trace_h = nullptr;
+  const File* span_h = nullptr;
   for (const File& f : files) {
     if (EndsWith(f.src->path, "common/status.h")) status_h = &f;
     if (EndsWith(f.src->path, "common/status.cc")) status_cc = &f;
     if (EndsWith(f.src->path, "common/trace.h")) trace_h = &f;
+    if (EndsWith(f.src->path, "obs/span.h")) span_h = &f;
   }
 
   // --- StatusCode enumerators vs StatusCodeName cases ---
@@ -580,29 +582,58 @@ void CheckNameTables(const std::vector<File>& files,
       }
     }
   }
-  if (!have_table) return;
+  // --- Span kinds: literals at OpenSpan sites must be in the kSpan* table ---
+  std::set<std::string> declared_span_kinds;
+  bool have_span_table = false;
+  if (span_h != nullptr) {
+    const std::vector<Token>& st = span_h->toks;
+    for (size_t i = 0; i + 4 < st.size(); ++i) {
+      if (st[i].kind == Token::Kind::kIdent &&
+          StartsWith(st[i].text, "kSpan") && TokIs(st, i + 1, "[") &&
+          TokIs(st, i + 2, "]") && TokIs(st, i + 3, "=") &&
+          st[i + 4].kind == Token::Kind::kString) {
+        declared_span_kinds.insert(st[i + 4].text);
+        have_span_table = true;
+      }
+    }
+  }
+
+  if (!have_table && !have_span_table) return;
   for (const File& f : files) {
     const std::vector<Token>& toks = f.toks;
     for (size_t i = 0; i + 1 < toks.size(); ++i) {
-      if (toks[i].kind != Token::Kind::kIdent ||
-          (toks[i].text != "Add" && toks[i].text != "TraceEventf") ||
-          !TokIs(toks, i + 1, "(")) {
+      if (toks[i].kind != Token::Kind::kIdent || !TokIs(toks, i + 1, "(")) {
         continue;
       }
-      // `Add` must be a member call on a trace (`.Add(` / `->Add(`) so
-      // unrelated Add methods are not inspected.
-      if (toks[i].text == "Add" &&
-          !(i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->"))) {
-        continue;
-      }
+      const bool trace_site =
+          have_table &&
+          (toks[i].text == "TraceEventf" ||
+           // `Add` must be a member call on a trace (`.Add(` / `->Add(`) so
+           // unrelated Add methods are not inspected.
+           (toks[i].text == "Add" && i > 0 &&
+            (toks[i - 1].text == "." || toks[i - 1].text == "->")));
+      // `OpenSpan` must likewise be a member call so the SpanTracker
+      // definition itself (and forward declarations) stay exempt.
+      const bool span_site =
+          have_span_table && toks[i].text == "OpenSpan" && i > 0 &&
+          (toks[i - 1].text == "." || toks[i - 1].text == "->");
+      if (!trace_site && !span_site) continue;
+      const std::set<std::string>& table =
+          span_site ? declared_span_kinds : declared_kinds;
       size_t close = MatchForward(toks, i + 1);
       for (size_t j = i + 2; j < close; ++j) {
         if (toks[j].kind == Token::Kind::kString && IsAllCaps(toks[j].text) &&
-            declared_kinds.count(toks[j].text) == 0) {
+            table.count(toks[j].text) == 0) {
           Report(findings, f, "R3", toks[j].pos,
-                 "trace kind \"" + toks[j].text +
-                     "\" is not declared in the kEv* table "
-                     "(common/trace.h); CountKind assertions cannot see it");
+                 span_site
+                     ? "span kind \"" + toks[j].text +
+                           "\" is not declared in the kSpan* table "
+                           "(obs/span.h); axmlx_report rollups cannot "
+                           "group it"
+                     : "trace kind \"" + toks[j].text +
+                           "\" is not declared in the kEv* table "
+                           "(common/trace.h); CountKind assertions cannot "
+                           "see it");
         }
       }
     }

@@ -1,0 +1,90 @@
+// axmlx_report: renders span JSONL logs as per-transaction invocation trees
+// (with abort-propagation paths and rollups), and validates BENCH_*.json
+// documents against the axmlx-bench-v1 schema.
+//
+// Usage:
+//   axmlx_report SPANS.jsonl...          render span trees + rollups
+//   axmlx_report --check BENCH.json...   validate bench reports (exit 1 on
+//                                        the first invalid file)
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "axmlx_report/report.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int CheckMode(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    std::cerr << "axmlx_report --check: no files given\n";
+    return 2;
+  }
+  int bad = 0;
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::cerr << path << ": cannot read\n";
+      ++bad;
+      continue;
+    }
+    std::string problem = axmlx::report::CheckBenchJson(text);
+    if (problem.empty()) {
+      std::cout << path << ": OK\n";
+    } else {
+      std::cerr << path << ": " << problem << "\n";
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+int RenderMode(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    std::cerr << "usage: axmlx_report [--check] FILE...\n";
+    return 2;
+  }
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::cerr << path << ": cannot read\n";
+      return 1;
+    }
+    std::vector<axmlx::report::SpanRow> spans;
+    std::string error;
+    if (!axmlx::report::ParseSpans(text, &spans, &error)) {
+      std::cerr << path << ": " << error << "\n";
+      return 1;
+    }
+    if (paths.size() > 1) std::cout << "# " << path << "\n";
+    std::cout << axmlx::report::RenderSpanReport(spans);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  return check ? CheckMode(paths) : RenderMode(paths);
+}

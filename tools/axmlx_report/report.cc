@@ -1,0 +1,258 @@
+#include "axmlx_report/report.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace axmlx::report {
+
+namespace {
+
+std::string GetString(const obs::JsonValue& obj, const std::string& key) {
+  const obs::JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_string() ? v->str : std::string();
+}
+
+int64_t GetInt(const obs::JsonValue& obj, const std::string& key,
+               int64_t fallback) {
+  const obs::JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_number() ? v->AsInt() : fallback;
+}
+
+}  // namespace
+
+bool ParseSpans(const std::string& jsonl, std::vector<SpanRow>* out,
+                std::string* error) {
+  std::istringstream in(jsonl);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string parse_error;
+    auto doc = obs::ParseJson(line, &parse_error);
+    if (!doc.has_value() || !doc->is_object()) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " +
+                 (parse_error.empty() ? "not a JSON object" : parse_error);
+      }
+      return false;
+    }
+    SpanRow row;
+    row.txn = GetString(*doc, "txn");
+    row.span_id = static_cast<uint64_t>(GetInt(*doc, "span", 0));
+    row.parent_span_id = static_cast<uint64_t>(GetInt(*doc, "parent", 0));
+    row.peer = GetString(*doc, "peer");
+    row.kind = GetString(*doc, "kind");
+    row.detail = GetString(*doc, "detail");
+    row.start = GetInt(*doc, "start", 0);
+    row.end = GetInt(*doc, "end", -1);
+    row.outcome = GetString(*doc, "outcome");
+    row.fault = GetString(*doc, "fault");
+    if (row.span_id == 0) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": missing span id";
+      }
+      return false;
+    }
+    out->push_back(std::move(row));
+  }
+  return true;
+}
+
+namespace {
+
+void RenderLine(std::ostringstream* os, const SpanRow& s, int depth) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  *os << s.kind;
+  if (!s.detail.empty()) *os << " " << s.detail;
+  *os << " @" << s.peer << " [" << s.start << "..";
+  if (s.end >= 0) {
+    *os << s.end;
+  } else {
+    *os << "?";
+  }
+  *os << "] " << (s.outcome.empty() ? "OPEN" : s.outcome);
+  if (!s.fault.empty()) *os << " fault=" << s.fault;
+  *os << "\n";
+}
+
+void RenderTree(std::ostringstream* os,
+                const std::map<uint64_t, std::vector<const SpanRow*>>& kids,
+                const SpanRow& node, int depth) {
+  RenderLine(os, node, depth);
+  auto it = kids.find(node.span_id);
+  if (it == kids.end()) return;
+  for (const SpanRow* child : it->second) {
+    RenderTree(os, kids, *child, depth + 1);
+  }
+}
+
+/// The abort propagation path: the failure origin is the earliest-closing
+/// aborted SERVICE span (its ancestors close later, as the abort travels up);
+/// walking its parent chain retraces the paper's "Abort TA" cascade back to
+/// the origin peer.
+void RenderAbortPath(std::ostringstream* os,
+                     const std::map<uint64_t, const SpanRow*>& by_id,
+                     const std::vector<const SpanRow*>& txn_spans) {
+  const SpanRow* origin_of_failure = nullptr;
+  for (const SpanRow* s : txn_spans) {
+    if (s->kind != "SERVICE" || s->outcome != "ABORTED" || s->end < 0) {
+      continue;
+    }
+    if (origin_of_failure == nullptr || s->end < origin_of_failure->end ||
+        (s->end == origin_of_failure->end &&
+         s->span_id > origin_of_failure->span_id)) {
+      origin_of_failure = s;
+    }
+  }
+  if (origin_of_failure == nullptr) return;
+  std::vector<const SpanRow*> path;
+  const SpanRow* cur = origin_of_failure;
+  while (cur != nullptr) {
+    if (cur->kind == "SERVICE") path.push_back(cur);
+    auto it = by_id.find(cur->parent_span_id);
+    cur = it == by_id.end() ? nullptr : it->second;
+  }
+  *os << "abort path: ";
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) *os << " -> ";
+    *os << path[i]->peer << "(" << path[i]->detail << ")";
+  }
+  if (!origin_of_failure->fault.empty()) {
+    *os << "  [" << origin_of_failure->fault << "]";
+  }
+  *os << "\n";
+}
+
+}  // namespace
+
+std::string RenderSpanReport(const std::vector<SpanRow>& spans) {
+  std::ostringstream os;
+  std::vector<std::string> txn_order;
+  std::map<std::string, std::vector<const SpanRow*>> by_txn;
+  for (const SpanRow& s : spans) {
+    auto [it, inserted] = by_txn.try_emplace(s.txn);
+    if (inserted) txn_order.push_back(s.txn);
+    it->second.push_back(&s);
+  }
+  for (const std::string& txn : txn_order) {
+    const std::vector<const SpanRow*>& txn_spans = by_txn[txn];
+    os << "=== txn " << txn << "\n";
+    std::map<uint64_t, const SpanRow*> by_id;
+    for (const SpanRow* s : txn_spans) by_id[s->span_id] = s;
+    std::map<uint64_t, std::vector<const SpanRow*>> kids;
+    std::vector<const SpanRow*> roots;
+    for (const SpanRow* s : txn_spans) {
+      if (s->parent_span_id != 0 && by_id.count(s->parent_span_id) > 0) {
+        kids[s->parent_span_id].push_back(s);
+      } else {
+        roots.push_back(s);
+      }
+    }
+    auto by_start = [](const SpanRow* a, const SpanRow* b) {
+      if (a->start != b->start) return a->start < b->start;
+      return a->span_id < b->span_id;
+    };
+    for (auto& [parent, children] : kids) {
+      std::sort(children.begin(), children.end(), by_start);
+    }
+    std::sort(roots.begin(), roots.end(), by_start);
+    for (const SpanRow* root : roots) RenderTree(&os, kids, *root, 1);
+    RenderAbortPath(&os, by_id, txn_spans);
+  }
+
+  std::map<std::string, int> by_kind;
+  std::map<std::string, int> by_outcome;
+  std::map<std::string, int> by_peer;
+  for (const SpanRow& s : spans) {
+    ++by_kind[s.kind];
+    ++by_outcome[s.outcome.empty() ? "OPEN" : s.outcome];
+    ++by_peer[s.peer];
+  }
+  os << "=== rollups\n";
+  os << "by kind:";
+  for (const auto& [k, n] : by_kind) os << " " << k << "=" << n;
+  os << "\nby outcome:";
+  for (const auto& [k, n] : by_outcome) os << " " << k << "=" << n;
+  os << "\nby peer:";
+  for (const auto& [k, n] : by_peer) os << " " << k << "=" << n;
+  os << "\n";
+  return os.str();
+}
+
+namespace {
+
+std::string CheckHistogram(const std::string& name,
+                           const obs::JsonValue& hist) {
+  if (!hist.is_object()) return "histogram " + name + " is not an object";
+  const obs::JsonValue* bounds = hist.Find("bounds");
+  const obs::JsonValue* counts = hist.Find("counts");
+  if (bounds == nullptr || !bounds->is_array()) {
+    return "histogram " + name + " missing bounds array";
+  }
+  if (counts == nullptr || !counts->is_array()) {
+    return "histogram " + name + " missing counts array";
+  }
+  if (counts->items.size() != bounds->items.size() + 1) {
+    return "histogram " + name + " counts size must be bounds size + 1";
+  }
+  int64_t total = 0;
+  for (const obs::JsonValue& c : counts->items) {
+    if (!c.is_number()) return "histogram " + name + " has non-number count";
+    total += c.AsInt();
+  }
+  for (const char* field : {"count", "sum", "min", "max", "p50", "p95"}) {
+    const obs::JsonValue* v = hist.Find(field);
+    if (v == nullptr || !v->is_number()) {
+      return "histogram " + name + " missing number field " + field;
+    }
+  }
+  if (total != hist.Find("count")->AsInt()) {
+    return "histogram " + name + " bucket counts do not sum to count";
+  }
+  return std::string();
+}
+
+}  // namespace
+
+std::string CheckBenchJson(const std::string& json_text) {
+  std::string parse_error;
+  auto doc = obs::ParseJson(json_text, &parse_error);
+  if (!doc.has_value()) return "invalid JSON: " + parse_error;
+  if (!doc->is_object()) return "top level is not an object";
+  if (GetString(*doc, "schema") != "axmlx-bench-v1") {
+    return "schema must be \"axmlx-bench-v1\"";
+  }
+  if (GetString(*doc, "bench").empty()) {
+    return "missing non-empty \"bench\" name";
+  }
+  const obs::JsonValue* smoke = doc->Find("smoke");
+  if (smoke == nullptr || !smoke->is_bool()) {
+    return "missing boolean \"smoke\"";
+  }
+  const obs::JsonValue* ops = doc->Find("ops_per_sec");
+  if (ops == nullptr || !ops->is_number() || ops->number < 0) {
+    return "missing non-negative number \"ops_per_sec\"";
+  }
+  const obs::JsonValue* counters = doc->Find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    return "missing object \"counters\"";
+  }
+  for (const auto& [name, value] : counters->members) {
+    if (!value.is_number()) return "counter " + name + " is not a number";
+  }
+  const obs::JsonValue* histograms = doc->Find("histograms");
+  if (histograms == nullptr || !histograms->is_object()) {
+    return "missing object \"histograms\"";
+  }
+  for (const auto& [name, hist] : histograms->members) {
+    std::string problem = CheckHistogram(name, hist);
+    if (!problem.empty()) return problem;
+  }
+  return std::string();
+}
+
+}  // namespace axmlx::report

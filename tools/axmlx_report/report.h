@@ -1,0 +1,42 @@
+#ifndef AXMLX_TOOLS_AXMLX_REPORT_REPORT_H_
+#define AXMLX_TOOLS_AXMLX_REPORT_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace axmlx::report {
+
+/// One span parsed back from a JSONL span log (obs::SpanTracker::ToJsonl).
+struct SpanRow {
+  std::string txn;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  std::string peer;
+  std::string kind;
+  std::string detail;
+  int64_t start = 0;
+  int64_t end = -1;  ///< -1 = still open (undecided transaction).
+  std::string outcome;
+  std::string fault;
+};
+
+/// Parses a span JSONL document (one object per line; blank lines are
+/// skipped). Returns false and fills `error` (with a line number) on the
+/// first malformed line.
+bool ParseSpans(const std::string& jsonl, std::vector<SpanRow>* out,
+                std::string* error);
+
+/// Renders per-transaction flame-style invocation trees, the abort
+/// propagation path (failing peer up to the origin), and rollups by kind,
+/// outcome, and peer.
+std::string RenderSpanReport(const std::vector<SpanRow>& spans);
+
+/// Validates one BENCH_<name>.json document against the axmlx-bench-v1
+/// schema. Returns an empty string when valid, else a description of the
+/// first problem.
+std::string CheckBenchJson(const std::string& json_text);
+
+}  // namespace axmlx::report
+
+#endif  // AXMLX_TOOLS_AXMLX_REPORT_REPORT_H_

@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
 # CI gate for axmlx: warnings-as-errors build, full test suite, project
-# linter, then the fault-injection suites under ASan/UBSan. Exits non-zero
-# on the first failure. See DESIGN.md §6b.
+# linter, a perf smoke stage, then the fault-injection suites under
+# ASan/UBSan. Exits non-zero on the first failure. See DESIGN.md §6b.
+#
+# The perf smoke stage runs the hot-path benches with --smoke and diffs
+# their reports against the committed smoke baselines in
+# bench/baselines/smoke/. By default the diff is report-only; set
+# CHECK_PERF=1 to also fail the gate when ops/sec regresses by more than
+# 30% (smoke runs on shared machines are noisy, so the gate is opt-in).
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-check)
 set -euo pipefail
@@ -38,6 +44,26 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
     exit 1
   fi
   "$BUILD_ABS/tools/axmlx_report" --check BENCH_*.json
+)
+
+step "perf smoke (axmlx_report --diff vs bench/baselines/smoke)"
+REPO_ABS="$(pwd)"
+(
+  cd "$SMOKE_DIR"
+  for baseline in "$REPO_ABS"/bench/baselines/smoke/BENCH_*.json; do
+    [ -e "$baseline" ] || continue
+    report="$(basename "$baseline")"
+    if [ ! -e "$report" ]; then
+      echo "FAIL: smoke run produced no $report to diff against $baseline" >&2
+      exit 1
+    fi
+    if [ "${CHECK_PERF:-0}" = "1" ]; then
+      "$BUILD_ABS/tools/axmlx_report" --diff "$baseline" "$report" \
+        --regress-pct 30
+    else
+      "$BUILD_ABS/tools/axmlx_report" --diff "$baseline" "$report"
+    fi
+  done
 )
 
 step "sanitizer build (-DAXMLX_SANITIZE=ON) + fault-labeled suites"

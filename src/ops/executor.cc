@@ -22,6 +22,11 @@ void Executor::SetExternal(const std::string& name, const std::string& value) {
   externals_.emplace_back(name, value);
 }
 
+Result<query::QueryResult> Executor::Evaluate(const query::Query& q) {
+  if (eval_ctx_ != nullptr) return query::EvaluateQuery(*doc_, q, eval_ctx_);
+  return query::EvaluateQuery(*doc_, q);
+}
+
 Result<std::vector<xml::NodeId>> Executor::ResolveLocation(const Operation& op,
                                                            OpEffect* effect) {
   if (op.target_node != xml::kNullNode) {
@@ -49,12 +54,10 @@ Result<std::vector<xml::NodeId>> Executor::ResolveLocation(const Operation& op,
   }
   effect->materialize_stats = materializer.stats();
   if (op.type == ActionType::kQuery) {
-    AXMLX_ASSIGN_OR_RETURN(effect->query_result,
-                           query::EvaluateQuery(*doc_, q));
+    AXMLX_ASSIGN_OR_RETURN(effect->query_result, Evaluate(q));
     return effect->query_result.AllSelected();
   }
-  AXMLX_ASSIGN_OR_RETURN(query::QueryResult result,
-                         query::EvaluateQuery(*doc_, q));
+  AXMLX_ASSIGN_OR_RETURN(query::QueryResult result, Evaluate(q));
   return result.AllSelected();
 }
 

@@ -58,6 +58,11 @@ class Executor {
   /// Supplies a value for `$name` external service-call parameters.
   void SetExternal(const std::string& name, const std::string& value);
 
+  /// Evaluates location queries through `ctx` (caller-owned scratch +
+  /// stats; must outlive the executor). Lets long-lived callers like
+  /// DurableStore reuse evaluation buffers across operations.
+  void SetEvalContext(query::EvalContext* ctx) { eval_ctx_ = ctx; }
+
   /// Executes `op`, returning the logged effect. On error the document is
   /// left untouched (partial work is rolled back internally).
   Result<OpEffect> Execute(const Operation& op);
@@ -65,6 +70,9 @@ class Executor {
   xml::Document* doc() { return doc_; }
 
  private:
+  /// Evaluates through eval_ctx_ when one is set, else standalone.
+  Result<query::QueryResult> Evaluate(const query::Query& q);
+
   Result<OpEffect> ExecuteQuery(const Operation& op);
   Result<OpEffect> ExecuteDelete(const Operation& op);
   Result<OpEffect> ExecuteInsert(const Operation& op);
@@ -83,6 +91,7 @@ class Executor {
   xml::Document* doc_;
   axml::ServiceInvoker invoker_;
   std::vector<std::pair<std::string, std::string>> externals_;
+  query::EvalContext* eval_ctx_ = nullptr;
 };
 
 }  // namespace axmlx::ops

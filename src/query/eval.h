@@ -1,7 +1,10 @@
 #ifndef AXMLX_QUERY_EVAL_H_
 #define AXMLX_QUERY_EVAL_H_
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -30,9 +33,52 @@ bool IsBookkeepingElement(const xml::Node& node);
 std::vector<xml::NodeId> QueryChildren(const xml::Document& doc,
                                        xml::NodeId id);
 
+/// Allocation-free form: appends the query-visible children of `id`.
+void QueryChildrenInto(const xml::Document& doc, xml::NodeId id,
+                       std::vector<xml::NodeId>* out);
+
 /// Returns the query-visible parent of `id`: the nearest ancestor that is
 /// neither a service call nor bookkeeping, or kNullNode.
 xml::NodeId QueryParent(const xml::Document& doc, xml::NodeId id);
+
+/// Evaluation counters for one or more evaluations sharing an EvalContext.
+struct EvalStats {
+  int64_t index_hits = 0;        ///< Descendant steps served by the tag index.
+  int64_t index_candidates = 0;  ///< Candidate ids pulled from the index.
+  int64_t walk_fallbacks = 0;    ///< Descendant steps that walked the tree.
+  int64_t text_cache_hits = 0;   ///< TextContent served from the memo.
+};
+
+/// Reusable evaluation scratch state: work buffers for the iterative
+/// walks, the per-evaluation TextContent memo, and counters. Reusing one
+/// EvalContext across evaluations keeps the hot path allocation-free once
+/// the buffers are warm. Treat everything except `stats` as opaque.
+struct EvalContext {
+  EvalStats stats;
+
+  // Scratch (internal): cleared/reused by the evaluator.
+  std::vector<xml::NodeId> walk_stack;
+  std::vector<xml::NodeId> candidates;
+  std::vector<xml::NodeId> step_out;
+  std::vector<xml::NodeId> path_current;
+  std::vector<xml::NodeId> axis_scratch;
+  std::unordered_set<xml::NodeId> seen;
+  std::unordered_map<xml::NodeId, std::string> text_cache;
+  std::unordered_map<xml::NodeId, uint32_t> sibling_index_cache;
+  std::vector<std::pair<std::vector<uint32_t>, xml::NodeId>> order_keys;
+
+  /// Drops memoized per-document state (call after mutating the document).
+  void InvalidateCaches() {
+    text_cache.clear();
+    sibling_index_cache.clear();
+  }
+};
+
+/// Compares two scalar values under `op`. Both sides are compared
+/// numerically when both parse fully as numbers after trimming ASCII
+/// whitespace (so " 7" equals "7"); otherwise they compare as raw strings.
+bool CompareScalarValues(const std::string& lhs, const std::string& rhs,
+                         CompareOp op);
 
 /// Evaluates a path expression from a single context node. Returns matched
 /// node ids in document order without duplicates.
@@ -40,11 +86,18 @@ std::vector<xml::NodeId> EvaluatePathFrom(const xml::Document& doc,
                                           xml::NodeId context,
                                           const PathExpr& path);
 
+/// As above, appending into `out` and using `ctx` scratch buffers.
+void EvaluatePathFrom(const xml::Document& doc, xml::NodeId context,
+                      const PathExpr& path, EvalContext* ctx,
+                      std::vector<xml::NodeId>* out);
+
 /// Evaluates `pred` for the binding `context`. Comparisons are existential
 /// over the path's node set; values compare numerically when both sides
-/// parse as numbers, else as strings.
+/// (after trimming ASCII whitespace) parse as numbers, else as strings.
 bool EvaluatePredicate(const xml::Document& doc, xml::NodeId context,
                        const Predicate& pred);
+bool EvaluatePredicate(const xml::Document& doc, xml::NodeId context,
+                       const Predicate& pred, EvalContext* ctx);
 
 /// Result of a full query evaluation.
 struct QueryResult {
@@ -65,12 +118,19 @@ struct QueryResult {
 /// e.g. `ATPList//player`); pass `check_doc_name=false` to skip that check.
 Result<QueryResult> EvaluateQuery(const xml::Document& doc, const Query& q,
                                   bool check_doc_name = true);
+Result<QueryResult> EvaluateQuery(const xml::Document& doc, const Query& q,
+                                  EvalContext* ctx,
+                                  bool check_doc_name = true);
 
 /// Finds the nodes bound by the query's `from ... in <source>` clause that
 /// satisfy the `where` clause — i.e. the *target nodes* of a `<location>`
 /// expression, before applying select paths.
 Result<std::vector<xml::NodeId>> EvaluateBindings(const xml::Document& doc,
                                                   const Query& q,
+                                                  bool check_doc_name = true);
+Result<std::vector<xml::NodeId>> EvaluateBindings(const xml::Document& doc,
+                                                  const Query& q,
+                                                  EvalContext* ctx,
                                                   bool check_doc_name = true);
 
 }  // namespace axmlx::query

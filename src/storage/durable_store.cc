@@ -55,24 +55,28 @@ bool FileExists(const std::string& path) {
 
 }  // namespace
 
-std::string EncodeWalPayload(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size());
+void EncodeWalPayloadTo(const std::string& raw, std::string* out) {
+  out->reserve(out->size() + raw.size());
   for (char c : raw) {
     switch (c) {
       case '%':
-        out += "%25";
+        out->append("%25");
         break;
       case '\n':
-        out += "%0A";
+        out->append("%0A");
         break;
       case '\r':
-        out += "%0D";
+        out->append("%0D");
         break;
       default:
-        out += c;
+        out->push_back(c);
     }
   }
+}
+
+std::string EncodeWalPayload(const std::string& raw) {
+  std::string out;
+  EncodeWalPayloadTo(raw, &out);
   return out;
 }
 
@@ -104,10 +108,43 @@ std::string DecodeWalPayload(const std::string& encoded) {
   return out;
 }
 
-DurableStore::DurableStore(std::string directory, axml::ServiceInvoker invoker)
-    : directory_(std::move(directory)), invoker_(std::move(invoker)) {}
+DurableStore::WalCounters::WalCounters(obs::MetricsRegistry* metrics)
+    : flushes(*metrics->GetCounter("wal.flushes")),
+      records_batched(*metrics->GetCounter("wal.records_batched")) {}
 
-DurableStore::~DurableStore() = default;
+DurableStore::HotPathCounters::HotPathCounters(obs::MetricsRegistry* metrics)
+    : nodes_allocated(*metrics->GetCounter("doc.nodes_allocated")),
+      index_hits(*metrics->GetCounter("query.index_hits")),
+      index_candidates(*metrics->GetCounter("query.index_candidates")),
+      walk_fallbacks(*metrics->GetCounter("query.walk_fallbacks")) {}
+
+void DurableStore::PublishHotPathCounters() {
+  const query::EvalStats& s = eval_ctx_.stats;
+  hot_counters_.index_hits += s.index_hits - published_eval_stats_.index_hits;
+  hot_counters_.index_candidates +=
+      s.index_candidates - published_eval_stats_.index_candidates;
+  hot_counters_.walk_fallbacks +=
+      s.walk_fallbacks - published_eval_stats_.walk_fallbacks;
+  published_eval_stats_ = s;
+  int64_t allocated = 0;
+  for (const auto& [name, doc] : documents_) {
+    allocated += doc->storage_stats().nodes_allocated;
+  }
+  hot_counters_.nodes_allocated += allocated - published_nodes_allocated_;
+  published_nodes_allocated_ = allocated;
+}
+
+DurableStore::DurableStore(std::string directory, axml::ServiceInvoker invoker,
+                           FlushPolicy flush_policy)
+    : directory_(std::move(directory)),
+      invoker_(std::move(invoker)),
+      flush_policy_(flush_policy) {}
+
+DurableStore::~DurableStore() {
+  // Best-effort durability for records still buffered under kEveryN /
+  // kOnResolve; a real crash would lose them, which recovery tolerates.
+  (void)FlushWal();
+}
 
 Status DurableStore::Open() {
   if (open_) return FailedPrecondition("store is already open");
@@ -122,7 +159,7 @@ Status DurableStore::Open() {
   for (const auto& [txn, state] : active_txns_) losers.push_back(txn);
   for (const std::string& txn : losers) {
     AXMLX_RETURN_IF_ERROR(CompensateTxn(txn, /*journal=*/true));
-    AXMLX_RETURN_IF_ERROR(AppendWal("RESOLVED " + txn));
+    AXMLX_RETURN_IF_ERROR(AppendWal("RESOLVED " + txn, /*force_flush=*/true));
     active_txns_.erase(txn);
     ++stats_.recovered_txns;
   }
@@ -196,13 +233,41 @@ Status DurableStore::ReplayWal() {
   return Status::Ok();
 }
 
-Status DurableStore::AppendWal(const std::string& record) {
-  std::ofstream out(WalPath(directory_), std::ios::app);
-  if (!out) return Internal("cannot append to WAL");
-  out << record << "\n";
-  out.flush();
-  ++stats_.wal_records;
+Status DurableStore::FlushWal() {
+  if (wal_batch_.empty()) return Status::Ok();
+  if (!wal_.is_open()) {
+    wal_.open(WalPath(directory_), std::ios::app);
+    if (!wal_) return Internal("cannot open WAL for append");
+  }
+  wal_.write(wal_batch_.data(),
+             static_cast<std::streamsize>(wal_batch_.size()));
+  wal_.flush();
+  if (!wal_) return Internal("cannot append to WAL");
+  wal_batch_.clear();
+  batched_records_ = 0;
+  ++wal_counters_.flushes;
   return Status::Ok();
+}
+
+Status DurableStore::AppendWal(const std::string& record, bool force_flush) {
+  wal_batch_.append(record);
+  wal_batch_.push_back('\n');
+  ++batched_records_;
+  ++stats_.wal_records;
+  ++wal_counters_.records_batched;
+  bool flush_now = force_flush;
+  switch (flush_policy_.mode) {
+    case FlushPolicy::Mode::kEveryRecord:
+      flush_now = true;
+      break;
+    case FlushPolicy::Mode::kEveryN:
+      flush_now = flush_now || batched_records_ >= flush_policy_.n;
+      break;
+    case FlushPolicy::Mode::kOnResolve:
+      break;
+  }
+  if (!flush_now) return Status::Ok();
+  return FlushWal();
 }
 
 Status DurableStore::CreateDocument(const std::string& xml_text) {
@@ -254,10 +319,12 @@ Result<const ops::OpEffect*> DurableStore::ApplyOp(const std::string& txn,
   xml::Document* target = Get(doc);
   if (target == nullptr) return NotFound("unknown document " + doc);
   ops::Executor executor(target, invoker_);
+  executor.SetEvalContext(&eval_ctx_);
   for (const auto& [name, value] : externals_) {
     executor.SetExternal(name, value);
   }
   AXMLX_ASSIGN_OR_RETURN(ops::OpEffect effect, executor.Execute(op));
+  PublishHotPathCounters();
   TxnState& state = active_txns_[txn];
   state.ops_by_doc[doc].push_back(state.effects.size());
   state.docs.push_back(doc);
@@ -282,7 +349,7 @@ Status DurableStore::Commit(const std::string& txn) {
   if (active_txns_.count(txn) == 0) {
     return NotFound("transaction " + txn + " is not active");
   }
-  AXMLX_RETURN_IF_ERROR(AppendWal("RESOLVED " + txn));
+  AXMLX_RETURN_IF_ERROR(AppendWal("RESOLVED " + txn, /*force_flush=*/true));
   active_txns_.erase(txn);
   return Status::Ok();
 }
@@ -302,9 +369,11 @@ Status DurableStore::CompensateTxn(const std::string& txn, bool journal) {
       xml::Document* target = Get(doc);
       if (target == nullptr) return NotFound("unknown document " + doc);
       ops::Executor executor(target, invoker_);
+      executor.SetEvalContext(&eval_ctx_);
       AXMLX_RETURN_IF_ERROR(executor.Execute(comp_op).status());
     }
   }
+  PublishHotPathCounters();
   return Status::Ok();
 }
 
@@ -313,7 +382,7 @@ Status DurableStore::Abort(const std::string& txn) {
     return NotFound("transaction " + txn + " is not active");
   }
   AXMLX_RETURN_IF_ERROR(CompensateTxn(txn, /*journal=*/true));
-  AXMLX_RETURN_IF_ERROR(AppendWal("RESOLVED " + txn));
+  AXMLX_RETURN_IF_ERROR(AppendWal("RESOLVED " + txn, /*force_flush=*/true));
   active_txns_.erase(txn);
   return Status::Ok();
 }
@@ -331,7 +400,14 @@ Status DurableStore::Checkpoint() {
     manifest += name + "\n";
   }
   AXMLX_RETURN_IF_ERROR(WriteFileAtomically(ManifestPath(directory_), manifest));
-  // Truncate the WAL: everything below the snapshots is durable.
+  // Truncate the WAL: everything below the snapshots is durable. Buffered
+  // records describe effects the snapshots already contain, so drop them,
+  // and close the append stream first — truncation renames a fresh file
+  // over the log, which would leave an open stream writing to the old,
+  // unlinked inode. The stream reopens lazily on the next flush.
+  wal_batch_.clear();
+  batched_records_ = 0;
+  if (wal_.is_open()) wal_.close();
   AXMLX_RETURN_IF_ERROR(WriteFileAtomically(WalPath(directory_), ""));
   ++stats_.checkpoints;
   return Status::Ok();

@@ -1,6 +1,7 @@
 #ifndef AXMLX_STORAGE_DURABLE_STORE_H_
 #define AXMLX_STORAGE_DURABLE_STORE_H_
 
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -8,11 +9,37 @@
 
 #include "axml/materializer.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "ops/executor.h"
 #include "ops/op_log.h"
+#include "query/eval.h"
 #include "xml/document.h"
 
 namespace axmlx::storage {
+
+/// Controls when buffered WAL records are flushed to the log file.
+///
+/// Group commit trades single-record durability for throughput without
+/// weakening atomicity: records always reach the file in append order, and
+/// a RESOLVED record forces a flush in every mode, so a transaction's OP
+/// records are durable no later than its resolution. Losing buffered
+/// records of an *unresolved* transaction in a crash is equivalent to
+/// crashing before those operations ran — recovery compensates either way.
+struct FlushPolicy {
+  enum class Mode {
+    kEveryRecord,  ///< Flush after each record (classic write-ahead; default).
+    kEveryN,       ///< Flush when `n` records are buffered, and on resolve.
+    kOnResolve,    ///< Flush only at txn resolution / checkpoint / close.
+  };
+  Mode mode = Mode::kEveryRecord;
+  size_t n = 8;  ///< Batch size for kEveryN.
+
+  static FlushPolicy EveryRecord() { return {}; }
+  static FlushPolicy EveryN(size_t n) {
+    return {Mode::kEveryN, n == 0 ? size_t{1} : n};
+  }
+  static FlushPolicy OnResolve() { return {Mode::kOnResolve, 8}; }
+};
 
 /// Durable document store for an AXML peer: the "D" of the paper's relaxed
 /// ACID framework. Documents live in memory; every operation is recorded in
@@ -39,8 +66,10 @@ class DurableStore {
   /// `directory` is created on Open() if missing. `invoker` resolves
   /// embedded service-call materializations during execution AND during
   /// recovery replay (pass the same deterministic invoker for exact
-  /// replay; null forbids materialization).
-  DurableStore(std::string directory, axml::ServiceInvoker invoker);
+  /// replay; null forbids materialization). `flush_policy` selects the
+  /// group-commit mode; the destructor flushes whatever is still buffered.
+  DurableStore(std::string directory, axml::ServiceInvoker invoker,
+               FlushPolicy flush_policy = FlushPolicy::EveryRecord());
   ~DurableStore();
 
   DurableStore(const DurableStore&) = delete;
@@ -81,6 +110,9 @@ class DurableStore {
   /// Writes snapshots of all documents and truncates the WAL.
   Status Checkpoint();
 
+  /// Flushes buffered WAL records to the log file (no-op when empty).
+  Status FlushWal();
+
   struct Stats {
     int64_t wal_records = 0;      ///< Records appended this session.
     int64_t replayed_ops = 0;     ///< Ops re-executed during Open().
@@ -88,6 +120,9 @@ class DurableStore {
     int64_t checkpoints = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Registry holding `wal.flushes` and `wal.records_batched`.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   struct TxnState {
@@ -97,7 +132,27 @@ class DurableStore {
     std::map<std::string, std::vector<size_t>> ops_by_doc;
   };
 
-  Status AppendWal(const std::string& record);
+  struct WalCounters {
+    explicit WalCounters(obs::MetricsRegistry* metrics);
+    obs::Counter& flushes;          ///< wal.flushes
+    obs::Counter& records_batched;  ///< wal.records_batched
+  };
+
+  struct HotPathCounters {
+    explicit HotPathCounters(obs::MetricsRegistry* metrics);
+    obs::Counter& nodes_allocated;   ///< doc.nodes_allocated
+    obs::Counter& index_hits;        ///< query.index_hits
+    obs::Counter& index_candidates;  ///< query.index_candidates
+    obs::Counter& walk_fallbacks;    ///< query.walk_fallbacks
+  };
+
+  /// Folds the since-last-publish deltas of the eval context's stats and
+  /// the documents' storage stats into the metrics registry.
+  void PublishHotPathCounters();
+
+  /// Appends `record` to the WAL batch; flushes per policy. Pass
+  /// `force_flush` for records that resolve a transaction.
+  Status AppendWal(const std::string& record, bool force_flush = false);
   Status ReplayWal();
   Status LoadSnapshots();
   Result<const ops::OpEffect*> ApplyOp(const std::string& txn,
@@ -107,16 +162,31 @@ class DurableStore {
 
   std::string directory_;
   axml::ServiceInvoker invoker_;
+  FlushPolicy flush_policy_;
   std::map<std::string, std::string> externals_;
   std::map<std::string, std::unique_ptr<xml::Document>> documents_;
   std::map<std::string, TxnState> active_txns_;
   Stats stats_;
+  obs::MetricsRegistry metrics_;
+  WalCounters wal_counters_{&metrics_};
+  HotPathCounters hot_counters_{&metrics_};
+  /// Shared evaluation scratch for all operations this store applies; its
+  /// cumulative stats are published as counter deltas.
+  query::EvalContext eval_ctx_;
+  query::EvalStats published_eval_stats_;
+  int64_t published_nodes_allocated_ = 0;
+  std::ofstream wal_;          ///< Kept open across appends; see Checkpoint().
+  std::string wal_batch_;      ///< Serialized records awaiting flush.
+  size_t batched_records_ = 0;
   bool open_ = false;
 };
 
 /// Newline/percent escaping for single-line WAL payloads.
 std::string EncodeWalPayload(const std::string& raw);
 std::string DecodeWalPayload(const std::string& encoded);
+
+/// Append-into variant used by the record batcher to avoid a temporary.
+void EncodeWalPayloadTo(const std::string& raw, std::string* out);
 
 }  // namespace axmlx::storage
 

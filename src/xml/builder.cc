@@ -31,19 +31,23 @@ NodeId FirstChildElement(const Document& doc, NodeId parent,
                          const std::string& name) {
   const Node* p = doc.Find(parent);
   if (p == nullptr) return kNullNode;
+  const NameId want = doc.FindNameId(name);
+  if (want == kNoName) return kNullNode;
   for (NodeId c : p->children) {
     const Node* n = doc.Find(c);
-    if (n->is_element() && n->name == name) return c;
+    if (n != nullptr && n->name_id == want) return c;
   }
   return kNullNode;
 }
 
 NodeId FirstDescendantElement(const Document& doc, NodeId from,
                               const std::string& name) {
+  const NameId want = doc.FindNameId(name);
+  if (want == kNoName) return kNullNode;
   NodeId found = kNullNode;
   doc.Walk(from, [&](const Node& n) {
     if (found != kNullNode) return false;
-    if (n.is_element() && n.name == name && n.id != from) {
+    if (n.name_id == want && n.id != from) {
       found = n.id;
       return false;
     }

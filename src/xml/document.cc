@@ -7,55 +7,159 @@
 
 namespace axmlx::xml {
 
+namespace {
+
+/// Well-known AXML names, interned by every document in this fixed order so
+/// the kNameAxml* constants in node.h hold everywhere.
+constexpr const char* kReservedNames[kNumReservedNames] = {
+    "axml:sc", "axml:params", "axml:catch", "axml:catchAll", "axml:retry"};
+
+const std::string kEmptyName;
+
+}  // namespace
+
 Document::Document(const std::string& root_name) {
+  for (const char* reserved : kReservedNames) {
+    (void)InternName(reserved);
+  }
   root_ = CreateElement(root_name);
 }
 
 std::unique_ptr<Document> Document::Clone() const {
-  auto copy = std::make_unique<Document>();
-  copy->nodes_.clear();
+  std::unique_ptr<Document> copy(new Document(RawTag{}));
   copy->next_id_ = next_id_;
   copy->root_ = root_;
-  for (const auto& [id, node] : nodes_) {
-    copy->nodes_[id] = std::make_unique<Node>(*node);
+  copy->live_nodes_ = live_nodes_;
+  copy->pages_.reserve(pages_.size());
+  for (const auto& page : pages_) {
+    auto new_page = std::make_unique<Node[]>(kPageSize);
+    std::copy(page.get(), page.get() + kPageSize, new_page.get());
+    copy->pages_.push_back(std::move(new_page));
   }
+  copy->slots_used_ = slots_used_;
+  copy->free_slots_ = free_slots_;
+  copy->slot_gen_ = slot_gen_;
+  copy->slot_of_id_ = slot_of_id_;
+  copy->gen_of_id_ = gen_of_id_;
+  copy->names_ = names_;
+  copy->name_ids_ = name_ids_;
+  copy->name_index_ = name_index_;
+  copy->storage_stats_ = storage_stats_;
   return copy;
 }
 
-const Node* Document::Find(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-Node* Document::FindMutable(NodeId id) {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-NodeId Document::NewNode(NodeType type) {
-  NodeId id = next_id_++;
-  auto node = std::make_unique<Node>();
-  node->id = id;
-  node->type = type;
-  nodes_[id] = std::move(node);
+NameId Document::InternName(std::string_view name) {
+  auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) return it->second;
+  NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  name_index_.emplace_back();
   return id;
 }
 
+NameId Document::FindNameId(std::string_view name) const {
+  auto it = name_ids_.find(name);
+  return it == name_ids_.end() ? kNoName : it->second;
+}
+
+const std::string& Document::NameOf(NameId name_id) const {
+  if (name_id >= names_.size()) return kEmptyName;
+  return names_[name_id];
+}
+
+uint32_t Document::AllocSlot() {
+  if (!free_slots_.empty()) {
+    uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    ++storage_stats_.slots_reused;
+    return slot;
+  }
+  if (slots_used_ == pages_.size() * kPageSize) {
+    pages_.push_back(std::make_unique<Node[]>(kPageSize));
+    ++storage_stats_.pages_allocated;
+  }
+  uint32_t slot = slots_used_++;
+  slot_gen_.push_back(0);
+  return slot;
+}
+
+void Document::MapIdToSlot(NodeId id, uint32_t slot) {
+  if (id >= slot_of_id_.size()) {
+    slot_of_id_.resize(id + 1, kInvalidSlot);
+    gen_of_id_.resize(id + 1, 0);
+  }
+  slot_of_id_[id] = slot;
+  gen_of_id_[id] = slot_gen_[slot];
+  if (id >= next_id_) next_id_ = id + 1;
+  ++live_nodes_;
+}
+
+NodeId Document::NewNode(NodeType type) {
+  uint32_t slot = AllocSlot();
+  NodeId id = next_id_;
+  MapIdToSlot(id, slot);
+  Node& node = NodeAt(slot);
+  node.id = id;
+  node.type = type;
+  node.parent = kNullNode;
+  ++storage_stats_.nodes_allocated;
+  return id;
+}
+
+void Document::FreeNode(NodeId id) {
+  uint32_t slot = slot_of_id_[id];
+  Node& node = NodeAt(slot);
+  // Keep the tag index tight under create/destroy churn: drop this node's
+  // entry when it sits at its bucket's tail (the common LIFO case), plus
+  // any already-dead ids that pop exposes. Entries elsewhere in the bucket
+  // stay until CollectElementsNamed's sweep.
+  if (node.is_element() && node.name_id != kNoName &&
+      node.name_id < name_index_.size()) {
+    std::vector<NodeId>& bucket = name_index_[node.name_id];
+    if (!bucket.empty() && bucket.back() == id) {
+      bucket.pop_back();
+      while (!bucket.empty() && Find(bucket.back()) == nullptr) {
+        bucket.pop_back();
+        ++storage_stats_.index_entries_swept;
+      }
+    }
+  }
+  // clear() keeps string/vector capacity, so a recycled slot serves its
+  // next node without fresh heap allocations.
+  node.id = kNullNode;
+  node.parent = kNullNode;
+  node.name.clear();
+  node.name_id = kNoName;
+  node.text.clear();
+  node.attributes.clear();
+  node.children.clear();
+  ++slot_gen_[slot];
+  slot_of_id_[id] = kInvalidSlot;
+  free_slots_.push_back(slot);
+  ++storage_stats_.nodes_freed;
+  --live_nodes_;
+}
+
 NodeId Document::CreateElement(const std::string& name) {
+  NameId name_id = InternName(name);
   NodeId id = NewNode(NodeType::kElement);
-  nodes_[id]->name = name;
+  Node* node = FindMutable(id);
+  node->name = name;
+  node->name_id = name_id;
+  name_index_[name_id].push_back(id);
   return id;
 }
 
 NodeId Document::CreateText(const std::string& text) {
   NodeId id = NewNode(NodeType::kText);
-  nodes_[id]->text = text;
+  FindMutable(id)->text = text;
   return id;
 }
 
 NodeId Document::CreateComment(const std::string& text) {
   NodeId id = NewNode(NodeType::kComment);
-  nodes_[id]->text = text;
+  FindMutable(id)->text = text;
   return id;
 }
 
@@ -111,12 +215,19 @@ Result<Document::RemovedInfo> Document::RemoveSubtree(NodeId id) {
 }
 
 void Document::DestroySubtree(NodeId id) {
-  Node* n = FindMutable(id);
-  if (n == nullptr) return;
-  // Copy the child list: erasing invalidates the node's storage.
-  std::vector<NodeId> children = n->children;
-  for (NodeId c : children) DestroySubtree(c);
-  nodes_.erase(id);
+  // Iterative destruction; FreeNode clears the child list, so children are
+  // pushed onto the work stack first.
+  std::vector<NodeId>& stack = walk_scratch_;
+  stack.clear();
+  stack.push_back(id);
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    Node* n = FindMutable(cur);
+    if (n == nullptr) continue;
+    for (NodeId c : n->children) stack.push_back(c);
+    FreeNode(cur);
+  }
 }
 
 Status Document::SetText(NodeId id, const std::string& text) {
@@ -124,6 +235,22 @@ Status Document::SetText(NodeId id, const std::string& text) {
   if (n == nullptr) return NotFound("SetText: unknown node");
   if (n->is_element()) return InvalidArgument("SetText: node is an element");
   n->text = text;
+  return Status::Ok();
+}
+
+Status Document::RenameElement(NodeId id, const std::string& name) {
+  Node* n = FindMutable(id);
+  if (n == nullptr) return NotFound("RenameElement: unknown node");
+  if (!n->is_element()) {
+    return InvalidArgument("RenameElement: node is not an element");
+  }
+  NameId name_id = InternName(name);
+  if (name_id == n->name_id) return Status::Ok();
+  // The entry under the old name goes stale; CollectElementsNamed filters
+  // and sweeps it on the next lookup.
+  n->name = name;
+  n->name_id = name_id;
+  name_index_[name_id].push_back(id);
   return Status::Ok();
 }
 
@@ -202,8 +329,19 @@ Status Document::RestoreSubtree(const std::vector<Node>& nodes,
     }
   }
   for (const Node& n : nodes) {
-    nodes_[n.id] = std::make_unique<Node>(n);
-    if (n.id >= next_id_) next_id_ = n.id + 1;
+    uint32_t slot = AllocSlot();
+    Node& stored = NodeAt(slot);
+    stored = n;
+    // Re-intern from the spelling: the record may come from a document with
+    // a different name table (diff replay between replicas).
+    if (stored.is_element()) {
+      stored.name_id = InternName(stored.name);
+      name_index_[stored.name_id].push_back(stored.id);
+    } else {
+      stored.name_id = kNoName;
+    }
+    MapIdToSlot(n.id, slot);
+    ++storage_stats_.nodes_allocated;
   }
   Node* r = FindMutable(subtree_root);
   if (r == nullptr) return Internal("RestoreSubtree: root not among nodes");
@@ -213,11 +351,37 @@ Status Document::RestoreSubtree(const std::vector<Node>& nodes,
   return Status::Ok();
 }
 
+void Document::CollectElementsNamed(NameId name_id,
+                                    std::vector<NodeId>* out) const {
+  if (name_id >= name_index_.size()) return;
+  std::vector<NodeId>& bucket = name_index_[name_id];
+  // Filter + compact in place: survivors are the live elements still named
+  // `name_id`; everything else (destroyed or renamed) is swept.
+  size_t w = 0;
+  for (NodeId id : bucket) {
+    const Node* n = Find(id);
+    if (n == nullptr || n->name_id != name_id) continue;
+    bucket[w++] = id;
+    out->push_back(id);
+  }
+  storage_stats_.index_entries_swept +=
+      static_cast<int64_t>(bucket.size() - w);
+  bucket.resize(w);
+}
+
 size_t Document::SubtreeSize(NodeId id) const {
-  const Node* n = Find(id);
-  if (n == nullptr) return 0;
-  size_t count = 1;
-  for (NodeId c : n->children) count += SubtreeSize(c);
+  if (Find(id) == nullptr) return 0;
+  size_t count = 0;
+  std::vector<NodeId>& stack = walk_scratch_;
+  stack.clear();
+  stack.push_back(id);
+  while (!stack.empty()) {
+    const Node* n = Find(stack.back());
+    stack.pop_back();
+    if (n == nullptr) continue;
+    ++count;
+    for (NodeId c : n->children) stack.push_back(c);
+  }
   return count;
 }
 
@@ -231,12 +395,52 @@ size_t Document::IndexInParent(NodeId id) const {
              : static_cast<size_t>(it - p->children.begin());
 }
 
+void Document::AppendTextContent(NodeId id, std::string* out) const {
+  const Node* start = Find(id);
+  if (start == nullptr) return;
+  if (start->is_text()) {
+    out->append(start->text);
+    return;
+  }
+  // Fast path for leaf elements (all children are text) — the dominant
+  // shape for scalar fields like <rank>7</rank>.
+  bool flat = true;
+  for (NodeId c : start->children) {
+    const Node* child = Find(c);
+    if (child != nullptr && !child->is_text()) {
+      flat = false;
+      break;
+    }
+  }
+  if (flat) {
+    for (NodeId c : start->children) {
+      const Node* child = Find(c);
+      if (child != nullptr) out->append(child->text);
+    }
+    return;
+  }
+  // Iterative pre-order with a reversed-children stack so text concatenates
+  // in document order without per-node callback overhead.
+  std::vector<NodeId>& stack = walk_scratch_;
+  stack.clear();
+  stack.push_back(id);
+  while (!stack.empty()) {
+    const Node* n = Find(stack.back());
+    stack.pop_back();
+    if (n == nullptr) continue;
+    if (n->is_text()) {
+      out->append(n->text);
+      continue;
+    }
+    for (size_t i = n->children.size(); i > 0; --i) {
+      stack.push_back(n->children[i - 1]);
+    }
+  }
+}
+
 std::string Document::TextContent(NodeId id) const {
   std::string out;
-  Walk(id, [&out](const Node& n) {
-    if (n.is_text()) out += n.text;
-    return true;
-  });
+  AppendTextContent(id, &out);
   return out;
 }
 
@@ -278,27 +482,36 @@ void Document::SerializeNode(NodeId id, bool pretty, int depth,
       return;
     case NodeType::kComment:
       if (pretty) *out += indent;
-      *out += "<!--" + n->text + "-->";
+      out->append("<!--");
+      out->append(n->text);
+      out->append("-->");
       if (pretty) *out += "\n";
       return;
     case NodeType::kElement:
       break;
   }
   if (pretty) *out += indent;
-  *out += "<" + n->name;
+  out->push_back('<');
+  out->append(n->name);
   for (const auto& [k, v] : n->attributes) {
-    *out += " " + k + "=\"" + XmlEscape(v) + "\"";
+    out->push_back(' ');
+    out->append(k);
+    out->append("=\"");
+    out->append(XmlEscape(v));
+    out->push_back('"');
   }
   if (n->children.empty()) {
-    *out += "/>";
+    out->append("/>");
     if (pretty) *out += "\n";
     return;
   }
-  *out += ">";
+  out->push_back('>');
   if (pretty) *out += "\n";
   for (NodeId c : n->children) SerializeNode(c, pretty, depth + 1, out);
   if (pretty) *out += indent;
-  *out += "</" + n->name + ">";
+  out->append("</");
+  out->append(n->name);
+  out->push_back('>');
   if (pretty) *out += "\n";
 }
 
@@ -316,6 +529,7 @@ bool Document::SubtreeEquals(const Document& a, NodeId a_id, const Document& b,
   if (na == nullptr || nb == nullptr) return na == nb;
   if (na->type != nb->type) return false;
   if (na->is_element()) {
+    // Cross-document comparison: spellings, not per-document NameIds.
     if (na->name != nb->name) return false;
     if (na->attributes != nb->attributes) return false;
     // Compare children skipping comments on both sides.

@@ -5,7 +5,9 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -25,6 +27,19 @@ namespace axmlx::xml {
 /// the compensation log, or a service invocation result. A fragment is
 /// simply a document whose root carries the fragment's top-level nodes.
 ///
+/// Storage layout (DESIGN.md §8): nodes live in slab pages — fixed-size
+/// arrays of `Node` — with a free list of reusable slots. A `NodeId` maps
+/// to its slot through dense per-id arrays with a generation check, so
+/// `Find` is two array reads, stale ids of destroyed nodes resolve to
+/// nullptr, and `Node*` handles stay valid until the node is destroyed
+/// (pages are never moved or shrunk). Ids are still never reused, which the
+/// paper's compensation contract (§3.1) relies on.
+///
+/// Tag names are interned in a per-document string table (`NameId`), and an
+/// incidence index `NameId -> node ids` accelerates descendant-axis query
+/// steps. The index is maintained lazily: entries of destroyed or renamed
+/// nodes are filtered (and compacted) on lookup.
+///
 /// Not thread-safe; the discrete-event simulator is single-threaded.
 class Document {
  public:
@@ -43,13 +58,38 @@ class Document {
   NodeId root() const { return root_; }
 
   /// Returns the node or nullptr if the id is unknown (e.g. deleted).
-  const Node* Find(NodeId id) const;
+  const Node* Find(NodeId id) const {
+    if (id == kNullNode || id >= slot_of_id_.size()) return nullptr;
+    const uint32_t slot = slot_of_id_[id];
+    if (slot == kInvalidSlot || slot_gen_[slot] != gen_of_id_[id]) {
+      return nullptr;
+    }
+    return &NodeAt(slot);
+  }
 
   /// Mutable access for internal editors. Prefer the typed mutators below.
-  Node* FindMutable(NodeId id);
+  Node* FindMutable(NodeId id) {
+    return const_cast<Node*>(std::as_const(*this).Find(id));
+  }
 
   /// True if `id` identifies a live node of this document.
   bool Contains(NodeId id) const { return Find(id) != nullptr; }
+
+  // --- Interned tag names --------------------------------------------------
+
+  /// Returns the id of `name` in this document's string table, interning it
+  /// on first use. Ids are stable for the document's lifetime.
+  NameId InternName(std::string_view name);
+
+  /// Returns the id of `name` if already interned, else kNoName. Lets
+  /// lookups conclude "no element of this name exists here" without a scan.
+  NameId FindNameId(std::string_view name) const;
+
+  /// Spelling of an interned name (empty string for kNoName/out of range).
+  const std::string& NameOf(NameId name_id) const;
+
+  /// Number of distinct interned names.
+  size_t interned_names() const { return names_.size(); }
 
   // --- Node creation -------------------------------------------------------
 
@@ -84,6 +124,9 @@ class Document {
   /// Sets the text of a text node.
   Status SetText(NodeId id, const std::string& text);
 
+  /// Renames an element node, keeping the interned id and tag index in sync.
+  Status RenameElement(NodeId id, const std::string& name);
+
   /// Sets (adds or overwrites) an attribute on an element node.
   Status SetAttribute(NodeId id, const std::string& key,
                       const std::string& value);
@@ -102,14 +145,23 @@ class Document {
   /// root-first, with internal parent/children links intact) under `parent`
   /// at `index`, preserving the original node ids. All ids must be free;
   /// `next_id_` is advanced past the largest restored id. Used by the edit
-  /// log to roll back deletions exactly (see xml/edit.h).
+  /// log to roll back deletions exactly (see xml/edit.h). Record `name`
+  /// spellings are re-interned, so records may originate from another
+  /// document (diff replay between replicas).
   Status RestoreSubtree(const std::vector<Node>& nodes, NodeId subtree_root,
                         NodeId parent, size_t index);
+
+  // --- Tag index -----------------------------------------------------------
+
+  /// Appends the ids of all live element nodes whose current name is
+  /// `name_id` (attached or detached, in allocation order — NOT document
+  /// order). Stale index entries are swept as a side effect.
+  void CollectElementsNamed(NameId name_id, std::vector<NodeId>* out) const;
 
   // --- Introspection -------------------------------------------------------
 
   /// Number of live nodes (including the root).
-  size_t size() const { return nodes_.size(); }
+  size_t size() const { return live_nodes_; }
 
   /// Number of nodes in the subtree rooted at `id` (0 if unknown).
   size_t SubtreeSize(NodeId id) const;
@@ -120,6 +172,9 @@ class Document {
 
   /// Concatenation of all descendant text nodes, in document order.
   std::string TextContent(NodeId id) const;
+
+  /// Appends the concatenation of all descendant text nodes to `*out`.
+  void AppendTextContent(NodeId id, std::string* out) const;
 
   /// Pre-order traversal of the subtree rooted at `id`; `fn` returning
   /// false prunes descent into that node's children.
@@ -143,16 +198,96 @@ class Document {
     return SubtreeEquals(a, a.root(), b, b.root());
   }
 
+  /// Slab / interning counters, monotonic over the document's lifetime.
+  struct StorageStats {
+    int64_t nodes_allocated = 0;  ///< NewNode calls (slab slot grabs).
+    int64_t nodes_freed = 0;      ///< Destroyed nodes (slots recycled).
+    int64_t slots_reused = 0;     ///< Allocations served from the free list.
+    int64_t pages_allocated = 0;  ///< Slab pages ever allocated.
+    int64_t index_entries_swept = 0;  ///< Stale tag-index entries dropped.
+  };
+  const StorageStats& storage_stats() const { return storage_stats_; }
+
  private:
+  // Slab geometry: nodes live in pages of kPageSize contiguous records, so
+  // `Node*` handles never move (pages are never freed or reallocated) while
+  // allocation stays mostly-contiguous and reusable through the free list.
+  static constexpr uint32_t kPageBits = 9;
+  static constexpr uint32_t kPageSize = 1u << kPageBits;
+  static constexpr uint32_t kPageMask = kPageSize - 1;
+  static constexpr uint32_t kInvalidSlot = 0xFFFFFFFFu;
+
+  struct RawTag {};  ///< Tag for the member-copying Clone constructor.
+  explicit Document(RawTag) {}
+
+  Node& NodeAt(uint32_t slot) {
+    return pages_[slot >> kPageBits][slot & kPageMask];
+  }
+  const Node& NodeAt(uint32_t slot) const {
+    return pages_[slot >> kPageBits][slot & kPageMask];
+  }
+
+  /// Grabs a free slot (free list first, else bump allocation, growing the
+  /// slab by one page when full).
+  uint32_t AllocSlot();
+
+  /// Maps `id` to `slot` in the id->slot arrays, growing them as needed and
+  /// advancing next_id_ past `id`.
+  void MapIdToSlot(NodeId id, uint32_t slot);
+
   NodeId NewNode(NodeType type);
+
+  /// Returns `id`'s slot to the free list (generation bump + field reset so
+  /// the slot's string/vector capacity is recycled).
+  void FreeNode(NodeId id);
+
   void SerializeNode(NodeId id, bool pretty, int depth,
                      std::string* out) const;
   void DestroySubtree(NodeId id);
   NodeId ImportRec(const Document& src, NodeId src_id);
 
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct StringEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
   NodeId next_id_ = 1;
   NodeId root_ = kNullNode;
-  std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
+  size_t live_nodes_ = 0;
+
+  // Slab storage + free list.
+  std::vector<std::unique_ptr<Node[]>> pages_;
+  uint32_t slots_used_ = 0;  ///< High-water mark of ever-touched slots.
+  std::vector<uint32_t> free_slots_;
+  std::vector<uint32_t> slot_gen_;  ///< [slot] -> current generation.
+
+  // Dense id -> slot mapping with the generation captured at mapping time;
+  // a mismatch means the id is stale (its node was destroyed).
+  std::vector<uint32_t> slot_of_id_;
+  std::vector<uint32_t> gen_of_id_;
+
+  // Interned tag names.
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NameId, StringHash, StringEq> name_ids_;
+
+  // Tag index: [NameId] -> element ids, maintained lazily (mutable so const
+  // lookups can sweep stale entries in place).
+  mutable std::vector<std::vector<NodeId>> name_index_;
+
+  mutable StorageStats storage_stats_;
+
+  // Shared work stack for the iterative internal walks (DestroySubtree,
+  // SubtreeSize, AppendTextContent). Those never nest and take no user
+  // callbacks, so one buffer keeps the hot paths allocation-free.
+  mutable std::vector<NodeId> walk_scratch_;
 };
 
 }  // namespace axmlx::xml

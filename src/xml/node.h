@@ -18,6 +18,25 @@ using NodeId = uint64_t;
 /// Sentinel for "no node".
 inline constexpr NodeId kNullNode = 0;
 
+/// Interned tag-name id, valid within the owning `Document`'s string table
+/// (see Document::InternName). Element name equality inside one document is
+/// an integer compare on `Node::name_id`; the spelling in `Node::name` stays
+/// authoritative for cross-document comparisons and detached node records.
+using NameId = uint32_t;
+
+/// Sentinel NameId: text/comment nodes, and "name not interned here".
+inline constexpr NameId kNoName = 0xFFFFFFFFu;
+
+/// Well-known AXML tag names, interned by every `Document` at construction
+/// in this fixed order so the ids below are valid in every document and the
+/// query evaluator can classify nodes without string compares.
+inline constexpr NameId kNameAxmlSc = 0;        ///< "axml:sc"
+inline constexpr NameId kNameAxmlParams = 1;    ///< "axml:params"
+inline constexpr NameId kNameAxmlCatch = 2;     ///< "axml:catch"
+inline constexpr NameId kNameAxmlCatchAll = 3;  ///< "axml:catchAll"
+inline constexpr NameId kNameAxmlRetry = 4;     ///< "axml:retry"
+inline constexpr NameId kNumReservedNames = 5;
+
 enum class NodeType {
   kElement,
   kText,
@@ -26,14 +45,21 @@ enum class NodeType {
 
 /// A single XML node. Nodes are owned and linked by their `Document`; user
 /// code manipulates them through `Document` APIs and treats `Node` as a
-/// read-mostly record.
+/// read-mostly record. Storage-wise nodes live in the document's slab pages
+/// (see Document), so `Node*` stays valid until the node is destroyed.
 struct Node {
   NodeId id = kNullNode;
   NodeType type = NodeType::kElement;
   NodeId parent = kNullNode;
 
-  /// Element tag name (element nodes only).
+  /// Element tag name (element nodes only). Kept as a string so detached
+  /// node records (xml/edit.h) remain meaningful across documents.
   std::string name;
+
+  /// Interned id of `name` in the owning document's string table; kNoName
+  /// for text/comment nodes. Maintained by Document mutators — do not write
+  /// directly.
+  NameId name_id = kNoName;
 
   /// Text content (text and comment nodes only).
   std::string text;

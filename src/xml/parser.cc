@@ -22,10 +22,11 @@ class ParserImpl {
     // as the document root by re-parsing children directly.
     auto doc = std::make_unique<Document>("placeholder");
     AXMLX_ASSIGN_OR_RETURN(NodeId root, ParseElement(doc.get()));
-    // Replace the placeholder root with the parsed element.
-    Node* placeholder = doc->FindMutable(doc->root());
+    // Replace the placeholder root with the parsed element. Renaming goes
+    // through the document so the interned name id and tag index follow.
     const Node* parsed = doc->Find(root);
-    placeholder->name = parsed->name;
+    AXMLX_RETURN_IF_ERROR(doc->RenameElement(doc->root(), parsed->name));
+    Node* placeholder = doc->FindMutable(doc->root());
     placeholder->attributes = parsed->attributes;
     std::vector<NodeId> children = parsed->children;
     for (NodeId c : children) {

@@ -278,5 +278,55 @@ TEST(EvalReference, AgreesWithNaiveWalkOnPlainTrees) {
   EXPECT_EQ(result->AllSelected(), expected);
 }
 
+TEST(QueryChildrenGuard, SkipsDanglingChildIds) {
+  // Regression: a children vector can transiently hold an id whose node is
+  // gone (e.g. mid-compensation); CollectQueryChildren used to dereference
+  // the null Find() result.
+  Document doc("root");
+  NodeId a = xml::AddElement(&doc, doc.root(), "a");
+  xml::AddElement(&doc, doc.root(), "b");
+  doc.FindMutable(doc.root())->children.push_back(999999);  // dangling id
+  std::vector<NodeId> kids = QueryChildren(doc, doc.root());
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(kids[0], a);
+  // Dangling entry is skipped, not crashed on.
+}
+
+TEST(CompareValues, TrimsWhitespaceBeforeNumericComparison) {
+  // Regression: " 7" parsed via strtod succeeded but the old end-pointer
+  // check saw the leading space's shifted end and fell back to string
+  // comparison, so "where x = 7" missed nodes with padded text.
+  EXPECT_TRUE(CompareScalarValues(" 7", "7", CompareOp::kEq));
+  EXPECT_TRUE(CompareScalarValues("7", " 7 ", CompareOp::kEq));
+  EXPECT_TRUE(CompareScalarValues("\t10\n", "9", CompareOp::kGt));
+  EXPECT_TRUE(CompareScalarValues(" 7.5 ", "8", CompareOp::kLt));
+  EXPECT_TRUE(CompareScalarValues("+7", "7", CompareOp::kEq));
+  // Non-numeric text still compares as an exact string.
+  EXPECT_TRUE(CompareScalarValues("abc", "abc", CompareOp::kEq));
+  EXPECT_FALSE(CompareScalarValues(" abc", "abc", CompareOp::kEq));
+  EXPECT_FALSE(CompareScalarValues("7x", "7", CompareOp::kEq));
+}
+
+TEST(QueryIndex, DescendantStepUsesTagIndex) {
+  Document doc("lib");
+  for (int i = 0; i < 40; ++i) {
+    NodeId shelf = xml::AddElement(&doc, doc.root(), "shelf");
+    xml::AddTextElement(&doc, shelf, "book", std::to_string(i));
+    // Enough non-matching bulk that "book" stays under the 1/8 walk-fallback
+    // threshold and the step rides the index.
+    for (int j = 0; j < 8; ++j) {
+      xml::AddTextElement(&doc, shelf, "filler", "y");
+    }
+  }
+  auto q = ParseQuery("Select b from b in lib//book");
+  ASSERT_TRUE(q.ok());
+  EvalContext ctx;
+  auto result = EvaluateQuery(doc, *q, &ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->bindings.size(), 40u);
+  EXPECT_GT(ctx.stats.index_hits, 0);
+  EXPECT_EQ(ctx.stats.index_candidates, 40);
+}
+
 }  // namespace
 }  // namespace axmlx::query

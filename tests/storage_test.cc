@@ -232,5 +232,105 @@ TEST_F(StorageTest, MultipleInterleavedTransactions) {
   EXPECT_EQ(state.find("<t2/>"), std::string::npos);   // loser undone
 }
 
+TEST_F(StorageTest, GroupCommitBatchesRecordsUntilResolve) {
+  DurableStore store(dir_, testing::AtpInvoker(), FlushPolicy::OnResolve());
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.CreateDocument(testing::kAtpListXml).ok());
+  const int64_t flushes_before =
+      store.metrics().Snapshot().counters.at("wal.flushes");
+  ASSERT_TRUE(store.Begin("T1").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store
+                    .Execute("T1", "ATPList",
+                             ops::MakeInsert("Select d from d in ATPList",
+                                             "<x/>"))
+                    .ok());
+  }
+  // Under OnResolve, the five OP records sit in the batch: no new flushes.
+  EXPECT_EQ(store.metrics().Snapshot().counters.at("wal.flushes"),
+            flushes_before);
+  ASSERT_TRUE(store.Commit("T1").ok());
+  // RESOLVED force-flushes exactly once for the whole transaction.
+  EXPECT_EQ(store.metrics().Snapshot().counters.at("wal.flushes"),
+            flushes_before + 1);
+  EXPECT_GE(store.metrics().Snapshot().counters.at("wal.records_batched"), 7);
+}
+
+TEST_F(StorageTest, EveryNPolicyFlushesInBatches) {
+  DurableStore store(dir_, testing::AtpInvoker(), FlushPolicy::EveryN(3));
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.CreateDocument(testing::kAtpListXml).ok());
+  ASSERT_TRUE(store.FlushWal().ok());  // drain the NEWDOC record
+  const int64_t before =
+      store.metrics().Snapshot().counters.at("wal.flushes");
+  ASSERT_TRUE(store.Begin("T1").ok());
+  ASSERT_TRUE(store
+                  .Execute("T1", "ATPList",
+                           ops::MakeInsert("Select d from d in ATPList",
+                                           "<x/>"))
+                  .ok());
+  // BEGIN + one OP = 2 pending records, below the threshold of 3.
+  EXPECT_EQ(store.metrics().Snapshot().counters.at("wal.flushes"), before);
+  ASSERT_TRUE(store
+                  .Execute("T1", "ATPList",
+                           ops::MakeInsert("Select d from d in ATPList",
+                                           "<y/>"))
+                  .ok());
+  // Third record crosses the threshold.
+  EXPECT_EQ(store.metrics().Snapshot().counters.at("wal.flushes"), before + 1);
+  ASSERT_TRUE(store.Commit("T1").ok());
+}
+
+TEST_F(StorageTest, ExplicitFlushWalDrainsTheBatch) {
+  DurableStore store(dir_, testing::AtpInvoker(), FlushPolicy::OnResolve());
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.CreateDocument(testing::kAtpListXml).ok());
+  ASSERT_TRUE(store.Begin("T1").ok());
+  const int64_t before =
+      store.metrics().Snapshot().counters.at("wal.flushes");
+  ASSERT_TRUE(store.FlushWal().ok());
+  EXPECT_EQ(store.metrics().Snapshot().counters.at("wal.flushes"), before + 1);
+  ASSERT_TRUE(store.Abort("T1").ok());
+}
+
+TEST_F(StorageTest, PublishesHotPathCountersInMetrics) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->CreateDocument(testing::kAtpListXml).ok());
+  ASSERT_TRUE(store->Begin("T1").ok());
+  ASSERT_TRUE(store
+                  ->Execute("T1", "ATPList",
+                            ops::MakeInsert(
+                                "Select p from p in ATPList//player "
+                                "where p/name/lastname = Nadal",
+                                "<flag/>"))
+                  .ok());
+  ASSERT_TRUE(store->Commit("T1").ok());
+  auto counters = store->metrics().Snapshot().counters;
+  // The insert allocated nodes and its descendant step rode the tag index.
+  EXPECT_GT(counters.at("doc.nodes_allocated"), 0);
+  EXPECT_GT(counters.at("query.index_hits") + counters.at("query.walk_fallbacks"),
+            0);
+  EXPECT_GT(counters.at("wal.flushes"), 0);
+}
+
+TEST_F(StorageTest, BatchedCommitSurvivesRestart) {
+  {
+    DurableStore store(dir_, testing::AtpInvoker(), FlushPolicy::OnResolve());
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.CreateDocument(testing::kAtpListXml).ok());
+    ASSERT_TRUE(store.Begin("T1").ok());
+    ASSERT_TRUE(store
+                    .Execute("T1", "ATPList",
+                             ops::MakeInsert("Select d from d in ATPList",
+                                             "<kept/>"))
+                    .ok());
+    ASSERT_TRUE(store.Commit("T1").ok());
+  }
+  DurableStore reopened(dir_, testing::AtpInvoker(), FlushPolicy::OnResolve());
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_NE(reopened.Get("ATPList")->Serialize().find("<kept/>"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace axmlx::storage

@@ -362,5 +362,73 @@ TEST_P(RandomTreeTest, RandomDetachReattachRoundTrips) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
+TEST(SlabStorage, StaleIdsResolveToNullAfterSlotReuse) {
+  Document doc("r");
+  NodeId a = AddElement(&doc, doc.root(), "a");
+  NodeId a_child = AddTextElement(&doc, a, "x", "1");
+  ASSERT_TRUE(doc.RemoveSubtree(a).ok());
+  EXPECT_EQ(doc.Find(a), nullptr);
+  EXPECT_EQ(doc.Find(a_child), nullptr);
+  // New nodes recycle the freed slots but get fresh ids; the stale ids must
+  // keep resolving to nullptr (generation check), never to the new tenants.
+  NodeId b = AddElement(&doc, doc.root(), "b");
+  NodeId c = AddElement(&doc, doc.root(), "c");
+  EXPECT_GT(b, a_child);  // ids are never reused (§3.1 compensation contract)
+  EXPECT_GT(c, a_child);
+  EXPECT_EQ(doc.Find(a), nullptr);
+  EXPECT_EQ(doc.Find(a_child), nullptr);
+  EXPECT_NE(doc.Find(b), nullptr);
+  EXPECT_GE(doc.storage_stats().slots_reused, 2);
+}
+
+TEST(SlabStorage, PointersStayValidAcrossGrowth) {
+  Document doc("r");
+  NodeId first = AddElement(&doc, doc.root(), "first");
+  const Node* p = doc.Find(first);
+  // Allocate well past one slab page (512 slots); pages must not move.
+  for (int i = 0; i < 2000; ++i) AddTextElement(&doc, doc.root(), "n", "v");
+  EXPECT_EQ(doc.Find(first), p);
+  EXPECT_EQ(p->name, "first");
+  EXPECT_GE(doc.storage_stats().pages_allocated, 4);
+}
+
+TEST(SlabStorage, InternedNamesAndTagIndexSurviveRename) {
+  Document doc("r");
+  NodeId a = AddElement(&doc, doc.root(), "alpha");
+  AddElement(&doc, doc.root(), "alpha");
+  ASSERT_NE(doc.FindNameId("alpha"), kNoName);
+  std::vector<NodeId> found;
+  doc.CollectElementsNamed(doc.FindNameId("alpha"), &found);
+  EXPECT_EQ(found.size(), 2u);
+  ASSERT_TRUE(doc.RenameElement(a, "beta").ok());
+  found.clear();
+  doc.CollectElementsNamed(doc.FindNameId("alpha"), &found);
+  EXPECT_EQ(found.size(), 1u);  // stale entry swept on lookup
+  found.clear();
+  doc.CollectElementsNamed(doc.FindNameId("beta"), &found);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], a);
+  EXPECT_EQ(doc.Find(a)->name, "beta");
+}
+
+TEST(SlabStorage, ImportSubtreeReinternsForeignNames) {
+  // A subtree copied from another document carries spellings that are not
+  // in the target's string table yet; the copy must re-intern them so the
+  // tag index and NameId comparisons keep working.
+  auto src = Parse("<root><team><player>x</player></team></root>");
+  ASSERT_TRUE(src.ok());
+  NodeId team = (*src)->Find((*src)->root())->children[0];
+  auto frag = (*src)->ExtractFragment(team);
+  ASSERT_TRUE(frag.ok());
+  Document dst("Empty");
+  auto imported = dst.ImportSubtree(**frag, (*frag)->root());
+  ASSERT_TRUE(imported.ok());
+  ASSERT_TRUE(dst.AppendChild(dst.root(), *imported).ok());
+  ASSERT_NE(dst.FindNameId("player"), kNoName);
+  std::vector<NodeId> players;
+  dst.CollectElementsNamed(dst.FindNameId("player"), &players);
+  EXPECT_EQ(players.size(), 1u);
+}
+
 }  // namespace
 }  // namespace axmlx::xml

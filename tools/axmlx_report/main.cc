@@ -1,12 +1,17 @@
 // axmlx_report: renders span JSONL logs as per-transaction invocation trees
-// (with abort-propagation paths and rollups), and validates BENCH_*.json
-// documents against the axmlx-bench-v1 schema.
+// (with abort-propagation paths and rollups), validates BENCH_*.json
+// documents against the axmlx-bench-v1 schema, and diffs two bench reports.
 //
 // Usage:
 //   axmlx_report SPANS.jsonl...          render span trees + rollups
 //   axmlx_report --check BENCH.json...   validate bench reports (exit 1 on
 //                                        the first invalid file)
+//   axmlx_report --diff OLD.json NEW.json [--regress-pct N]
+//                                        print ops/sec and p50/p95 deltas;
+//                                        with --regress-pct, exit 1 when
+//                                        ops/sec dropped by more than N%
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -50,6 +55,33 @@ int CheckMode(const std::vector<std::string>& paths) {
   return bad == 0 ? 0 : 1;
 }
 
+int DiffMode(const std::vector<std::string>& paths, double regress_pct) {
+  if (paths.size() != 2) {
+    std::cerr << "axmlx_report --diff: expected exactly OLD.json NEW.json\n";
+    return 2;
+  }
+  std::string old_text;
+  std::string new_text;
+  if (!ReadFile(paths[0], &old_text)) {
+    std::cerr << paths[0] << ": cannot read\n";
+    return 2;
+  }
+  if (!ReadFile(paths[1], &new_text)) {
+    std::cerr << paths[1] << ": cannot read\n";
+    return 2;
+  }
+  std::string rendered;
+  bool regressed = false;
+  std::string problem = axmlx::report::DiffBenchJson(
+      old_text, new_text, regress_pct, &rendered, &regressed);
+  if (!problem.empty()) {
+    std::cerr << problem << "\n";
+    return 2;
+  }
+  std::cout << rendered;
+  return regressed ? 1 : 0;
+}
+
 int RenderMode(const std::vector<std::string>& paths) {
   if (paths.empty()) {
     std::cerr << "usage: axmlx_report [--check] FILE...\n";
@@ -77,14 +109,25 @@ int RenderMode(const std::vector<std::string>& paths) {
 
 int main(int argc, char** argv) {
   bool check = false;
+  bool diff = false;
+  double regress_pct = -1;  // < 0 = report-only, no gate
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--check") {
       check = true;
+    } else if (arg == "--diff") {
+      diff = true;
+    } else if (arg == "--regress-pct") {
+      if (i + 1 >= argc) {
+        std::cerr << "--regress-pct requires a number\n";
+        return 2;
+      }
+      regress_pct = std::atof(argv[++i]);
     } else {
       paths.push_back(arg);
     }
   }
+  if (diff) return DiffMode(paths, regress_pct);
   return check ? CheckMode(paths) : RenderMode(paths);
 }

@@ -1,6 +1,7 @@
 #include "axmlx_report/report.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <sstream>
 
@@ -252,6 +253,88 @@ std::string CheckBenchJson(const std::string& json_text) {
     std::string problem = CheckHistogram(name, hist);
     if (!problem.empty()) return problem;
   }
+  return std::string();
+}
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+/// "+12.3%" / "-4.0%" / "n/a" when the old value is zero.
+std::string FmtDeltaPct(double old_value, double new_value) {
+  if (old_value == 0) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                (new_value - old_value) / old_value * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string DiffBenchJson(const std::string& old_json,
+                          const std::string& new_json, double regress_pct,
+                          std::string* out, bool* regressed) {
+  *regressed = false;
+  std::string problem = CheckBenchJson(old_json);
+  if (!problem.empty()) return "old report: " + problem;
+  problem = CheckBenchJson(new_json);
+  if (!problem.empty()) return "new report: " + problem;
+  std::string parse_error;
+  auto old_doc = obs::ParseJson(old_json, &parse_error);
+  auto new_doc = obs::ParseJson(new_json, &parse_error);
+
+  std::ostringstream os;
+  const std::string old_name = GetString(*old_doc, "bench");
+  const std::string new_name = GetString(*new_doc, "bench");
+  os << "bench " << new_name;
+  if (old_name != new_name) {
+    os << " (WARNING: comparing against bench " << old_name << ")";
+  }
+  os << "\n";
+
+  const double old_ops = old_doc->Find("ops_per_sec")->number;
+  const double new_ops = new_doc->Find("ops_per_sec")->number;
+  os << "  ops/sec: " << FmtDouble(old_ops) << " -> " << FmtDouble(new_ops)
+     << " (" << FmtDeltaPct(old_ops, new_ops) << ")\n";
+
+  const obs::JsonValue* old_hists = old_doc->Find("histograms");
+  const obs::JsonValue* new_hists = new_doc->Find("histograms");
+  for (const auto& [name, new_hist] : new_hists->members) {
+    const obs::JsonValue* old_hist = old_hists->Find(name);
+    if (old_hist == nullptr) {
+      os << "  " << name << ": (new histogram, no old data)\n";
+      continue;
+    }
+    const int64_t old_p50 = GetInt(*old_hist, "p50", 0);
+    const int64_t new_p50 = GetInt(new_hist, "p50", 0);
+    const int64_t old_p95 = GetInt(*old_hist, "p95", 0);
+    const int64_t new_p95 = GetInt(new_hist, "p95", 0);
+    os << "  " << name << ": p50 " << old_p50 << " -> " << new_p50 << " ("
+       << FmtDeltaPct(static_cast<double>(old_p50),
+                      static_cast<double>(new_p50))
+       << "), p95 " << old_p95 << " -> " << new_p95 << " ("
+       << FmtDeltaPct(static_cast<double>(old_p95),
+                      static_cast<double>(new_p95))
+       << ")\n";
+  }
+  for (const auto& [name, old_hist] : old_hists->members) {
+    (void)old_hist;
+    if (new_hists->Find(name) == nullptr) {
+      os << "  " << name << ": (histogram dropped in new report)\n";
+    }
+  }
+
+  if (regress_pct >= 0 && old_ops > 0 &&
+      new_ops < old_ops * (1.0 - regress_pct / 100.0)) {
+    *regressed = true;
+    os << "  REGRESSION: ops/sec dropped more than " << FmtDouble(regress_pct)
+       << "% vs the old report\n";
+  }
+  *out = os.str();
   return std::string();
 }
 

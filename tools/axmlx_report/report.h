@@ -37,6 +37,16 @@ std::string RenderSpanReport(const std::vector<SpanRow>& spans);
 /// first problem.
 std::string CheckBenchJson(const std::string& json_text);
 
+/// Compares two axmlx-bench-v1 documents (old vs new run of one bench) and
+/// renders the ops/sec delta plus per-histogram p50/p95 latency deltas into
+/// `*out`. With `regress_pct >= 0`, sets `*regressed` when ops/sec dropped
+/// by more than that percentage (the exit-code gate for CI); latency deltas
+/// are informational. Returns an empty string on success, else a
+/// description of the first problem (both inputs are schema-checked).
+std::string DiffBenchJson(const std::string& old_json,
+                          const std::string& new_json, double regress_pct,
+                          std::string* out, bool* regressed);
+
 }  // namespace axmlx::report
 
 #endif  // AXMLX_TOOLS_AXMLX_REPORT_REPORT_H_

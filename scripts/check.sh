@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI gate for axmlx: warnings-as-errors build, full test suite, project
-# linter, a perf smoke stage, then the fault-injection suites under
-# ASan/UBSan. Exits non-zero on the first failure. See DESIGN.md §6b.
+# linter, a perf smoke stage (which includes the bench_obs_overhead
+# flight-recorder budget gate), an end-to-end forensics render, then the
+# fault-injection suites under ASan/UBSan. Exits non-zero on the first
+# failure. See DESIGN.md §6b.
 #
 # The perf smoke stage runs the hot-path benches with --smoke and diffs
 # their reports against the committed smoke baselines in
@@ -66,11 +68,22 @@ REPO_ABS="$(pwd)"
   done
 )
 
+step "forensics (sabotaged drill -> black box -> axmlx_report --forensics)"
+FORENSICS_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR" "$FORENSICS_DIR"' EXIT
+AXMLX_FORENSICS_OUT="$FORENSICS_DIR" "$BUILD_ABS/tests/forensics_test"
+dumps=("$FORENSICS_DIR"/*/forensics/forensic-*.json)
+if [ ! -e "${dumps[0]}" ]; then
+  echo "FAIL: forensics_test left no forensic-*.json under $FORENSICS_DIR" >&2
+  exit 1
+fi
+"$BUILD_ABS/tools/axmlx_report" --forensics "${dumps[@]}"
+
 step "sanitizer build (-DAXMLX_SANITIZE=ON) + fault-labeled suites"
 SAN_DIR="$BUILD_DIR-asan"
 cmake -B "$SAN_DIR" -S . -DAXMLX_WERROR=ON -DAXMLX_SANITIZE=ON
 cmake --build "$SAN_DIR" -j "$JOBS" \
-  --target fault_injection_test fault_drill_test
+  --target fault_injection_test fault_drill_test forensics_test
 ctest --test-dir "$SAN_DIR" -L fault --output-on-failure -j "$JOBS"
 
 step "OK: all gates passed"

@@ -1,0 +1,136 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "obs/json.h"
+#include "obs/span.h"
+
+namespace axmlx::obs {
+
+FlightRecorder::FlightRecorder(size_t capacity, uint64_t* shared_seq,
+                               const int64_t* clock)
+    : ring_(capacity == 0 ? size_t{1} : capacity),
+      shared_seq_(shared_seq),
+      clock_(clock) {}
+
+void FlightRecorder::Record(const char* kind, std::string_view what,
+                            uint64_t span, int64_t arg) {
+  FlightEvent& e = ring_[total_ % ring_.size()];
+  e.time = time();
+  e.seq = shared_seq_ != nullptr ? (*shared_seq_)++ : local_seq_++;
+  e.span = span;
+  e.arg = arg;
+  e.kind = kind;
+  size_t n = std::min(what.size(), sizeof(e.what) - 1);
+  std::memcpy(e.what, what.data(), n);
+  e.what[n] = '\0';
+  ++total_;
+}
+
+size_t FlightRecorder::size() const {
+  return total_ < ring_.size() ? static_cast<size_t>(total_) : ring_.size();
+}
+
+const FlightEvent& FlightRecorder::At(size_t i) const {
+  size_t first = total_ <= ring_.size()
+                     ? size_t{0}
+                     : static_cast<size_t>(total_ % ring_.size());
+  return ring_[(first + i) % ring_.size()];
+}
+
+void FlightRecorder::Clear() { total_ = 0; }
+
+FlightRecorder* FlightRecorderSet::ForPeer(const std::string& peer) {
+  auto it = recorders_.find(peer);
+  if (it == recorders_.end()) {
+    it = recorders_
+             .emplace(std::piecewise_construct, std::forward_as_tuple(peer),
+                      std::forward_as_tuple(capacity_, &next_seq_, &now_))
+             .first;
+  }
+  return &it->second;
+}
+
+std::string BuildForensicDump(const FlightRecorderSet& recorders,
+                              const ForensicDumpOptions& options,
+                              const SpanTracker* spans) {
+  // Involved peers: the focal transaction's span participants when known
+  // (the paper's abort cascade names exactly these), else every recorder.
+  std::set<std::string> involved;
+  if (!options.txn.empty() && spans != nullptr) {
+    for (const SpanRecord& s : spans->spans()) {
+      if (s.txn == options.txn) involved.insert(s.peer);
+    }
+  }
+  if (involved.empty()) {
+    for (const auto& [peer, rec] : recorders.recorders()) involved.insert(peer);
+  }
+  if (!options.peer.empty()) involved.insert(options.peer);
+
+  // Merge the last-N events of each involved peer into one timeline. The
+  // shared sequence counter makes (time, seq) a deterministic total order.
+  struct Entry {
+    const FlightEvent* event;
+    const std::string* peer;
+  };
+  std::vector<Entry> merged;
+  for (const std::string& peer : involved) {
+    auto it = recorders.recorders().find(peer);
+    if (it == recorders.recorders().end()) continue;
+    const FlightRecorder& rec = it->second;
+    size_t count = rec.size();
+    size_t first = count > options.last_n ? count - options.last_n : 0;
+    for (size_t i = first; i < count; ++i) {
+      merged.push_back(Entry{&rec.At(i), &it->first});
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.event->time, a.event->seq) <
+           std::tie(b.event->time, b.event->seq);
+  });
+
+  std::ostringstream os;
+  os << "{\"schema\":\"axmlx-forensics-v1\"";
+  os << ",\"reason\":\"" << JsonEscape(options.reason) << "\"";
+  os << ",\"peer\":\"" << JsonEscape(options.peer) << "\"";
+  os << ",\"txn\":\"" << JsonEscape(options.txn) << "\"";
+  os << ",\"time\":" << options.time;
+  os << ",\"last_n\":" << options.last_n;
+  os << ",\n\"peers\":[";
+  bool first_peer = true;
+  for (const std::string& peer : involved) {
+    if (!first_peer) os << ",";
+    first_peer = false;
+    os << "\"" << JsonEscape(peer) << "\"";
+  }
+  os << "],\n\"events\":[";
+  for (size_t i = 0; i < merged.size(); ++i) {
+    const FlightEvent& e = *merged[i].event;
+    if (i != 0) os << ",";
+    os << "\n{\"time\":" << e.time << ",\"seq\":" << e.seq << ",\"peer\":\""
+       << JsonEscape(*merged[i].peer) << "\",\"kind\":\"" << JsonEscape(e.kind)
+       << "\",\"span\":" << e.span << ",\"what\":\"" << JsonEscape(e.what)
+       << "\",\"arg\":" << e.arg << "}";
+  }
+  os << "],\n\"spans\":[";
+  bool first_span = true;
+  if (spans != nullptr) {
+    // Span context: the focal transaction's full tree when known, else
+    // whatever was still open (in flight at the failure point).
+    for (const SpanRecord& s : spans->spans()) {
+      bool keep = !options.txn.empty() ? s.txn == options.txn : s.end < 0;
+      if (!keep) continue;
+      if (!first_span) os << ",";
+      first_span = false;
+      os << "\n" << SpanToJson(s);
+    }
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+}  // namespace axmlx::obs

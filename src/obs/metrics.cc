@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
@@ -128,6 +130,12 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  } else if (!bounds.empty() && bounds != it->second.bounds()) {
+    std::fprintf(stderr,
+                 "MetricsRegistry::GetHistogram(\"%s\"): bucket bounds "
+                 "mismatch with an earlier registration\n",
+                 name.c_str());
+    std::abort();
   }
   return &it->second;
 }

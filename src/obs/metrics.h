@@ -111,8 +111,10 @@ class MetricsRegistry {
  public:
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
-  /// `bounds` applies on first creation; later calls for the same name
-  /// return the existing histogram unchanged.
+  /// `bounds` applies on first creation; later calls for the same name must
+  /// pass the same bounds (or an empty vector meaning "whatever exists").
+  /// A mismatch aborts the process: two call sites disagreeing on bucket
+  /// layout would silently merge incomparable distributions.
   Histogram* GetHistogram(const std::string& name,
                           std::vector<int64_t> bounds);
 

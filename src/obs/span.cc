@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 
 namespace axmlx::obs {
@@ -20,7 +21,13 @@ uint64_t SpanTracker::OpenSpan(const std::string& txn, const std::string& peer,
   rec.start = start;
   index_[rec.span_id] = spans_.size();
   spans_.push_back(std::move(rec));
-  return spans_.back().span_id;
+  const SpanRecord& stored = spans_.back();
+  if (recorders_ != nullptr) {
+    recorders_->ForPeer(stored.peer)->Record(
+        kEvFrSpanOpen, stored.kind, stored.span_id,
+        static_cast<int64_t>(stored.parent_span_id));
+  }
+  return stored.span_id;
 }
 
 void SpanTracker::CloseSpan(uint64_t span_id, int64_t end,
@@ -33,6 +40,10 @@ void SpanTracker::CloseSpan(uint64_t span_id, int64_t end,
   rec.end = end;
   rec.outcome = outcome;
   rec.fault = fault;
+  if (recorders_ != nullptr) {
+    recorders_->ForPeer(rec.peer)->Record(kEvFrSpanClose, rec.outcome,
+                                          rec.span_id);
+  }
 }
 
 const SpanRecord* SpanTracker::Find(uint64_t span_id) const {
@@ -41,21 +52,28 @@ const SpanRecord* SpanTracker::Find(uint64_t span_id) const {
   return &spans_[it->second];
 }
 
-std::string SpanTracker::ToJsonl() const {
+std::string SpanToJson(const SpanRecord& s) {
   std::ostringstream os;
-  for (const SpanRecord& s : spans_) {
-    os << "{\"txn\":\"" << JsonEscape(s.txn) << "\",\"span\":" << s.span_id
-       << ",\"parent\":" << s.parent_span_id << ",\"peer\":\""
-       << JsonEscape(s.peer) << "\",\"kind\":\"" << JsonEscape(s.kind)
-       << "\",\"detail\":\"" << JsonEscape(s.detail)
-       << "\",\"start\":" << s.start << ",\"end\":" << s.end
-       << ",\"outcome\":\"" << JsonEscape(s.outcome) << "\"";
-    if (!s.fault.empty()) {
-      os << ",\"fault\":\"" << JsonEscape(s.fault) << "\"";
-    }
-    os << "}\n";
+  os << "{\"txn\":\"" << JsonEscape(s.txn) << "\",\"span\":" << s.span_id
+     << ",\"parent\":" << s.parent_span_id << ",\"peer\":\""
+     << JsonEscape(s.peer) << "\",\"kind\":\"" << JsonEscape(s.kind)
+     << "\",\"detail\":\"" << JsonEscape(s.detail) << "\",\"start\":" << s.start
+     << ",\"end\":" << s.end << ",\"outcome\":\""
+     << (s.end < 0 ? "OPEN" : JsonEscape(s.outcome)) << "\"";
+  if (!s.fault.empty()) {
+    os << ",\"fault\":\"" << JsonEscape(s.fault) << "\"";
   }
+  os << "}";
   return os.str();
+}
+
+std::string SpanTracker::ToJsonl() const {
+  std::string out;
+  for (const SpanRecord& s : spans_) {
+    out += SpanToJson(s);
+    out += '\n';
+  }
+  return out;
 }
 
 void SpanTracker::Clear() {

@@ -8,6 +8,8 @@
 
 namespace axmlx::obs {
 
+class FlightRecorderSet;
+
 /// Declared span kinds. Every `kind` passed to SpanTracker::OpenSpan must
 /// come from this table (lint rule R3, same contract as the kEv* trace
 /// kinds): the report tooling groups and renders by these strings, so an
@@ -67,7 +69,15 @@ class SpanTracker {
   /// One JSON object per line:
   /// {"txn":...,"span":N,"parent":N,"peer":...,"kind":...,"detail":...,
   ///  "start":T,"end":T,"outcome":...[,"fault":...]}
+  /// Still-open spans render with "end":-1 and the explicit outcome "OPEN"
+  /// so dumps taken from crashed peers are unambiguous.
   std::string ToJsonl() const;
+
+  /// Mirrors every OpenSpan/CloseSpan into the opening peer's flight
+  /// recorder (SPAN_OPEN / SPAN_CLOSE events). Null detaches.
+  void AttachRecorders(FlightRecorderSet* recorders) {
+    recorders_ = recorders;
+  }
 
   void Clear();
 
@@ -75,7 +85,13 @@ class SpanTracker {
   std::vector<SpanRecord> spans_;
   std::map<uint64_t, size_t> index_;  ///< span_id -> index in spans_.
   uint64_t next_id_ = 1;
+  FlightRecorderSet* recorders_ = nullptr;
 };
+
+/// Renders one span as the JSON object described at ToJsonl (no trailing
+/// newline). Shared by ToJsonl and the forensic dump builder so both
+/// artifacts stay parseable by the same report code.
+std::string SpanToJson(const SpanRecord& s);
 
 }  // namespace axmlx::obs
 

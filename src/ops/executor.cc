@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "query/parser.h"
 #include "xml/parser.h"
 
@@ -87,6 +88,20 @@ Status Executor::InsertData(const xml::Document& fragment, xml::NodeId parent,
 }
 
 Result<OpEffect> Executor::Execute(const Operation& op) {
+  Result<OpEffect> result = ExecuteInternal(op);
+  if (recorder_ != nullptr) {
+    // `what` is the lowercase action name; `arg` carries the paper's cost
+    // measure (nodes affected), or -1 for a failed operation.
+    recorder_->Record(
+        obs::kEvFrOpExec, result.ok() ? ActionTypeName(op.type) : "failed",
+        /*span=*/0,
+        result.ok() ? static_cast<int64_t>(result.value().NodesAffected())
+                    : int64_t{-1});
+  }
+  return result;
+}
+
+Result<OpEffect> Executor::ExecuteInternal(const Operation& op) {
   OpEffect effect;
   effect.op = op;
   auto fail = [this, &effect](Status status) -> Status {

@@ -11,6 +11,10 @@
 #include "xml/document.h"
 #include "xml/edit.h"
 
+namespace axmlx::obs {
+class FlightRecorder;
+}  // namespace axmlx::obs
+
 namespace axmlx::ops {
 
 /// Everything logged about one executed operation. This is the run-time
@@ -63,6 +67,10 @@ class Executor {
   /// DurableStore reuse evaluation buffers across operations.
   void SetEvalContext(query::EvalContext* ctx) { eval_ctx_ = ctx; }
 
+  /// Stamps an OP_EXEC flight-recorder event per executed operation (not
+  /// owned; null — the default — records nothing).
+  void SetRecorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
   /// Executes `op`, returning the logged effect. On error the document is
   /// left untouched (partial work is rolled back internally).
   Result<OpEffect> Execute(const Operation& op);
@@ -72,6 +80,9 @@ class Executor {
  private:
   /// Evaluates through eval_ctx_ when one is set, else standalone.
   Result<query::QueryResult> Evaluate(const query::Query& q);
+
+  /// Execute() minus the flight-recorder stamp.
+  Result<OpEffect> ExecuteInternal(const Operation& op);
 
   Result<OpEffect> ExecuteQuery(const Operation& op);
   Result<OpEffect> ExecuteDelete(const Operation& op);
@@ -92,6 +103,7 @@ class Executor {
   axml::ServiceInvoker invoker_;
   std::vector<std::pair<std::string, std::string>> externals_;
   query::EvalContext* eval_ctx_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace axmlx::ops

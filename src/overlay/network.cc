@@ -1,11 +1,32 @@
 #include "overlay/network.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "overlay/fault_injection.h"
 
 namespace axmlx::overlay {
+
+namespace {
+
+/// Stack-buffer "TYPE->PEER" / "TYPE<-PEER" composition so flight-recorder
+/// emission stays allocation-free on the message path.
+struct WhatBuf {
+  char buf[40];
+  const char* Compose(const std::string& type, const char* arrow,
+                      const std::string& peer) {
+    std::snprintf(buf, sizeof(buf), "%s%s%s", type.c_str(), arrow,
+                  peer.c_str());
+    return buf;
+  }
+  const char* Prefixed(const char* prefix, const std::string& type) {
+    std::snprintf(buf, sizeof(buf), "%s%s", prefix, type.c_str());
+    return buf;
+  }
+};
+
+}  // namespace
 
 void PeerNode::OnTick(Tick /*now*/, Network* /*net*/) {}
 
@@ -90,6 +111,9 @@ Status Network::Crash(const PeerId& id) {
   CancelTicks(id);
   it->second.reset();  // destroy all in-memory state
   TraceEventf(id, kEvCrash, "peer crashed; in-memory state lost");
+  // The crashed peer's ring outlives the peer object — that is the point of
+  // a black box.
+  RecordFr(id, obs::kEvFrCrash, "in-memory state lost");
   return Status::Ok();
 }
 
@@ -103,6 +127,7 @@ Status Network::Restart(std::unique_ptr<PeerNode> peer) {
   it->second = std::move(peer);
   connected_[id] = true;
   TraceEventf(id, kEvRestart, "peer rebuilt from durable state and rejoined");
+  RecordFr(id, obs::kEvFrRestart, "rebuilt from durable state");
   return Status::Ok();
 }
 
@@ -179,6 +204,11 @@ Result<int64_t> Network::Send(Message message) {
   message.id = next_message_id_++;
   ++counters_.messages_sent;
   TraceEventf(message.from, kEvSend, message.type + " -> " + message.to);
+  if (recorders_ != nullptr) {
+    WhatBuf w;
+    RecordFr(message.from, obs::kEvFrMsgSend,
+             w.Compose(message.type, "->", message.to), message.id);
+  }
   int64_t id = message.id;
   if (fault_plan_ == nullptr) {
     EnqueueDelivery(std::move(message), /*extra_delay=*/0);
@@ -194,6 +224,11 @@ Result<int64_t> Network::Send(Message message) {
     ++counters_.faults_injected;
     TraceEventf(message.from, kEvFaultDrop,
                 message.type + " to " + message.to + " lost in transit");
+    if (recorders_ != nullptr) {
+      WhatBuf w;
+      RecordFr(message.from, obs::kEvFrFault,
+               w.Prefixed("drop:", message.type), message.id);
+    }
     return id;
   }
   bool first = true;
@@ -204,12 +239,22 @@ Result<int64_t> Network::Send(Message message) {
       TraceEventf(copy.from, kEvFaultMisroute,
                   copy.type + " to " + copy.to + " rerouted to " +
                       d.redirect_to);
+      if (recorders_ != nullptr) {
+        WhatBuf w;
+        RecordFr(copy.from, obs::kEvFrFault,
+                 w.Prefixed("misroute:", copy.type), copy.id);
+      }
       copy.to = d.redirect_to;
     }
     if (!first) {
       ++counters_.faults_injected;
       TraceEventf(copy.from, kEvFaultDup,
                   copy.type + " to " + copy.to + " duplicated");
+      if (recorders_ != nullptr) {
+        WhatBuf w;
+        RecordFr(copy.from, obs::kEvFrFault, w.Prefixed("dup:", copy.type),
+                 copy.id);
+      }
     }
     if (d.extra_delay > 0) ++counters_.faults_injected;
     EnqueueDelivery(std::move(copy), d.extra_delay);
@@ -248,6 +293,9 @@ void Network::RunUntil(Tick until) {
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.time;
+    // Keep the shared recorder clock in step so events stamped by peers,
+    // storage, and executors during dispatch carry the right sim time.
+    if (recorders_ != nullptr) recorders_->SetNow(now_);
     if (ev.fn) {
       ev.fn(this);
       continue;
@@ -256,6 +304,11 @@ void Network::RunUntil(Tick until) {
     if (!IsConnected(msg.to) || FindPeer(msg.to) == nullptr) {
       ++counters_.messages_dropped;
       TraceEventf(msg.to, kEvDrop, msg.type + " from " + msg.from);
+      if (recorders_ != nullptr) {
+        WhatBuf w;
+        RecordFr(msg.to, obs::kEvFrMsgDrop, w.Compose(msg.type, "<-", msg.from),
+                 msg.id);
+      }
       continue;
     }
     if (fault_plan_ != nullptr && !fault_plan_->SameSide(msg.from, msg.to)) {
@@ -264,11 +317,21 @@ void Network::RunUntil(Tick until) {
       ++fault_plan_->mutable_stats()->partition_blocked;
       TraceEventf(msg.to, kEvDrop,
                   msg.type + " from " + msg.from + " (partitioned)");
+      if (recorders_ != nullptr) {
+        WhatBuf w;
+        RecordFr(msg.to, obs::kEvFrMsgDrop, w.Compose(msg.type, "<-", msg.from),
+                 msg.id);
+      }
       continue;
     }
     PeerNode* peer = FindPeer(msg.to);
     ++counters_.messages_delivered;
     TraceEventf(msg.to, kEvRecv, msg.type + " from " + msg.from);
+    if (recorders_ != nullptr) {
+      WhatBuf w;
+      RecordFr(msg.to, obs::kEvFrMsgRecv, w.Compose(msg.type, "<-", msg.from),
+               msg.id);
+    }
     peer->OnMessage(msg, this);
     // Periodic work interleaves deterministically after each delivery, but
     // only for peers that asked for ticks — delivery cost does not scale
@@ -282,6 +345,7 @@ void Network::RunUntil(Tick until) {
     }
   }
   if (now_ < until) now_ = until;
+  if (recorders_ != nullptr) recorders_->SetNow(now_);
 }
 
 Tick Network::RunUntilQuiescent(Tick max_time) {
@@ -294,6 +358,13 @@ Tick Network::RunUntilQuiescent(Tick max_time) {
 void Network::TraceEventf(const std::string& actor, const std::string& kind,
                           const std::string& detail) {
   if (trace_ != nullptr) trace_->Add(now_, actor, kind, detail);
+}
+
+void Network::RecordFr(const PeerId& peer, const char* kind,
+                       std::string_view what, int64_t arg) {
+  if (recorders_ == nullptr) return;
+  recorders_->SetNow(now_);
+  recorders_->ForPeer(peer)->Record(kind, what, /*span=*/0, arg);
 }
 
 }  // namespace axmlx::overlay

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace axmlx::overlay {
@@ -127,6 +128,18 @@ class Network {
   void SetFaultPlan(FaultPlan* plan) { fault_plan_ = plan; }
   FaultPlan* fault_plan() { return fault_plan_; }
 
+  // --- Flight recording ----------------------------------------------------
+
+  /// Attaches the per-peer flight-recorder set (not owned; null detaches).
+  /// The network stamps message send/recv/drop, fault-injection, and
+  /// crash/restart events into each peer's ring, and keeps the set's shared
+  /// clock in step with simulation time so every component recording into
+  /// the same set agrees on event timestamps.
+  void SetRecorders(obs::FlightRecorderSet* recorders) {
+    recorders_ = recorders;
+  }
+  obs::FlightRecorderSet* recorders() { return recorders_; }
+
   // --- Messaging -----------------------------------------------------------
 
   /// Enqueues `message` for delivery after the link latency. Returns
@@ -201,6 +214,11 @@ class Network {
   void TraceEventf(const std::string& actor, const std::string& kind,
                    const std::string& detail);
 
+  /// Stamps one flight-recorder event for `peer` at the current simulation
+  /// time (no-op without an attached set).
+  void RecordFr(const PeerId& peer, const char* kind, std::string_view what,
+                int64_t arg = 0);
+
   /// Cached registry handles for the hot send/deliver paths; the registry
   /// remains the source of truth (Stats is assembled from it on demand).
   struct NetCounters {
@@ -232,6 +250,7 @@ class Network {
   NetCounters counters_{&metrics_};
   Trace* trace_;
   FaultPlan* fault_plan_ = nullptr;
+  obs::FlightRecorderSet* recorders_ = nullptr;
 };
 
 }  // namespace axmlx::overlay

@@ -1,5 +1,9 @@
 #include "repo/axml_repository.h"
 
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <fstream>
 #include <utility>
 
 #include "recovery/chained_peer.h"
@@ -48,6 +52,8 @@ comp::CompensationPlan LocalTransaction::PendingCompensation() const {
 
 AxmlRepository::AxmlRepository(uint64_t seed) {
   network_ = std::make_unique<overlay::Network>(seed, &trace_);
+  network_->SetRecorders(&recorders_);
+  spans_.AttachRecorders(&recorders_);
 }
 
 std::unique_ptr<txn::AxmlPeer> AxmlRepository::MakePeer(
@@ -76,6 +82,7 @@ Result<txn::AxmlPeer*> AxmlRepository::AddPeer(const PeerConfig& config) {
   std::unique_ptr<txn::AxmlPeer> peer = MakePeer(config);
   txn::AxmlPeer* raw = peer.get();
   raw->AttachSpans(&spans_);
+  raw->AttachRecorder(recorders_.ForPeer(config.id));
   directory_.Register(config.id, &raw->repository(), config.super_peer);
   network_->AddPeer(std::move(peer));
   peers_.push_back(raw);
@@ -94,6 +101,11 @@ Status AxmlRepository::CrashPeer(const overlay::PeerId& id) {
       break;
     }
   }
+  obs::ForensicDumpOptions dump;
+  dump.reason = "crash";
+  dump.peer = id;
+  dump.time = network_->now();
+  DumpForensics(dump);
   return Status::Ok();
 }
 
@@ -104,6 +116,7 @@ Result<txn::AxmlPeer*> AxmlRepository::RestartPeer(const PeerConfig& config) {
   std::unique_ptr<txn::AxmlPeer> peer = MakePeer(config);
   txn::AxmlPeer* raw = peer.get();
   raw->AttachSpans(&spans_);
+  raw->AttachRecorder(recorders_.ForPeer(config.id));
   directory_.Register(config.id, &raw->repository(), config.super_peer);
   AXMLX_RETURN_IF_ERROR(network_->Restart(std::move(peer)));
   peers_.push_back(raw);
@@ -199,7 +212,32 @@ Result<TxnOutcome> AxmlRepository::RunTransaction(
     outcome.status = Timeout("transaction " + txn +
                              " reached quiescence without a decision");
   }
+  if (!outcome.status.ok()) {
+    // Abort cascade (or a stuck transaction): capture the black box while
+    // the involved peers' rings still hold the failure neighbourhood.
+    obs::ForensicDumpOptions dump;
+    dump.reason = outcome.decided ? "abort-cascade" : "undecided";
+    dump.peer = origin;
+    dump.txn = txn;
+    dump.time = network_->now();
+    DumpForensics(dump);
+  }
   return outcome;
+}
+
+std::string AxmlRepository::DumpForensics(
+    const obs::ForensicDumpOptions& options) {
+  last_forensic_dump_ = obs::BuildForensicDump(recorders_, options, &spans_);
+  if (forensics_dir_.empty()) return std::string();
+  ::mkdir(forensics_dir_.c_str(), 0755);
+  std::string path = forensics_dir_ + "/forensic-" +
+                     std::to_string(++dump_counter_) + "-" + options.reason +
+                     ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return std::string();
+  out << last_forensic_dump_;
+  forensic_paths_.push_back(path);
+  return path;
 }
 
 }  // namespace axmlx::repo

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "common/trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/span.h"
 #include "compensation/compensation.h"
 #include "ops/executor.h"
@@ -143,14 +144,46 @@ class AxmlRepository {
   /// reconstructs from it; render with tools/axmlx_report.
   obs::SpanTracker& spans() { return spans_; }
 
+  /// Per-peer always-on flight recorders: the overlay stamps message
+  /// events, each peer stamps txn/compensation events, and the span tracker
+  /// mirrors span open/close — all into one (time, seq)-ordered set.
+  obs::FlightRecorderSet& recorders() { return recorders_; }
+
+  // --- Crash forensics -----------------------------------------------------
+
+  /// Directory to write forensic dumps into (created on demand). Empty — the
+  /// default — keeps dumps in memory only (see last_forensic_dump()).
+  void SetForensicsDir(const std::string& dir) { forensics_dir_ = dir; }
+
+  /// Builds the "axmlx-forensics-v1" black-box artifact for the current
+  /// recorder/span state and, when a forensics directory is set, writes it
+  /// as forensic-<n>-<reason>.json. Returns the written path (empty when
+  /// kept in memory only). Called automatically on CrashPeer and on an
+  /// aborted RunTransaction; harnesses call it directly for their own
+  /// triggers (e.g. a fault drill's atomicity violation).
+  std::string DumpForensics(const obs::ForensicDumpOptions& options);
+
+  /// The most recent dump's JSON (empty before the first dump).
+  const std::string& last_forensic_dump() const { return last_forensic_dump_; }
+
+  /// Paths of all dumps written to the forensics directory, in dump order.
+  const std::vector<std::string>& forensic_paths() const {
+    return forensic_paths_;
+  }
+
  private:
   std::unique_ptr<txn::AxmlPeer> MakePeer(const PeerConfig& config);
 
   Trace trace_;
   obs::SpanTracker spans_;
+  obs::FlightRecorderSet recorders_;  ///< Must precede network_.
   std::unique_ptr<overlay::Network> network_;
   txn::ServiceDirectory directory_;
   std::vector<txn::AxmlPeer*> peers_;
+  std::string forensics_dir_;
+  std::string last_forensic_dump_;
+  std::vector<std::string> forensic_paths_;
+  int dump_counter_ = 0;
 };
 
 }  // namespace axmlx::repo

@@ -110,6 +110,8 @@ Status FaultDrill::SetUp() {
   }
 
   repo_ = std::make_unique<AxmlRepository>(options_.seed);
+  // Black boxes land next to the WALs they explain.
+  repo_->SetForensicsDir(storage_root_ + "/forensics");
   repo_->network().SetLatency(/*base=*/1, /*jitter=*/2);
 
   ScenarioOptions scen;
@@ -238,6 +240,8 @@ void FaultDrill::CheckInvariant(const std::string& txn,
                                 FaultDrillReport* report) {
   const size_t expected = static_cast<size_t>(committed_so_far_) *
                           static_cast<size_t>(options_.ops_per_service);
+  const int before = report->violations;
+  overlay::PeerId first_bad;
   for (const overlay::PeerId& id : workers_) {
     txn::AxmlPeer* peer = repo_->FindPeer(id);
     if (peer == nullptr) continue;  // crashed and not restarted (shouldn't be)
@@ -247,6 +251,7 @@ void FaultDrill::CheckInvariant(const std::string& txn,
     size_t entries = CountEntries(doc);
     if (entries != expected) {
       ++report->violations;
+      if (first_bad.empty()) first_bad = id;
       if (report->violation_details.size() < 20) {
         report->violation_details.push_back(
             "after " + txn + ": peer " + id + " holds " +
@@ -255,6 +260,37 @@ void FaultDrill::CheckInvariant(const std::string& txn,
       }
     }
   }
+  if (report->violations > before) {
+    // Atomicity just broke: capture the black box while every involved
+    // ring still holds the neighbourhood of the failure. `txn` carries a
+    // " (verdict)" suffix for the human-readable details; the dump wants
+    // the bare transaction name for span correlation.
+    obs::ForensicDumpOptions dump;
+    dump.reason = "atomicity-violation";
+    dump.peer = first_bad;
+    dump.txn = txn.substr(0, txn.find(' '));
+    dump.time = repo_->network().now();
+    repo_->DumpForensics(dump);
+  }
+}
+
+Status FaultDrill::TamperWorkerDocument() {
+  // Prefer a non-origin worker so the damage is remote from the submitter.
+  overlay::PeerId victim = workers_.size() > 1 ? workers_[1] : workers_[0];
+  txn::AxmlPeer* peer = repo_->FindPeer(victim);
+  if (peer == nullptr) return NotFound("no peer " + victim + " to tamper");
+  xml::Document* doc = peer->repository().GetDocument(ScenarioDocName(victim));
+  if (doc == nullptr) return NotFound("no scenario doc on " + victim);
+  repo_->recorders().ForPeer(victim)->Record(obs::kEvFrFault,
+                                             "harness tamper: entries wiped");
+  ops::Executor executor(doc, /*invoker=*/nullptr);
+  AXMLX_RETURN_IF_ERROR(
+      executor
+          .Execute(ops::MakeDelete("Select e from e in " +
+                                   ScenarioDocName(victim) + "//entry"))
+          .status());
+  tampered_ = true;
+  return Status::Ok();
 }
 
 Result<FaultDrillReport> FaultDrill::Run() {
@@ -344,6 +380,10 @@ Result<FaultDrillReport> FaultDrill::Run() {
     }
     net->RunUntilQuiescent();
 
+    if (options_.force_violation && !tampered_ && committed_so_far_ > 0) {
+      AXMLX_RETURN_IF_ERROR(TamperWorkerDocument());
+    }
+
     CheckInvariant(txn + " (" + verdict + ")", &report);
 
     if (options_.debug) {
@@ -394,6 +434,7 @@ Result<FaultDrillReport> FaultDrill::Run() {
   report.net = net->stats();
   report.faults = plan_->stats();
   report.journal_errors = metrics_.GetCounter("drill.journal_errors")->value();
+  report.forensic_dumps = repo_->forensic_paths();
   return report;
 }
 

@@ -53,6 +53,13 @@ struct FaultDrillOptions {
 
   uint64_t seed = 20070415;
 
+  /// Deliberately corrupt one worker's document outside any transaction
+  /// after the first commit, so the next CheckInvariant() reports an
+  /// atomicity violation. This exercises the forensic-dump path end to end
+  /// (violation -> black box -> axmlx_report --forensics) without having to
+  /// find a real protocol bug on demand.
+  bool force_violation = false;
+
   /// Dump the full message trace plus per-transaction outcomes to stderr.
   bool debug = false;
 
@@ -71,6 +78,10 @@ struct FaultDrillReport {
 
   int violations = 0;
   std::vector<std::string> violation_details;
+
+  /// Forensic dump files written by the drill (atomicity violations plus
+  /// the repository's own crash / abort-cascade triggers), in dump order.
+  std::vector<std::string> forensic_dumps;
 
   int crashes = 0;
   int restarts = 0;
@@ -125,6 +136,9 @@ class FaultDrill {
   Status CrashNow(const overlay::PeerId& id);
   Status RestartNow(const overlay::PeerId& id);
   void CheckInvariant(const std::string& txn, FaultDrillReport* report);
+  /// force_violation support: deletes one committed <entry> from a worker
+  /// document behind the protocol's back (no txn, no journal).
+  Status TamperWorkerDocument();
 
   FaultDrillOptions options_;
   std::string storage_root_;
@@ -135,6 +149,7 @@ class FaultDrill {
   std::map<overlay::PeerId, PeerStorage> storage_;
   std::vector<std::string> txn_names_;
   int committed_so_far_ = 0;
+  bool tampered_ = false;
   obs::MetricsRegistry metrics_;
 };
 

@@ -1,0 +1,47 @@
+#ifndef AXMLX_REPO_INTROSPECTION_H_
+#define AXMLX_REPO_INTROSPECTION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "overlay/network.h"
+#include "repo/axml_repository.h"
+
+namespace axmlx::repo {
+
+/// Root element (and hence hosted-document name) of the per-peer
+/// introspection document.
+inline constexpr char kStatsDocumentName[] = "AxmlStats";
+
+/// Name of the native service backing the stats document.
+inline constexpr char kStatsServiceName[] = "getStats";
+
+/// How many trailing flight-recorder events the stats document exposes.
+inline constexpr size_t kStatsRecorderTail = 16;
+
+/// Installs the read-only `AxmlStats` introspection document on `peer_id`:
+///
+///   <AxmlStats><snapshot><axml:sc methodName="getStats"
+///                                 outputName="stats" .../></snapshot>
+///   </AxmlStats>
+///
+/// The embedded `getStats` call (replace mode) materializes a fresh
+/// snapshot of the peer's own observability state — metrics counters and
+/// gauges, its open spans, and the tail of its flight recorder — whenever a
+/// query reads `stats` under the static `snapshot` binding site, e.g.
+///
+///   Select s/stats from s in AxmlStats//snapshot
+///
+/// The repository introspects itself through its own service-call
+/// mechanism: no side channel, the same lazy materialization and query
+/// machinery as any data document.
+///
+/// Opt-in per peer. The service definition and document live in the peer's
+/// repository, so a crash destroys them like any other volatile state;
+/// reinstall after RestartPeer when introspection should survive restarts.
+Status InstallStatsDocument(AxmlRepository* repo,
+                            const overlay::PeerId& peer_id);
+
+}  // namespace axmlx::repo
+
+#endif  // AXMLX_REPO_INTROSPECTION_H_

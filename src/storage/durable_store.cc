@@ -152,12 +152,19 @@ Status DurableStore::Open() {
   AXMLX_RETURN_IF_ERROR(LoadSnapshots());
   AXMLX_RETURN_IF_ERROR(ReplayWal());
   open_ = true;
+  if (recorder_ != nullptr && stats_.replayed_ops > 0) {
+    recorder_->Record(obs::kEvFrRecovery, "wal replayed", /*span=*/0,
+                      stats_.replayed_ops);
+  }
   // Roll back transactions that were in flight at the crash: execute their
   // dynamically constructed compensating operations (journaled, so a crash
   // during recovery re-converges) and resolve them.
   std::vector<std::string> losers;
   for (const auto& [txn, state] : active_txns_) losers.push_back(txn);
   for (const std::string& txn : losers) {
+    if (recorder_ != nullptr) {
+      recorder_->Record(obs::kEvFrRecovery, txn);
+    }
     AXMLX_RETURN_IF_ERROR(CompensateTxn(txn, /*journal=*/true));
     AXMLX_RETURN_IF_ERROR(AppendWal("RESOLVED " + txn, /*force_flush=*/true));
     active_txns_.erase(txn);
@@ -243,9 +250,13 @@ Status DurableStore::FlushWal() {
              static_cast<std::streamsize>(wal_batch_.size()));
   wal_.flush();
   if (!wal_) return Internal("cannot append to WAL");
+  int64_t flushed = static_cast<int64_t>(batched_records_);
   wal_batch_.clear();
   batched_records_ = 0;
   ++wal_counters_.flushes;
+  if (recorder_ != nullptr) {
+    recorder_->Record(obs::kEvFrWalFlush, {}, /*span=*/0, flushed);
+  }
   return Status::Ok();
 }
 
@@ -255,6 +266,13 @@ Status DurableStore::AppendWal(const std::string& record, bool force_flush) {
   ++batched_records_;
   ++stats_.wal_records;
   ++wal_counters_.records_batched;
+  if (recorder_ != nullptr) {
+    // `what` is the record's keyword ("BEGIN", "OP", "RESOLVED", ...), a
+    // view into `record` — no allocation on the append hot path.
+    recorder_->Record(obs::kEvFrWalAppend,
+                      std::string_view(record).substr(0, record.find(' ')),
+                      /*span=*/0, static_cast<int64_t>(batched_records_));
+  }
   bool flush_now = force_flush;
   switch (flush_policy_.mode) {
     case FlushPolicy::Mode::kEveryRecord:
@@ -320,6 +338,7 @@ Result<const ops::OpEffect*> DurableStore::ApplyOp(const std::string& txn,
   if (target == nullptr) return NotFound("unknown document " + doc);
   ops::Executor executor(target, invoker_);
   executor.SetEvalContext(&eval_ctx_);
+  executor.SetRecorder(recorder_);
   for (const auto& [name, value] : externals_) {
     executor.SetExternal(name, value);
   }
@@ -368,8 +387,13 @@ Status DurableStore::CompensateTxn(const std::string& txn, bool journal) {
       }
       xml::Document* target = Get(doc);
       if (target == nullptr) return NotFound("unknown document " + doc);
+      if (recorder_ != nullptr) {
+        recorder_->Record(obs::kEvFrCompStep, txn, /*span=*/0,
+                          static_cast<int64_t>(i - 1));
+      }
       ops::Executor executor(target, invoker_);
       executor.SetEvalContext(&eval_ctx_);
+      executor.SetRecorder(recorder_);
       AXMLX_RETURN_IF_ERROR(executor.Execute(comp_op).status());
     }
   }
@@ -410,6 +434,10 @@ Status DurableStore::Checkpoint() {
   if (wal_.is_open()) wal_.close();
   AXMLX_RETURN_IF_ERROR(WriteFileAtomically(WalPath(directory_), ""));
   ++stats_.checkpoints;
+  if (recorder_ != nullptr) {
+    recorder_->Record(obs::kEvFrCheckpoint, {}, /*span=*/0,
+                      static_cast<int64_t>(documents_.size()));
+  }
   return Status::Ok();
 }
 

@@ -9,6 +9,7 @@
 
 #include "axml/materializer.h"
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "ops/executor.h"
 #include "ops/op_log.h"
@@ -124,6 +125,12 @@ class DurableStore {
   /// Registry holding `wal.flushes` and `wal.records_batched`.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Attaches this peer's flight recorder (not owned; null detaches). The
+  /// store stamps WAL append/flush/checkpoint, recovery, and compensation
+  /// events, and threads the recorder into the executors it creates so
+  /// operation execution shows up in the same ring.
+  void AttachRecorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
  private:
   struct TxnState {
     ops::OpLog effects;
@@ -179,6 +186,7 @@ class DurableStore {
   std::string wal_batch_;      ///< Serialized records awaiting flush.
   size_t batched_records_ = 0;
   bool open_ = false;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 /// Newline/percent escaping for single-line WAL payloads.

@@ -1,5 +1,6 @@
 #include "txn/peer.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
@@ -68,6 +69,12 @@ void AxmlPeer::CloseCtxSpan(Ctx* ctx, overlay::Network* net,
       net != nullptr ? net->now() : (rec != nullptr ? rec->start : 0);
   spans_->CloseSpan(ctx->span_id, end, outcome, fault);
   ctx->span_id = 0;
+}
+
+void AxmlPeer::RecordFr(const Ctx* ctx, const char* kind, std::string_view what,
+                        int64_t arg) {
+  if (recorder_ == nullptr) return;
+  recorder_->Record(kind, what, ctx != nullptr ? ctx->span_id : 0, arg);
 }
 
 AxmlPeer::AxmlPeer(overlay::PeerId id, bool super_peer, uint64_t seed,
@@ -188,6 +195,7 @@ AxmlPeer::Ctx* AxmlPeer::StartContext(
 
 void AxmlPeer::Begin(Ctx* ctx, overlay::Network* net) {
   const std::string txn = ctx->txn;
+  RecordFr(ctx, obs::kEvFrTxnState, "begin");
   const service::ServiceDefinition* def = repo_.FindService(ctx->service);
   if (def == nullptr) {
     AbortContext(ctx, "UnknownService", /*notify_parent=*/true, net);
@@ -222,7 +230,9 @@ void AxmlPeer::Begin(Ctx* ctx, overlay::Network* net) {
       rng_.Bernoulli(def->fault_probability)) {
     if (def->fault_after_subcalls) {
       ctx->pending_fault = def->fault_name;
+      RecordFr(ctx, obs::kEvFrFault, "armed after subcalls");
     } else {
+      RecordFr(ctx, obs::kEvFrFault, def->fault_name);
       AbortContext(ctx, def->fault_name, /*notify_parent=*/true, net);
       return;
     }
@@ -615,7 +625,10 @@ void AxmlPeer::HandleCommit(const overlay::Message& message,
   // Transaction completed: discard the context (and with it the logs).
   const std::string& txn = message.headers.at(kHdrTxn);
   Ctx* ctx = FindContext(txn);
-  if (ctx != nullptr) CloseCtxSpan(ctx, net, obs::kOutcomeCommitted);
+  if (ctx != nullptr) {
+    RecordFr(ctx, obs::kEvFrTxnState, "commit");
+    CloseCtxSpan(ctx, net, obs::kOutcomeCommitted);
+  }
   EraseContext(txn);
   if (options_.use_locking) locks_.ReleaseAll(LockIdFor(txn));
   RecordResolution(txn, /*committed=*/true);
@@ -653,6 +666,8 @@ void AxmlPeer::HandleCompensate(const overlay::Message& message,
       counters_.nodes_compensated += static_cast<int64_t>(nodes);
       PushToReplica(payload->document, net);
     }
+    RecordFr(nullptr, obs::kEvFrCompStep, payload->document,
+             ok ? static_cast<int64_t>(nodes) : int64_t{-1});
   }
   if (!ok) ++counters_.compensation_failures;
   if (spans_ != nullptr) {
@@ -716,6 +731,7 @@ void AxmlPeer::Complete(Ctx* ctx, overlay::Network* net) {
   if (!ctx->pending_fault.empty()) {
     // The injected fault strikes now, with all subcalls finished — the
     // whole subtree's work must be undone (§3.2 steps 1-2).
+    RecordFr(ctx, obs::kEvFrFault, ctx->pending_fault);
     AbortContext(ctx, ctx->pending_fault, /*notify_parent=*/true, net);
     return;
   }
@@ -743,6 +759,7 @@ void AxmlPeer::Complete(Ctx* ctx, overlay::Network* net) {
       if (!SendControl(std::move(m), net).ok()) ++counters_.sends_best_effort_failed;
     }
     ++counters_.txns_committed;
+    RecordFr(ctx, obs::kEvFrTxnState, "commit");
     CloseCtxSpan(ctx, net, obs::kOutcomeCommitted);
     if (ctx->on_done) ctx->on_done(ctx->txn, Status::Ok());
     const std::string txn = ctx->txn;
@@ -811,6 +828,8 @@ void AxmlPeer::CompensateLocal(Ctx* ctx, overlay::Network* net) {
   } else {
     ++counters_.compensation_failures;
   }
+  RecordFr(ctx, obs::kEvFrCompStep, ctx->service,
+           s.ok() ? static_cast<int64_t>(nodes) : int64_t{-1});
   if (spans_ != nullptr) {
     // Instant span parented under this context's SERVICE span: the local
     // rollback is part of the abort narrative, not a separate execution.
@@ -867,6 +886,11 @@ void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
   if (ctx->state == Ctx::State::kAborted) return;
   ctx->state = Ctx::State::kAborted;
   const std::string txn = ctx->txn;
+  if (recorder_ != nullptr) {
+    char what[40];
+    std::snprintf(what, sizeof(what), "abort:%s", fault.c_str());
+    RecordFr(ctx, obs::kEvFrTxnState, what);
+  }
   CompensateLocal(ctx, net);
   if (options_.peer_independent) {
     // Undo completed subtrees by invoking their compensating services

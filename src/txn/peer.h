@@ -14,6 +14,7 @@
 #include "chain/active_chain.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "overlay/keepalive.h"
@@ -193,6 +194,11 @@ class AxmlPeer : public overlay::PeerNode {
   /// set before the peer does transactional work.
   void AttachSpans(obs::SpanTracker* spans) { spans_ = spans; }
 
+  /// Attaches this peer's flight recorder (not owned; null detaches). The
+  /// peer stamps txn state transitions, injected-fault decisions, and
+  /// compensation steps, correlated to the context's SERVICE span id.
+  void AttachRecorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
   /// Control messages still awaiting acknowledgement (reliable-control
   /// mode); 0 when idle or when control_resend_interval is 0.
   size_t PendingControlMessages() const { return pending_control_.size(); }
@@ -349,6 +355,12 @@ class AxmlPeer : public overlay::PeerNode {
   Rng* rng() { return &rng_; }
   WriteJournal* journal() { return journal_; }
   obs::SpanTracker* spans() { return spans_; }
+  obs::FlightRecorder* recorder() { return recorder_; }
+
+  /// Stamps one flight-recorder event correlated to `ctx`'s SERVICE span
+  /// (no-op without an attached recorder; null `ctx` records span 0).
+  void RecordFr(const Ctx* ctx, const char* kind, std::string_view what,
+                int64_t arg = 0);
 
   /// Invoker wired into the local executor for embedded service-call
   /// materializations: looks the method up in the local repository first.
@@ -409,6 +421,7 @@ class AxmlPeer : public overlay::PeerNode {
   obs::MetricsRegistry metrics_;      ///< Must precede counters_.
   PeerCounters counters_{&metrics_};
   obs::SpanTracker* spans_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
   std::map<std::string, Ctx> contexts_;
   std::unique_ptr<overlay::KeepAliveMonitor> keepalive_;
   WriteJournal* journal_ = nullptr;

@@ -1,0 +1,164 @@
+// Tests for the per-peer flight recorder: ring wraparound with zero
+// steady-state allocation, detail truncation, the shared (time, seq) order
+// across a recorder set, and the forensic dump builder — peer selection,
+// merge order, span context, and byte-for-byte determinism.
+
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/span.h"
+
+namespace axmlx::obs {
+namespace {
+
+TEST(FlightRecorder, RingWrapsKeepingTheLastCapacityEvents) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.Record(kEvFrOpExec, "op" + std::to_string(i), /*span=*/0, i);
+  }
+  EXPECT_EQ(rec.total(), 10u);
+  ASSERT_EQ(rec.size(), 4u);
+  // The surviving window is the last four events, oldest first.
+  for (size_t i = 0; i < rec.size(); ++i) {
+    EXPECT_EQ(rec.At(i).arg, static_cast<int64_t>(6 + i));
+    EXPECT_EQ(std::string(rec.At(i).what), "op" + std::to_string(6 + i));
+  }
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total(), 0u);
+}
+
+TEST(FlightRecorder, BeforeWrapEventsReadBackInRecordOrder) {
+  FlightRecorder rec(8);
+  rec.SetTime(3);
+  rec.Record(kEvFrTxnState, "begin", /*span=*/7);
+  rec.Record(kEvFrWalAppend, "op");
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.At(0).time, 3);
+  EXPECT_EQ(rec.At(0).span, 7u);
+  EXPECT_STREQ(rec.At(0).kind, kEvFrTxnState);
+  EXPECT_STREQ(rec.At(1).kind, kEvFrWalAppend);
+}
+
+TEST(FlightRecorder, DetailIsTruncatedToTheFixedSlot) {
+  FlightRecorder rec(2);
+  rec.Record(kEvFrWalAppend, std::string(100, 'x'));
+  EXPECT_EQ(std::string(rec.At(0).what).size(),
+            sizeof(FlightEvent::what) - 1);
+}
+
+TEST(FlightRecorder, ZeroCapacityClampsToOne) {
+  FlightRecorder rec(0);
+  rec.Record(kEvFrCrash);
+  rec.Record(kEvFrRestart);
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_STREQ(rec.At(0).kind, kEvFrRestart);
+}
+
+TEST(FlightRecorderSet, SharedClockAndSequenceTotallyOrderPeers) {
+  FlightRecorderSet set(8);
+  set.SetNow(5);
+  set.ForPeer("A")->Record(kEvFrMsgSend, "invoke->b");
+  set.ForPeer("B")->Record(kEvFrMsgRecv, "invoke<-a");
+  set.SetNow(7);
+  set.ForPeer("A")->Record(kEvFrMsgSend, "commit->b");
+  const FlightRecorder& a = set.recorders().at("A");
+  const FlightRecorder& b = set.recorders().at("B");
+  EXPECT_EQ(a.At(0).time, 5);
+  EXPECT_EQ(a.At(1).time, 7);
+  // One shared counter: B's event sequences between A's two.
+  EXPECT_LT(a.At(0).seq, b.At(0).seq);
+  EXPECT_LT(b.At(0).seq, a.At(1).seq);
+}
+
+/// Fixture state shared by the dump tests: two peers with a focal
+/// transaction's spans plus an uninvolved bystander.
+ForensicDumpOptions DumpOptions() {
+  ForensicDumpOptions options;
+  options.reason = "abort-cascade";
+  options.peer = "P";
+  options.txn = "T0";
+  options.time = 9;
+  return options;
+}
+
+void FillRecorders(FlightRecorderSet* set, SpanTracker* spans) {
+  set->SetNow(1);
+  set->ForPeer("P")->Record(kEvFrTxnState, "begin", /*span=*/1);
+  set->SetNow(2);
+  set->ForPeer("Q")->Record(kEvFrMsgRecv, "invoke<-p");
+  set->ForPeer("Bystander")->Record(kEvFrMsgSend, "keepalive->p");
+  uint64_t txn = spans->OpenSpan("T0", "P", kSpanTxn, 0, 1, "S");
+  uint64_t svc = spans->OpenSpan("T0", "Q", kSpanService, txn, 2, "S2");
+  spans->CloseSpan(svc, 8, kOutcomeAborted, "Injected");
+}
+
+TEST(ForensicDump, InvolvedPeersComeFromTheFocalTransactionsSpans) {
+  FlightRecorderSet set(16);
+  SpanTracker spans;
+  FillRecorders(&set, &spans);
+  std::string dump = BuildForensicDump(set, DumpOptions(), &spans);
+  std::string error;
+  auto doc = ParseJson(dump, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->Find("schema")->str, "axmlx-forensics-v1");
+  EXPECT_EQ(doc->Find("reason")->str, "abort-cascade");
+  // T0's spans name P and Q; the bystander's chatter stays out.
+  ASSERT_EQ(doc->Find("peers")->items.size(), 2u);
+  EXPECT_EQ(doc->Find("peers")->items[0].str, "P");
+  EXPECT_EQ(doc->Find("peers")->items[1].str, "Q");
+  ASSERT_EQ(doc->Find("events")->items.size(), 2u);
+  // Merged strictly by (time, seq).
+  EXPECT_LE(doc->Find("events")->items[0].Find("time")->AsInt(),
+            doc->Find("events")->items[1].Find("time")->AsInt());
+  // Span context: the focal transaction's tree, open spans marked OPEN.
+  ASSERT_EQ(doc->Find("spans")->items.size(), 2u);
+  EXPECT_EQ(doc->Find("spans")->items[0].Find("outcome")->str, "OPEN");
+  EXPECT_EQ(doc->Find("spans")->items[1].Find("outcome")->str, "ABORTED");
+}
+
+TEST(ForensicDump, UnknownTransactionFallsBackToAllRecorders) {
+  FlightRecorderSet set(16);
+  SpanTracker spans;
+  FillRecorders(&set, &spans);
+  ForensicDumpOptions options = DumpOptions();
+  options.txn = "T-unknown";
+  std::string dump = BuildForensicDump(set, options, &spans);
+  auto doc = ParseJson(dump, nullptr);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Find("peers")->items.size(), 3u);
+}
+
+TEST(ForensicDump, LastNBoundsThePerPeerWindow) {
+  FlightRecorderSet set(16);
+  SpanTracker spans;
+  for (int i = 0; i < 6; ++i) {
+    set.SetNow(i);
+    set.ForPeer("P")->Record(kEvFrWalAppend, {}, /*span=*/0, i);
+  }
+  ForensicDumpOptions options;
+  options.reason = "crash";
+  options.peer = "P";
+  options.last_n = 2;
+  std::string dump = BuildForensicDump(set, options, &spans);
+  auto doc = ParseJson(dump, nullptr);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->Find("events")->items.size(), 2u);
+  EXPECT_EQ(doc->Find("events")->items[0].Find("arg")->AsInt(), 4);
+  EXPECT_EQ(doc->Find("events")->items[1].Find("arg")->AsInt(), 5);
+}
+
+TEST(ForensicDump, SameStateProducesByteIdenticalDumps) {
+  FlightRecorderSet set(16);
+  SpanTracker spans;
+  FillRecorders(&set, &spans);
+  EXPECT_EQ(BuildForensicDump(set, DumpOptions(), &spans),
+            BuildForensicDump(set, DumpOptions(), &spans));
+}
+
+}  // namespace
+}  // namespace axmlx::obs

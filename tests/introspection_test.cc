@@ -1,0 +1,121 @@
+// The repository observes itself with its own machinery: axml:stats is an
+// ordinary active-XML document whose service call materializes a live
+// metrics/spans/recorder snapshot. These tests check that the snapshot is
+// lazy (nothing runs until a query asks for "stats"), carries real peer
+// state, and that the materialized document answers identically under the
+// indexed and the naive query evaluators.
+
+#include "repo/introspection.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "ops/executor.h"
+#include "ops/operation.h"
+#include "query/eval.h"
+#include "query/naive_eval.h"
+#include "query/parser.h"
+#include "repo/axml_repository.h"
+#include "repo/scenarios.h"
+
+namespace axmlx::repo {
+namespace {
+
+/// One committed Figure-1 transaction, then the stats document installed on
+/// the origin. Returns the origin peer (never null on success).
+txn::AxmlPeer* SetUpRepoWithStats(AxmlRepository* repo) {
+  ScenarioOptions options;
+  EXPECT_TRUE(BuildFigureOne(repo, options).ok());
+  auto outcome = repo->RunTransaction("AP1", kTxnName, "S1");
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->decided);
+  EXPECT_TRUE(InstallStatsDocument(repo, "AP1").ok());
+  return repo->FindPeer("AP1");
+}
+
+TEST(IntrospectionTest, StatsMaterializeLazilyWithLivePeerState) {
+  AxmlRepository repo(/*seed=*/31);
+  txn::AxmlPeer* peer = SetUpRepoWithStats(&repo);
+  ASSERT_NE(peer, nullptr);
+  xml::Document* doc = peer->repository().GetDocument(kStatsDocumentName);
+  ASSERT_NE(doc, nullptr);
+  // Installed, not yet queried: the service call is still dormant.
+  EXPECT_EQ(doc->Serialize().find("<counter"), std::string::npos);
+
+  ops::Executor executor(doc, peer->DataPlaneInvoker());
+  query::EvalContext ctx;
+  executor.SetEvalContext(&ctx);
+  auto effect = executor.Execute(
+      ops::MakeQuery("Select s/stats from s in " +
+                     std::string(kStatsDocumentName) + "//snapshot"));
+  ASSERT_TRUE(effect.ok()) << effect.status();
+  EXPECT_EQ(effect->materialize_stats.calls_invoked, 1);
+  EXPECT_FALSE(effect->query_result.bindings.empty());
+
+  // The snapshot reflects the committed transaction and carries the
+  // recorder tail — the repository reads its own black box.
+  std::string xml = doc->Serialize();
+  EXPECT_NE(xml.find("txn.txns_committed"), std::string::npos) << xml;
+  EXPECT_NE(xml.find("<recorder>"), std::string::npos);
+}
+
+TEST(IntrospectionTest, QueryingStatsAgainRefreshesTheSnapshot) {
+  AxmlRepository repo(/*seed=*/32);
+  txn::AxmlPeer* peer = SetUpRepoWithStats(&repo);
+  ASSERT_NE(peer, nullptr);
+  xml::Document* doc = peer->repository().GetDocument(kStatsDocumentName);
+  ASSERT_NE(doc, nullptr);
+  ops::Executor executor(doc, peer->DataPlaneInvoker());
+  query::EvalContext ctx;
+  executor.SetEvalContext(&ctx);
+  const std::string query = "Select s/stats from s in " +
+                            std::string(kStatsDocumentName) + "//snapshot";
+  ASSERT_TRUE(executor.Execute(ops::MakeQuery(query)).ok());
+
+  // A second transaction changes the counters; replace-mode materialization
+  // must serve the new values, not the stale first snapshot.
+  auto outcome = repo.RunTransaction("AP1", "TB", "S1");
+  ASSERT_TRUE(outcome.ok());
+  auto effect = executor.Execute(ops::MakeQuery(query));
+  ASSERT_TRUE(effect.ok()) << effect.status();
+  EXPECT_EQ(effect->materialize_stats.calls_invoked, 1);
+  EXPECT_NE(doc->Serialize().find(
+                "name=\"txn.txns_committed\">2</counter>"),
+            std::string::npos)
+      << doc->Serialize();
+}
+
+TEST(IntrospectionTest, IndexedAndNaiveEvaluatorsAgreeOnStats) {
+  AxmlRepository repo(/*seed=*/33);
+  txn::AxmlPeer* peer = SetUpRepoWithStats(&repo);
+  ASSERT_NE(peer, nullptr);
+  xml::Document* doc = peer->repository().GetDocument(kStatsDocumentName);
+  ASSERT_NE(doc, nullptr);
+  ops::Executor executor(doc, peer->DataPlaneInvoker());
+  query::EvalContext ctx;
+  executor.SetEvalContext(&ctx);
+  ASSERT_TRUE(executor
+                  .Execute(ops::MakeQuery("Select s/stats from s in " +
+                                          std::string(kStatsDocumentName) +
+                                          "//snapshot"))
+                  .ok());
+
+  for (const std::string& pattern :
+       {std::string("//counter"), std::string("//stats"),
+        std::string("//event")}) {
+    auto q = query::ParseQuery("Select c from c in " +
+                               std::string(kStatsDocumentName) + pattern);
+    ASSERT_TRUE(q.ok()) << q.status();
+    auto indexed = query::EvaluateQuery(*doc, *q, &ctx);
+    auto naive = query::naive::EvaluateQuery(*doc, *q);
+    ASSERT_TRUE(indexed.ok()) << indexed.status();
+    ASSERT_TRUE(naive.ok()) << naive.status();
+    EXPECT_FALSE(indexed->AllSelected().empty()) << pattern;
+    EXPECT_EQ(indexed->AllSelected(), naive->AllSelected()) << pattern;
+  }
+}
+
+}  // namespace
+}  // namespace axmlx::repo

@@ -93,6 +93,24 @@ namespace axmlx::txn {
 void AxmlPeer::Submit(int txn) { spans_->OpenSpan(txn, obs::kSpanTxn); }
 }  // namespace axmlx::txn
 )cc"});
+  files.push_back(
+      {"obs/flight_recorder.h", R"cc(#ifndef AXMLX_OBS_FLIGHT_RECORDER_H_
+#define AXMLX_OBS_FLIGHT_RECORDER_H_
+namespace axmlx::obs {
+inline constexpr char kEvFrMsgSend[] = "MSG_SEND";
+inline constexpr char kEvFrCrash[] = "CRASH";
+class FlightRecorder {
+ public:
+  void Record(const char* kind, const char* what);
+};
+}  // namespace axmlx::obs
+#endif  // AXMLX_OBS_FLIGHT_RECORDER_H_
+)cc"});
+  files.push_back({"overlay/send.cc", R"cc(#include "obs/flight_recorder.h"
+namespace axmlx::overlay {
+void Network::Send() { recorder_->Record(obs::kEvFrMsgSend, "invoke->b"); }
+}  // namespace axmlx::overlay
+)cc"});
   return files;
 }
 
@@ -281,6 +299,44 @@ int SpanTracker::OpenSpan(int txn, const char* kind) { return txn; }
 namespace axmlx::txn {
 void AxmlPeer::Submit(int txn) { spans_->OpenSpan(txn, "SERVICE"); }
 }  // namespace axmlx::txn
+)cc";
+  const std::vector<Finding> r3 = OfRule(RunLint(files), "R3");
+  EXPECT_TRUE(r3.empty()) << FormatFindings(r3);
+}
+
+TEST(LintTest, R3FlagsUndeclaredRecorderKindLiteral) {
+  std::vector<SourceFile> files = CleanTree();
+  FindFile(&files, "overlay/send.cc")->content =
+      R"cc(#include "obs/flight_recorder.h"
+namespace axmlx::overlay {
+void Network::Send() { recorder_->Record(obs::kEvFrMsgSend, "invoke->b"); }
+void Network::Drop() { recorder_->Record("MSG_LOST", "dropped"); }
+}  // namespace axmlx::overlay
+)cc";
+  const std::vector<Finding> r3 = OfRule(RunLint(files), "R3");
+  ASSERT_EQ(r3.size(), 1u) << FormatFindings(r3);
+  EXPECT_EQ(r3[0].file, "overlay/send.cc");
+  EXPECT_EQ(r3[0].line, 4);
+  EXPECT_NE(r3[0].message.find("MSG_LOST"), std::string::npos);
+  EXPECT_NE(r3[0].message.find("kEvFr"), std::string::npos);
+}
+
+TEST(LintTest, R3AllowsDeclaredRecorderKindAndNonMemberRecord) {
+  std::vector<SourceFile> files = CleanTree();
+  // A declared kind spelled as its literal is table-conformant, the
+  // lowercase free-form `what` never matches the ALL_CAPS check, and the
+  // FlightRecorder::Record definition itself is not an emit site.
+  files.push_back(
+      {"obs/flight_recorder.cc", R"cc(#include "obs/flight_recorder.h"
+namespace axmlx::obs {
+void FlightRecorder::Record(const char* kind, const char* what) {}
+}  // namespace axmlx::obs
+)cc"});
+  FindFile(&files, "overlay/send.cc")->content =
+      R"cc(#include "obs/flight_recorder.h"
+namespace axmlx::overlay {
+void Network::Crash() { recorder_->Record("CRASH", "peer stopped"); }
+}  // namespace axmlx::overlay
 )cc";
   const std::vector<Finding> r3 = OfRule(RunLint(files), "R3");
   EXPECT_TRUE(r3.empty()) << FormatFindings(r3);

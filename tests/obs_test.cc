@@ -63,6 +63,25 @@ TEST(MetricsRegistry, SnapshotJsonRoundTrips) {
   EXPECT_EQ(hist->Find("counts")->items[0].AsInt(), 1);
 }
 
+TEST(MetricsRegistry, HistogramSameBoundsAndEmptyBoundsShareOneHandle) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* hist = registry.GetHistogram("txn.latency", {10, 100});
+  // Identical bounds and "whatever exists" (empty bounds) both return the
+  // histogram registered first — one series, never a silent fork.
+  EXPECT_EQ(registry.GetHistogram("txn.latency", {10, 100}), hist);
+  EXPECT_EQ(registry.GetHistogram("txn.latency", {}), hist);
+}
+
+TEST(MetricsRegistryDeathTest, HistogramBoundsMismatchAborts) {
+  obs::MetricsRegistry registry;
+  registry.GetHistogram("txn.latency", {10, 100});
+  // Re-registering under the same name with different bucket edges would
+  // corrupt the series (observations binned against two different scales);
+  // the registry treats it as a programming error and dies loudly.
+  EXPECT_DEATH(registry.GetHistogram("txn.latency", {10, 200}),
+               "bucket bounds mismatch");
+}
+
 TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
   obs::Histogram hist({10, 20});
   hist.Observe(10);  // lands in bucket 0 (bound >= value)
@@ -168,6 +187,16 @@ TEST(SpanTracker, JsonlRoundTripsThroughReportParser) {
   EXPECT_EQ(rows[1].parent_span_id, root);
   EXPECT_EQ(rows[1].detail, "S\"x\"");  // escaping survives the round trip
   EXPECT_EQ(rows[1].fault, "Injected");
+}
+
+TEST(SpanTracker, ToJsonlEmitsExplicitOpenOutcome) {
+  obs::SpanTracker spans;
+  spans.OpenSpan("TC", "P1", obs::kSpanService, 0, 3, "S");
+  std::string jsonl = spans.ToJsonl();
+  // Open spans must be self-describing in dumps taken mid-flight (e.g. from
+  // a crashed peer): an explicit sentinel outcome, not an empty field.
+  EXPECT_NE(jsonl.find("\"outcome\":\"OPEN\""), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("\"end\":-1"), std::string::npos) << jsonl;
 }
 
 // --- axmlx_report rendering and validation ----------------------------------

@@ -521,11 +521,13 @@ void CheckNameTables(const std::vector<File>& files,
   const File* status_cc = nullptr;
   const File* trace_h = nullptr;
   const File* span_h = nullptr;
+  const File* recorder_h = nullptr;
   for (const File& f : files) {
     if (EndsWith(f.src->path, "common/status.h")) status_h = &f;
     if (EndsWith(f.src->path, "common/status.cc")) status_cc = &f;
     if (EndsWith(f.src->path, "common/trace.h")) trace_h = &f;
     if (EndsWith(f.src->path, "obs/span.h")) span_h = &f;
+    if (EndsWith(f.src->path, "obs/flight_recorder.h")) recorder_h = &f;
   }
 
   // --- StatusCode enumerators vs StatusCodeName cases ---
@@ -598,28 +600,47 @@ void CheckNameTables(const std::vector<File>& files,
     }
   }
 
-  if (!have_table && !have_span_table) return;
+  // --- Recorder kinds: literals at Record sites must be in kEvFr* ---
+  std::set<std::string> declared_rec_kinds;
+  bool have_rec_table = false;
+  if (recorder_h != nullptr) {
+    const std::vector<Token>& rt = recorder_h->toks;
+    for (size_t i = 0; i + 4 < rt.size(); ++i) {
+      if (rt[i].kind == Token::Kind::kIdent &&
+          StartsWith(rt[i].text, "kEvFr") && TokIs(rt, i + 1, "[") &&
+          TokIs(rt, i + 2, "]") && TokIs(rt, i + 3, "=") &&
+          rt[i + 4].kind == Token::Kind::kString) {
+        declared_rec_kinds.insert(rt[i + 4].text);
+        have_rec_table = true;
+      }
+    }
+  }
+
+  if (!have_table && !have_span_table && !have_rec_table) return;
   for (const File& f : files) {
     const std::vector<Token>& toks = f.toks;
     for (size_t i = 0; i + 1 < toks.size(); ++i) {
       if (toks[i].kind != Token::Kind::kIdent || !TokIs(toks, i + 1, "(")) {
         continue;
       }
+      const bool member_call =
+          i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
       const bool trace_site =
           have_table &&
           (toks[i].text == "TraceEventf" ||
            // `Add` must be a member call on a trace (`.Add(` / `->Add(`) so
            // unrelated Add methods are not inspected.
-           (toks[i].text == "Add" && i > 0 &&
-            (toks[i - 1].text == "." || toks[i - 1].text == "->")));
-      // `OpenSpan` must likewise be a member call so the SpanTracker
-      // definition itself (and forward declarations) stay exempt.
+           (toks[i].text == "Add" && member_call));
+      // `OpenSpan` / `Record` must likewise be member calls so the tracker
+      // and recorder definitions (and forward declarations) stay exempt.
       const bool span_site =
-          have_span_table && toks[i].text == "OpenSpan" && i > 0 &&
-          (toks[i - 1].text == "." || toks[i - 1].text == "->");
-      if (!trace_site && !span_site) continue;
+          have_span_table && toks[i].text == "OpenSpan" && member_call;
+      const bool rec_site =
+          have_rec_table && toks[i].text == "Record" && member_call;
+      if (!trace_site && !span_site && !rec_site) continue;
       const std::set<std::string>& table =
-          span_site ? declared_span_kinds : declared_kinds;
+          span_site ? declared_span_kinds
+                    : rec_site ? declared_rec_kinds : declared_kinds;
       size_t close = MatchForward(toks, i + 1);
       for (size_t j = i + 2; j < close; ++j) {
         if (toks[j].kind == Token::Kind::kString && IsAllCaps(toks[j].text) &&
@@ -630,6 +651,11 @@ void CheckNameTables(const std::vector<File>& files,
                            "\" is not declared in the kSpan* table "
                            "(obs/span.h); axmlx_report rollups cannot "
                            "group it"
+                 : rec_site
+                     ? "flight-recorder kind \"" + toks[j].text +
+                           "\" is not declared in the kEvFr* table "
+                           "(obs/flight_recorder.h); forensic timelines "
+                           "cannot group it"
                      : "trace kind \"" + toks[j].text +
                            "\" is not declared in the kEv* table "
                            "(common/trace.h); CountKind assertions cannot "

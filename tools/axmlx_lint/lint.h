@@ -24,9 +24,14 @@
 ///      carry a class-level [[nodiscard]], which makes every Status- or
 ///      Result-returning API warn when its result is ignored.
 ///  R3  name tables: every StatusCode enumerator has a `case` in
-///      StatusCodeName (common/status.cc), and every ALL_CAPS string passed
+///      StatusCodeName (common/status.cc); every ALL_CAPS string passed
 ///      as a trace-event kind (Trace::Add / TraceEventf call sites) is
-///      declared in the `kEv*` table in common/trace.h.
+///      declared in the `kEv*` table in common/trace.h; every ALL_CAPS
+///      string passed as a span kind (OpenSpan call sites) is declared in
+///      the `kSpan*` table in obs/span.h; and every ALL_CAPS string passed
+///      as a flight-recorder event kind (Record call sites) is declared in
+///      the `kEvFr*` table in obs/flight_recorder.h — off-table kinds fall
+///      out of forensic timelines silently.
 ///  R4  header hygiene: every header's include guard is AXMLX_<PATH>_H_
 ///      derived from its path, and headers contain no `using namespace` at
 ///      namespace scope.

@@ -1,6 +1,7 @@
 // axmlx_report: renders span JSONL logs as per-transaction invocation trees
 // (with abort-propagation paths and rollups), validates BENCH_*.json
-// documents against the axmlx-bench-v1 schema, and diffs two bench reports.
+// documents against the axmlx-bench-v1 schema, diffs two bench reports, and
+// renders flight-recorder forensic dumps.
 //
 // Usage:
 //   axmlx_report SPANS.jsonl...          render span trees + rollups
@@ -10,6 +11,9 @@
 //                                        print ops/sec and p50/p95 deltas;
 //                                        with --regress-pct, exit 1 when
 //                                        ops/sec dropped by more than N%
+//   axmlx_report --forensics DUMP.json...
+//                                        render black-box dumps (merged
+//                                        cross-peer timeline + span context)
 
 #include <cstdlib>
 #include <fstream>
@@ -82,6 +86,29 @@ int DiffMode(const std::vector<std::string>& paths, double regress_pct) {
   return regressed ? 1 : 0;
 }
 
+int ForensicsMode(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    std::cerr << "axmlx_report --forensics: no files given\n";
+    return 2;
+  }
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::cerr << path << ": cannot read\n";
+      return 1;
+    }
+    std::string rendered;
+    std::string problem = axmlx::report::RenderForensics(text, &rendered);
+    if (!problem.empty()) {
+      std::cerr << path << ": " << problem << "\n";
+      return 1;
+    }
+    if (paths.size() > 1) std::cout << "# " << path << "\n";
+    std::cout << rendered;
+  }
+  return 0;
+}
+
 int RenderMode(const std::vector<std::string>& paths) {
   if (paths.empty()) {
     std::cerr << "usage: axmlx_report [--check] FILE...\n";
@@ -110,6 +137,7 @@ int RenderMode(const std::vector<std::string>& paths) {
 int main(int argc, char** argv) {
   bool check = false;
   bool diff = false;
+  bool forensics = false;
   double regress_pct = -1;  // < 0 = report-only, no gate
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
@@ -118,6 +146,8 @@ int main(int argc, char** argv) {
       check = true;
     } else if (arg == "--diff") {
       diff = true;
+    } else if (arg == "--forensics") {
+      forensics = true;
     } else if (arg == "--regress-pct") {
       if (i + 1 >= argc) {
         std::cerr << "--regress-pct requires a number\n";
@@ -128,6 +158,7 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
+  if (forensics) return ForensicsMode(paths);
   if (diff) return DiffMode(paths, regress_pct);
   return check ? CheckMode(paths) : RenderMode(paths);
 }

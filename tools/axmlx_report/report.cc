@@ -184,6 +184,93 @@ std::string RenderSpanReport(const std::vector<SpanRow>& spans) {
   return os.str();
 }
 
+std::string RenderForensics(const std::string& json_text, std::string* out) {
+  std::string parse_error;
+  auto doc = obs::ParseJson(json_text, &parse_error);
+  if (!doc.has_value()) return "invalid JSON: " + parse_error;
+  if (!doc->is_object()) return "top level is not an object";
+  if (GetString(*doc, "schema") != "axmlx-forensics-v1") {
+    return "schema must be \"axmlx-forensics-v1\"";
+  }
+  const obs::JsonValue* events = doc->Find("events");
+  if (events == nullptr || !events->is_array()) {
+    return "missing array \"events\"";
+  }
+  const obs::JsonValue* spans_json = doc->Find("spans");
+  if (spans_json == nullptr || !spans_json->is_array()) {
+    return "missing array \"spans\"";
+  }
+
+  std::ostringstream os;
+  os << "=== black box: " << GetString(*doc, "reason");
+  const std::string focal_peer = GetString(*doc, "peer");
+  const std::string focal_txn = GetString(*doc, "txn");
+  if (!focal_peer.empty()) os << " peer=" << focal_peer;
+  if (!focal_txn.empty()) os << " txn=" << focal_txn;
+  os << " at t=" << GetInt(*doc, "time", -1) << "\n";
+  const obs::JsonValue* peers = doc->Find("peers");
+  if (peers != nullptr && peers->is_array()) {
+    os << "involved:";
+    for (const obs::JsonValue& p : peers->items) {
+      if (p.is_string()) os << " " << p.str;
+    }
+    os << "\n";
+  }
+
+  // The merged timeline. Columns are sized to the dump so short peer names
+  // do not waste width and long ones stay aligned.
+  auto pad = [](std::string s, size_t w) {
+    while (s.size() < w) s.push_back(' ');
+    return s;
+  };
+  size_t peer_w = 4;
+  size_t kind_w = 4;
+  for (const obs::JsonValue& e : events->items) {
+    if (!e.is_object()) return "event is not an object";
+    peer_w = std::max(peer_w, GetString(e, "peer").size());
+    kind_w = std::max(kind_w, GetString(e, "kind").size());
+  }
+  os << "=== timeline (" << events->items.size() << " events, last "
+     << GetInt(*doc, "last_n", 0) << " per peer)\n";
+  for (const obs::JsonValue& e : events->items) {
+    os << "  t=" << pad(std::to_string(GetInt(e, "time", 0)), 6) << " "
+       << pad(GetString(e, "peer"), peer_w) << " "
+       << pad(GetString(e, "kind"), kind_w);
+    const std::string what = GetString(e, "what");
+    if (!what.empty()) os << " " << what;
+    const int64_t span = GetInt(e, "span", 0);
+    if (span != 0) os << "  span=" << span;
+    const int64_t arg = GetInt(e, "arg", 0);
+    if (arg != 0) os << " arg=" << arg;
+    os << "\n";
+  }
+
+  // Span context: the dump's spans are the same objects ToJsonl emits, so
+  // they render with the regular tree machinery.
+  std::vector<SpanRow> rows;
+  for (const obs::JsonValue& s : spans_json->items) {
+    if (!s.is_object()) return "span is not an object";
+    SpanRow row;
+    row.txn = GetString(s, "txn");
+    row.span_id = static_cast<uint64_t>(GetInt(s, "span", 0));
+    row.parent_span_id = static_cast<uint64_t>(GetInt(s, "parent", 0));
+    row.peer = GetString(s, "peer");
+    row.kind = GetString(s, "kind");
+    row.detail = GetString(s, "detail");
+    row.start = GetInt(s, "start", 0);
+    row.end = GetInt(s, "end", -1);
+    row.outcome = GetString(s, "outcome");
+    row.fault = GetString(s, "fault");
+    if (row.span_id == 0) return "span missing span id";
+    rows.push_back(std::move(row));
+  }
+  if (!rows.empty()) {
+    os << "=== span context\n" << RenderSpanReport(rows);
+  }
+  *out += os.str();
+  return std::string();
+}
+
 namespace {
 
 std::string CheckHistogram(const std::string& name,

@@ -32,6 +32,13 @@ bool ParseSpans(const std::string& jsonl, std::vector<SpanRow>* out,
 /// outcome, and peer.
 std::string RenderSpanReport(const std::vector<SpanRow>& spans);
 
+/// Renders an axmlx-forensics-v1 black-box dump (see
+/// obs::BuildForensicDump): the dump header, the merged cross-peer event
+/// timeline around the failure point, and the focal transaction's span tree
+/// for context. Appends to `*out`. Returns an empty string on success, else
+/// a description of the first problem with the input.
+std::string RenderForensics(const std::string& json_text, std::string* out);
+
 /// Validates one BENCH_<name>.json document against the axmlx-bench-v1
 /// schema. Returns an empty string when valid, else a description of the
 /// first problem.

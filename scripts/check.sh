@@ -86,4 +86,11 @@ cmake --build "$SAN_DIR" -j "$JOBS" \
   --target fault_injection_test fault_drill_test forensics_test
 ctest --test-dir "$SAN_DIR" -L fault --output-on-failure -j "$JOBS"
 
+step "sanitizer isolation matrix (ctest -L mvcc)"
+# The MVCC interleaving matrix under ASan: version-chain bookkeeping,
+# conflict-triggered rollback+compensation, and pruning are exactly the
+# paths where a stale Node* or double-free would hide.
+cmake --build "$SAN_DIR" -j "$JOBS" --target isolation_matrix_test
+ctest --test-dir "$SAN_DIR" -L mvcc --output-on-failure -j "$JOBS"
+
 step "OK: all gates passed"

@@ -47,6 +47,10 @@ class StoreJournal : public txn::WriteJournal {
     if (!s.ok()) ++*errors_;
   }
 
+  void OnDedup(const std::string& key) override {
+    if (!store_->JournalDedupKey(key).ok()) ++*errors_;
+  }
+
  private:
   storage::DurableStore* store_;
   obs::Counter* errors_;
@@ -179,6 +183,8 @@ Status FaultDrill::CrashNow(const overlay::PeerId& id) {
 Status FaultDrill::RestartNow(const overlay::PeerId& id) {
   PeerStorage& ps = storage_[id];
   std::vector<std::string> recovered_docs;
+  std::vector<std::string> recovered_dedup_keys;
+  std::map<std::string, bool> recovered_outcomes;
   {
     // Recovery proper: reopen the crashed incarnation's store. Open()
     // replays the WAL in order and rolls back transactions that were
@@ -194,6 +200,11 @@ Status FaultDrill::RestartNow(const overlay::PeerId& id) {
     for (const std::string& name : recovery.DocumentNames()) {
       recovered_docs.push_back(recovery.Get(name)->Serialize());
     }
+    // The at-most-once window and decision map must survive the restart:
+    // a control retransmission (e.g. COMPENSATE) that lands on the new
+    // incarnation would otherwise be applied a second time.
+    recovered_dedup_keys = recovery.seen_dedup_keys();
+    recovered_outcomes = recovery.resolved_outcomes();
 
     AxmlRepository::PeerConfig config;
     config.id = id;
@@ -233,7 +244,19 @@ Status FaultDrill::RestartNow(const overlay::PeerId& id) {
   for (const std::string& name : peer->repository().DocumentNames()) {
     seeded.push_back(peer->repository().GetDocument(name)->Serialize());
   }
-  return AttachStorage(id, seeded);
+  AXMLX_RETURN_IF_ERROR(AttachStorage(id, seeded));
+  // Rebuild the rebuilt peer's dedup window and decision map from the WAL,
+  // and re-journal both into the new incarnation so a *second* crash still
+  // has them.
+  for (const std::string& key : recovered_dedup_keys) {
+    peer->SeedDedupKey(key);
+    AXMLX_RETURN_IF_ERROR(ps.store->JournalDedupKey(key));
+  }
+  for (const auto& [txn, committed] : recovered_outcomes) {
+    peer->SeedResolution(txn, committed);
+    AXMLX_RETURN_IF_ERROR(ps.store->SeedResolution(txn, committed));
+  }
+  return Status::Ok();
 }
 
 void FaultDrill::CheckInvariant(const std::string& txn,

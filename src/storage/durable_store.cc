@@ -1,8 +1,10 @@
 #include "storage/durable_store.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -15,15 +17,54 @@ namespace axmlx::storage {
 
 namespace {
 
-std::string WalPath(const std::string& directory) {
-  return directory + "/wal.log";
+// Epoch 0 keeps the legacy file names so existing directories open cleanly.
+std::string WalPath(const std::string& directory, uint64_t epoch) {
+  if (epoch == 0) return directory + "/wal.log";
+  return directory + "/wal_e" + std::to_string(epoch) + ".log";
 }
 std::string ManifestPath(const std::string& directory) {
   return directory + "/manifest.txt";
 }
-std::string SnapshotPath(const std::string& directory,
+std::string SnapshotPath(const std::string& directory, uint64_t epoch,
                          const std::string& doc) {
-  return directory + "/snap_" + doc + ".xml";
+  if (epoch == 0) return directory + "/snap_" + doc + ".xml";
+  return directory + "/snap_e" + std::to_string(epoch) + "_" + doc + ".xml";
+}
+
+/// True for WAL/snapshot files belonging to `epoch` (either naming scheme).
+bool BelongsToEpoch(const std::string& file, uint64_t epoch) {
+  std::string wal_prefix =
+      epoch == 0 ? "wal." : "wal_e" + std::to_string(epoch) + ".";
+  std::string snap_prefix =
+      epoch == 0 ? "snap_" : "snap_e" + std::to_string(epoch) + "_";
+  if (file.rfind(wal_prefix, 0) == 0) return true;
+  if (file.rfind(snap_prefix, 0) == 0) {
+    // Epoch-0 "snap_" must not claim "snap_e<n>_..." files.
+    return epoch != 0 || file.rfind("snap_e", 0) != 0;
+  }
+  return false;
+}
+
+/// Removes WAL/snapshot files of every epoch except `keep` (best-effort):
+/// leftovers from a checkpoint that crashed mid-switch, or the retired
+/// epoch after a successful switch.
+void SweepForeignEpochs(const std::string& directory, uint64_t keep) {
+  DIR* dir = ::opendir(directory.c_str());
+  if (dir == nullptr) return;
+  std::vector<std::string> doomed;
+  while (dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    bool is_wal = name.rfind("wal", 0) == 0;
+    bool is_snap = name.rfind("snap_", 0) == 0;
+    if ((is_wal || is_snap) && name.find(".tmp") == std::string::npos &&
+        !BelongsToEpoch(name, keep)) {
+      doomed.push_back(name);
+    }
+  }
+  ::closedir(dir);
+  for (const std::string& name : doomed) {
+    std::remove((directory + "/" + name).c_str());
+  }
 }
 
 Status WriteFileAtomically(const std::string& path,
@@ -150,6 +191,10 @@ Status DurableStore::Open() {
   if (open_) return FailedPrecondition("store is already open");
   ::mkdir(directory_.c_str(), 0755);
   AXMLX_RETURN_IF_ERROR(LoadSnapshots());
+  // Files of any other epoch are dead weight: either a checkpoint crashed
+  // after writing next-epoch snapshots but before committing the manifest,
+  // or it committed and crashed before removing the retired epoch.
+  SweepForeignEpochs(directory_, epoch_);
   AXMLX_RETURN_IF_ERROR(ReplayWal());
   open_ = true;
   if (recorder_ != nullptr && stats_.replayed_ops > 0) {
@@ -166,7 +211,12 @@ Status DurableStore::Open() {
       recorder_->Record(obs::kEvFrRecovery, txn);
     }
     AXMLX_RETURN_IF_ERROR(CompensateTxn(txn, /*journal=*/true));
-    AXMLX_RETURN_IF_ERROR(AppendWal("RESOLVED " + txn, /*force_flush=*/true));
+    TxnState& state = active_txns_[txn];
+    AXMLX_RETURN_IF_ERROR(AppendWal(
+        "RESOLVED " + txn + " A " + std::to_string(state.wal_ops) + " " +
+            std::to_string(clock_),
+        /*force_flush=*/true));
+    resolved_outcomes_[txn] = false;
     active_txns_.erase(txn);
     ++stats_.recovered_txns;
   }
@@ -179,10 +229,20 @@ Status DurableStore::LoadSnapshots() {
                          ReadFile(ManifestPath(directory_)));
   std::istringstream lines(manifest);
   std::string name;
+  bool first = true;
   while (std::getline(lines, name)) {
     if (name.empty()) continue;
+    if (first) {
+      first = false;
+      // New manifests lead with "epoch <n>"; legacy manifests are epoch 0
+      // and their first line is already a document name.
+      if (name.rfind("epoch ", 0) == 0) {
+        epoch_ = std::stoull(name.substr(6));
+        continue;
+      }
+    }
     AXMLX_ASSIGN_OR_RETURN(std::string xml_text,
-                           ReadFile(SnapshotPath(directory_, name)));
+                           ReadFile(SnapshotPath(directory_, epoch_, name)));
     AXMLX_ASSIGN_OR_RETURN(auto doc, xml::Parse(xml_text));
     documents_[name] = std::move(doc);
   }
@@ -190,8 +250,9 @@ Status DurableStore::LoadSnapshots() {
 }
 
 Status DurableStore::ReplayWal() {
-  if (!FileExists(WalPath(directory_))) return Status::Ok();
-  AXMLX_ASSIGN_OR_RETURN(std::string wal, ReadFile(WalPath(directory_)));
+  if (!FileExists(WalPath(directory_, epoch_))) return Status::Ok();
+  AXMLX_ASSIGN_OR_RETURN(std::string wal,
+                         ReadFile(WalPath(directory_, epoch_)));
   std::istringstream lines(wal);
   std::string line;
   while (std::getline(lines, line)) {
@@ -199,9 +260,41 @@ Status DurableStore::ReplayWal() {
     size_t sp1 = line.find(' ');
     std::string kind = line.substr(0, sp1);
     if (kind == "BEGIN") {
-      active_txns_[line.substr(sp1 + 1)];
+      // "BEGIN <txn> <version>"; legacy form has no version.
+      std::string rest = line.substr(sp1 + 1);
+      size_t sp2 = rest.find(' ');
+      std::string txn = rest.substr(0, sp2);
+      TxnState& state = active_txns_[txn];
+      if (sp2 != std::string::npos) {
+        state.begin_version = std::stoull(rest.substr(sp2 + 1));
+      }
     } else if (kind == "RESOLVED") {
-      active_txns_.erase(line.substr(sp1 + 1));
+      // "RESOLVED <txn> <C|A> <ops> <version>"; legacy form is just <txn>.
+      std::istringstream fields(line.substr(sp1 + 1));
+      std::string txn, outcome, ops_text, version_text;
+      fields >> txn >> outcome >> ops_text >> version_text;
+      if (!outcome.empty()) {
+        size_t expected = std::stoull(ops_text);
+        auto it = active_txns_.find(txn);
+        size_t replayed = it == active_txns_.end() ? 0 : it->second.wal_ops;
+        if (replayed != expected) {
+          // The group-commit contract is that a RESOLVED record is durable
+          // no earlier than the OP records it covers. Seeing it with part
+          // of its payload missing means the log tail was torn (partial
+          // batch write, or replay over the wrong snapshot epoch) — the
+          // document state replay built is not the state that committed.
+          return Internal("torn WAL: txn " + txn + " resolved with " +
+                          ops_text + " ops but " + std::to_string(replayed) +
+                          " replayed");
+        }
+        resolved_outcomes_[txn] = outcome == "C";
+        if (!version_text.empty()) {
+          clock_ = std::max<uint64_t>(clock_, std::stoull(version_text));
+        }
+      }
+      active_txns_.erase(txn);
+    } else if (kind == "DEDUP") {
+      seen_dedup_keys_.push_back(DecodeWalPayload(line.substr(sp1 + 1)));
     } else if (kind == "EXT") {
       size_t sp2 = line.find(' ', sp1 + 1);
       if (sp2 == std::string::npos) {
@@ -225,8 +318,8 @@ Status DurableStore::ReplayWal() {
       std::string op_xml = DecodeWalPayload(line.substr(sp3 + 1));
       AXMLX_ASSIGN_OR_RETURN(ops::Operation op,
                              ops::Operation::FromXml(op_xml));
-      active_txns_[txn];  // replay may see OP before BEGIN only on
-                          // corruption; tolerate by creating the state
+      active_txns_[txn].wal_ops++;  // counts OP records for the torn-tail
+                                    // check; also tolerates OP before BEGIN
       auto applied = ApplyOp(txn, doc, op);
       if (!applied.ok()) {
         return Internal("WAL replay failed for txn " + txn + ": " +
@@ -243,7 +336,7 @@ Status DurableStore::ReplayWal() {
 Status DurableStore::FlushWal() {
   if (wal_batch_.empty()) return Status::Ok();
   if (!wal_.is_open()) {
-    wal_.open(WalPath(directory_), std::ios::app);
+    wal_.open(WalPath(directory_, epoch_), std::ios::app);
     if (!wal_) return Internal("cannot open WAL for append");
   }
   wal_.write(wal_batch_.data(),
@@ -326,8 +419,9 @@ Status DurableStore::Begin(const std::string& txn) {
   if (active_txns_.count(txn) > 0) {
     return AlreadyExists("transaction " + txn + " is already active");
   }
-  AXMLX_RETURN_IF_ERROR(AppendWal("BEGIN " + txn));
-  active_txns_[txn];
+  AXMLX_RETURN_IF_ERROR(
+      AppendWal("BEGIN " + txn + " " + std::to_string(clock_)));
+  active_txns_[txn].begin_version = clock_;
   return Status::Ok();
 }
 
@@ -343,6 +437,7 @@ Result<const ops::OpEffect*> DurableStore::ApplyOp(const std::string& txn,
     executor.SetExternal(name, value);
   }
   AXMLX_ASSIGN_OR_RETURN(ops::OpEffect effect, executor.Execute(op));
+  ++clock_;
   PublishHotPathCounters();
   TxnState& state = active_txns_[txn];
   state.ops_by_doc[doc].push_back(state.effects.size());
@@ -361,15 +456,21 @@ Result<const ops::OpEffect*> DurableStore::Execute(const std::string& txn,
   // Log first, then apply (write-ahead).
   AXMLX_RETURN_IF_ERROR(AppendWal("OP " + txn + " " + doc + " " +
                                   EncodeWalPayload(op.ToXml())));
+  active_txns_[txn].wal_ops++;
   return ApplyOp(txn, doc, op);
 }
 
 Status DurableStore::Commit(const std::string& txn) {
-  if (active_txns_.count(txn) == 0) {
+  auto it = active_txns_.find(txn);
+  if (it == active_txns_.end()) {
     return NotFound("transaction " + txn + " is not active");
   }
-  AXMLX_RETURN_IF_ERROR(AppendWal("RESOLVED " + txn, /*force_flush=*/true));
-  active_txns_.erase(txn);
+  AXMLX_RETURN_IF_ERROR(AppendWal(
+      "RESOLVED " + txn + " C " + std::to_string(it->second.wal_ops) + " " +
+          std::to_string(clock_),
+      /*force_flush=*/true));
+  resolved_outcomes_[txn] = true;
+  active_txns_.erase(it);
   return Status::Ok();
 }
 
@@ -384,6 +485,7 @@ Status DurableStore::CompensateTxn(const std::string& txn, bool journal) {
       if (journal) {
         AXMLX_RETURN_IF_ERROR(AppendWal("OP " + txn + " " + doc + " " +
                                         EncodeWalPayload(comp_op.ToXml())));
+        state.wal_ops++;
       }
       xml::Document* target = Get(doc);
       if (target == nullptr) return NotFound("unknown document " + doc);
@@ -406,8 +508,33 @@ Status DurableStore::Abort(const std::string& txn) {
     return NotFound("transaction " + txn + " is not active");
   }
   AXMLX_RETURN_IF_ERROR(CompensateTxn(txn, /*journal=*/true));
-  AXMLX_RETURN_IF_ERROR(AppendWal("RESOLVED " + txn, /*force_flush=*/true));
+  AXMLX_RETURN_IF_ERROR(AppendWal(
+      "RESOLVED " + txn + " A " +
+          std::to_string(active_txns_[txn].wal_ops) + " " +
+          std::to_string(clock_),
+      /*force_flush=*/true));
+  resolved_outcomes_[txn] = false;
   active_txns_.erase(txn);
+  return Status::Ok();
+}
+
+Status DurableStore::JournalDedupKey(const std::string& key) {
+  if (!open_) return FailedPrecondition("store is not open");
+  AXMLX_RETURN_IF_ERROR(AppendWal("DEDUP " + EncodeWalPayload(key)));
+  seen_dedup_keys_.push_back(key);
+  return Status::Ok();
+}
+
+Status DurableStore::SeedResolution(const std::string& txn, bool committed) {
+  if (!open_) return FailedPrecondition("store is not open");
+  if (active_txns_.count(txn) > 0) {
+    return FailedPrecondition("transaction " + txn + " is active here");
+  }
+  AXMLX_RETURN_IF_ERROR(AppendWal(
+      "RESOLVED " + txn + std::string(committed ? " C" : " A") + " 0 " +
+          std::to_string(clock_),
+      /*force_flush=*/true));
+  resolved_outcomes_[txn] = committed;
   return Status::Ok();
 }
 
@@ -417,22 +544,38 @@ Status DurableStore::Checkpoint() {
     return FailedPrecondition(
         "checkpoint requires all transactions resolved");
   }
-  std::string manifest;
+  // Epoch switch. The old scheme overwrote the shared-name snapshot files
+  // and truncated the WAL afterwards; a crash between those steps replayed
+  // the old WAL over the *new* snapshots, double-applying every resolved
+  // transaction. Writing the new epoch beside the old one and committing
+  // via a single atomic manifest rename removes that window: before the
+  // rename the old epoch (snapshots + WAL) is authoritative and intact;
+  // after it the new epoch is, and its WAL is empty by construction.
+  const uint64_t next = epoch_ + 1;
+  std::string manifest = "epoch " + std::to_string(next) + "\n";
   for (const auto& [name, doc] : documents_) {
-    AXMLX_RETURN_IF_ERROR(
-        WriteFileAtomically(SnapshotPath(directory_, name), doc->Serialize()));
+    AXMLX_RETURN_IF_ERROR(WriteFileAtomically(
+        SnapshotPath(directory_, next, name), doc->Serialize()));
     manifest += name + "\n";
   }
-  AXMLX_RETURN_IF_ERROR(WriteFileAtomically(ManifestPath(directory_), manifest));
-  // Truncate the WAL: everything below the snapshots is durable. Buffered
-  // records describe effects the snapshots already contain, so drop them,
-  // and close the append stream first — truncation renames a fresh file
-  // over the log, which would leave an open stream writing to the old,
-  // unlinked inode. The stream reopens lazily on the next flush.
+  if (crash_point_ == CrashPoint::kAfterSnapshots) {
+    return Internal("injected crash after snapshots");
+  }
+  // Buffered records describe effects the new snapshots already contain.
+  // Close the old append stream before the switch; it reopens lazily on
+  // the next flush, against the new epoch's (empty) log.
   wal_batch_.clear();
   batched_records_ = 0;
   if (wal_.is_open()) wal_.close();
-  AXMLX_RETURN_IF_ERROR(WriteFileAtomically(WalPath(directory_), ""));
+  AXMLX_RETURN_IF_ERROR(WriteFileAtomically(WalPath(directory_, next), ""));
+  AXMLX_RETURN_IF_ERROR(
+      WriteFileAtomically(ManifestPath(directory_), manifest));
+  if (crash_point_ == CrashPoint::kAfterManifest) {
+    epoch_ = next;
+    return Internal("injected crash after manifest");
+  }
+  SweepForeignEpochs(directory_, next);
+  epoch_ = next;
   ++stats_.checkpoints;
   if (recorder_ != nullptr) {
     recorder_->Record(obs::kEvFrCheckpoint, {}, /*span=*/0,

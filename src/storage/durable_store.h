@@ -57,11 +57,25 @@ struct FlushPolicy {
 /// logged as ordinary operations before the transaction is RESOLVED.
 ///
 /// WAL record grammar (one record per line, payloads newline-escaped):
-///   BEGIN <txn>
+///   BEGIN <txn> <version>
 ///   OP <txn> <doc> <operation-xml>
-///   RESOLVED <txn>            -- commit, or abort whose compensation is
-///                                fully journaled as OP records
+///   RESOLVED <txn> <C|A> <ops> <version>
+///                             -- C = commit, A = abort whose compensation is
+///                                fully journaled as OP records; <ops> is the
+///                                number of OP records this txn appended to
+///                                the current log segment (torn-tail check);
+///                                <version> the store's logical clock
 ///   NEWDOC <document-xml>
+///   DEDUP <key>               -- at-most-once message key (txn::Peer dedup
+///                                window), replayed into seen_dedup_keys()
+/// Legacy two-token BEGIN/RESOLVED records (pre-versioning) still parse.
+///
+/// Checkpoints are epoch-switched, never in-place: epoch n writes
+/// `snap_e<n>_<doc>.xml` + `wal_e<n>.log` and commits by atomically renaming
+/// the manifest (first line `epoch <n>`). A crash anywhere during
+/// checkpointing leaves either the old epoch fully intact or the new epoch
+/// fully committed — the WAL can never replay over snapshots it does not
+/// belong to. Epoch 0 uses the legacy names `snap_<doc>.xml` / `wal.log`.
 class DurableStore {
  public:
   /// `directory` is created on Open() if missing. `invoker` resolves
@@ -108,11 +122,51 @@ class DurableStore {
   /// as ordinary operations), then journals RESOLVED.
   Status Abort(const std::string& txn);
 
-  /// Writes snapshots of all documents and truncates the WAL.
+  /// Writes snapshots of all documents into the next epoch and switches to
+  /// it (atomic manifest rename = commit point), retiring the old WAL.
   Status Checkpoint();
 
   /// Flushes buffered WAL records to the log file (no-op when empty).
   Status FlushWal();
+
+  // --- At-most-once support for txn::Peer ----------------------------------
+
+  /// Durably journals a message-dedup key so the peer's at-most-once window
+  /// survives crash-restart. Flushed with the normal group-commit policy:
+  /// the key reaches disk no later than the resolution it guards (same
+  /// batch ordering).
+  Status JournalDedupKey(const std::string& key);
+
+  /// Dedup keys recovered from the WAL on Open(), in journal order.
+  [[nodiscard]] const std::vector<std::string>& seen_dedup_keys() const {
+    return seen_dedup_keys_;
+  }
+
+  /// Journals a resolution outcome for a transaction that has no OP records
+  /// in this store (e.g. a restarted peer re-seeding knowledge that `txn`
+  /// was decided elsewhere). Replay-safe: the record carries 0 ops.
+  Status SeedResolution(const std::string& txn, bool committed);
+
+  /// Outcome (true = committed) of every transaction resolved in the
+  /// current WAL segment, including outcomes recovered by replay.
+  [[nodiscard]] const std::map<std::string, bool>& resolved_outcomes() const {
+    return resolved_outcomes_;
+  }
+
+  // --- Crash injection (tests) ---------------------------------------------
+
+  /// Where Checkpoint() simulates a crash (returns Internal and leaves the
+  /// directory exactly as a real crash at that point would).
+  enum class CrashPoint {
+    kNone,
+    kAfterSnapshots,  ///< New-epoch snapshots written; manifest not renamed.
+    kAfterManifest,   ///< Manifest renamed; old-epoch files not yet removed.
+  };
+  void InjectCheckpointCrash(CrashPoint point) { crash_point_ = point; }
+
+  [[nodiscard]] uint64_t epoch() const { return epoch_; }
+  /// Logical clock: one tick per applied operation (restored by replay).
+  [[nodiscard]] uint64_t clock() const { return clock_; }
 
   struct Stats {
     int64_t wal_records = 0;      ///< Records appended this session.
@@ -137,6 +191,12 @@ class DurableStore {
     /// docs[i] names the document effects()[i] applied to.
     std::vector<std::string> docs;
     std::map<std::string, std::vector<size_t>> ops_by_doc;
+    /// Logical clock at BEGIN (the txn's snapshot stamp in the WAL).
+    uint64_t begin_version = 0;
+    /// OP records this txn appended to the current WAL segment — both
+    /// forward and journaled compensating ops. RESOLVED carries this count
+    /// so replay can detect a torn tail (RESOLVED present, payload lost).
+    size_t wal_ops = 0;
   };
 
   struct WalCounters {
@@ -187,6 +247,11 @@ class DurableStore {
   size_t batched_records_ = 0;
   bool open_ = false;
   obs::FlightRecorder* recorder_ = nullptr;
+  uint64_t epoch_ = 0;   ///< Current checkpoint epoch (manifest-committed).
+  uint64_t clock_ = 0;   ///< Logical clock: ticks once per applied op.
+  CrashPoint crash_point_ = CrashPoint::kNone;
+  std::vector<std::string> seen_dedup_keys_;
+  std::map<std::string, bool> resolved_outcomes_;
 };
 
 /// Newline/percent escaping for single-line WAL payloads.

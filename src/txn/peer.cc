@@ -439,6 +439,15 @@ void AxmlPeer::OnMessage(const overlay::Message& message,
   // share a "dedup" header). Handlers below may assume at-most-once.
   const std::string key = DedupKeyOf(message);
   if (!key.empty() && !seen_messages_.insert(key).second) return;
+  // Effectful control messages get their dedup key journaled durably: a
+  // retransmission that lands after a crash-restart must hit a rebuilt
+  // window, or its plan/decision would be applied twice (fault_drill_test
+  // CompensateRedeliveryAfterRestart).
+  if (journal_ != nullptr && !key.empty() &&
+      (message.type == kMsgCompensate || message.type == kMsgAbort ||
+       message.type == kMsgCommit)) {
+    journal_->OnDedup(key);
+  }
   if (message.type == kMsgInvoke) {
     HandleInvoke(message, net);
   } else if (message.type == kMsgResult) {

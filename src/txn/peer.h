@@ -94,6 +94,14 @@ class WriteJournal {
   /// `txn` reached a final local decision: committed (keep the work) or
   /// aborted (the journal must undo the journaled forward operations).
   virtual void OnResolved(const std::string& txn, bool committed) = 0;
+
+  /// The peer admitted an effectful message (compensate/abort/commit) into
+  /// its at-most-once dedup window. Journals that persist this key can
+  /// rebuild the window on restart (SeedDedupKey) so a retransmission
+  /// arriving at the restarted incarnation is still suppressed — without
+  /// it, a redelivered COMPENSATE would re-apply its plan. Default: no-op
+  /// (in-memory-only peers keep the old behaviour).
+  virtual void OnDedup(const std::string& key) { (void)key; }
 };
 
 /// A transactional AXML peer (paper §3.2).
@@ -188,6 +196,16 @@ class AxmlPeer : public overlay::PeerNode {
   /// Attaches a durable write journal (not owned; null detaches). Must be
   /// set before the peer does transactional work.
   void AttachJournal(WriteJournal* journal) { journal_ = journal; }
+
+  /// Pre-populates the at-most-once dedup window (crash-restart recovery:
+  /// keys come from the journal's WAL). Does not echo back to OnDedup.
+  void SeedDedupKey(const std::string& key) { seen_messages_.insert(key); }
+
+  /// Pre-populates a recovered resolution (crash-restart recovery). Does
+  /// not echo back to OnResolved.
+  void SeedResolution(const std::string& txn, bool committed) {
+    resolved_txns_[txn] = committed;
+  }
 
   /// Attaches a causal span tracker (not owned; null detaches). Shared by
   /// every peer of a repository so cross-peer parent links resolve; must be
@@ -336,6 +354,7 @@ class AxmlPeer : public overlay::PeerNode {
   /// stale duplicate/misrouted RESULT for a committed transaction (ignore)
   /// from genuinely stale work (presumed-abort reply).
   std::optional<bool> ResolvedOutcome(const std::string& txn) const;
+
 
   /// Sends `m` as a decision-carrying control message. In reliable-control
   /// mode (control_resend_interval > 0) the message carries "rsvp" and

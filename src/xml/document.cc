@@ -44,8 +44,93 @@ std::unique_ptr<Document> Document::Clone() const {
   copy->names_ = names_;
   copy->name_ids_ = name_ids_;
   copy->name_index_ = name_index_;
+  copy->versioning_enabled_ = versioning_enabled_;
+  copy->version_ = version_;
+  copy->writer_ = writer_;
+  copy->history_ = history_;
   copy->storage_stats_ = storage_stats_;
   return copy;
+}
+
+void Document::RecordVersion(NodeId id) {
+  if (!versioning_enabled_) return;
+  VersionRecord rec;
+  rec.version = ++version_;
+  rec.writer = writer_;
+  const Node* n = Find(id);
+  rec.live = n != nullptr;
+  if (n != nullptr) rec.state = *n;
+  history_[id].push_back(std::move(rec));
+  ++storage_stats_.versions_recorded;
+}
+
+const Node* Document::FindVersioned(NodeId id, const ReadView& view) const {
+  const Node* live = Find(id);
+  auto it = history_.find(id);
+  if (it == history_.end()) return live;
+  const std::vector<VersionRecord>& chain = it->second;
+  // Chains are append-ordered by version; the oldest record newer than the
+  // snapshot holds the node's state *at* the snapshot (it is the undo image
+  // of the first post-snapshot mutation).
+  auto rec = std::upper_bound(
+      chain.begin(), chain.end(), view.version,
+      [](uint64_t v, const VersionRecord& r) { return v < r.version; });
+  if (rec == chain.end()) return live;  // unchanged since the snapshot
+  // Read-your-own-writes: if the viewer authored any post-snapshot change,
+  // the live state is its state. Conflict detection keeps chains
+  // single-writer past a snapshot, so mixed chains only occur transiently
+  // while a loser is being rolled back.
+  if (view.writer != 0) {
+    for (auto r = rec; r != chain.end(); ++r) {
+      if (r->writer == view.writer) return live;
+    }
+  }
+  return rec->live ? &rec->state : nullptr;
+}
+
+void Document::ForEachWriteSince(
+    NodeId id, uint64_t since,
+    const std::function<void(uint64_t, uint64_t)>& fn) const {
+  auto it = history_.find(id);
+  if (it == history_.end()) return;
+  for (const VersionRecord& rec : it->second) {
+    if (rec.version > since) fn(rec.version, rec.writer);
+  }
+}
+
+void Document::AppendTextContentAt(NodeId id, const ReadView& view,
+                                   std::string* out) const {
+  if (!view.active || !versioning_enabled_) {
+    AppendTextContent(id, out);
+    return;
+  }
+  const Node* n = FindAt(id, view);
+  if (n == nullptr) return;
+  if (n->is_text()) {
+    out->append(n->text);
+    return;
+  }
+  if (n->type == NodeType::kComment) return;
+  for (NodeId c : n->children) AppendTextContentAt(c, view, out);
+}
+
+void Document::PruneVersionsBefore(uint64_t min_version) {
+  for (auto it = history_.begin(); it != history_.end();) {
+    std::vector<VersionRecord>& chain = it->second;
+    auto keep = std::upper_bound(
+        chain.begin(), chain.end(), min_version,
+        [](uint64_t v, const VersionRecord& r) { return v < r.version; });
+    storage_stats_.versions_pruned +=
+        static_cast<int64_t>(keep - chain.begin());
+    chain.erase(chain.begin(), keep);
+    it = chain.empty() ? history_.erase(it) : std::next(it);
+  }
+}
+
+size_t Document::VersionRecordCount() const {
+  size_t count = 0;
+  for (const auto& [id, chain] : history_) count += chain.size();
+  return count;
 }
 
 NameId Document::InternName(std::string_view name) {
@@ -98,6 +183,7 @@ void Document::MapIdToSlot(NodeId id, uint32_t slot) {
 NodeId Document::NewNode(NodeType type) {
   uint32_t slot = AllocSlot();
   NodeId id = next_id_;
+  RecordVersion(id);  // "absent" undo image: the id did not exist before
   MapIdToSlot(id, slot);
   Node& node = NodeAt(slot);
   node.id = id;
@@ -189,6 +275,10 @@ Status Document::InsertAt(NodeId parent, size_t index, NodeId child) {
       return InvalidArgument("InsertAt: would create a cycle");
     }
   }
+  RecordVersion(parent);
+  RecordVersion(child);
+  // RecordVersion may rehash history_ but never touches the slab, so the
+  // Node pointers above stay valid.
   p->children.insert(p->children.begin() + static_cast<ptrdiff_t>(index),
                      child);
   c->parent = parent;
@@ -204,6 +294,7 @@ Result<Document::RemovedInfo> Document::RemoveSubtree(NodeId id) {
   RemovedInfo info;
   info.parent = n->parent;
   if (n->parent != kNullNode) {
+    RecordVersion(n->parent);
     Node* p = FindMutable(n->parent);
     auto it = std::find(p->children.begin(), p->children.end(), id);
     info.index = static_cast<size_t>(it - p->children.begin());
@@ -226,6 +317,7 @@ void Document::DestroySubtree(NodeId id) {
     Node* n = FindMutable(cur);
     if (n == nullptr) continue;
     for (NodeId c : n->children) stack.push_back(c);
+    RecordVersion(cur);
     FreeNode(cur);
   }
 }
@@ -234,6 +326,7 @@ Status Document::SetText(NodeId id, const std::string& text) {
   Node* n = FindMutable(id);
   if (n == nullptr) return NotFound("SetText: unknown node");
   if (n->is_element()) return InvalidArgument("SetText: node is an element");
+  RecordVersion(id);
   n->text = text;
   return Status::Ok();
 }
@@ -246,6 +339,7 @@ Status Document::RenameElement(NodeId id, const std::string& name) {
   }
   NameId name_id = InternName(name);
   if (name_id == n->name_id) return Status::Ok();
+  RecordVersion(id);
   // The entry under the old name goes stale; CollectElementsNamed filters
   // and sweeps it on the next lookup.
   n->name = name;
@@ -261,6 +355,7 @@ Status Document::SetAttribute(NodeId id, const std::string& key,
   if (!n->is_element()) {
     return InvalidArgument("SetAttribute: node is not an element");
   }
+  RecordVersion(id);
   for (auto& [k, v] : n->attributes) {
     if (k == key) {
       v = value;
@@ -328,7 +423,9 @@ Status Document::RestoreSubtree(const std::vector<Node>& nodes,
       return AlreadyExists("RestoreSubtree: node id is live");
     }
   }
+  RecordVersion(parent);
   for (const Node& n : nodes) {
+    RecordVersion(n.id);  // "absent": the id was free before the restore
     uint32_t slot = AllocSlot();
     Node& stored = NodeAt(slot);
     stored = n;

@@ -15,6 +15,20 @@
 
 namespace axmlx::xml {
 
+/// A consistent read position over a versioned document (DESIGN.md §10).
+///
+/// `version` is the document's mutation counter captured at transaction
+/// begin; reads through the view resolve every node to its state as of that
+/// version. `writer` is the reading transaction's own writer tag: nodes it
+/// wrote after the snapshot stay visible in their current (live) state, so
+/// a transaction always reads its own writes. An inactive view reads the
+/// live document (plain `Find`).
+struct ReadView {
+  uint64_t version = 0;  ///< Snapshot: document version at transaction begin.
+  uint64_t writer = 0;   ///< Reader's writer tag (0 = read-only observer).
+  bool active = false;   ///< False = live reads, no snapshot.
+};
+
 /// An in-memory XML tree with stable node ids and ordered children.
 ///
 /// `Document` is the storage substrate for AXML repositories: every peer in
@@ -74,6 +88,60 @@ class Document {
 
   /// True if `id` identifies a live node of this document.
   bool Contains(NodeId id) const { return Find(id) != nullptr; }
+
+  // --- Multi-version reads (DESIGN.md §10) ---------------------------------
+  //
+  // Versioning turns the slab's never-reused ids into cheap copy-on-write
+  // history: every mutation first pushes the *prior* state of each touched
+  // node onto that node's undo chain, tagged with the mutation's version
+  // number and the current writer tag. A snapshot is just the version
+  // counter captured at transaction begin; reconstructing a node at
+  // snapshot S walks its chain for the oldest record newer than S. Live
+  // reads stay two array reads — the chains are consulted only through
+  // FindAt with an active view.
+
+  /// Turns on version recording (idempotent). History starts empty: states
+  /// from before the call cannot be reconstructed, which is fine because
+  /// snapshots are always taken at or after the current version.
+  void EnableVersioning() { versioning_enabled_ = true; }
+  bool versioning_enabled() const { return versioning_enabled_; }
+
+  /// Mutation counter: incremented once per recorded node-state change.
+  uint64_t version() const { return version_; }
+
+  /// Tags subsequent mutations with `writer` (a transaction's writer tag;
+  /// 0 = untagged). Conflict detection and read-your-own-writes key off it.
+  void SetWriter(uint64_t writer) { writer_ = writer; }
+  uint64_t writer() const { return writer_; }
+
+  /// `Find` as of `view`: the live node when unchanged since the snapshot
+  /// (or last written by the view's own writer), the reconstructed prior
+  /// state when another writer touched it afterwards, and nullptr when the
+  /// node did not exist at the snapshot. The returned pointer stays valid
+  /// until the next mutation or PruneVersionsBefore call.
+  const Node* FindAt(NodeId id, const ReadView& view) const {
+    if (!view.active || !versioning_enabled_) return Find(id);
+    return FindVersioned(id, view);
+  }
+
+  /// Invokes `fn(version, writer)` for every retained history record of
+  /// `id` with version > `since`, oldest first. Conflict detection scans
+  /// these to find overlapping writers.
+  void ForEachWriteSince(
+      NodeId id, uint64_t since,
+      const std::function<void(uint64_t version, uint64_t writer)>& fn) const;
+
+  /// Concatenated descendant text as of `view` (live walk when inactive).
+  void AppendTextContentAt(NodeId id, const ReadView& view,
+                           std::string* out) const;
+
+  /// Drops history records with version <= `min_version` — safe once no
+  /// active snapshot is older than that version. Chains that empty are
+  /// erased entirely, so an idle document carries no history at all.
+  void PruneVersionsBefore(uint64_t min_version);
+
+  /// Retained history records across all chains (introspection/tests).
+  size_t VersionRecordCount() const;
 
   // --- Interned tag names --------------------------------------------------
 
@@ -205,6 +273,8 @@ class Document {
     int64_t slots_reused = 0;     ///< Allocations served from the free list.
     int64_t pages_allocated = 0;  ///< Slab pages ever allocated.
     int64_t index_entries_swept = 0;  ///< Stale tag-index entries dropped.
+    int64_t versions_recorded = 0;  ///< Undo records pushed (MVCC).
+    int64_t versions_pruned = 0;    ///< Undo records garbage-collected.
   };
   const StorageStats& storage_stats() const { return storage_stats_; }
 
@@ -246,6 +316,23 @@ class Document {
   void DestroySubtree(NodeId id);
   NodeId ImportRec(const Document& src, NodeId src_id);
 
+  /// One undo record: the state of a node just before the mutation numbered
+  /// `version` (by `writer`) replaced it. `live == false` means the node
+  /// did not exist before that mutation (creation / id-preserving restore).
+  struct VersionRecord {
+    uint64_t version = 0;
+    uint64_t writer = 0;
+    bool live = false;
+    Node state;
+  };
+
+  /// Pushes the current state of `id` (or an "absent" record) onto its undo
+  /// chain under a fresh version number. No-op unless versioning is on.
+  /// Mutators call this immediately before changing the node.
+  void RecordVersion(NodeId id);
+
+  const Node* FindVersioned(NodeId id, const ReadView& view) const;
+
   struct StringHash {
     using is_transparent = void;
     size_t operator()(std::string_view s) const {
@@ -281,6 +368,13 @@ class Document {
   // Tag index: [NameId] -> element ids, maintained lazily (mutable so const
   // lookups can sweep stale entries in place).
   mutable std::vector<std::vector<NodeId>> name_index_;
+
+  // MVCC state: per-node undo chains, append-ordered by version. Empty (and
+  // cost-free on the mutation path) until EnableVersioning().
+  bool versioning_enabled_ = false;
+  uint64_t version_ = 0;
+  uint64_t writer_ = 0;
+  std::unordered_map<NodeId, std::vector<VersionRecord>> history_;
 
   mutable StorageStats storage_stats_;
 

@@ -2,8 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "compensation/compensation.h"
+#include "ops/operation.h"
+#include "repo/axml_repository.h"
+#include "txn/payload.h"
+#include "txn/peer.h"
+#include "xml/document.h"
 
 namespace axmlx::repo {
 namespace {
@@ -99,6 +107,101 @@ TEST(FaultDrillTest, EverythingAtOnceStillAtomic) {
       << JoinDetails(report->violation_details);
   EXPECT_GT(report->crashes, 0);
   EXPECT_GT(report->faults.partition_blocked, 0);
+}
+
+// Journal that only records dedup keys — stands in for the DurableStore
+// adapter so the test can watch exactly which keys the peer admits.
+class DedupRecordingJournal : public txn::WriteJournal {
+ public:
+  void OnApply(const std::string&, const std::string&,
+               const std::vector<ops::Operation>&) override {}
+  void OnResolved(const std::string&, bool) override {}
+  void OnDedup(const std::string& key) override { keys.push_back(key); }
+  std::vector<std::string> keys;
+};
+
+int CountItems(txn::AxmlPeer* peer) {
+  xml::Document* doc = peer->repository().GetDocument("Inv");
+  if (doc == nullptr) return -1;
+  int n = 0;
+  doc->Walk(doc->root(), [&](const xml::Node& node) {
+    if (node.type == xml::NodeType::kElement && node.name == "it") ++n;
+    return true;
+  });
+  return n;
+}
+
+overlay::Message MakeCompensate(const overlay::PeerId& to) {
+  auto payload = std::make_shared<txn::CompensatePayload>();
+  payload->document = "Inv";
+  payload->plan.operations.push_back(
+      ops::MakeInsert("Select d from d in Inv/items", "<it>comp</it>"));
+  overlay::Message m;
+  m.from = "coordinator";
+  m.to = to;
+  m.type = txn::kMsgCompensate;
+  m.headers[txn::kHdrTxn] = "t_redeliver";
+  m.headers[txn::kHdrDedup] = "comp/t_redeliver/P1";
+  m.attachment = std::move(payload);
+  return m;
+}
+
+// A COMPENSATE retransmission that lands *after* the receiving peer crashed
+// and restarted must still be suppressed: the at-most-once window is rebuilt
+// from journaled dedup keys (DurableStore DEDUP records via
+// WriteJournal::OnDedup → SeedDedupKey), so the shipped plan is applied
+// exactly once across incarnations. Before the fix the rebuilt peer had an
+// empty window and ran the plan a second time.
+TEST(FaultDrillTest, CompensateRedeliveryAfterRestart) {
+  AxmlRepository repo(42);
+  AxmlRepository::PeerConfig config;
+  config.id = "P1";
+  auto peer = repo.AddPeer(config);
+  ASSERT_TRUE(peer.ok()) << peer.status();
+  ASSERT_TRUE(
+      repo.HostDocument("P1", "<Inv><items><it>base</it></items></Inv>").ok());
+  DedupRecordingJournal journal;
+  (*peer)->AttachJournal(&journal);
+
+  // First delivery applies the plan; the duplicate in the same incarnation
+  // is suppressed by the in-memory window.
+  overlay::Message m = MakeCompensate("P1");
+  (*peer)->OnMessage(m, &repo.network());
+  (*peer)->OnMessage(m, &repo.network());
+  EXPECT_EQ(CountItems(*peer), 2);
+  EXPECT_EQ((*peer)->stats().compensations_executed, 1);
+  ASSERT_EQ(journal.keys.size(), 1u);
+  EXPECT_EQ(journal.keys[0], "comp/t_redeliver/P1");
+
+  // Crash-restart: all volatile state (including the dedup window) is gone.
+  ASSERT_TRUE(repo.CrashPeer("P1").ok());
+  auto rebuilt = repo.RestartPeer(config);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  ASSERT_TRUE(
+      repo.HostDocument("P1", "<Inv><items><it>base</it><it>comp</it>"
+                              "</items></Inv>")
+          .ok());
+  // What FaultDrill::RestartNow does from the recovered WAL: re-seed the
+  // window with every journaled key.
+  for (const std::string& key : journal.keys) (*rebuilt)->SeedDedupKey(key);
+
+  // The retransmission hits the rebuilt window — plan NOT applied again.
+  (*rebuilt)->OnMessage(m, &repo.network());
+  EXPECT_EQ(CountItems(*rebuilt), 2);
+  EXPECT_EQ((*rebuilt)->stats().compensations_executed, 0);
+
+  // Control: without seeding, the same redelivery double-applies — the
+  // exact failure mode the journal exists to prevent.
+  ASSERT_TRUE(repo.CrashPeer("P1").ok());
+  auto unseeded = repo.RestartPeer(config);
+  ASSERT_TRUE(unseeded.ok()) << unseeded.status();
+  ASSERT_TRUE(
+      repo.HostDocument("P1", "<Inv><items><it>base</it><it>comp</it>"
+                              "</items></Inv>")
+          .ok());
+  (*unseeded)->OnMessage(m, &repo.network());
+  EXPECT_EQ(CountItems(*unseeded), 3);
+  EXPECT_EQ((*unseeded)->stats().compensations_executed, 1);
 }
 
 }  // namespace

@@ -174,6 +174,75 @@ TEST_P(QueryDifferential, IndexedMatchesNaiveAfterMutations) {
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryDifferential,
                          ::testing::Values(1u, 42u, 20260806u));
 
+TEST(CompareScalarHardening, PathologicalNumericSpellingsFallBackToStrings) {
+  // std::from_chars accepts "inf"/"nan"; before the ParseNumber hardening
+  // an equality predicate against "nan" parsed both sides as NaN, and the
+  // three-way compare (neither < nor >) then claimed *equality* — so
+  // "nan" = "nan" was true numerically but any value also equaled "nan".
+  // Non-finite spellings, overflow, and trailing garbage must all take the
+  // raw-string comparison path in BOTH evaluators.
+  using query::CompareOp;
+  using query::CompareScalarValues;
+  // NaN never equals anything numerically; as strings "nan" == "nan".
+  EXPECT_TRUE(CompareScalarValues("nan", "nan", CompareOp::kEq));
+  EXPECT_FALSE(CompareScalarValues("7", "nan", CompareOp::kEq));
+  EXPECT_FALSE(CompareScalarValues("nan", "7", CompareOp::kEq));
+  // String comparison is exact: padded spellings differ.
+  EXPECT_FALSE(CompareScalarValues("nan", " nan", CompareOp::kEq));
+  // Infinities compare as strings, not as +-inf: "inf" > "7" holds
+  // lexicographically ('i' > '7'), NOT because infinity beats seven.
+  EXPECT_TRUE(CompareScalarValues("inf", "inf", CompareOp::kEq));
+  EXPECT_TRUE(CompareScalarValues("inf", "7", CompareOp::kGt));
+  EXPECT_FALSE(CompareScalarValues("inf", "7", CompareOp::kEq));
+  EXPECT_TRUE(CompareScalarValues("-inf", "7", CompareOp::kNe));
+  // Overflow ("1e999" -> result_out_of_range) falls back to strings.
+  EXPECT_TRUE(CompareScalarValues("1e999", "1e999", CompareOp::kEq));
+  EXPECT_FALSE(CompareScalarValues("1e999", "2", CompareOp::kGt));
+  // Trailing garbage is not a number.
+  EXPECT_FALSE(CompareScalarValues("7abc", "7", CompareOp::kEq));
+  EXPECT_TRUE(CompareScalarValues("7abc", "7abc", CompareOp::kEq));
+  // "0x10" parses as 0 with trailing "x10" -> string comparison.
+  EXPECT_FALSE(CompareScalarValues("0x10", "16", CompareOp::kEq));
+  // Whitespace-trimmed numerics still compare numerically.
+  EXPECT_TRUE(CompareScalarValues(" 7 ", "7", CompareOp::kEq));
+  EXPECT_TRUE(CompareScalarValues("+7", "7", CompareOp::kEq));
+  // "--7" is garbage, not 7.
+  EXPECT_FALSE(CompareScalarValues("--7", "7", CompareOp::kEq));
+}
+
+TEST(CompareScalarHardening, EvaluatorsAgreeOnPathologicalTextValues) {
+  // The same pathological spellings as document text: the indexed and
+  // naive evaluators must produce identical bindings for predicates over
+  // them (the regression the NaN bug would break: the indexed evaluator's
+  // memoized text still reached the same broken ParseNumber, but any
+  // divergence in fallback behaviour shows up here).
+  auto doc = std::make_unique<Document>("Root");
+  const char* const kValues[] = {"inf",  "nan", "1e999", "0x10", "7 ",
+                                 "+7",   "--7", "7abc",  "-inf", "NaN"};
+  for (const char* value : kValues) {
+    xml::AddTextElement(doc.get(), doc->root(), "rank", value);
+  }
+  const char* const kLiterals[] = {"nan", "inf", "7", "1e999", "0x10"};
+  EvalContext ctx;
+  for (const char* literal : kLiterals) {
+    for (int op = 0; op < 6; ++op) {
+      Query q;
+      q.var = "x";
+      q.doc_name = "Root";
+      Step step;
+      step.axis = Step::Axis::kChild;
+      step.name = "rank";
+      q.source.steps.push_back(step);
+      auto pred = std::make_unique<Predicate>();
+      pred->kind = Predicate::Kind::kCompare;
+      pred->op = static_cast<query::CompareOp>(op);
+      pred->literal = literal;
+      q.where = std::move(pred);
+      ExpectSameResults(*doc, q, &ctx);
+    }
+  }
+}
+
 // --- DurableStore recovery differential --------------------------------
 
 std::string FreshDir(const char* tag) {

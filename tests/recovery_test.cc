@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "axmlx_report/report.h"
+#include "ops/operation.h"
 #include "repo/axml_repository.h"
 #include "repo/scenarios.h"
+#include "storage/durable_store.h"
 
 namespace axmlx::repo {
 namespace {
@@ -244,6 +249,135 @@ TEST(PeerIndependent, CompensationSurvivesChildDisconnection) {
     }
   }
 }
+
+// --- DurableStore crash-ordering regressions --------------------------------
+//
+// Group-commit ordering under crash: a RESOLVED record must never take
+// effect ahead of (or without) its payload. Two failure shapes are locked
+// in here: the checkpoint-ordering hole (old WAL replayed over new
+// snapshots) and a torn log tail (RESOLVED durable, OP records lost).
+
+namespace {
+
+std::string FreshStoreDir(const char* tag) {
+  std::string dir = std::filesystem::temp_directory_path().string() +
+                    "/axmlx_recovery_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// One committed insert of <it>keep</it> under Inv//items.
+void RunCommittedTxn(storage::DurableStore* store, const std::string& txn) {
+  ASSERT_TRUE(store->Begin(txn).ok());
+  auto r = store->Execute(
+      txn, "Inv",
+      ops::MakeInsert("Select d from d in Inv//items", "<it>keep</it>"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(store->Commit(txn).ok());
+}
+
+size_t CountItems(storage::DurableStore* store) {
+  xml::Document* doc = store->Get("Inv");
+  if (doc == nullptr) return 0;
+  size_t count = 0;
+  doc->Walk(doc->root(), [&count](const xml::Node& n) {
+    if (n.is_element() && n.name == "it") ++count;
+    return true;
+  });
+  return count;
+}
+
+class CheckpointCrash
+    : public ::testing::TestWithParam<storage::DurableStore::CrashPoint> {};
+
+TEST_P(CheckpointCrash, ReopenNeverDoubleAppliesTheWal) {
+  // The pre-epoch checkpoint wrote snapshots over the live snapshot files
+  // and truncated the WAL afterwards; crashing between those steps made
+  // recovery replay the (already-applied) WAL over the *new* snapshots —
+  // every committed transaction applied twice. The epoch switch makes any
+  // crash land on a consistent (snapshots, wal) pair; this test drives
+  // both injection points.
+  const std::string dir = FreshStoreDir(
+      GetParam() == storage::DurableStore::CrashPoint::kAfterSnapshots
+          ? "ckpt_snap"
+          : "ckpt_manifest");
+  {
+    storage::DurableStore store(dir, nullptr);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.CreateDocument("<Inv><items/></Inv>").ok());
+    RunCommittedTxn(&store, "t1");
+    ASSERT_EQ(CountItems(&store), 1u);
+    store.InjectCheckpointCrash(GetParam());
+    EXPECT_FALSE(store.Checkpoint().ok()) << "injected crash must surface";
+  }
+  storage::DurableStore reopened(dir, nullptr);
+  ASSERT_TRUE(reopened.Open().ok());
+  // Exactly one item — with the old ordering the kAfterSnapshots crash
+  // replayed t1's WAL over a snapshot that already contained it (2 items).
+  EXPECT_EQ(CountItems(&reopened), 1u);
+  // The reopened store keeps working and can checkpoint cleanly.
+  RunCommittedTxn(&reopened, "t2");
+  ASSERT_TRUE(reopened.Checkpoint().ok());
+  storage::DurableStore again(dir, nullptr);
+  ASSERT_TRUE(again.Open().ok());
+  EXPECT_EQ(CountItems(&again), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Points, CheckpointCrash,
+    ::testing::Values(storage::DurableStore::CrashPoint::kAfterSnapshots,
+                      storage::DurableStore::CrashPoint::kAfterManifest));
+
+TEST(TornWalTail, ResolvedWithoutItsPayloadIsRejected) {
+  // Handcraft the torn shape directly: a RESOLVED record claiming one OP,
+  // with the OP record missing (partial batch write). Replay must refuse
+  // to present this as a consistent store rather than silently recovering
+  // a state that never existed.
+  const std::string dir = FreshStoreDir("torn");
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream wal(dir + "/wal.log");
+    wal << "BEGIN t1 0\n";
+    wal << "RESOLVED t1 C 1 1\n";  // claims 1 op; none present
+  }
+  storage::DurableStore store(dir, nullptr);
+  Status s = store.Open();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("torn WAL"), std::string::npos) << s;
+}
+
+TEST(TornWalTail, LegacyTwoTokenRecordsStillReplay) {
+  // Pre-versioning WALs (BEGIN/RESOLVED with no version or op count) must
+  // keep opening: no torn-tail check is possible for them.
+  const std::string dir = FreshStoreDir("legacy");
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream wal(dir + "/wal.log");
+    wal << "BEGIN t1\n";
+    wal << "RESOLVED t1\n";
+  }
+  storage::DurableStore store(dir, nullptr);
+  EXPECT_TRUE(store.Open().ok());
+}
+
+TEST(TornWalTail, DedupKeysSurviveReopen) {
+  const std::string dir = FreshStoreDir("dedup");
+  {
+    storage::DurableStore store(dir, nullptr);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.JournalDedupKey("c/txn9/AP3").ok());
+    ASSERT_TRUE(store.SeedResolution("txn9", false).ok());
+  }
+  storage::DurableStore reopened(dir, nullptr);
+  ASSERT_TRUE(reopened.Open().ok());
+  ASSERT_EQ(reopened.seen_dedup_keys().size(), 1u);
+  EXPECT_EQ(reopened.seen_dedup_keys()[0], "c/txn9/AP3");
+  auto it = reopened.resolved_outcomes().find("txn9");
+  ASSERT_NE(it, reopened.resolved_outcomes().end());
+  EXPECT_FALSE(it->second);
+}
+
+}  // namespace
 
 }  // namespace
 }  // namespace axmlx::repo

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI gate for axmlx: warnings-as-errors build, full test suite, project
-# linter, a perf smoke stage (which includes the bench_obs_overhead
-# flight-recorder budget gate), an end-to-end forensics render, then the
-# fault-injection suites under ASan/UBSan. Exits non-zero on the first
-# failure. See DESIGN.md §6b.
+# linter (plus a machine-readable `axmlx_lint --json` artifact), a perf
+# smoke stage (which includes the bench_obs_overhead flight-recorder budget
+# gate), an end-to-end forensics render, the fault-injection suites under
+# ASan/UBSan, and finally the fault+mvcc suites under TSan
+# (-DAXMLX_SANITIZE=thread). Exits non-zero on the first failure. See
+# DESIGN.md §6b.
 #
 # The perf smoke stage runs the hot-path benches with --smoke and diffs
 # their reports against the committed smoke baselines in
@@ -29,6 +31,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 step "static analysis (ctest -L lint)"
 ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure
+
+step "static analysis artifact (axmlx_lint --json src)"
+# Machine-readable findings for CI archival; a non-empty array exits 1 and
+# fails the gate. CHECK_LINT_JSON overrides the artifact path.
+LINT_JSON="${CHECK_LINT_JSON:-$BUILD_DIR/lint-findings.json}"
+"$BUILD_DIR/tools/axmlx_lint" --json src > "$LINT_JSON"
+echo "lint findings artifact: $LINT_JSON"
 
 step "bench smoke (--smoke reports validated by axmlx_report --check)"
 BUILD_ABS="$(cd "$BUILD_DIR" && pwd)"
@@ -92,5 +101,17 @@ step "sanitizer isolation matrix (ctest -L mvcc)"
 # paths where a stale Node* or double-free would hide.
 cmake --build "$SAN_DIR" -j "$JOBS" --target isolation_matrix_test
 ctest --test-dir "$SAN_DIR" -L mvcc --output-on-failure -j "$JOBS"
+
+step "thread sanitizer (-DAXMLX_SANITIZE=thread) + fault/mvcc suites"
+# TSan is the dynamic half of the concurrency scaffolding for the
+# worker-pool runtime (ROADMAP item 2); the static half is lint R9 +
+# clang -Wthread-safety. Today's runtime is single-threaded, so this stage
+# proves the baseline is TSan-clean before threads arrive.
+TSAN_DIR="$BUILD_DIR-tsan"
+cmake -B "$TSAN_DIR" -S . -DAXMLX_WERROR=ON -DAXMLX_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j "$JOBS" \
+  --target fault_injection_test fault_drill_test forensics_test \
+           isolation_matrix_test
+ctest --test-dir "$TSAN_DIR" -L 'fault|mvcc' --output-on-failure -j "$JOBS"
 
 step "OK: all gates passed"

@@ -8,6 +8,7 @@
 #include "axml/materializer.h"
 #include "common/status.h"
 #include "compensation/compensation.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "ops/conflict.h"
 #include "ops/executor.h"
@@ -113,12 +114,12 @@ class ConcurrentExecutor {
     obs::Counter& conflicts_retried;
     obs::Counter& mvcc_commits;
     explicit Counters(obs::MetricsRegistry* m)
-        : snapshots_taken(*m->GetCounter("txn.snapshots_taken")),
-          snapshot_ops(*m->GetCounter("txn.snapshot_ops")),
-          conflicts_detected(*m->GetCounter("txn.conflicts_detected")),
-          conflicts_aborted(*m->GetCounter("txn.conflicts_aborted")),
-          conflicts_retried(*m->GetCounter("txn.conflicts_retried")),
-          mvcc_commits(*m->GetCounter("txn.mvcc_commits")) {}
+        : snapshots_taken(*m->GetCounter(obs::kMetricTxnSnapshotsTaken)),
+          snapshot_ops(*m->GetCounter(obs::kMetricTxnSnapshotOps)),
+          conflicts_detected(*m->GetCounter(obs::kMetricTxnConflictsDetected)),
+          conflicts_aborted(*m->GetCounter(obs::kMetricTxnConflictsAborted)),
+          conflicts_retried(*m->GetCounter(obs::kMetricTxnConflictsRetried)),
+          mvcc_commits(*m->GetCounter(obs::kMetricTxnMvccCommits)) {}
   } counters_;
 };
 

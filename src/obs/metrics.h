@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metric_names.h"
+
 namespace axmlx::obs {
 
 /// Monotonic event counter. Supports `++counter` and `counter += n` so

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/metric_names.h"
 #include "overlay/fault_injection.h"
 
 namespace axmlx::overlay {
@@ -31,13 +32,15 @@ struct WhatBuf {
 void PeerNode::OnTick(Tick /*now*/, Network* /*net*/) {}
 
 Network::NetCounters::NetCounters(obs::MetricsRegistry* metrics)
-    : messages_sent(*metrics->GetCounter("overlay.messages_sent")),
-      messages_delivered(*metrics->GetCounter("overlay.messages_delivered")),
-      messages_dropped(*metrics->GetCounter("overlay.messages_dropped")),
-      sends_failed(*metrics->GetCounter("overlay.sends_failed")),
-      sends_rejected(*metrics->GetCounter("overlay.sends_rejected")),
-      faults_injected(*metrics->GetCounter("overlay.faults_injected")),
-      tick_calls(*metrics->GetCounter("overlay.tick_calls")) {}
+    : messages_sent(*metrics->GetCounter(obs::kMetricOverlayMessagesSent)),
+      messages_delivered(
+          *metrics->GetCounter(obs::kMetricOverlayMessagesDelivered)),
+      messages_dropped(
+          *metrics->GetCounter(obs::kMetricOverlayMessagesDropped)),
+      sends_failed(*metrics->GetCounter(obs::kMetricOverlaySendsFailed)),
+      sends_rejected(*metrics->GetCounter(obs::kMetricOverlaySendsRejected)),
+      faults_injected(*metrics->GetCounter(obs::kMetricOverlayFaultsInjected)),
+      tick_calls(*metrics->GetCounter(obs::kMetricOverlayTickCalls)) {}
 
 Network::Stats Network::stats() const {
   Stats s;

@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "obs/metric_names.h"
 #include "repo/scenarios.h"
 
 namespace axmlx::repo {
@@ -92,7 +93,7 @@ Status FaultDrill::AttachStorage(const overlay::PeerId& id,
     AXMLX_RETURN_IF_ERROR(ps.store->CreateDocument(xml_text));
   }
   ps.journal = std::make_unique<StoreJournal>(
-      ps.store.get(), metrics_.GetCounter("drill.journal_errors"));
+      ps.store.get(), metrics_.GetCounter(obs::kMetricDrillJournalErrors));
   txn::AxmlPeer* peer = repo_->FindPeer(id);
   if (peer == nullptr) return NotFound("no peer " + id + " to journal");
   peer->AttachJournal(ps.journal.get());
@@ -176,7 +177,7 @@ Status FaultDrill::CrashNow(const overlay::PeerId& id) {
   PeerStorage& ps = storage_[id];
   ps.journal.reset();
   ps.store.reset();
-  ++*metrics_.GetCounter("drill.crashes");
+  ++*metrics_.GetCounter(obs::kMetricDrillCrashes);
   return Status::Ok();
 }
 
@@ -193,9 +194,9 @@ Status FaultDrill::RestartNow(const overlay::PeerId& id) {
     storage::DurableStore recovery(StoreDir(id, ps.incarnation),
                                    /*invoker=*/nullptr);
     AXMLX_RETURN_IF_ERROR(recovery.Open());
-    *metrics_.GetCounter("drill.wal_replayed_ops") +=
+    *metrics_.GetCounter(obs::kMetricDrillWalReplayedOps) +=
         recovery.stats().replayed_ops;
-    *metrics_.GetCounter("drill.wal_recovered_txns") +=
+    *metrics_.GetCounter(obs::kMetricDrillWalRecoveredTxns) +=
         recovery.stats().recovered_txns;
     for (const std::string& name : recovery.DocumentNames()) {
       recovered_docs.push_back(recovery.Get(name)->Serialize());
@@ -234,8 +235,9 @@ Status FaultDrill::RestartNow(const overlay::PeerId& id) {
   // Distributed catch-up: transactions that committed while this peer was
   // down ran on (and were pushed to) its replica; diff-sync from it.
   AXMLX_ASSIGN_OR_RETURN(size_t nodes, repo_->ResyncFromReplica(id));
-  *metrics_.GetCounter("drill.resync_nodes") += static_cast<int64_t>(nodes);
-  ++*metrics_.GetCounter("drill.restarts");
+  *metrics_.GetCounter(obs::kMetricDrillResyncNodes) +=
+      static_cast<int64_t>(nodes);
+  ++*metrics_.GetCounter(obs::kMetricDrillRestarts);
 
   // Fresh durable incarnation seeded from the caught-up live state.
   ++ps.incarnation;
@@ -322,7 +324,7 @@ Result<FaultDrillReport> FaultDrill::Run() {
   // Per-transaction submit-to-decision time, in ticks. The bounds cover the
   // spread between clean commits (tens of ticks) and timeout-decided aborts.
   obs::Histogram* durations = metrics_.GetHistogram(
-      "drill.txn_duration_ticks",
+      obs::kMetricDrillTxnDurationTicks,
       {10, 25, 50, 100, 200, 400, 800, 1600, 3200});
 
   std::vector<overlay::PeerId> victims;
@@ -367,13 +369,15 @@ Result<FaultDrillReport> FaultDrill::Run() {
       net->ScheduleAfter(options_.crash_at,
                          [this, victim](overlay::Network*) {
                            if (!CrashNow(victim).ok()) {
-                             ++*metrics_.GetCounter("drill.harness_errors");
+                             ++*metrics_.GetCounter(
+                                 obs::kMetricDrillHarnessErrors);
                            }
                          });
       net->ScheduleAfter(options_.crash_at + options_.restart_after,
                          [this, victim](overlay::Network*) {
                            if (!RestartNow(victim).ok()) {
-                             ++*metrics_.GetCounter("drill.harness_errors");
+                             ++*metrics_.GetCounter(
+                                 obs::kMetricDrillHarnessErrors);
                            }
                          });
     }
@@ -384,14 +388,14 @@ Result<FaultDrillReport> FaultDrill::Run() {
     durations->Observe(outcome.duration);
     std::string verdict;
     if (!outcome.decided) {
-      ++*metrics_.GetCounter("drill.undecided");
+      ++*metrics_.GetCounter(obs::kMetricDrillUndecided);
       verdict = "undecided";
     } else if (outcome.status.ok()) {
-      ++*metrics_.GetCounter("drill.committed");
+      ++*metrics_.GetCounter(obs::kMetricDrillCommitted);
       ++committed_so_far_;
       verdict = "committed";
     } else {
-      ++*metrics_.GetCounter("drill.aborted");
+      ++*metrics_.GetCounter(obs::kMetricDrillAborted);
       verdict = "aborted";
     }
 
@@ -436,27 +440,28 @@ Result<FaultDrillReport> FaultDrill::Run() {
   }
   // The report is a thin view over the registry; the registry itself stays
   // available (with the duration histogram) through metrics().
-  report.committed =
-      static_cast<int>(metrics_.GetCounter("drill.committed")->value());
+  report.committed = static_cast<int>(
+      metrics_.GetCounter(obs::kMetricDrillCommitted)->value());
   report.aborted =
-      static_cast<int>(metrics_.GetCounter("drill.aborted")->value());
-  report.undecided =
-      static_cast<int>(metrics_.GetCounter("drill.undecided")->value());
+      static_cast<int>(metrics_.GetCounter(obs::kMetricDrillAborted)->value());
+  report.undecided = static_cast<int>(
+      metrics_.GetCounter(obs::kMetricDrillUndecided)->value());
   report.crashes =
-      static_cast<int>(metrics_.GetCounter("drill.crashes")->value());
+      static_cast<int>(metrics_.GetCounter(obs::kMetricDrillCrashes)->value());
   report.restarts =
-      static_cast<int>(metrics_.GetCounter("drill.restarts")->value());
+      static_cast<int>(metrics_.GetCounter(obs::kMetricDrillRestarts)->value());
   report.wal_replayed_ops =
-      metrics_.GetCounter("drill.wal_replayed_ops")->value();
+      metrics_.GetCounter(obs::kMetricDrillWalReplayedOps)->value();
   report.wal_recovered_txns =
-      metrics_.GetCounter("drill.wal_recovered_txns")->value();
+      metrics_.GetCounter(obs::kMetricDrillWalRecoveredTxns)->value();
   report.resync_nodes = static_cast<size_t>(
-      metrics_.GetCounter("drill.resync_nodes")->value());
-  report.harness_errors =
-      static_cast<int>(metrics_.GetCounter("drill.harness_errors")->value());
+      metrics_.GetCounter(obs::kMetricDrillResyncNodes)->value());
+  report.harness_errors = static_cast<int>(
+      metrics_.GetCounter(obs::kMetricDrillHarnessErrors)->value());
   report.net = net->stats();
   report.faults = plan_->stats();
-  report.journal_errors = metrics_.GetCounter("drill.journal_errors")->value();
+  report.journal_errors =
+      metrics_.GetCounter(obs::kMetricDrillJournalErrors)->value();
   report.forensic_dumps = repo_->forensic_paths();
   return report;
 }

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "compensation/compensation.h"
+#include "obs/metric_names.h"
 #include "xml/parser.h"
 
 namespace axmlx::storage {
@@ -150,14 +151,14 @@ std::string DecodeWalPayload(const std::string& encoded) {
 }
 
 DurableStore::WalCounters::WalCounters(obs::MetricsRegistry* metrics)
-    : flushes(*metrics->GetCounter("wal.flushes")),
-      records_batched(*metrics->GetCounter("wal.records_batched")) {}
+    : flushes(*metrics->GetCounter(obs::kMetricWalFlushes)),
+      records_batched(*metrics->GetCounter(obs::kMetricWalRecordsBatched)) {}
 
 DurableStore::HotPathCounters::HotPathCounters(obs::MetricsRegistry* metrics)
-    : nodes_allocated(*metrics->GetCounter("doc.nodes_allocated")),
-      index_hits(*metrics->GetCounter("query.index_hits")),
-      index_candidates(*metrics->GetCounter("query.index_candidates")),
-      walk_fallbacks(*metrics->GetCounter("query.walk_fallbacks")) {}
+    : nodes_allocated(*metrics->GetCounter(obs::kMetricDocNodesAllocated)),
+      index_hits(*metrics->GetCounter(obs::kMetricQueryIndexHits)),
+      index_candidates(*metrics->GetCounter(obs::kMetricQueryIndexCandidates)),
+      walk_fallbacks(*metrics->GetCounter(obs::kMetricQueryWalkFallbacks)) {}
 
 void DurableStore::PublishHotPathCounters() {
   const query::EvalStats& s = eval_ctx_.stats;

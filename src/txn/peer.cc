@@ -5,31 +5,35 @@
 #include <utility>
 
 #include "axml/materializer.h"
+#include "obs/metric_names.h"
 #include "ops/executor.h"
 
 namespace axmlx::txn {
 
 PeerCounters::PeerCounters(obs::MetricsRegistry* metrics)
-    : txns_committed(*metrics->GetCounter("txn.txns_committed")),
-      txns_aborted(*metrics->GetCounter("txn.txns_aborted")),
-      contexts_aborted(*metrics->GetCounter("txn.contexts_aborted")),
-      aborts_sent(*metrics->GetCounter("txn.aborts_sent")),
-      forward_recoveries(*metrics->GetCounter("txn.forward_recoveries")),
-      retries(*metrics->GetCounter("txn.retries")),
+    : txns_committed(*metrics->GetCounter(obs::kMetricTxnTxnsCommitted)),
+      txns_aborted(*metrics->GetCounter(obs::kMetricTxnTxnsAborted)),
+      contexts_aborted(*metrics->GetCounter(obs::kMetricTxnContextsAborted)),
+      aborts_sent(*metrics->GetCounter(obs::kMetricTxnAbortsSent)),
+      forward_recoveries(
+          *metrics->GetCounter(obs::kMetricTxnForwardRecoveries)),
+      retries(*metrics->GetCounter(obs::kMetricTxnRetries)),
       compensations_executed(
-          *metrics->GetCounter("txn.compensations_executed")),
-      compensation_failures(*metrics->GetCounter("txn.compensation_failures")),
-      nodes_compensated(*metrics->GetCounter("txn.nodes_compensated")),
-      wasted_nodes(*metrics->GetCounter("txn.wasted_nodes")),
-      results_rerouted(*metrics->GetCounter("txn.results_rerouted")),
-      subcalls_reused(*metrics->GetCounter("txn.subcalls_reused")),
-      adoptions(*metrics->GetCounter("txn.adoptions")),
-      notifications_sent(*metrics->GetCounter("txn.notifications_sent")),
-      early_aborts(*metrics->GetCounter("txn.early_aborts")),
-      comp_acks_ok(*metrics->GetCounter("txn.comp_acks_ok")),
-      comp_acks_failed(*metrics->GetCounter("txn.comp_acks_failed")),
+          *metrics->GetCounter(obs::kMetricTxnCompensationsExecuted)),
+      compensation_failures(
+          *metrics->GetCounter(obs::kMetricTxnCompensationFailures)),
+      nodes_compensated(*metrics->GetCounter(obs::kMetricTxnNodesCompensated)),
+      wasted_nodes(*metrics->GetCounter(obs::kMetricTxnWastedNodes)),
+      results_rerouted(*metrics->GetCounter(obs::kMetricTxnResultsRerouted)),
+      subcalls_reused(*metrics->GetCounter(obs::kMetricTxnSubcallsReused)),
+      adoptions(*metrics->GetCounter(obs::kMetricTxnAdoptions)),
+      notifications_sent(
+          *metrics->GetCounter(obs::kMetricTxnNotificationsSent)),
+      early_aborts(*metrics->GetCounter(obs::kMetricTxnEarlyAborts)),
+      comp_acks_ok(*metrics->GetCounter(obs::kMetricTxnCompAcksOk)),
+      comp_acks_failed(*metrics->GetCounter(obs::kMetricTxnCompAcksFailed)),
       sends_best_effort_failed(
-          *metrics->GetCounter("txn.sends_best_effort_failed")) {}
+          *metrics->GetCounter(obs::kMetricTxnSendsBestEffortFailed)) {}
 
 PeerStats AxmlPeer::stats() const {
   PeerStats s;

@@ -115,6 +115,9 @@ void Document::AppendTextContentAt(NodeId id, const ReadView& view,
 }
 
 void Document::PruneVersionsBefore(uint64_t min_version) {
+  // Order-insensitive: each chain is pruned independently and the stats
+  // fold commutes, so hash order cannot leak into observable state.
+  // lint:allow(R7)
   for (auto it = history_.begin(); it != history_.end();) {
     std::vector<VersionRecord>& chain = it->second;
     auto keep = std::upper_bound(
@@ -129,6 +132,7 @@ void Document::PruneVersionsBefore(uint64_t min_version) {
 
 size_t Document::VersionRecordCount() const {
   size_t count = 0;
+  // Order-insensitive: summing chain sizes commutes. lint:allow(R7)
   for (const auto& [id, chain] : history_) count += chain.size();
   return count;
 }
@@ -193,6 +197,9 @@ NodeId Document::NewNode(NodeType type) {
   return id;
 }
 
+// Slot recycling, not a logical mutation: every caller (RemoveSubtree /
+// DestroySubtree / RollbackAll) records the version entry for `id` before
+// freeing, and the undo image restores the slot wholesale. lint:allow(R6)
 void Document::FreeNode(NodeId id) {
   uint32_t slot = slot_of_id_[id];
   Node& node = NodeAt(slot);

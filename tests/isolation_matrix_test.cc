@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "compensation/concurrent.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "ops/operation.h"
 #include "query/eval.h"
@@ -215,7 +216,8 @@ TEST_P(IsolationMatrix, DisjointSchedulesNeverConflict) {
   RunInterleaved(doc.get(), programs, seed, &exec, &hold);
   if (::testing::Test::HasFatalFailure()) return;
 
-  EXPECT_EQ(exec->metrics()->GetCounter("txn.conflicts_detected")->value(), 0)
+  EXPECT_EQ(
+      exec->metrics()->GetCounter(obs::kMetricTxnConflictsDetected)->value(), 0)
       << "disjoint write sets must not conflict (seed " << seed << ")";
   EXPECT_TRUE(EquivalentToSomeSerialOrder(*doc, *baseline, programs));
 }
@@ -276,9 +278,12 @@ TEST(IsolationMatrixCounters, ContentionIsObservable) {
   EXPECT_FALSE(exec.IsActive(b)) << "loser must be ended by the executor";
   ASSERT_TRUE(exec.Commit(a).ok());
 
-  EXPECT_EQ(exec.metrics()->GetCounter("txn.conflicts_detected")->value(), 1);
-  EXPECT_EQ(exec.metrics()->GetCounter("txn.conflicts_aborted")->value(), 1);
-  EXPECT_EQ(exec.metrics()->GetCounter("txn.snapshots_taken")->value(), 2);
+  EXPECT_EQ(
+      exec.metrics()->GetCounter(obs::kMetricTxnConflictsDetected)->value(), 1);
+  EXPECT_EQ(
+      exec.metrics()->GetCounter(obs::kMetricTxnConflictsAborted)->value(), 1);
+  EXPECT_EQ(exec.metrics()->GetCounter(obs::kMetricTxnSnapshotsTaken)->value(),
+            2);
 
   // Only the winner's entry survives (loser's in-flight effect rolled back).
   EXPECT_EQ(EntriesWithPrefix(*doc, "ae"), 1u);
@@ -291,7 +296,8 @@ TEST(IsolationMatrixCounters, ContentionIsObservable) {
   ASSERT_TRUE(rb2.ok()) << rb2.status();
   ASSERT_TRUE(exec.Commit(b2).ok());
   EXPECT_EQ(EntriesWithPrefix(*doc, "be"), 1u);
-  EXPECT_EQ(exec.metrics()->GetCounter("txn.conflicts_retried")->value(), 1);
+  EXPECT_EQ(
+      exec.metrics()->GetCounter(obs::kMetricTxnConflictsRetried)->value(), 1);
 }
 
 TEST(IsolationMatrixHistory, VersionChainsArePrunedAfterQuiescence) {

@@ -1,6 +1,8 @@
 // Tests for tools/axmlx_lint: a clean miniature tree passes, and each rule
-// R1..R5 fires on a fixture seeding exactly that violation, with the finding
-// anchored to the right file and line.
+// R1..R10 fires on a fixture seeding exactly that violation, with the
+// finding anchored to the right file and line. The cross-TU rules (R6-R10)
+// get fixture pairs split across files to prove the two-pass analyzer
+// really correlates facts between translation units.
 
 #include "axmlx_lint/lint.h"
 
@@ -485,6 +487,462 @@ Status AxmlPeer::Flush() {
   const std::string text = FormatFindings(findings);
   EXPECT_NE(text.find("txn/payload.h:5: [R1]"), std::string::npos) << text;
   EXPECT_NE(text.find("txn/peer.cc:9: [R5]"), std::string::npos) << text;
+}
+
+// --- R6: versioning discipline on xml::Document mutators -------------------
+
+/// Miniature xml/document.cc: RecordVersion/NewNode are the recording
+/// primitives, SetText records before mutating, ClearText records by
+/// delegating to SetText (the intra-class fixpoint must see through it).
+const char kCleanDocumentCc[] = R"cc(#include "xml/document.h"
+namespace axmlx::xml {
+void Document::RecordVersion(NodeId id) { history_[id].push_back(id); }
+NodeId Document::NewNode(NodeType type) {
+  RecordVersion(next_id_);
+  return next_id_++;
+}
+void Document::SetText(NodeId id, const std::string& text) {
+  RecordVersion(id);
+  Node* n = FindMutable(id);
+  n->text = text;
+}
+void Document::ClearText(NodeId id) { SetText(id, ""); }
+}  // namespace axmlx::xml
+)cc";
+
+TEST(LintTest, R6AllowsMutatorsThatRecordDirectlyOrByDelegation) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"xml/document.cc", kCleanDocumentCc});
+  const std::vector<Finding> r6 = OfRule(RunLint(files), "R6");
+  EXPECT_TRUE(r6.empty()) << FormatFindings(r6);
+}
+
+TEST(LintTest, R6FlagsMutatorWithoutVersionRecord) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"xml/document.cc", R"cc(#include "xml/document.h"
+namespace axmlx::xml {
+void Document::RecordVersion(NodeId id) { history_[id].push_back(id); }
+void Document::SetText(NodeId id, const std::string& text) {
+  RecordVersion(id);
+  Node* n = FindMutable(id);
+  n->text = text;
+}
+void Document::ClearText(NodeId id) {
+  Node* n = FindMutable(id);
+  n->text.clear();
+}
+}  // namespace axmlx::xml
+)cc"});
+  const std::vector<Finding> r6 = OfRule(RunLint(files), "R6");
+  ASSERT_EQ(r6.size(), 1u) << FormatFindings(r6);
+  EXPECT_EQ(r6[0].file, "xml/document.cc");
+  EXPECT_EQ(r6[0].line, 9);  // The ClearText definition.
+  EXPECT_NE(r6[0].message.find("ClearText"), std::string::npos);
+  EXPECT_NE(r6[0].message.find("FindMutable"), std::string::npos);
+}
+
+TEST(LintTest, R6SuppressionOnDefinitionSilencesFinding) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"xml/document.cc", R"cc(#include "xml/document.h"
+namespace axmlx::xml {
+void Document::RecordVersion(NodeId id) { history_[id].push_back(id); }
+// Slot recycling, not a logical mutation. lint:allow(R6)
+void Document::FreeNode(NodeId id) {
+  Node& n = NodeAt(id);
+  n.text.clear();
+}
+}  // namespace axmlx::xml
+)cc"});
+  const std::vector<Finding> r6 = OfRule(RunLint(files), "R6");
+  EXPECT_TRUE(r6.empty()) << FormatFindings(r6);
+}
+
+// --- R7: determinism -------------------------------------------------------
+
+TEST(LintTest, R7FlagsWallClockAndUnseededRandomness) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"overlay/clock.cc", R"cc(#include <chrono>
+namespace axmlx::overlay {
+long NowMs() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+}  // namespace axmlx::overlay
+)cc"});
+  files.push_back({"txn/jitter.cc", R"cc(#include <cstdlib>
+#include <random>
+namespace axmlx::txn {
+int Jitter() { return rand() % 7; }
+unsigned Seed() { return std::random_device{}(); }
+}  // namespace axmlx::txn
+)cc"});
+  const std::vector<Finding> r7 = OfRule(RunLint(files), "R7");
+  ASSERT_EQ(r7.size(), 3u) << FormatFindings(r7);
+  EXPECT_EQ(r7[0].file, "overlay/clock.cc");
+  EXPECT_EQ(r7[0].line, 4);
+  EXPECT_NE(r7[0].message.find("system_clock"), std::string::npos);
+  EXPECT_EQ(r7[1].file, "txn/jitter.cc");
+  EXPECT_EQ(r7[1].line, 4);
+  EXPECT_NE(r7[1].message.find("rand()"), std::string::npos);
+  EXPECT_EQ(r7[2].file, "txn/jitter.cc");
+  EXPECT_EQ(r7[2].line, 5);
+  EXPECT_NE(r7[2].message.find("random_device"), std::string::npos);
+}
+
+/// Header declaring an unordered member; the iteration happens in another
+/// translation unit, which is exactly what the cross-TU pass must catch.
+const char kRegistryHeader[] = R"cc(#ifndef AXMLX_TXN_REGISTRY_H_
+#define AXMLX_TXN_REGISTRY_H_
+#include <unordered_map>
+namespace axmlx::txn {
+struct Registry {
+  std::unordered_map<int, int> by_txn_;
+};
+}  // namespace axmlx::txn
+#endif  // AXMLX_TXN_REGISTRY_H_
+)cc";
+
+TEST(LintTest, R7FlagsUnorderedIterationAcrossTranslationUnits) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"txn/registry.h", kRegistryHeader});
+  files.push_back({"txn/broadcast.cc", R"cc(#include "txn/registry.h"
+namespace axmlx::txn {
+void Broadcast(Registry* r) {
+  for (const auto& [txn, peer] : r->by_txn_) {
+    Send(txn, peer);
+  }
+  auto it = r->by_txn_.begin();
+  Send(it->first, it->second);
+}
+}  // namespace axmlx::txn
+)cc"});
+  const std::vector<Finding> r7 = OfRule(RunLint(files), "R7");
+  ASSERT_EQ(r7.size(), 2u) << FormatFindings(r7);
+  EXPECT_EQ(r7[0].file, "txn/broadcast.cc");
+  EXPECT_EQ(r7[0].line, 4);  // The range-for.
+  EXPECT_NE(r7[0].message.find("by_txn_"), std::string::npos);
+  EXPECT_EQ(r7[1].line, 7);  // The explicit .begin().
+}
+
+TEST(LintTest, R7AllowsOrderedIterationAndFindComparisons) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"txn/registry.h", kRegistryHeader});
+  files.push_back({"txn/lookup.cc", R"cc(#include <map>
+#include "txn/registry.h"
+namespace axmlx::txn {
+bool Has(Registry* r, int txn) {
+  return r->by_txn_.find(txn) != r->by_txn_.end();
+}
+void Walk(const std::map<int, int>& order) {
+  for (const auto& [txn, peer] : order) {
+    Send(txn, peer);
+  }
+}
+int Fold(Registry* r) {
+  int sum = 0;
+  // Order-insensitive sum. lint:allow(R7)
+  for (const auto& [txn, peer] : r->by_txn_) sum += peer;
+  return sum;
+}
+}  // namespace axmlx::txn
+)cc"});
+  const std::vector<Finding> r7 = OfRule(RunLint(files), "R7");
+  EXPECT_TRUE(r7.empty()) << FormatFindings(r7);
+}
+
+// --- R8: WAL grammar completeness ------------------------------------------
+
+/// Writer half of the WAL grammar, in its own TU.
+const char kWalWriterCc[] = R"cc(#include "storage/durable_store.h"
+namespace axmlx::storage {
+Status DurableStore::Begin(const std::string& txn) {
+  return AppendWal("BEGIN " + txn);
+}
+Status DurableStore::Commit(const std::string& txn) {
+  return AppendWal("RESOLVED " + txn + " C");
+}
+}  // namespace axmlx::storage
+)cc";
+
+/// Replayer half, parsing exactly the written tags.
+const char kWalReplayerCc[] = R"cc(#include "storage/durable_store.h"
+namespace axmlx::storage {
+Status DurableStore::ReplayWal() {
+  std::string line;
+  while (NextLine(&line)) {
+    std::string kind = line.substr(0, line.find(' '));
+    if (kind == "BEGIN") {
+      StartTxn(line);
+    } else if (kind == "RESOLVED") {
+      FinishTxn(line);
+    }
+  }
+  return Status::Ok();
+}
+}  // namespace axmlx::storage
+)cc";
+
+TEST(LintTest, R8AllowsMatchedWalGrammar) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"storage/wal_write.cc", kWalWriterCc});
+  files.push_back({"storage/wal_replay.cc", kWalReplayerCc});
+  const std::vector<Finding> r8 = OfRule(RunLint(files), "R8");
+  EXPECT_TRUE(r8.empty()) << FormatFindings(r8);
+}
+
+TEST(LintTest, R8FlagsWrittenButNeverReplayedTag) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"storage/wal_write.cc", kWalWriterCc});
+  files.push_back({"storage/wal_replay.cc",
+                   R"cc(#include "storage/durable_store.h"
+namespace axmlx::storage {
+Status DurableStore::ReplayWal() {
+  std::string line;
+  while (NextLine(&line)) {
+    std::string kind = line.substr(0, line.find(' '));
+    if (kind == "BEGIN") {
+      StartTxn(line);
+    }
+  }
+  return Status::Ok();
+}
+}  // namespace axmlx::storage
+)cc"});
+  const std::vector<Finding> r8 = OfRule(RunLint(files), "R8");
+  ASSERT_EQ(r8.size(), 1u) << FormatFindings(r8);
+  EXPECT_EQ(r8[0].file, "storage/wal_write.cc");
+  EXPECT_EQ(r8[0].line, 7);  // The "RESOLVED ..." append.
+  EXPECT_NE(r8[0].message.find("RESOLVED"), std::string::npos);
+  EXPECT_NE(r8[0].message.find("ReplayWal"), std::string::npos);
+}
+
+TEST(LintTest, R8FlagsReplayedButNeverWrittenTag) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"storage/wal_write.cc", kWalWriterCc});
+  files.push_back({"storage/wal_replay.cc",
+                   R"cc(#include "storage/durable_store.h"
+namespace axmlx::storage {
+Status DurableStore::ReplayWal() {
+  std::string line;
+  while (NextLine(&line)) {
+    std::string kind = line.substr(0, line.find(' '));
+    if (kind == "BEGIN") {
+      StartTxn(line);
+    } else if (kind == "RESOLVED") {
+      FinishTxn(line);
+    } else if (kind == "EXT") {
+      LoadExtension(line);
+    }
+  }
+  return Status::Ok();
+}
+}  // namespace axmlx::storage
+)cc"});
+  const std::vector<Finding> r8 = OfRule(RunLint(files), "R8");
+  ASSERT_EQ(r8.size(), 1u) << FormatFindings(r8);
+  EXPECT_EQ(r8[0].file, "storage/wal_replay.cc");
+  EXPECT_EQ(r8[0].line, 11);  // The kind == "EXT" arm.
+  EXPECT_NE(r8[0].message.find("EXT"), std::string::npos);
+  EXPECT_NE(r8[0].message.find("dead grammar arm"), std::string::npos);
+}
+
+// --- R9: thread-safety annotations -----------------------------------------
+
+TEST(LintTest, R9FlagsUnannotatedMemberNextToMutex) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"storage/page_cache.h",
+                   R"cc(#ifndef AXMLX_STORAGE_PAGE_CACHE_H_
+#define AXMLX_STORAGE_PAGE_CACHE_H_
+#include <mutex>
+namespace axmlx::storage {
+class PageCache {
+ public:
+  void Put(int page);
+ private:
+  std::mutex mu_;
+  int pages_ AXMLX_GUARDED_BY(mu_);
+  int hits_;
+};
+}  // namespace axmlx::storage
+#endif  // AXMLX_STORAGE_PAGE_CACHE_H_
+)cc"});
+  const std::vector<Finding> r9 = OfRule(RunLint(files), "R9");
+  ASSERT_EQ(r9.size(), 1u) << FormatFindings(r9);
+  EXPECT_EQ(r9[0].file, "storage/page_cache.h");
+  EXPECT_EQ(r9[0].line, 11);  // hits_ — pages_ is annotated.
+  EXPECT_NE(r9[0].message.find("hits_"), std::string::npos);
+  EXPECT_NE(r9[0].message.find("PageCache"), std::string::npos);
+}
+
+TEST(LintTest, R9ExemptsAtomicConstStaticAndAnnotatedMembers) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"compensation/queue.h",
+                   R"cc(#ifndef AXMLX_COMPENSATION_QUEUE_H_
+#define AXMLX_COMPENSATION_QUEUE_H_
+#include <atomic>
+#include <mutex>
+#include <vector>
+namespace axmlx::comp {
+class Queue {
+ public:
+  void Push(int step);
+ private:
+  std::mutex mu_;
+  std::vector<int> steps_ AXMLX_GUARDED_BY(mu_);
+  int* head_ AXMLX_PT_GUARDED_BY(mu_);
+  std::atomic<long> seq_;
+  const int capacity_ = 8;
+  static int instances_;
+};
+}  // namespace axmlx::comp
+#endif  // AXMLX_COMPENSATION_QUEUE_H_
+)cc"});
+  const std::vector<Finding> r9 = OfRule(RunLint(files), "R9");
+  EXPECT_TRUE(r9.empty()) << FormatFindings(r9);
+}
+
+TEST(LintTest, R9IgnoresClassesWithoutMutexes) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"obs/stats.h", R"cc(#ifndef AXMLX_OBS_STATS_H_
+#define AXMLX_OBS_STATS_H_
+namespace axmlx::obs {
+struct Stats {
+  long hits_;
+  long misses_;
+};
+}  // namespace axmlx::obs
+#endif  // AXMLX_OBS_STATS_H_
+)cc"});
+  const std::vector<Finding> r9 = OfRule(RunLint(files), "R9");
+  EXPECT_TRUE(r9.empty()) << FormatFindings(r9);
+}
+
+// --- R10: name-registry consistency ----------------------------------------
+
+TEST(LintTest, R10FlagsRegistryConstantOutsideHomeTable) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"txn/events.cc", R"cc(namespace axmlx::txn {
+inline constexpr char kEvRetry[] = "RETRY";
+}  // namespace axmlx::txn
+)cc"});
+  const std::vector<Finding> r10 = OfRule(RunLint(files), "R10");
+  ASSERT_EQ(r10.size(), 1u) << FormatFindings(r10);
+  EXPECT_EQ(r10[0].file, "txn/events.cc");
+  EXPECT_EQ(r10[0].line, 2);
+  EXPECT_NE(r10[0].message.find("common/trace.h"), std::string::npos);
+}
+
+TEST(LintTest, R10FlagsDuplicateRegistryValueWithinFamily) {
+  std::vector<SourceFile> files = CleanTree();
+  FindFile(&files, "common/trace.h")->content =
+      R"cc(#ifndef AXMLX_COMMON_TRACE_H_
+#define AXMLX_COMMON_TRACE_H_
+namespace axmlx {
+inline constexpr char kEvSend[] = "SEND";
+inline constexpr char kEvXmit[] = "SEND";
+}  // namespace axmlx
+#endif  // AXMLX_COMMON_TRACE_H_
+)cc";
+  const std::vector<Finding> r10 = OfRule(RunLint(files), "R10");
+  ASSERT_EQ(r10.size(), 1u) << FormatFindings(r10);
+  EXPECT_EQ(r10[0].file, "common/trace.h");
+  EXPECT_EQ(r10[0].line, 5);
+  EXPECT_NE(r10[0].message.find("kEvSend"), std::string::npos);
+}
+
+TEST(LintTest, R10AllowsSameValueAcrossFamilies) {
+  // kEvFrCrash ("CRASH" in the recorder family) coexisting with a kEv
+  // "CRASH" is legitimate: the families are separate namespaces.
+  std::vector<SourceFile> files = CleanTree();
+  FindFile(&files, "common/trace.h")->content =
+      R"cc(#ifndef AXMLX_COMMON_TRACE_H_
+#define AXMLX_COMMON_TRACE_H_
+namespace axmlx {
+inline constexpr char kEvSend[] = "SEND";
+inline constexpr char kEvCrash[] = "CRASH";
+}  // namespace axmlx
+#endif  // AXMLX_COMMON_TRACE_H_
+)cc";
+  const std::vector<Finding> r10 = OfRule(RunLint(files), "R10");
+  EXPECT_TRUE(r10.empty()) << FormatFindings(r10);
+}
+
+TEST(LintTest, R10FlagsMetricLiteralMissingFromTable) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"obs/metric_names.h",
+                   R"cc(#ifndef AXMLX_OBS_METRIC_NAMES_H_
+#define AXMLX_OBS_METRIC_NAMES_H_
+namespace axmlx::obs {
+inline constexpr char kMetricTxnRetries[] = "txn.retries";
+}  // namespace axmlx::obs
+#endif  // AXMLX_OBS_METRIC_NAMES_H_
+)cc"});
+  files.push_back({"txn/stats.cc", R"cc(#include "obs/metrics.h"
+namespace axmlx::txn {
+void Wire(obs::MetricsRegistry* m) {
+  m->GetCounter("txn.retries");
+  m->GetCounter("txn.retriez");
+}
+}  // namespace axmlx::txn
+)cc"});
+  const std::vector<Finding> r10 = OfRule(RunLint(files), "R10");
+  ASSERT_EQ(r10.size(), 1u) << FormatFindings(r10);
+  EXPECT_EQ(r10[0].file, "txn/stats.cc");
+  EXPECT_EQ(r10[0].line, 5);  // The misspelled name; line 4 is declared.
+  EXPECT_NE(r10[0].message.find("txn.retriez"), std::string::npos);
+}
+
+// --- Suppression granularity and output formats ----------------------------
+
+TEST(LintTest, SuppressionOnLineAboveSilencesFinding) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"txn/commit.cc", R"cc(#include "common/status.h"
+namespace axmlx::txn {
+Status Coordinator::Decide(bool ready) {
+  // Invariant, not an input fault. lint:allow(R5)
+  assert(ready);
+  return Status();
+}
+}  // namespace axmlx::txn
+)cc"});
+  const std::vector<Finding> r5 = OfRule(RunLint(files), "R5");
+  EXPECT_TRUE(r5.empty()) << FormatFindings(r5);
+}
+
+TEST(LintTest, SuppressionTwoLinesAboveDoesNotSuppress) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"txn/commit.cc", R"cc(#include "common/status.h"
+namespace axmlx::txn {
+Status Coordinator::Decide(bool ready) {
+  // Too far away to bind to the finding. lint:allow(R5)
+  // (an unrelated comment line in between)
+  assert(ready);
+  return Status();
+}
+}  // namespace axmlx::txn
+)cc"});
+  const std::vector<Finding> r5 = OfRule(RunLint(files), "R5");
+  ASSERT_EQ(r5.size(), 1u) << FormatFindings(r5);
+  EXPECT_EQ(r5[0].line, 6);
+}
+
+TEST(LintTest, JsonOutputIsStableAndEscaped) {
+  EXPECT_EQ(FormatFindingsJson({}), "[]\n");
+  const std::vector<Finding> findings = {
+      {"R1", "txn/peer.cc", 3, "literal \"COMMIT\" with a \\ backslash"},
+      {"R7", "overlay/clock.cc", 4, "wall-clock"},
+  };
+  const std::string json = FormatFindingsJson(findings);
+  EXPECT_NE(json.find("{\"rule\": \"R1\", \"file\": \"txn/peer.cc\", "
+                      "\"line\": 3, \"message\": "
+                      "\"literal \\\"COMMIT\\\" with a \\\\ backslash\"},"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"rule\": \"R7\", \"file\": \"overlay/clock.cc\", "
+                      "\"line\": 4, \"message\": \"wall-clock\"}"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.substr(json.size() - 2), "]\n");
 }
 
 TEST(LintTest, CommentsAndStringsDoNotTriggerRules) {

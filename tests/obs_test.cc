@@ -14,6 +14,7 @@
 #include "axmlx_report/report.h"
 #include "common/trace.h"
 #include "obs/json.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "repo/axml_repository.h"
@@ -26,13 +27,13 @@ namespace {
 
 TEST(MetricsRegistry, CountersGaugesAndStableHandles) {
   obs::MetricsRegistry registry;
-  obs::Counter* sent = registry.GetCounter("overlay.messages_sent");
+  obs::Counter* sent = registry.GetCounter(obs::kMetricOverlayMessagesSent);
   ++*sent;
   *sent += 4;
   sent->Increment();
   EXPECT_EQ(sent->value(), 6);
   // Same name -> same handle; the hot path caches the pointer once.
-  EXPECT_EQ(registry.GetCounter("overlay.messages_sent"), sent);
+  EXPECT_EQ(registry.GetCounter(obs::kMetricOverlayMessagesSent), sent);
   registry.GetGauge("overlay.queue_depth")->Set(2.5);
   obs::MetricsSnapshot snap = registry.Snapshot();
   EXPECT_EQ(snap.counters.at("overlay.messages_sent"), 6);
@@ -43,7 +44,7 @@ TEST(MetricsRegistry, CountersGaugesAndStableHandles) {
 
 TEST(MetricsRegistry, SnapshotJsonRoundTrips) {
   obs::MetricsRegistry registry;
-  *registry.GetCounter("txn.txns_committed") += 3;
+  *registry.GetCounter(obs::kMetricTxnTxnsCommitted) += 3;
   registry.GetGauge("drill.rate")->Set(0.25);
   registry.GetHistogram("txn.latency", {10, 100})->Observe(7);
   std::string error;

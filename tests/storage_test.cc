@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "obs/metric_names.h"
 #include "ops/operation.h"
 #include "storage/durable_store.h"
 #include "tests/test_data.h"
@@ -237,7 +238,7 @@ TEST_F(StorageTest, GroupCommitBatchesRecordsUntilResolve) {
   ASSERT_TRUE(store.Open().ok());
   ASSERT_TRUE(store.CreateDocument(testing::kAtpListXml).ok());
   const int64_t flushes_before =
-      store.metrics().Snapshot().counters.at("wal.flushes");
+      store.metrics().Snapshot().counters.at(obs::kMetricWalFlushes);
   ASSERT_TRUE(store.Begin("T1").ok());
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(store
@@ -247,13 +248,14 @@ TEST_F(StorageTest, GroupCommitBatchesRecordsUntilResolve) {
                     .ok());
   }
   // Under OnResolve, the five OP records sit in the batch: no new flushes.
-  EXPECT_EQ(store.metrics().Snapshot().counters.at("wal.flushes"),
+  EXPECT_EQ(store.metrics().Snapshot().counters.at(obs::kMetricWalFlushes),
             flushes_before);
   ASSERT_TRUE(store.Commit("T1").ok());
   // RESOLVED force-flushes exactly once for the whole transaction.
-  EXPECT_EQ(store.metrics().Snapshot().counters.at("wal.flushes"),
+  EXPECT_EQ(store.metrics().Snapshot().counters.at(obs::kMetricWalFlushes),
             flushes_before + 1);
-  EXPECT_GE(store.metrics().Snapshot().counters.at("wal.records_batched"), 7);
+  EXPECT_GE(
+      store.metrics().Snapshot().counters.at(obs::kMetricWalRecordsBatched), 7);
 }
 
 TEST_F(StorageTest, EveryNPolicyFlushesInBatches) {
@@ -262,7 +264,7 @@ TEST_F(StorageTest, EveryNPolicyFlushesInBatches) {
   ASSERT_TRUE(store.CreateDocument(testing::kAtpListXml).ok());
   ASSERT_TRUE(store.FlushWal().ok());  // drain the NEWDOC record
   const int64_t before =
-      store.metrics().Snapshot().counters.at("wal.flushes");
+      store.metrics().Snapshot().counters.at(obs::kMetricWalFlushes);
   ASSERT_TRUE(store.Begin("T1").ok());
   ASSERT_TRUE(store
                   .Execute("T1", "ATPList",
@@ -270,14 +272,16 @@ TEST_F(StorageTest, EveryNPolicyFlushesInBatches) {
                                            "<x/>"))
                   .ok());
   // BEGIN + one OP = 2 pending records, below the threshold of 3.
-  EXPECT_EQ(store.metrics().Snapshot().counters.at("wal.flushes"), before);
+  EXPECT_EQ(store.metrics().Snapshot().counters.at(obs::kMetricWalFlushes),
+            before);
   ASSERT_TRUE(store
                   .Execute("T1", "ATPList",
                            ops::MakeInsert("Select d from d in ATPList",
                                            "<y/>"))
                   .ok());
   // Third record crosses the threshold.
-  EXPECT_EQ(store.metrics().Snapshot().counters.at("wal.flushes"), before + 1);
+  EXPECT_EQ(store.metrics().Snapshot().counters.at(obs::kMetricWalFlushes),
+            before + 1);
   ASSERT_TRUE(store.Commit("T1").ok());
 }
 
@@ -287,9 +291,10 @@ TEST_F(StorageTest, ExplicitFlushWalDrainsTheBatch) {
   ASSERT_TRUE(store.CreateDocument(testing::kAtpListXml).ok());
   ASSERT_TRUE(store.Begin("T1").ok());
   const int64_t before =
-      store.metrics().Snapshot().counters.at("wal.flushes");
+      store.metrics().Snapshot().counters.at(obs::kMetricWalFlushes);
   ASSERT_TRUE(store.FlushWal().ok());
-  EXPECT_EQ(store.metrics().Snapshot().counters.at("wal.flushes"), before + 1);
+  EXPECT_EQ(store.metrics().Snapshot().counters.at(obs::kMetricWalFlushes),
+            before + 1);
   ASSERT_TRUE(store.Abort("T1").ok());
 }
 
@@ -307,10 +312,11 @@ TEST_F(StorageTest, PublishesHotPathCountersInMetrics) {
   ASSERT_TRUE(store->Commit("T1").ok());
   auto counters = store->metrics().Snapshot().counters;
   // The insert allocated nodes and its descendant step rode the tag index.
-  EXPECT_GT(counters.at("doc.nodes_allocated"), 0);
-  EXPECT_GT(counters.at("query.index_hits") + counters.at("query.walk_fallbacks"),
+  EXPECT_GT(counters.at(obs::kMetricDocNodesAllocated), 0);
+  EXPECT_GT(counters.at(obs::kMetricQueryIndexHits) +
+                counters.at(obs::kMetricQueryWalkFallbacks),
             0);
-  EXPECT_GT(counters.at("wal.flushes"), 0);
+  EXPECT_GT(counters.at(obs::kMetricWalFlushes), 0);
 }
 
 TEST_F(StorageTest, BatchedCommitSurvivesRestart) {

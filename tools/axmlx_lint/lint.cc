@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -120,16 +122,29 @@ int LineOf(const std::string& content, size_t pos) {
                             '\n'));
 }
 
-/// True when the source line holding `pos` carries a `lint:allow(Rn)`
-/// suppression comment for `rule`.
+/// True when the source line holding `pos` — or the line directly above
+/// it, so a finding on a long expression can carry its justification on a
+/// comment line of its own — has a `lint:allow(Rn)` comment for `rule`.
 bool Suppressed(const std::string& content, size_t pos,
                 const std::string& rule) {
+  const std::string marker = "lint:allow(" + rule + ")";
   size_t begin = content.rfind('\n', pos);
   begin = begin == std::string::npos ? 0 : begin + 1;
   size_t end = content.find('\n', pos);
   if (end == std::string::npos) end = content.size();
-  const std::string line = content.substr(begin, end - begin);
-  return line.find("lint:allow(" + rule + ")") != std::string::npos;
+  if (content.substr(begin, end - begin).find(marker) != std::string::npos) {
+    return true;
+  }
+  if (begin >= 2) {
+    const size_t prev_end = begin - 1;  // the '\n' ending the previous line
+    size_t prev_begin = content.rfind('\n', prev_end - 1);
+    prev_begin = prev_begin == std::string::npos ? 0 : prev_begin + 1;
+    if (content.substr(prev_begin, prev_end - prev_begin).find(marker) !=
+        std::string::npos) {
+      return true;
+    }
+  }
+  return false;
 }
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
@@ -748,6 +763,639 @@ void CheckAsserts(const std::vector<File>& files,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Pass 1: cross-translation-unit fact collection. Every file is tokenized
+// once; facts are global observations the per-file rules cannot make —
+// which names were declared with unordered container types, which WAL tags
+// the storage layer writes vs. replays, which xml::Document members mutate
+// vs. record versions, and where every registry constant is defined.
+// ---------------------------------------------------------------------------
+
+struct Facts {
+  /// R7: every variable/member name declared with a std::unordered_* type
+  /// anywhere in the tree. Iterating one of these is hash-order dependent.
+  std::set<std::string> unordered_names;
+
+  /// R8: WAL record tags (first word of the record literal) appended via
+  /// AppendWal, and tags parsed by a `kind == "TAG"` arm inside ReplayWal.
+  /// First site wins; tags map to the file/pos used for reporting.
+  struct WalSite {
+    const File* file = nullptr;
+    size_t pos = 0;
+  };
+  std::map<std::string, WalSite> wal_written;
+  std::map<std::string, WalSite> wal_replayed;
+  bool wal_replayer_found = false;
+
+  /// R6: one entry per `Document::Name(...) { ... }` definition in
+  /// xml/document.cc: whether the body touches mutable node state (calls
+  /// FindMutable/NodeAt), which members it calls (for the recording
+  /// fixpoint), and whether it records directly.
+  struct DocDef {
+    std::string name;
+    const File* file = nullptr;
+    size_t name_pos = 0;
+    bool mutates = false;
+    std::string mutate_marker;  ///< "FindMutable" or "NodeAt".
+    bool records_direct = false;
+    std::set<std::string> calls;
+  };
+  std::vector<DocDef> doc_defs;
+
+  /// R10: every `kFamilyX[] = "VALUE"` registry-constant definition in the
+  /// tree, classified by longest-prefix family match.
+  struct TableDef {
+    std::string family;  ///< "kMetric", "kEvFr", "kSpan", or "kEv".
+    std::string name;
+    std::string value;
+    const File* file = nullptr;
+    size_t pos = 0;
+  };
+  std::vector<TableDef> table_defs;
+};
+
+const std::set<std::string>& UnorderedTypeNames() {
+  static const std::set<std::string> kTypes = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kTypes;
+}
+
+/// Collects names declared with an unordered container type:
+/// `std::unordered_map<K, V> name` (member, local, or parameter). Skips
+/// function declarators (`unordered_set<T> Collect(...)`) and nested-type
+/// uses (`unordered_map<K, V>::iterator`).
+void CollectUnorderedNames(const File& f, Facts* facts) {
+  const std::vector<Token>& toks = f.toks;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent ||
+        UnorderedTypeNames().count(toks[i].text) == 0 ||
+        !TokIs(toks, i + 1, "<")) {
+      continue;
+    }
+    // Skip the template argument list; `>>` tokenizes as two `>`.
+    size_t j = i + 2;
+    int angle = 1;
+    while (j < toks.size() && angle > 0) {
+      if (toks[j].text == "<") ++angle;
+      if (toks[j].text == ">") --angle;
+      ++j;
+    }
+    while (j < toks.size() && (toks[j].text == "*" || toks[j].text == "&" ||
+                               toks[j].text == "const")) {
+      ++j;
+    }
+    if (j + 1 >= toks.size() || toks[j].kind != Token::Kind::kIdent) continue;
+    if (toks[j + 1].text == "(") continue;  // function returning the type
+    facts->unordered_names.insert(toks[j].text);
+  }
+}
+
+/// Finds the body `{` of the definition whose parameter list closes at
+/// token `close` ( the `)` ). Walks over cv/ref/noexcept qualifiers and
+/// constructor initializer lists. Returns the token count when the tokens
+/// spell a declaration (`;`) instead of a definition.
+size_t FindBodyBrace(const std::vector<Token>& toks, size_t close) {
+  size_t j = close + 1;
+  bool in_init_list = false;
+  while (j < toks.size()) {
+    const std::string& t = toks[j].text;
+    if (t == ";") return toks.size();
+    if (t == "(") {  // noexcept(...) or a ctor-init item `member_(expr)`
+      j = MatchForward(toks, j) + 1;
+      continue;
+    }
+    if (t == "{") {
+      // In a ctor-init list, `member_{expr}` braces follow an identifier;
+      // the body brace follows `)` / `}` of the previous item (or `:` for
+      // an empty-but-odd spelling).
+      if (in_init_list && j > 0 && toks[j - 1].kind == Token::Kind::kIdent) {
+        j = MatchForward(toks, j) + 1;
+        continue;
+      }
+      return j;
+    }
+    if (t == ":") in_init_list = true;
+    ++j;
+  }
+  return toks.size();
+}
+
+/// R6 facts: `Document::Name(...) { body }` definitions in xml/document.cc,
+/// their mutation markers, and their intra-class call graph.
+void CollectDocDefs(const File& f, Facts* facts) {
+  if (!EndsWith(f.src->path, "xml/document.cc")) return;
+  const std::vector<Token>& toks = f.toks;
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].text != "Document" || !TokIs(toks, i + 1, "::") ||
+        toks[i + 2].kind != Token::Kind::kIdent || !TokIs(toks, i + 3, "(")) {
+      continue;
+    }
+    const size_t close = MatchForward(toks, i + 3);
+    const size_t body = FindBodyBrace(toks, close);
+    if (body >= toks.size()) continue;  // declaration, not a definition
+    const size_t end = MatchForward(toks, body);
+    Facts::DocDef def;
+    def.name = toks[i + 2].text;
+    def.file = &f;
+    def.name_pos = toks[i + 2].pos;
+    for (size_t j = body + 1; j < end && j + 1 < toks.size(); ++j) {
+      if (toks[j].kind != Token::Kind::kIdent || !TokIs(toks, j + 1, "(")) {
+        continue;
+      }
+      const std::string& callee = toks[j].text;
+      def.calls.insert(callee);
+      if (!def.mutates && (callee == "FindMutable" || callee == "NodeAt")) {
+        def.mutates = true;
+        def.mutate_marker = callee;
+      }
+      if (callee == "RecordVersion" || callee == "NewNode") {
+        def.records_direct = true;
+      }
+    }
+    facts->doc_defs.push_back(std::move(def));
+    i = body;  // resume after the header; nested lambdas are rare here
+  }
+}
+
+/// R8 facts: WAL tags written vs. replayed. Only src/storage owns the WAL,
+/// so other directories never contribute (a test fixture exercising R8
+/// places its files under storage/ too).
+void CollectWalGrammar(const File& f, Facts* facts) {
+  if (f.src->path.find("storage/") == std::string::npos) return;
+  const std::vector<Token>& toks = f.toks;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    // Writer: `AppendWal("TAG ..." ...)`. The record literal leads the
+    // argument expression by convention; a non-literal first argument is
+    // invisible to the rule (and worth keeping lintable).
+    if (toks[i].text == "AppendWal" && TokIs(toks, i + 1, "(") &&
+        toks[i + 2].kind == Token::Kind::kString) {
+      const std::string& lit = toks[i + 2].text;
+      const std::string tag = lit.substr(0, lit.find(' '));
+      if (!tag.empty()) {
+        facts->wal_written.emplace(tag,
+                                   Facts::WalSite{&f, toks[i + 2].pos});
+      }
+    }
+    // Replayer: `kind == "TAG"` comparisons inside the body of ReplayWal.
+    // The record kind is always parsed into a variable named `kind` — that
+    // naming is part of the WAL-grammar convention this rule enforces.
+    if (toks[i].text == "ReplayWal" && TokIs(toks, i + 1, "(")) {
+      const size_t close = MatchForward(toks, i + 1);
+      size_t body = close + 1;
+      while (body < toks.size() && toks[body].text != "{" &&
+             toks[body].text != ";") {
+        ++body;
+      }
+      if (body >= toks.size() || toks[body].text != "{") continue;
+      facts->wal_replayer_found = true;
+      const size_t end = MatchForward(toks, body);
+      for (size_t j = body; j + 2 < end; ++j) {
+        if (toks[j].text == "kind" && TokIs(toks, j + 1, "==") &&
+            toks[j + 2].kind == Token::Kind::kString) {
+          facts->wal_replayed.emplace(
+              toks[j + 2].text, Facts::WalSite{&f, toks[j + 2].pos});
+        }
+      }
+    }
+  }
+}
+
+/// R10 facts: registry-constant definitions `kFamilyX[] = "VALUE"`,
+/// classified by longest family prefix (kMetric / kEvFr / kSpan / kEv) so
+/// kEvFr* constants never land in the kEv family.
+void CollectTableDefs(const File& f, Facts* facts) {
+  static const char* const kFamilies[] = {"kMetric", "kEvFr", "kSpan", "kEv"};
+  const std::vector<Token>& toks = f.toks;
+  for (size_t i = 0; i + 4 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || !TokIs(toks, i + 1, "[") ||
+        !TokIs(toks, i + 2, "]") || !TokIs(toks, i + 3, "=") ||
+        toks[i + 4].kind != Token::Kind::kString) {
+      continue;
+    }
+    for (const char* fam : kFamilies) {
+      if (StartsWith(toks[i].text, fam)) {
+        facts->table_defs.push_back(
+            {fam, toks[i].text, toks[i + 4].text, &f, toks[i].pos});
+        break;
+      }
+    }
+  }
+}
+
+Facts CollectFacts(const std::vector<File>& files) {
+  Facts facts;
+  for (const File& f : files) {
+    CollectUnorderedNames(f, &facts);
+    CollectDocDefs(f, &facts);
+    CollectWalGrammar(f, &facts);
+    CollectTableDefs(f, &facts);
+  }
+  return facts;
+}
+
+// ---------------------------------------------------------------------------
+// R6: versioning discipline on xml::Document mutators.
+// ---------------------------------------------------------------------------
+
+void CheckVersioningDiscipline(const Facts& facts,
+                               std::vector<Finding>* findings) {
+  // Fixpoint: a member "records" when it calls RecordVersion/NewNode
+  // directly or calls a member already known to record. RecordVersion and
+  // NewNode themselves are the recording primitives.
+  std::set<std::string> recording = {"RecordVersion", "NewNode"};
+  for (const Facts::DocDef& d : facts.doc_defs) {
+    if (d.records_direct) recording.insert(d.name);
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const Facts::DocDef& d : facts.doc_defs) {
+      if (recording.count(d.name) > 0) continue;
+      for (const std::string& callee : d.calls) {
+        if (recording.count(callee) > 0) {
+          recording.insert(d.name);
+          grew = true;
+          break;
+        }
+      }
+    }
+  }
+  for (const Facts::DocDef& d : facts.doc_defs) {
+    if (!d.mutates || recording.count(d.name) > 0) continue;
+    Report(findings, *d.file, "R6", d.name_pos,
+           "xml::Document::" + d.name + " mutates node state (calls " +
+               d.mutate_marker +
+               ") but records no version chain entry — call "
+               "RecordVersion/NewNode (directly or via a recording member) "
+               "or MVCC snapshots will miss the mutation");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R7: determinism — no wall clocks, no unseeded randomness, no hash-order
+// iteration. Seeded interleavings are the differential oracle for the
+// parallel runtime; anything nondeterministic on a protocol, serialization,
+// or WAL path silently breaks replay.
+// ---------------------------------------------------------------------------
+
+void CheckDeterminism(const std::vector<File>& files, const Facts& facts,
+                      std::vector<Finding>* findings) {
+  static const std::map<std::string, std::string> kBannedClocks = {
+      {"system_clock", "wall-clock time"},
+      {"steady_clock", "wall-clock time"},
+      {"high_resolution_clock", "wall-clock time"},
+      {"gettimeofday", "wall-clock time"},
+      {"clock_gettime", "wall-clock time"},
+      {"getpid", "process-id nondeterminism"},
+  };
+  static const std::map<std::string, std::string> kBannedRandom = {
+      {"random_device", "unseeded randomness"},
+      {"srand", "global-state randomness"},
+      {"rand_r", "unseeded randomness"},
+      {"drand48", "global-state randomness"},
+      {"lrand48", "global-state randomness"},
+      {"mrand48", "global-state randomness"},
+  };
+  for (const File& f : files) {
+    const std::vector<Token>& toks = f.toks;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != Token::Kind::kIdent) continue;
+      const std::string& t = toks[i].text;
+      if (auto it = kBannedClocks.find(t); it != kBannedClocks.end()) {
+        Report(findings, f, "R7", toks[i].pos,
+               "`" + t + "` is " + it->second +
+                   ": protocol, serialization, and WAL paths must use "
+                   "simulator time (overlay ticks) so seeded runs replay "
+                   "byte-identically");
+        continue;
+      }
+      if (auto it = kBannedRandom.find(t); it != kBannedRandom.end()) {
+        Report(findings, f, "R7", toks[i].pos,
+               "`" + t + "` is " + it->second +
+                   ": use the seeded axmlx::Rng (common/rng.h) so runs "
+                   "replay under the same seed");
+        continue;
+      }
+      // Bare `rand(` — but not a member spelled `.rand(`.
+      if (t == "rand" && TokIs(toks, i + 1, "(") &&
+          (i == 0 ||
+           (toks[i - 1].text != "." && toks[i - 1].text != "->"))) {
+        Report(findings, f, "R7", toks[i].pos,
+               "`rand()` is global-state randomness: use the seeded "
+               "axmlx::Rng (common/rng.h) so runs replay under the same "
+               "seed");
+        continue;
+      }
+      // `name.begin(` / `name->begin(` on an unordered container.
+      if ((t == "begin" || t == "cbegin") && TokIs(toks, i + 1, "(") &&
+          i >= 2 &&
+          (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+          toks[i - 2].kind == Token::Kind::kIdent &&
+          facts.unordered_names.count(toks[i - 2].text) > 0) {
+        Report(findings, f, "R7", toks[i - 2].pos,
+               "iterating unordered container `" + toks[i - 2].text +
+                   "` is hash-order nondeterministic; sort first, or mark "
+                   "an order-insensitive fold with lint:allow(R7)");
+        continue;
+      }
+      // Range-for whose range expression ends in an unordered name:
+      // `for (auto& [k, v] : history_)`, `for (auto& x : doc.members_)`.
+      if (t == "for" && TokIs(toks, i + 1, "(")) {
+        const size_t close = MatchForward(toks, i + 1);
+        size_t colon = 0;
+        int depth = 1;
+        for (size_t j = i + 2; j < close; ++j) {
+          if (toks[j].text == "(") ++depth;
+          if (toks[j].text == ")") --depth;
+          if (depth == 1 && toks[j].text == ";") break;  // classic for
+          if (depth == 1 && toks[j].text == ":") {
+            colon = j;
+            break;
+          }
+        }
+        if (colon == 0) continue;
+        size_t last_ident = 0;
+        bool have_last = false;
+        for (size_t j = colon + 1; j < close; ++j) {
+          if (toks[j].kind == Token::Kind::kIdent) {
+            last_ident = j;
+            have_last = true;
+          }
+        }
+        if (have_last &&
+            facts.unordered_names.count(toks[last_ident].text) > 0) {
+          Report(findings, f, "R7", toks[last_ident].pos,
+                 "iterating unordered container `" + toks[last_ident].text +
+                     "` is hash-order nondeterministic; sort first, or mark "
+                     "an order-insensitive fold with lint:allow(R7)");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R8: WAL grammar completeness — writer and replayer checked against each
+// other (the TxFS lesson: journal grammars rot one-sidedly).
+// ---------------------------------------------------------------------------
+
+void CheckWalGrammar(const Facts& facts, std::vector<Finding>* findings) {
+  // Only meaningful when both halves are in the file set; a fixture (or a
+  // partial tree) with writers but no ReplayWal body is not lintable.
+  if (facts.wal_written.empty() || !facts.wal_replayer_found) return;
+  for (const auto& [tag, site] : facts.wal_written) {
+    if (facts.wal_replayed.count(tag) == 0) {
+      Report(findings, *site.file, "R8", site.pos,
+             "WAL record tag \"" + tag +
+                 "\" is appended but ReplayWal has no `kind == \"" + tag +
+                 "\"` arm; recovery would reject the log as an unknown "
+                 "record");
+    }
+  }
+  for (const auto& [tag, site] : facts.wal_replayed) {
+    if (facts.wal_written.count(tag) == 0) {
+      Report(findings, *site.file, "R8", site.pos,
+             "ReplayWal parses WAL tag \"" + tag +
+                 "\" that no AppendWal call writes; a dead grammar arm "
+                 "usually hides a renamed writer");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R9: thread-safety annotations on shared mutable state. Only the layers
+// the worker-pool runtime will share across threads are in scope.
+// ---------------------------------------------------------------------------
+
+bool IsMutexTypeName(const std::string& t) {
+  return t == "mutex" || t == "shared_mutex" || t == "recursive_mutex" ||
+         t == "timed_mutex" || t == "recursive_timed_mutex";
+}
+
+/// Name of the class/struct whose body opens at token `open`, or "type".
+std::string TypeNameAt(const std::vector<Token>& toks, size_t open) {
+  size_t k = open;
+  for (size_t back = 0; k > 0 && back < 64; ++back) {
+    --k;
+    const std::string& t = toks[k].text;
+    if (t == "class" || t == "struct" || t == "union") {
+      for (size_t m = k + 1; m < open; ++m) {
+        if (toks[m].kind == Token::Kind::kIdent &&
+            toks[m].text != "nodiscard" &&
+            !(m + 1 < open && toks[m + 1].text == "(")) {
+          return toks[m].text;
+        }
+      }
+      break;
+    }
+    if (t == ";" || t == "}" || t == "{") break;
+  }
+  return "type";
+}
+
+/// Lints one type body [open, end] for R9: if a mutex member is declared,
+/// every other mutable data member at the same depth must carry
+/// AXMLX_GUARDED_BY / AXMLX_PT_GUARDED_BY.
+void CheckTypeBodyAnnotations(const File& f, size_t open, size_t end,
+                              std::vector<Finding>* findings) {
+  const std::vector<Token>& toks = f.toks;
+  // Segment the body into depth-1 member statements, skipping function
+  // bodies (a `{...}` not followed by `;`) and access specifiers.
+  std::vector<std::pair<size_t, size_t>> stmts;
+  size_t j = open + 1;
+  size_t start = j;
+  while (j < end) {
+    const std::string& t = toks[j].text;
+    if (t == "(") {
+      j = MatchForward(toks, j) + 1;
+      continue;
+    }
+    if (t == "{") {
+      const size_t m = MatchForward(toks, j);
+      if (m + 1 < end && toks[m + 1].text == ";") {
+        j = m + 1;  // brace initializer: `int x{0};` — the `;` ends it
+        continue;
+      }
+      j = m + 1;  // function/nested-type body ends the statement
+      start = j;
+      continue;
+    }
+    if (t == ";") {
+      if (j > start) stmts.push_back({start, j});
+      ++j;
+      start = j;
+      continue;
+    }
+    if ((t == "public" || t == "private" || t == "protected") &&
+        TokIs(toks, j + 1, ":")) {
+      j += 2;
+      start = j;
+      continue;
+    }
+    ++j;
+  }
+
+  static const std::set<std::string> kNonMemberKeywords = {
+      "static", "constexpr", "using",    "typedef", "friend",
+      "enum",   "class",     "struct",   "union",   "operator",
+      "template"};
+
+  bool has_mutex = false;
+  std::vector<std::pair<size_t, size_t>> candidates;
+  for (const auto& [s, e] : stmts) {
+    bool annotated = false;
+    bool skip = false;
+    bool is_mutex = false;
+    bool has_paren = false;
+    for (size_t m = s; m < e; ++m) {
+      const std::string& t = toks[m].text;
+      if (t == "AXMLX_GUARDED_BY" || t == "AXMLX_PT_GUARDED_BY") {
+        annotated = true;
+      }
+      if (toks[m].kind == Token::Kind::kIdent &&
+          (kNonMemberKeywords.count(t) > 0 || t == "atomic" ||
+           t == "const")) {
+        skip = true;
+      }
+      if (t == "const") skip = true;
+      if (toks[m].kind == Token::Kind::kIdent && IsMutexTypeName(t)) {
+        is_mutex = true;
+      }
+      if (t == "(" && !annotated) has_paren = true;
+    }
+    if (is_mutex) {
+      has_mutex = true;
+      continue;
+    }
+    if (annotated || skip || has_paren) continue;
+    candidates.push_back({s, e});
+  }
+  if (!has_mutex || candidates.empty()) return;
+
+  const std::string cname = TypeNameAt(toks, open);
+  for (const auto& [s, e] : candidates) {
+    // Declared name: last identifier before the initializer (if any).
+    size_t name_tok = 0;
+    bool have_name = false;
+    for (size_t m = s; m < e; ++m) {
+      const std::string& t = toks[m].text;
+      if (t == "=" || t == "{" || t == "[") break;
+      if (toks[m].kind == Token::Kind::kIdent) {
+        name_tok = m;
+        have_name = true;
+      }
+    }
+    if (!have_name) continue;
+    Report(findings, f, "R9", toks[name_tok].pos,
+           "member `" + toks[name_tok].text + "` of " + cname +
+               " shares the class with a mutex but carries no "
+               "AXMLX_GUARDED_BY(...) annotation "
+               "(common/thread_annotations.h); the worker-pool runtime "
+               "cannot prove its lock discipline");
+  }
+}
+
+void CheckThreadAnnotations(const std::vector<File>& files,
+                            std::vector<Finding>* findings) {
+  for (const File& f : files) {
+    if (!StartsWith(f.src->path, "obs/") &&
+        !StartsWith(f.src->path, "storage/") &&
+        !StartsWith(f.src->path, "compensation/")) {
+      continue;
+    }
+    const std::vector<Token>& toks = f.toks;
+    std::vector<Scope> stack;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].text == "{") {
+        Scope s = ClassifyBrace(toks, i, stack);
+        if (s.kind == Scope::Kind::kType) {
+          CheckTypeBodyAnnotations(f, i, MatchForward(toks, i), findings);
+        }
+        stack.push_back(s);
+      } else if (toks[i].text == "}") {
+        if (!stack.empty()) stack.pop_back();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R10: name-registry consistency — registry constants live in exactly one
+// home table, values are unique within a family, and metric-name literals
+// at Get{Counter,Gauge,Histogram} sites are declared in the kMetric* table.
+// ---------------------------------------------------------------------------
+
+const std::map<std::string, std::string>& RegistryHomes() {
+  static const std::map<std::string, std::string> kHomes = {
+      {"kEv", "common/trace.h"},
+      {"kEvFr", "obs/flight_recorder.h"},
+      {"kSpan", "obs/span.h"},
+      {"kMetric", "obs/metric_names.h"},
+  };
+  return kHomes;
+}
+
+void CheckNameRegistry(const std::vector<File>& files, const Facts& facts,
+                       std::vector<Finding>* findings) {
+  std::map<std::string, std::string> first_def_of_name;   // name -> file
+  std::map<std::string, std::string> first_name_of_value; // fam\0value -> name
+  std::set<std::string> metric_values;
+  bool have_metric_table = false;
+
+  for (const Facts::TableDef& d : facts.table_defs) {
+    const std::string& home = RegistryHomes().at(d.family);
+    if (!EndsWith(d.file->src->path, home)) {
+      Report(findings, *d.file, "R10", d.pos,
+             d.name + " (family " + d.family +
+                 "*) is defined outside its home table " + home +
+                 "; registry constants live in exactly one table");
+    } else if (d.family == "kMetric") {
+      have_metric_table = true;
+      metric_values.insert(d.value);
+    }
+    if (auto [it, inserted] =
+            first_def_of_name.emplace(d.name, d.file->src->path);
+        !inserted) {
+      Report(findings, *d.file, "R10", d.pos,
+             d.name + " is defined more than once (first in " + it->second +
+                 "); a registry constant has exactly one definition");
+    }
+    const std::string value_key = d.family + '\0' + d.value;
+    if (auto [it, inserted] = first_name_of_value.emplace(value_key, d.name);
+        !inserted && it->second != d.name) {
+      Report(findings, *d.file, "R10", d.pos,
+             d.name + " reuses registry value \"" + d.value +
+                 "\" already named by " + it->second +
+                 "; two constants for one string silently split a series");
+    }
+  }
+
+  if (!have_metric_table) return;
+  for (const File& f : files) {
+    const std::vector<Token>& toks = f.toks;
+    for (size_t i = 1; i + 2 < toks.size(); ++i) {
+      if (toks[i].kind != Token::Kind::kIdent) continue;
+      const std::string& t = toks[i].text;
+      if (t != "GetCounter" && t != "GetGauge" && t != "GetHistogram") {
+        continue;
+      }
+      if (toks[i - 1].text != "." && toks[i - 1].text != "->") continue;
+      if (!TokIs(toks, i + 1, "(") ||
+          toks[i + 2].kind != Token::Kind::kString) {
+        continue;
+      }
+      if (metric_values.count(toks[i + 2].text) == 0) {
+        Report(findings, f, "R10", toks[i + 2].pos,
+               "metric name \"" + toks[i + 2].text +
+                   "\" is not declared in the kMetric* table "
+                   "(obs/metric_names.h); AxmlStats and axmlx_report "
+                   "aggregate by these strings");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> RunLint(const std::vector<SourceFile>& files) {
@@ -756,14 +1404,27 @@ std::vector<Finding> RunLint(const std::vector<SourceFile>& files) {
   for (const SourceFile& src : files) {
     prepared.push_back({&src, Tokenize(src.content)});
   }
+  const Facts facts = CollectFacts(prepared);
   std::vector<Finding> findings;
   CheckMessageDispatch(prepared, &findings);
   CheckNodiscard(prepared, &findings);
   CheckNameTables(prepared, &findings);
   CheckHeaderHygiene(prepared, &findings);
   CheckAsserts(prepared, &findings);
+  CheckVersioningDiscipline(facts, &findings);
+  CheckDeterminism(prepared, facts, &findings);
+  CheckWalGrammar(facts, &findings);
+  CheckThreadAnnotations(prepared, &findings);
+  CheckNameRegistry(prepared, facts, &findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
+              // Numeric rule order, so R10 sorts after R9, not after R1.
+              const auto rank = [](const std::string& r) {
+                return r.size() > 1 ? std::atoi(r.c_str() + 1) : 0;
+              };
+              if (rank(a.rule) != rank(b.rule)) {
+                return rank(a.rule) < rank(b.rule);
+              }
               if (a.rule != b.rule) return a.rule < b.rule;
               if (a.file != b.file) return a.file < b.file;
               return a.line < b.line;
@@ -777,6 +1438,59 @@ std::string FormatFindings(const std::vector<Finding>& findings) {
     os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
        << "\n";
   }
+  return os.str();
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 passes through verbatim
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatFindingsJson(const std::vector<Finding>& findings) {
+  if (findings.empty()) return "[]\n";
+  std::ostringstream os;
+  os << "[\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "  {\"rule\": \"" << JsonEscape(f.rule) << "\", \"file\": \""
+       << JsonEscape(f.file) << "\", \"line\": " << f.line
+       << ", \"message\": \"" << JsonEscape(f.message) << "\"}"
+       << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
   return os.str();
 }
 

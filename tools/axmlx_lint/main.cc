@@ -1,29 +1,53 @@
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "axmlx_lint/lint.h"
 
-/// CLI: `axmlx_lint <source-root>`. Scans every .h/.cc under the root,
-/// prints findings as "path:line: [Rn] message", and exits non-zero when any
-/// rule fires — which is what makes it usable as a ctest.
+/// CLI: `axmlx_lint [--json] <source-root>`. Scans every .h/.cc under the
+/// root and reports findings — human-readable "path:line: [Rn] message"
+/// lines by default, or a stable JSON array with `--json` so CI and
+/// axmlx_report can consume results mechanically (the human summary then
+/// goes to stderr, keeping stdout pure JSON).
+///
+/// Exit codes: 0 clean, 1 findings, 2 usage/load error — which is what
+/// makes it usable both as a ctest and as a scripted CI gate.
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <source-root>\n", argv[0]);
+  bool json = false;
+  const char* root = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (root == nullptr) {
+      root = argv[i];
+    } else {
+      root = nullptr;  // more than one root: usage error
+      break;
+    }
+  }
+  if (root == nullptr) {
+    std::fprintf(stderr, "usage: %s [--json] <source-root>\n", argv[0]);
     return 2;
   }
   std::vector<axmlx::lint::SourceFile> files;
   std::string error;
-  if (!axmlx::lint::LoadTree(argv[1], &files, &error)) {
+  if (!axmlx::lint::LoadTree(root, &files, &error)) {
     std::fprintf(stderr, "axmlx-lint: %s\n", error.c_str());
     return 2;
   }
   const std::vector<axmlx::lint::Finding> findings =
       axmlx::lint::RunLint(files);
-  if (!findings.empty()) {
-    std::fputs(axmlx::lint::FormatFindings(findings).c_str(), stdout);
+  if (json) {
+    std::fputs(axmlx::lint::FormatFindingsJson(findings).c_str(), stdout);
+    std::fprintf(stderr, "axmlx-lint: %zu finding(s) over %zu file(s)\n",
+                 findings.size(), files.size());
+  } else {
+    if (!findings.empty()) {
+      std::fputs(axmlx::lint::FormatFindings(findings).c_str(), stdout);
+    }
+    std::printf("axmlx-lint: %zu finding(s) over %zu file(s)\n",
+                findings.size(), files.size());
   }
-  std::printf("axmlx-lint: %zu finding(s) over %zu file(s)\n",
-              findings.size(), files.size());
   return findings.empty() ? 0 : 1;
 }

@@ -21,11 +21,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "compensation/concurrent.h"
+#include "obs/metric_names.h"
+#include "obs/timeline.h"
 #include "ops/operation.h"
 #include "xml/builder.h"
 #include "xml/document.h"
@@ -170,6 +173,12 @@ void WriteReport(bool smoke) {
   {
     auto doc = MakeInventory();
     ConcurrentExecutor exec(doc.get(), nullptr);
+    // Phase timeline over the contended round: every Begin/Execute/conflict
+    // lands in the kPhase* accounting, so the report carries a per-phase
+    // critical-path breakdown (logical op ticks) next to the wall numbers.
+    axmlx::obs::Timeline timeline;
+    timeline.AttachMetrics(exec.metrics());
+    exec.AttachTimeline(&timeline);
     int64_t committed = 0;
     axmlx::bench::MeasureThroughput(
         &report, "round_latency_us", rounds, [&] {
@@ -185,6 +194,23 @@ void WriteReport(bool smoke) {
     }
     report.AddCounter("doc.version_records_live",
                       static_cast<int64_t>(doc->VersionRecordCount()));
+    auto total = snap.histograms.find(axmlx::obs::kMetricTxnLatencyTotal);
+    if (total != snap.histograms.end()) {
+      report.AddHistogram(axmlx::obs::kMetricTxnLatencyTotal, total->second);
+    }
+    for (int i = 0; i < axmlx::obs::kPhaseCount; ++i) {
+      auto phase = snap.histograms.find(axmlx::obs::PhaseMetricName(i));
+      if (phase != snap.histograms.end()) {
+        report.AddHistogram(axmlx::obs::PhaseMetricName(i), phase->second);
+      }
+    }
+    // Timeline-only trace (no overlay in this bench): txn tracks + phase
+    // slices, loadable in Perfetto and checkable by axmlx_report.
+    std::ofstream trace("TRACE_concurrency.json",
+                        std::ios::binary | std::ios::trunc);
+    if (trace) {
+      trace << axmlx::obs::BuildTraceJson(nullptr, nullptr, &timeline);
+    }
   }
   {
     // Disjoint control round: the conflict-free scaling point.

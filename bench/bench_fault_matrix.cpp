@@ -16,11 +16,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "obs/metric_names.h"
+#include "obs/timeline.h"
 #include "overlay/network.h"
 #include "repo/fault_drill.h"
 
@@ -218,6 +221,23 @@ void WriteReport(bool smoke) {
     if (hist != metrics.histograms.end()) {
       report.AddHistogram("txn_duration_ticks", hist->second);
     }
+    // Per-phase critical-path breakdown (simulation ticks): where the
+    // drill's end-to-end latency actually went.
+    auto total = metrics.histograms.find(axmlx::obs::kMetricTxnLatencyTotal);
+    if (total != metrics.histograms.end()) {
+      report.AddHistogram(axmlx::obs::kMetricTxnLatencyTotal, total->second);
+    }
+    for (int i = 0; i < axmlx::obs::kPhaseCount; ++i) {
+      auto phase = metrics.histograms.find(axmlx::obs::PhaseMetricName(i));
+      if (phase != metrics.histograms.end()) {
+        report.AddHistogram(axmlx::obs::PhaseMetricName(i), phase->second);
+      }
+    }
+    // Perfetto-loadable timeline of the same run, for axmlx_report
+    // --critical-path / --check.
+    std::ofstream trace("TRACE_fault_matrix.json",
+                        std::ios::binary | std::ios::trunc);
+    if (trace) trace << drill.repo().BuildTrace();
   }
   (void)report.Write();
 }

@@ -23,6 +23,7 @@
 
 #include "bench/bench_util.h"
 #include "obs/flight_recorder.h"
+#include "obs/timeline.h"
 #include "ops/executor.h"
 #include "ops/operation.h"
 #include "query/eval.h"
@@ -69,16 +70,24 @@ double OpsPerSec(int iters, double total_us) {
 }
 
 /// Storage hot path: `txns` small committed transactions (4 inserts each)
-/// against a fresh store, recorder attached or not. Returns txns/sec.
+/// against a fresh store, instrumentation attached or not. The "on" config
+/// is the full shipping set — flight recorder plus phase timeline (per-txn
+/// window + WAL_APPEND/FLUSH_WAIT markers), so the budget covers
+/// critical-path accounting too. Returns txns/sec.
 double StorageRate(bool with_recorder, int txns) {
   DurableStore store(FreshDir(), nullptr, FlushPolicy::OnResolve());
   if (!store.Open().ok()) return 0;
   (void)store.CreateDocument("<Store><log/></Store>");
   axmlx::obs::FlightRecorder recorder;
-  if (with_recorder) store.AttachRecorder(&recorder);
+  axmlx::obs::Timeline timeline;
+  if (with_recorder) {
+    store.AttachRecorder(&recorder);
+    store.AttachTimeline(&timeline);
+  }
   double us = TimeUs([&] {
     for (int t = 0; t < txns; ++t) {
       std::string txn = "T" + std::to_string(t);
+      if (with_recorder) timeline.BeginTxn(txn, timeline.now());
       (void)store.Begin(txn);
       for (int i = 0; i < 4; ++i) {
         (void)store.Execute(
@@ -87,6 +96,7 @@ double StorageRate(bool with_recorder, int txns) {
                                    "<entry>payload</entry>"));
       }
       (void)store.Commit(txn);
+      if (with_recorder) timeline.EndTxn(txn, timeline.now());
     }
   });
   return OpsPerSec(txns, us);

@@ -88,6 +88,23 @@ if [ ! -e "${dumps[0]}" ]; then
 fi
 "$BUILD_ABS/tools/axmlx_report" --forensics "${dumps[@]}"
 
+step "trace (axmlx-trace-v1 export, --check partition gate, --critical-path)"
+# The bench smoke run left Perfetto-loadable TRACE_*.json artifacts beside
+# the BENCH reports; --check enforces the phase-partition invariant on each
+# and --critical-path proves the dominator pipeline renders. The forensics
+# dump from the previous stage round-trips through --trace into the same
+# checkable format.
+traces=("$SMOKE_DIR"/TRACE_*.json)
+if [ ! -e "${traces[0]}" ]; then
+  echo "FAIL: bench smoke run produced no TRACE_*.json artifacts" >&2
+  exit 1
+fi
+"$BUILD_ABS/tools/axmlx_report" --check "${traces[@]}"
+"$BUILD_ABS/tools/axmlx_report" --critical-path "${traces[@]}" > /dev/null
+"$BUILD_ABS/tools/axmlx_report" --trace "$FORENSICS_DIR/trace.json" \
+  "${dumps[0]}"
+"$BUILD_ABS/tools/axmlx_report" --check "$FORENSICS_DIR/trace.json"
+
 step "sanitizer build (-DAXMLX_SANITIZE=ON) + fault-labeled suites"
 SAN_DIR="$BUILD_DIR-asan"
 cmake -B "$SAN_DIR" -S . -DAXMLX_WERROR=ON -DAXMLX_SANITIZE=ON

@@ -29,6 +29,7 @@ TxnHandle ConcurrentExecutor::Begin(const std::string& label) {
   t.ctx.view = xml::ReadView{t.snapshot, handle, true};
   table_.BeginWriter(handle, t.snapshot);
   ++counters_.snapshots_taken;
+  if (timeline_ != nullptr) timeline_->BeginTxn(t.label, timeline_now_);
   if (recorder_ != nullptr) {
     recorder_->Record(obs::kEvFrTxnSnapshot, t.label, handle,
                       static_cast<int64_t>(t.snapshot));
@@ -52,13 +53,25 @@ Result<const ops::OpEffect*> ConcurrentExecutor::Execute(
   exec.SetRecorder(recorder_);
   // The document may have moved since our last op; memoized text is stale.
   t.ctx.InvalidateCaches();
+  if (timeline_ != nullptr) {
+    timeline_->Enter(t.label, obs::kPhaseEval, timeline_now_);
+  }
   Result<ops::OpEffect> result = exec.Execute(op);
+  if (timeline_ != nullptr) {
+    timeline_->Exit(t.label, obs::kPhaseEval, ++timeline_now_);
+  }
   doc_->SetWriter(0);
   if (!result.ok()) return result.status();  // doc untouched; txn stays live
   ++counters_.snapshot_ops;
 
+  if (timeline_ != nullptr) {
+    timeline_->Enter(t.label, obs::kPhaseConflictCheck, timeline_now_);
+  }
   std::optional<ops::Conflict> conflict =
       table_.CheckEffect(*doc_, result.value(), txn, t.snapshot);
+  if (timeline_ != nullptr) {
+    timeline_->Exit(t.label, obs::kPhaseConflictCheck, ++timeline_now_);
+  }
   if (conflict.has_value()) {
     ++counters_.conflicts_detected;
     // First-writer-wins: we lose. Roll the in-flight effect back, then
@@ -83,6 +96,7 @@ Status ConcurrentExecutor::Commit(TxnHandle txn) {
   if (it == txns_.end()) {
     return InvalidArgument("unknown or finished transaction handle");
   }
+  if (timeline_ != nullptr) timeline_->EndTxn(it->second.label, timeline_now_);
   table_.EndWriter(txn);
   txns_.erase(it);
   ++counters_.mvcc_commits;
@@ -129,6 +143,11 @@ Status ConcurrentExecutor::CompensateAndEnd(TxnHandle txn, Txn* t,
     exec.SetRecorder(recorder_);
     status = ApplyPlan(&exec, plan);
     doc_->SetWriter(0);
+  }
+  if (timeline_ != nullptr) {
+    timeline_->Enter(t->label, obs::kPhaseCompensation, timeline_now_);
+    timeline_->Exit(t->label, obs::kPhaseCompensation, ++timeline_now_);
+    timeline_->EndTxn(t->label, timeline_now_);
   }
   table_.EndWriter(txn);
   txns_.erase(txn);

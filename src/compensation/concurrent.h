@@ -10,6 +10,7 @@
 #include "compensation/compensation.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "ops/conflict.h"
 #include "ops/executor.h"
 #include "ops/op_log.h"
@@ -83,6 +84,16 @@ class ConcurrentExecutor {
   obs::MetricsRegistry* metrics() { return &metrics_; }
   xml::Document* doc() { return doc_; }
 
+  /// Attaches a phase timeline keyed by transaction *labels* (not owned;
+  /// null detaches) — labels must therefore be unique among concurrently
+  /// open transactions. The executor has no simulation clock, so it drives
+  /// a logical one: each Execute advances it one tick inside EVAL and one
+  /// inside CONFLICT_CHECK, and each conflict/abort adds one COMPENSATION
+  /// tick — giving the contended-path phases real widths, with time a
+  /// transaction spends open while *other* transactions execute falling to
+  /// the QUEUE_WAIT residual (see DESIGN.md §7).
+  void AttachTimeline(obs::Timeline* timeline) { timeline_ = timeline; }
+
  private:
   struct Txn {
     std::string label;
@@ -101,6 +112,8 @@ class ConcurrentExecutor {
   xml::Document* doc_;
   axml::ServiceInvoker invoker_;
   obs::FlightRecorder* recorder_;
+  obs::Timeline* timeline_ = nullptr;
+  int64_t timeline_now_ = 0;  ///< Logical op clock for timeline stamps.
   ops::ConflictTable table_;
   std::map<TxnHandle, Txn> txns_;
   TxnHandle next_writer_ = 1;

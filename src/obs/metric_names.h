@@ -9,8 +9,9 @@
 /// MetricsRegistry::GetCounter/GetGauge/GetHistogram appears in this table
 /// and that no two entries share a value. Names follow `<domain>.<metric>`:
 /// overlay.* (message fabric), txn.* (transaction protocol + MVCC),
-/// drill.* (fault-drill harness), wal.* / doc.* / query.* (storage and
-/// evaluator hot paths).
+/// txn.latency.* (per-phase attribution, obs/timeline.h), drill.*
+/// (fault-drill harness), wal.* / doc.* / query.* (storage and evaluator
+/// hot paths), obs.* (observability self-accounting).
 namespace axmlx::obs {
 
 // --- overlay.*: message fabric -------------------------------------------
@@ -57,6 +58,24 @@ inline constexpr char kMetricTxnConflictsAborted[] = "txn.conflicts_aborted";
 inline constexpr char kMetricTxnConflictsRetried[] = "txn.conflicts_retried";
 inline constexpr char kMetricTxnMvccCommits[] = "txn.mvcc_commits";
 
+// --- txn.latency.*: per-phase transaction latency (obs/timeline.h) -------
+// One histogram per kPhase* table entry plus the end-to-end total; the
+// Timeline observes all of them at EndTxn, so every histogram's count is
+// the number of decided transactions and the per-txn phase values sum to
+// the total (phases partition the transaction window by construction).
+inline constexpr char kMetricTxnLatencyTotal[] = "txn.latency.total";
+inline constexpr char kMetricTxnLatencyQueueWait[] = "txn.latency.queue_wait";
+inline constexpr char kMetricTxnLatencyEval[] = "txn.latency.eval";
+inline constexpr char kMetricTxnLatencyWalAppend[] = "txn.latency.wal_append";
+inline constexpr char kMetricTxnLatencyFlushWait[] = "txn.latency.flush_wait";
+inline constexpr char kMetricTxnLatencyNetInflight[] =
+    "txn.latency.net_inflight";
+inline constexpr char kMetricTxnLatencyConflictCheck[] =
+    "txn.latency.conflict_check";
+inline constexpr char kMetricTxnLatencyCompensation[] =
+    "txn.latency.compensation";
+inline constexpr char kMetricTxnLatencyRecovery[] = "txn.latency.recovery";
+
 // --- drill.*: fault-drill harness ----------------------------------------
 inline constexpr char kMetricDrillJournalErrors[] = "drill.journal_errors";
 inline constexpr char kMetricDrillCrashes[] = "drill.crashes";
@@ -80,6 +99,10 @@ inline constexpr char kMetricQueryIndexHits[] = "query.index_hits";
 inline constexpr char kMetricQueryIndexCandidates[] =
     "query.index_candidates";
 inline constexpr char kMetricQueryWalkFallbacks[] = "query.walk_fallbacks";
+
+// --- obs.*: observability self-accounting --------------------------------
+inline constexpr char kMetricObsSpansCloseUnknown[] =
+    "obs.spans_close_unknown";
 
 }  // namespace axmlx::obs
 

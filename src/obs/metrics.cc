@@ -41,9 +41,18 @@ int64_t Histogram::Quantile(double q) const {
   int64_t seen = 0;
   for (size_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];
-    if (seen >= rank) {
-      return i < bounds_.size() ? std::min(bounds_[i], max()) : max();
-    }
+    if (seen < rank) continue;
+    if (i < bounds_.size()) return std::min(bounds_[i], max());
+    // Overflow bucket: interpolate linearly between its lower edge (the
+    // last bound, or the observed min when everything overflowed) and the
+    // observed max by the rank's position inside the bucket. Reporting max
+    // unconditionally made p50 == p99 == max for any tail-heavy series.
+    const int64_t in_bucket = counts_[i];
+    int64_t lo = bounds_.empty() ? min() : bounds_.back();
+    if (min() > lo) lo = min();
+    if (in_bucket <= 1 || max() <= lo) return max();
+    const int64_t into = rank - (seen - in_bucket);  // 1..in_bucket
+    return lo + (max() - lo) * into / in_bucket;
   }
   return max();
 }
@@ -58,6 +67,7 @@ HistogramSnapshot Histogram::Snapshot() const {
   snap.max = max();
   snap.p50 = Quantile(0.50);
   snap.p95 = Quantile(0.95);
+  snap.p99 = Quantile(0.99);
   return snap;
 }
 
@@ -86,7 +96,8 @@ std::string HistogramSnapshot::ToJson() const {
   os << ",\"counts\":";
   AppendIntArray(&os, counts);
   os << ",\"count\":" << count << ",\"sum\":" << sum << ",\"min\":" << min
-     << ",\"max\":" << max << ",\"p50\":" << p50 << ",\"p95\":" << p95 << "}";
+     << ",\"max\":" << max << ",\"p50\":" << p50 << ",\"p95\":" << p95
+     << ",\"p99\":" << p99 << "}";
   return os.str();
 }
 

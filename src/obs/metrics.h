@@ -51,8 +51,9 @@ struct HistogramSnapshot {
   int64_t max = 0;
   int64_t p50 = 0;
   int64_t p95 = 0;
+  int64_t p99 = 0;
 
-  /// {"bounds":[...],"counts":[...],"count":N,...,"p95":N}.
+  /// {"bounds":[...],"counts":[...],"count":N,...,"p95":N,"p99":N}.
   std::string ToJson() const;
 };
 
@@ -75,8 +76,9 @@ class Histogram {
   int64_t max() const { return count_ == 0 ? 0 : max_; }
 
   /// Value at quantile `q` in [0, 1], estimated as the upper bound of the
-  /// bucket holding that rank (the max observed value for the overflow
-  /// bucket). 0 when empty.
+  /// bucket holding that rank; ranks landing in the overflow bucket
+  /// interpolate linearly between the last bound and the observed max.
+  /// 0 when empty.
   int64_t Quantile(double q) const;
 
   HistogramSnapshot Snapshot() const;

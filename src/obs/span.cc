@@ -4,8 +4,16 @@
 
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace axmlx::obs {
+
+void SpanTracker::AttachMetrics(MetricsRegistry* metrics) {
+  close_unknown_ =
+      metrics != nullptr ? metrics->GetCounter(kMetricObsSpansCloseUnknown)
+                         : nullptr;
+}
 
 uint64_t SpanTracker::OpenSpan(const std::string& txn, const std::string& peer,
                                const std::string& kind,
@@ -34,9 +42,15 @@ void SpanTracker::CloseSpan(uint64_t span_id, int64_t end,
                             const std::string& outcome,
                             const std::string& fault) {
   auto it = index_.find(span_id);
-  if (it == index_.end()) return;
+  if (it == index_.end()) {
+    if (close_unknown_ != nullptr) ++*close_unknown_;
+    return;
+  }
   SpanRecord& rec = spans_[it->second];
-  if (rec.end >= 0) return;  // already closed; first close wins
+  if (rec.end >= 0) {  // already closed; first close wins
+    if (close_unknown_ != nullptr) ++*close_unknown_;
+    return;
+  }
   rec.end = end;
   rec.outcome = outcome;
   rec.fault = fault;

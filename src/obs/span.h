@@ -8,7 +8,9 @@
 
 namespace axmlx::obs {
 
+class Counter;
 class FlightRecorderSet;
+class MetricsRegistry;
 
 /// Declared span kinds. Every `kind` passed to SpanTracker::OpenSpan must
 /// come from this table (lint rule R3, same contract as the kEv* trace
@@ -59,7 +61,9 @@ class SpanTracker {
 
   /// Closes `span_id` with `outcome` (and optionally the fault that ended
   /// it). Unknown or already-closed ids are ignored — close points race
-  /// benignly under duplicated control messages.
+  /// benignly under duplicated control messages — but every ignored close
+  /// bumps obs.spans_close_unknown when a registry is attached, so the
+  /// benign races stay observable.
   void CloseSpan(uint64_t span_id, int64_t end, const std::string& outcome,
                  const std::string& fault = std::string());
 
@@ -79,6 +83,10 @@ class SpanTracker {
     recorders_ = recorders;
   }
 
+  /// Counts ignored CloseSpan calls into `metrics` (not owned; null
+  /// detaches).
+  void AttachMetrics(MetricsRegistry* metrics);
+
   void Clear();
 
  private:
@@ -86,6 +94,7 @@ class SpanTracker {
   std::map<uint64_t, size_t> index_;  ///< span_id -> index in spans_.
   uint64_t next_id_ = 1;
   FlightRecorderSet* recorders_ = nullptr;
+  Counter* close_unknown_ = nullptr;  ///< obs.spans_close_unknown.
 };
 
 /// Renders one span as the JSON object described at ToJsonl (no trailing

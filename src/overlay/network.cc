@@ -164,8 +164,26 @@ void Network::EnqueueDelivery(Message message, Tick extra_delay) {
   Event ev;
   ev.time = now_ + latency_base_ + jitter + extra_delay;
   ev.seq = next_seq_++;
+  // One claim per physical copy: its matching Exit is the copy's terminal
+  // event in RunUntil (delivered or dropped), so duplicates keep the phase
+  // claimed until the last copy lands.
+  TimelineEnter(message);
   ev.message = std::make_shared<Message>(std::move(message));
   queue_.push(std::move(ev));
+}
+
+void Network::TimelineEnter(const Message& message) {
+  if (timeline_ == nullptr) return;
+  auto it = message.headers.find(timeline_txn_header_);
+  if (it == message.headers.end()) return;
+  timeline_->Enter(it->second, obs::kPhaseNetInflight, now_);
+}
+
+void Network::TimelineExit(const Message& message) {
+  if (timeline_ == nullptr) return;
+  auto it = message.headers.find(timeline_txn_header_);
+  if (it == message.headers.end()) return;
+  timeline_->Exit(it->second, obs::kPhaseNetInflight, now_);
 }
 
 Result<int64_t> Network::Send(Message message) {
@@ -299,6 +317,7 @@ void Network::RunUntil(Tick until) {
     // Keep the shared recorder clock in step so events stamped by peers,
     // storage, and executors during dispatch carry the right sim time.
     if (recorders_ != nullptr) recorders_->SetNow(now_);
+    if (timeline_ != nullptr) timeline_->SetNow(now_);
     if (ev.fn) {
       ev.fn(this);
       continue;
@@ -312,6 +331,7 @@ void Network::RunUntil(Tick until) {
         RecordFr(msg.to, obs::kEvFrMsgDrop, w.Compose(msg.type, "<-", msg.from),
                  msg.id);
       }
+      TimelineExit(msg);
       continue;
     }
     if (fault_plan_ != nullptr && !fault_plan_->SameSide(msg.from, msg.to)) {
@@ -325,6 +345,7 @@ void Network::RunUntil(Tick until) {
         RecordFr(msg.to, obs::kEvFrMsgDrop, w.Compose(msg.type, "<-", msg.from),
                  msg.id);
       }
+      TimelineExit(msg);
       continue;
     }
     PeerNode* peer = FindPeer(msg.to);
@@ -335,6 +356,10 @@ void Network::RunUntil(Tick until) {
       RecordFr(msg.to, obs::kEvFrMsgRecv, w.Compose(msg.type, "<-", msg.from),
                msg.id);
     }
+    // Release the in-flight claim before dispatch, so handler work during
+    // delivery (evaluation, WAL, compensation) is attributed to itself, not
+    // to transport.
+    TimelineExit(msg);
     peer->OnMessage(msg, this);
     // Periodic work interleaves deterministically after each delivery, but
     // only for peers that asked for ticks — delivery cost does not scale
@@ -349,6 +374,7 @@ void Network::RunUntil(Tick until) {
   }
   if (now_ < until) now_ = until;
   if (recorders_ != nullptr) recorders_->SetNow(now_);
+  if (timeline_ != nullptr) timeline_->SetNow(now_);
 }
 
 Tick Network::RunUntilQuiescent(Tick max_time) {

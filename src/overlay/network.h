@@ -14,6 +14,7 @@
 #include "common/trace.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 
 namespace axmlx::overlay {
 
@@ -140,6 +141,22 @@ class Network {
   }
   obs::FlightRecorderSet* recorders() { return recorders_; }
 
+  /// Attaches the per-transaction phase timeline (not owned; null
+  /// detaches). Every enqueued physical copy of a message whose
+  /// `txn_header` header names an open transaction places one NET_INFLIGHT
+  /// claim, released when that copy is delivered or dropped — so duplicated
+  /// copies hold overlapping claims and the phase stays attributed until
+  /// the last one lands. The network also keeps the timeline's convenience
+  /// clock in step with simulation time (like the recorder set's), which is
+  /// what clock-less components such as storage::DurableStore stamp their
+  /// claims with. The header key is injected by the repository layer so the
+  /// overlay stays ignorant of transaction-protocol header names.
+  void SetTimeline(obs::Timeline* timeline, std::string txn_header) {
+    timeline_ = timeline;
+    timeline_txn_header_ = std::move(txn_header);
+  }
+  obs::Timeline* timeline() { return timeline_; }
+
   // --- Messaging -----------------------------------------------------------
 
   /// Enqueues `message` for delivery after the link latency. Returns
@@ -235,6 +252,11 @@ class Network {
   /// Enqueues one physical delivery of `message` (already id-stamped).
   void EnqueueDelivery(Message message, Tick extra_delay);
 
+  /// Places / releases `message`'s NET_INFLIGHT timeline claim (no-op
+  /// without an attached timeline or a transaction header).
+  void TimelineEnter(const Message& message);
+  void TimelineExit(const Message& message);
+
   std::map<PeerId, std::unique_ptr<PeerNode>> peers_;
   std::vector<PeerId> order_;
   std::vector<PeerId> tick_subscribers_;  ///< Registration order.
@@ -251,6 +273,8 @@ class Network {
   Trace* trace_;
   FaultPlan* fault_plan_ = nullptr;
   obs::FlightRecorderSet* recorders_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
+  std::string timeline_txn_header_;
 };
 
 }  // namespace axmlx::overlay

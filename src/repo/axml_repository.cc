@@ -53,6 +53,9 @@ comp::CompensationPlan LocalTransaction::PendingCompensation() const {
 AxmlRepository::AxmlRepository(uint64_t seed) {
   network_ = std::make_unique<overlay::Network>(seed, &trace_);
   network_->SetRecorders(&recorders_);
+  // The overlay learns the txn-layer header key here so it can charge
+  // in-flight messages to the right transaction window.
+  network_->SetTimeline(&timeline_, txn::kHdrTxn);
   spans_.AttachRecorders(&recorders_);
 }
 
@@ -83,6 +86,7 @@ Result<txn::AxmlPeer*> AxmlRepository::AddPeer(const PeerConfig& config) {
   txn::AxmlPeer* raw = peer.get();
   raw->AttachSpans(&spans_);
   raw->AttachRecorder(recorders_.ForPeer(config.id));
+  raw->AttachTimeline(&timeline_);
   directory_.Register(config.id, &raw->repository(), config.super_peer);
   network_->AddPeer(std::move(peer));
   peers_.push_back(raw);
@@ -117,6 +121,7 @@ Result<txn::AxmlPeer*> AxmlRepository::RestartPeer(const PeerConfig& config) {
   txn::AxmlPeer* raw = peer.get();
   raw->AttachSpans(&spans_);
   raw->AttachRecorder(recorders_.ForPeer(config.id));
+  raw->AttachTimeline(&timeline_);
   directory_.Register(config.id, &raw->repository(), config.super_peer);
   AXMLX_RETURN_IF_ERROR(network_->Restart(std::move(peer)));
   peers_.push_back(raw);

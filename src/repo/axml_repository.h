@@ -9,6 +9,7 @@
 #include "common/trace.h"
 #include "obs/flight_recorder.h"
 #include "obs/span.h"
+#include "obs/timeline.h"
 #include "compensation/compensation.h"
 #include "ops/executor.h"
 #include "ops/op_log.h"
@@ -149,6 +150,19 @@ class AxmlRepository {
   /// mirrors span open/close — all into one (time, seq)-ordered set.
   obs::FlightRecorderSet& recorders() { return recorders_; }
 
+  /// Per-transaction phase timeline (critical-path attribution): the origin
+  /// peer opens each transaction's window, and the overlay, peers, and any
+  /// attached DurableStore place phase claims inside it. Phases partition
+  /// every window by construction — see DESIGN.md §7.
+  obs::Timeline& timeline() { return timeline_; }
+
+  /// Renders the repository's flight-recorder, span, and timeline state as
+  /// an "axmlx-trace-v1" Chrome trace_event JSON document (Perfetto-
+  /// loadable); see obs::BuildTraceJson.
+  std::string BuildTrace() const {
+    return obs::BuildTraceJson(&recorders_, &spans_, &timeline_);
+  }
+
   // --- Crash forensics -----------------------------------------------------
 
   /// Directory to write forensic dumps into (created on demand). Empty — the
@@ -176,6 +190,7 @@ class AxmlRepository {
 
   Trace trace_;
   obs::SpanTracker spans_;
+  obs::Timeline timeline_;            ///< Must precede network_.
   obs::FlightRecorderSet recorders_;  ///< Must precede network_.
   std::unique_ptr<overlay::Network> network_;
   txn::ServiceDirectory directory_;

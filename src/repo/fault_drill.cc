@@ -88,6 +88,7 @@ Status FaultDrill::AttachStorage(const overlay::PeerId& id,
   PeerStorage& ps = storage_[id];
   ps.store = std::make_unique<storage::DurableStore>(
       StoreDir(id, ps.incarnation), /*invoker=*/nullptr);
+  ps.store->AttachTimeline(&repo_->timeline());
   AXMLX_RETURN_IF_ERROR(ps.store->Open());
   for (const std::string& xml_text : docs) {
     AXMLX_RETURN_IF_ERROR(ps.store->CreateDocument(xml_text));
@@ -118,6 +119,10 @@ Status FaultDrill::SetUp() {
   // Black boxes land next to the WALs they explain.
   repo_->SetForensicsDir(storage_root_ + "/forensics");
   repo_->network().SetLatency(/*base=*/1, /*jitter=*/2);
+  // Per-phase txn.latency.* histograms land in the drill's registry, next
+  // to the drill counters the report is assembled from.
+  repo_->timeline().AttachMetrics(&metrics_);
+  repo_->spans().AttachMetrics(&metrics_);
 
   ScenarioOptions scen;
   scen.protocol = AxmlRepository::Protocol::kChained;
@@ -193,6 +198,9 @@ Status FaultDrill::RestartNow(const overlay::PeerId& id) {
     // and nothing else.
     storage::DurableStore recovery(StoreDir(id, ps.incarnation),
                                    /*invoker=*/nullptr);
+    // Loser rollbacks during replay stamp RECOVERY markers into the open
+    // transaction windows they interrupt.
+    recovery.AttachTimeline(&repo_->timeline());
     AXMLX_RETURN_IF_ERROR(recovery.Open());
     *metrics_.GetCounter(obs::kMetricDrillWalReplayedOps) +=
         recovery.stats().replayed_ops;

@@ -211,6 +211,7 @@ Status DurableStore::Open() {
     if (recorder_ != nullptr) {
       recorder_->Record(obs::kEvFrRecovery, txn);
     }
+    MarkPhase(txn, obs::kPhaseRecovery);
     AXMLX_RETURN_IF_ERROR(CompensateTxn(txn, /*journal=*/true));
     TxnState& state = active_txns_[txn];
     AXMLX_RETURN_IF_ERROR(AppendWal(
@@ -455,6 +456,7 @@ Result<const ops::OpEffect*> DurableStore::Execute(const std::string& txn,
     return FailedPrecondition("transaction " + txn + " is not active");
   }
   // Log first, then apply (write-ahead).
+  MarkPhase(txn, obs::kPhaseWalAppend);
   AXMLX_RETURN_IF_ERROR(AppendWal("OP " + txn + " " + doc + " " +
                                   EncodeWalPayload(op.ToXml())));
   active_txns_[txn].wal_ops++;
@@ -466,6 +468,7 @@ Status DurableStore::Commit(const std::string& txn) {
   if (it == active_txns_.end()) {
     return NotFound("transaction " + txn + " is not active");
   }
+  MarkPhase(txn, obs::kPhaseFlushWait);
   AXMLX_RETURN_IF_ERROR(AppendWal(
       "RESOLVED " + txn + " C " + std::to_string(it->second.wal_ops) + " " +
           std::to_string(clock_),
@@ -509,6 +512,7 @@ Status DurableStore::Abort(const std::string& txn) {
     return NotFound("transaction " + txn + " is not active");
   }
   AXMLX_RETURN_IF_ERROR(CompensateTxn(txn, /*journal=*/true));
+  MarkPhase(txn, obs::kPhaseFlushWait);
   AXMLX_RETURN_IF_ERROR(AppendWal(
       "RESOLVED " + txn + " A " +
           std::to_string(active_txns_[txn].wal_ops) + " " +
@@ -517,6 +521,13 @@ Status DurableStore::Abort(const std::string& txn) {
   resolved_outcomes_[txn] = false;
   active_txns_.erase(txn);
   return Status::Ok();
+}
+
+void DurableStore::MarkPhase(const std::string& txn, const char* phase) {
+  if (timeline_ == nullptr) return;
+  const int64_t now = timeline_->now();
+  timeline_->Enter(txn, phase, now);
+  timeline_->Exit(txn, phase, now);
 }
 
 Status DurableStore::JournalDedupKey(const std::string& key) {

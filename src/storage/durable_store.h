@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "ops/executor.h"
 #include "ops/op_log.h"
 #include "query/eval.h"
@@ -185,6 +186,14 @@ class DurableStore {
   /// operation execution shows up in the same ring.
   void AttachRecorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
 
+  /// Attaches the repository-wide phase timeline (not owned; null
+  /// detaches). The store stamps zero-width WAL_APPEND / FLUSH_WAIT /
+  /// RECOVERY markers at the timeline's convenience clock (the store is
+  /// clock-less; the overlay keeps that clock at simulation time). Durable
+  /// I/O takes zero simulated ticks, so these markers record occurrence
+  /// rather than duration — see DESIGN.md §7.
+  void AttachTimeline(obs::Timeline* timeline) { timeline_ = timeline; }
+
  private:
   struct TxnState {
     ops::OpLog effects;
@@ -227,6 +236,10 @@ class DurableStore {
                                        const ops::Operation& op);
   Status CompensateTxn(const std::string& txn, bool journal);
 
+  /// Stamps a zero-width `phase` marker for `txn` at the timeline clock
+  /// (no-op without an attached timeline).
+  void MarkPhase(const std::string& txn, const char* phase);
+
   std::string directory_;
   axml::ServiceInvoker invoker_;
   FlushPolicy flush_policy_;
@@ -247,6 +260,7 @@ class DurableStore {
   size_t batched_records_ = 0;
   bool open_ = false;
   obs::FlightRecorder* recorder_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
   uint64_t epoch_ = 0;   ///< Current checkpoint epoch (manifest-committed).
   uint64_t clock_ = 0;   ///< Logical clock: ticks once per applied op.
   CrashPoint crash_point_ = CrashPoint::kNone;

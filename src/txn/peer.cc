@@ -154,6 +154,20 @@ Status AxmlPeer::Submit(overlay::Network* net, const std::string& txn,
       if (inner) inner(done_txn, std::move(status));
     };
   }
+  if (timeline_ != nullptr) {
+    // Open the phase-accounting window. It closes when the origin callback
+    // fires — the transaction's decision point; claims placed by messages
+    // still draining afterwards (commit releases, compensation acks) land
+    // on a closed window and are ignored by design.
+    timeline_->BeginTxn(txn, net->now());
+    obs::Timeline* timeline = timeline_;
+    DoneCallback inner = std::move(on_done);
+    on_done = [timeline, net, inner = std::move(inner)](
+                  const std::string& done_txn, Status status) {
+      timeline->EndTxn(done_txn, net->now());
+      if (inner) inner(done_txn, std::move(status));
+    };
+  }
   // The context may decide synchronously (e.g. an immediate local fault);
   // StartContext returning null then just means the callback already fired.
   Ctx* created =
@@ -242,6 +256,22 @@ void AxmlPeer::Begin(Ctx* ctx, overlay::Network* net) {
     }
   }
   ctx->ready_time = net->now() + def->duration;
+  if (timeline_ != nullptr) {
+    // The local execution now waits out its simulated duration; the claim
+    // covers exactly [now, ready_time] so transport ticks spent waiting on
+    // subcalls still attribute to NET_INFLIGHT rather than being shadowed
+    // by EVAL. Complete/AbortContext keep a guarded release as a backstop
+    // for windows cut short.
+    ctx->in_eval = true;
+    timeline_->Enter(ctx->txn, obs::kPhaseEval, net->now());
+    const std::string txn = ctx->txn;
+    std::weak_ptr<void> alive = AliveToken();
+    net->ScheduleAt(ctx->ready_time, [this, txn, alive](overlay::Network* n) {
+      if (alive.expired()) return;
+      Ctx* live = FindContext(txn);
+      if (live != nullptr) ExitEval(live, n);
+    });
+  }
   ctx->participants.push_back(id());
   ctx->subtree_nodes_affected = ctx->local.nodes_affected;
   if (options_.peer_independent && !ctx->local.compensation.empty()) {
@@ -683,6 +713,7 @@ void AxmlPeer::HandleCompensate(const overlay::Message& message,
              ok ? static_cast<int64_t>(nodes) : int64_t{-1});
   }
   if (!ok) ++counters_.compensation_failures;
+  MarkCompensation(txn, net);
   if (spans_ != nullptr) {
     // Instant span: a shipped plan executes within one delivery. Its parent
     // is the sender's context span, carried in the message header.
@@ -740,7 +771,23 @@ void AxmlPeer::TryComplete(Ctx* ctx, overlay::Network* net) {
   Complete(ctx, net);
 }
 
+void AxmlPeer::ExitEval(Ctx* ctx, overlay::Network* net) {
+  if (timeline_ == nullptr || !ctx->in_eval) return;
+  ctx->in_eval = false;
+  timeline_->Exit(ctx->txn, obs::kPhaseEval,
+                  net != nullptr ? net->now() : timeline_->now());
+}
+
+void AxmlPeer::MarkCompensation(const std::string& txn,
+                                overlay::Network* net) {
+  if (timeline_ == nullptr) return;
+  const int64_t now = net != nullptr ? net->now() : timeline_->now();
+  timeline_->Enter(txn, obs::kPhaseCompensation, now);
+  timeline_->Exit(txn, obs::kPhaseCompensation, now);
+}
+
 void AxmlPeer::Complete(Ctx* ctx, overlay::Network* net) {
+  ExitEval(ctx, net);
   if (!ctx->pending_fault.empty()) {
     // The injected fault strikes now, with all subcalls finished — the
     // whole subtree's work must be undone (§3.2 steps 1-2).
@@ -843,6 +890,7 @@ void AxmlPeer::CompensateLocal(Ctx* ctx, overlay::Network* net) {
   }
   RecordFr(ctx, obs::kEvFrCompStep, ctx->service,
            s.ok() ? static_cast<int64_t>(nodes) : int64_t{-1});
+  MarkCompensation(ctx->txn, net);
   if (spans_ != nullptr) {
     // Instant span parented under this context's SERVICE span: the local
     // rollback is part of the abort narrative, not a separate execution.
@@ -898,6 +946,7 @@ void AxmlPeer::AbortContext(Ctx* ctx, const std::string& fault,
                             bool notify_parent, overlay::Network* net) {
   if (ctx->state == Ctx::State::kAborted) return;
   ctx->state = Ctx::State::kAborted;
+  ExitEval(ctx, net);
   const std::string txn = ctx->txn;
   if (recorder_ != nullptr) {
     char what[40];

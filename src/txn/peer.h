@@ -217,6 +217,13 @@ class AxmlPeer : public overlay::PeerNode {
   /// compensation steps, correlated to the context's SERVICE span id.
   void AttachRecorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
 
+  /// Attaches the repository-wide phase timeline (not owned; null detaches).
+  /// The origin peer opens the transaction's window at Submit and closes it
+  /// when the origin callback fires; every peer places EVAL claims while a
+  /// local service execution is waiting out its duration, and stamps
+  /// zero-width COMPENSATION markers for local rollbacks and shipped plans.
+  void AttachTimeline(obs::Timeline* timeline) { timeline_ = timeline; }
+
   /// Control messages still awaiting acknowledgement (reliable-control
   /// mode); 0 when idle or when control_resend_interval is 0.
   size_t PendingControlMessages() const { return pending_control_.size(); }
@@ -263,6 +270,10 @@ class AxmlPeer : public overlay::PeerNode {
     std::vector<overlay::PeerId> participants;
     std::vector<ParticipantPlan> plans;
     size_t subtree_nodes_affected = 0;
+    /// This context currently holds an EVAL timeline claim (placed when the
+    /// local execution starts waiting out its duration, released at
+    /// completion or abort — the flag prevents a double release).
+    bool in_eval = false;
     /// SERVICE span covering this context's execution (0 = no tracker).
     uint64_t span_id = 0;
     /// Origin only: the enclosing TXN span.
@@ -375,6 +386,15 @@ class AxmlPeer : public overlay::PeerNode {
   WriteJournal* journal() { return journal_; }
   obs::SpanTracker* spans() { return spans_; }
   obs::FlightRecorder* recorder() { return recorder_; }
+  obs::Timeline* timeline() { return timeline_; }
+
+  /// Releases `ctx`'s EVAL claim if it holds one (idempotent).
+  void ExitEval(Ctx* ctx, overlay::Network* net);
+
+  /// Stamps a zero-width COMPENSATION marker for `txn` (no-op without an
+  /// attached timeline). Local rollbacks take zero simulated ticks, so the
+  /// marker records occurrence, not duration — see DESIGN.md §7.
+  void MarkCompensation(const std::string& txn, overlay::Network* net);
 
   /// Stamps one flight-recorder event correlated to `ctx`'s SERVICE span
   /// (no-op without an attached recorder; null `ctx` records span 0).
@@ -441,6 +461,7 @@ class AxmlPeer : public overlay::PeerNode {
   PeerCounters counters_{&metrics_};
   obs::SpanTracker* spans_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
   std::map<std::string, Ctx> contexts_;
   std::unique_ptr<overlay::KeepAliveMonitor> keepalive_;
   WriteJournal* journal_ = nullptr;

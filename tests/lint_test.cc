@@ -891,6 +891,80 @@ void Wire(obs::MetricsRegistry* m) {
   EXPECT_NE(r10[0].message.find("txn.retriez"), std::string::npos);
 }
 
+// --- R3/R10: kPhase* table and txn.latency.* registration -------------------
+
+TEST(LintTest, R3FlagsOffTablePhaseAtEnterSite) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"obs/timeline.h", R"cc(#ifndef AXMLX_OBS_TIMELINE_H_
+#define AXMLX_OBS_TIMELINE_H_
+namespace axmlx::obs {
+inline constexpr char kPhaseEval[] = "EVAL";
+inline constexpr char kPhaseQueueWait[] = "QUEUE_WAIT";
+}  // namespace axmlx::obs
+#endif  // AXMLX_OBS_TIMELINE_H_
+)cc"});
+  files.push_back({"txn/claims.cc", R"cc(#include "obs/timeline.h"
+namespace axmlx::txn {
+void Claim(obs::Timeline* tl) {
+  tl->Enter("t1", "EVAL", 3);
+  tl->Exit("t1", "EVALUATION", 4);
+}
+}  // namespace axmlx::txn
+)cc"});
+  const std::vector<Finding> r3 = OfRule(RunLint(files), "R3");
+  ASSERT_EQ(r3.size(), 1u) << FormatFindings(r3);
+  EXPECT_EQ(r3[0].file, "txn/claims.cc");
+  EXPECT_EQ(r3[0].line, 5);  // The off-table spelling; line 4 is declared.
+  EXPECT_NE(r3[0].message.find("EVALUATION"), std::string::npos);
+  EXPECT_NE(r3[0].message.find("kPhase"), std::string::npos);
+}
+
+TEST(LintTest, R10FlagsPhaseConstantOutsideHomeTable) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"obs/timeline.h", R"cc(#ifndef AXMLX_OBS_TIMELINE_H_
+#define AXMLX_OBS_TIMELINE_H_
+namespace axmlx::obs {
+inline constexpr char kPhaseEval[] = "EVAL";
+}  // namespace axmlx::obs
+#endif  // AXMLX_OBS_TIMELINE_H_
+)cc"});
+  files.push_back({"txn/phases.cc", R"cc(namespace axmlx::txn {
+inline constexpr char kPhaseParse[] = "PARSE";
+}  // namespace axmlx::txn
+)cc"});
+  const std::vector<Finding> r10 = OfRule(RunLint(files), "R10");
+  ASSERT_EQ(r10.size(), 1u) << FormatFindings(r10);
+  EXPECT_EQ(r10[0].file, "txn/phases.cc");
+  EXPECT_EQ(r10[0].line, 2);
+  EXPECT_NE(r10[0].message.find("obs/timeline.h"), std::string::npos);
+}
+
+TEST(LintTest, R10FlagsUnregisteredTxnLatencyLiteral) {
+  std::vector<SourceFile> files = CleanTree();
+  files.push_back({"obs/metric_names.h",
+                   R"cc(#ifndef AXMLX_OBS_METRIC_NAMES_H_
+#define AXMLX_OBS_METRIC_NAMES_H_
+namespace axmlx::obs {
+inline constexpr char kMetricTxnLatencyTotal[] = "txn.latency.total";
+}  // namespace axmlx::obs
+#endif  // AXMLX_OBS_METRIC_NAMES_H_
+)cc"});
+  // Away from any Get* site: a report filter comparing histogram names.
+  files.push_back({"tools/filter.cc", R"cc(#include <string>
+namespace axmlx::report {
+bool IsPhaseSeries(const std::string& name) {
+  if (name == "txn.latency.total") return true;
+  return name == "txn.latency.parse";
+}
+}  // namespace axmlx::report
+)cc"});
+  const std::vector<Finding> r10 = OfRule(RunLint(files), "R10");
+  ASSERT_EQ(r10.size(), 1u) << FormatFindings(r10);
+  EXPECT_EQ(r10[0].file, "tools/filter.cc");
+  EXPECT_EQ(r10[0].line, 5);  // The unregistered series; line 4 is declared.
+  EXPECT_NE(r10[0].message.find("txn.latency.parse"), std::string::npos);
+}
+
 // --- Suppression granularity and output formats ----------------------------
 
 TEST(LintTest, SuppressionOnLineAboveSilencesFinding) {

@@ -98,11 +98,32 @@ TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
   EXPECT_EQ(snap.sum, 62);
   EXPECT_EQ(snap.min, 10);
   EXPECT_EQ(snap.max, 21);
-  // Rank math: rank(q) = floor(q*(count-1))+1. p50 -> rank 2 (bucket 1)
-  // and p95 -> rank 3 (still bucket 1), both reporting the bucket bound.
+  // Rank math: rank(q) = floor(q*(count-1))+1. p50 -> rank 2 (bucket 1),
+  // p95/p99 -> rank 3 (still bucket 1), all reporting the bucket bound.
   EXPECT_EQ(snap.p50, 20);
   EXPECT_EQ(snap.p95, 20);
+  EXPECT_EQ(snap.p99, 20);
   EXPECT_EQ(hist.Quantile(1.0), 21);  // overflow bucket reports the max
+}
+
+TEST(Histogram, OverflowBucketInterpolatesTowardObservedMax) {
+  // Four observations beyond the last bound land in the overflow bucket.
+  // Quantiles that resolve there interpolate between the last bound and
+  // the observed max instead of all collapsing to the max (the old
+  // behavior made p50 == p99 for any tail-heavy series).
+  obs::Histogram hist({10});
+  hist.Observe(20);
+  hist.Observe(40);
+  hist.Observe(60);
+  hist.Observe(100);
+  // rank(0.5) = 2 of 4 in-bucket, lower edge = observed min (20 > the last
+  // bound): 20 + (100-20)*2/4 = 60 (estimate).
+  EXPECT_EQ(hist.Quantile(0.5), 60);
+  EXPECT_EQ(hist.Quantile(1.0), 100);  // rank 4 of 4 -> exactly the max
+  // A single overflow observation still reports the max unconditionally.
+  obs::Histogram lone({10});
+  lone.Observe(55);
+  EXPECT_EQ(lone.Quantile(0.5), 55);
 }
 
 TEST(Histogram, EmptyAndResetBehave) {
@@ -128,6 +149,26 @@ TEST(SpanTracker, FirstCloseWinsAndUnknownIdsIgnored) {
   EXPECT_EQ(rec->end, 9);
   EXPECT_EQ(rec->outcome, obs::kOutcomeCommitted);
   EXPECT_TRUE(rec->fault.empty());
+}
+
+TEST(SpanTracker, IgnoredClosesAreCountedWhenMetricsAttached) {
+  // The benign-race behavior stays (duplicated control messages legally
+  // re-close spans) but each ignored close is observable once a registry
+  // is attached.
+  obs::SpanTracker spans;
+  obs::MetricsRegistry metrics;
+  spans.AttachMetrics(&metrics);
+  uint64_t id = spans.OpenSpan("TA", "P1", obs::kSpanService, 0, 5, "S1");
+  spans.CloseSpan(id, 9, obs::kOutcomeCommitted);  // first close: not counted
+  spans.CloseSpan(id, 12, obs::kOutcomeAborted);   // duplicate
+  spans.CloseSpan(9999, 1, obs::kOutcomeFailed);   // unknown id
+  EXPECT_EQ(
+      metrics.GetCounter(obs::kMetricObsSpansCloseUnknown)->value(), 2);
+  // Detaching stops the counting but keeps ignoring late closes.
+  spans.AttachMetrics(nullptr);
+  spans.CloseSpan(9999, 2, obs::kOutcomeFailed);
+  EXPECT_EQ(
+      metrics.GetCounter(obs::kMetricObsSpansCloseUnknown)->value(), 2);
 }
 
 /// The paper's Figure 1 run with S5 failing and no handlers: the span tree
@@ -258,7 +299,8 @@ TEST(Report, CheckBenchJsonAcceptsWellFormedReport) {
       "{\"schema\":\"axmlx-bench-v1\",\"bench\":\"demo\",\"smoke\":true,"
       "\"ops_per_sec\":12.5,\"counters\":{\"a\":1},"
       "\"histograms\":{\"lat\":{\"bounds\":[10],\"counts\":[2,1],"
-      "\"count\":3,\"sum\":25,\"min\":5,\"max\":12,\"p50\":10,\"p95\":12}}}";
+      "\"count\":3,\"sum\":25,\"min\":5,\"max\":12,\"p50\":10,\"p95\":12,"
+      "\"p99\":12}}}";
   EXPECT_EQ(report::CheckBenchJson(good), "");
 }
 
@@ -270,7 +312,8 @@ TEST(Report, CheckBenchJsonRejectsSchemaAndShapeProblems) {
       "{\"schema\":\"axmlx-bench-v1\",\"bench\":\"demo\",\"smoke\":false,"
       "\"ops_per_sec\":1,\"counters\":{},"
       "\"histograms\":{\"lat\":{\"bounds\":[10],\"counts\":[2,1],"
-      "\"count\":5,\"sum\":25,\"min\":5,\"max\":12,\"p50\":10,\"p95\":12}}}";
+      "\"count\":5,\"sum\":25,\"min\":5,\"max\":12,\"p50\":10,\"p95\":12,"
+      "\"p99\":12}}}";
   EXPECT_NE(report::CheckBenchJson(bad_sum).find("sum to count"),
             std::string::npos);
   // counts size must be bounds size + 1.
@@ -278,7 +321,8 @@ TEST(Report, CheckBenchJsonRejectsSchemaAndShapeProblems) {
       "{\"schema\":\"axmlx-bench-v1\",\"bench\":\"demo\",\"smoke\":false,"
       "\"ops_per_sec\":1,\"counters\":{},"
       "\"histograms\":{\"lat\":{\"bounds\":[10],\"counts\":[2],"
-      "\"count\":2,\"sum\":8,\"min\":4,\"max\":4,\"p50\":4,\"p95\":4}}}";
+      "\"count\":2,\"sum\":8,\"min\":4,\"max\":4,\"p50\":4,\"p95\":4,"
+      "\"p99\":4}}}";
   EXPECT_NE(report::CheckBenchJson(bad_shape), "");
 }
 

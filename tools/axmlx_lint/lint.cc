@@ -537,12 +537,14 @@ void CheckNameTables(const std::vector<File>& files,
   const File* trace_h = nullptr;
   const File* span_h = nullptr;
   const File* recorder_h = nullptr;
+  const File* timeline_h = nullptr;
   for (const File& f : files) {
     if (EndsWith(f.src->path, "common/status.h")) status_h = &f;
     if (EndsWith(f.src->path, "common/status.cc")) status_cc = &f;
     if (EndsWith(f.src->path, "common/trace.h")) trace_h = &f;
     if (EndsWith(f.src->path, "obs/span.h")) span_h = &f;
     if (EndsWith(f.src->path, "obs/flight_recorder.h")) recorder_h = &f;
+    if (EndsWith(f.src->path, "obs/timeline.h")) timeline_h = &f;
   }
 
   // --- StatusCode enumerators vs StatusCodeName cases ---
@@ -631,7 +633,27 @@ void CheckNameTables(const std::vector<File>& files,
     }
   }
 
-  if (!have_table && !have_span_table && !have_rec_table) return;
+  // --- Phase names: literals at Timeline Enter/Exit sites must be in the
+  // kPhase* table (off-table spellings silently fall out of attribution) ---
+  std::set<std::string> declared_phases;
+  bool have_phase_table = false;
+  if (timeline_h != nullptr) {
+    const std::vector<Token>& pt = timeline_h->toks;
+    for (size_t i = 0; i + 4 < pt.size(); ++i) {
+      if (pt[i].kind == Token::Kind::kIdent &&
+          StartsWith(pt[i].text, "kPhase") && TokIs(pt, i + 1, "[") &&
+          TokIs(pt, i + 2, "]") && TokIs(pt, i + 3, "=") &&
+          pt[i + 4].kind == Token::Kind::kString) {
+        declared_phases.insert(pt[i + 4].text);
+        have_phase_table = true;
+      }
+    }
+  }
+
+  if (!have_table && !have_span_table && !have_rec_table &&
+      !have_phase_table) {
+    return;
+  }
   for (const File& f : files) {
     const std::vector<Token>& toks = f.toks;
     for (size_t i = 0; i + 1 < toks.size(); ++i) {
@@ -652,10 +674,16 @@ void CheckNameTables(const std::vector<File>& files,
           have_span_table && toks[i].text == "OpenSpan" && member_call;
       const bool rec_site =
           have_rec_table && toks[i].text == "Record" && member_call;
-      if (!trace_site && !span_site && !rec_site) continue;
+      // Timeline phase claims (`.Enter(` / `->Exit(`): the phase argument.
+      const bool phase_site =
+          have_phase_table &&
+          (toks[i].text == "Enter" || toks[i].text == "Exit") && member_call;
+      if (!trace_site && !span_site && !rec_site && !phase_site) continue;
       const std::set<std::string>& table =
           span_site ? declared_span_kinds
-                    : rec_site ? declared_rec_kinds : declared_kinds;
+          : rec_site ? declared_rec_kinds
+          : phase_site ? declared_phases
+                       : declared_kinds;
       size_t close = MatchForward(toks, i + 1);
       for (size_t j = i + 2; j < close; ++j) {
         if (toks[j].kind == Token::Kind::kString && IsAllCaps(toks[j].text) &&
@@ -671,6 +699,11 @@ void CheckNameTables(const std::vector<File>& files,
                            "\" is not declared in the kEvFr* table "
                            "(obs/flight_recorder.h); forensic timelines "
                            "cannot group it"
+                 : phase_site
+                     ? "phase \"" + toks[j].text +
+                           "\" is not declared in the kPhase* table "
+                           "(obs/timeline.h); off-table phases fall out "
+                           "of critical-path attribution"
                      : "trace kind \"" + toks[j].text +
                            "\" is not declared in the kEv* table "
                            "(common/trace.h); CountKind assertions cannot "
@@ -962,10 +995,11 @@ void CollectWalGrammar(const File& f, Facts* facts) {
 }
 
 /// R10 facts: registry-constant definitions `kFamilyX[] = "VALUE"`,
-/// classified by longest family prefix (kMetric / kEvFr / kSpan / kEv) so
-/// kEvFr* constants never land in the kEv family.
+/// classified by longest family prefix (kMetric / kPhase / kEvFr / kSpan /
+/// kEv) so kEvFr* constants never land in the kEv family.
 void CollectTableDefs(const File& f, Facts* facts) {
-  static const char* const kFamilies[] = {"kMetric", "kEvFr", "kSpan", "kEv"};
+  static const char* const kFamilies[] = {"kMetric", "kPhase", "kEvFr",
+                                          "kSpan", "kEv"};
   const std::vector<Token>& toks = f.toks;
   for (size_t i = 0; i + 4 < toks.size(); ++i) {
     if (toks[i].kind != Token::Kind::kIdent || !TokIs(toks, i + 1, "[") ||
@@ -1332,6 +1366,7 @@ const std::map<std::string, std::string>& RegistryHomes() {
       {"kEvFr", "obs/flight_recorder.h"},
       {"kSpan", "obs/span.h"},
       {"kMetric", "obs/metric_names.h"},
+      {"kPhase", "obs/timeline.h"},
   };
   return kHomes;
 }
@@ -1391,6 +1426,20 @@ void CheckNameRegistry(const std::vector<File>& files, const Facts& facts,
                    "\" is not declared in the kMetric* table "
                    "(obs/metric_names.h); AxmlStats and axmlx_report "
                    "aggregate by these strings");
+      }
+    }
+    // Any txn.latency.* literal — even away from a Get* site (report
+    // filters, bench extractors) — must name a registered series: the phase
+    // accounting, AxmlStats, and axmlx_report tables all join on them.
+    for (const Token& tok : f.toks) {
+      if (tok.kind == Token::Kind::kString &&
+          StartsWith(tok.text, "txn.latency.") &&
+          metric_values.count(tok.text) == 0) {
+        Report(findings, f, "R10", tok.pos,
+               "latency series \"" + tok.text +
+                   "\" is not declared in the kMetric* table "
+                   "(obs/metric_names.h); every txn.latency.* name is "
+                   "registered so phase histograms stay joinable");
       }
     }
   }

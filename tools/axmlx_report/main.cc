@@ -1,19 +1,29 @@
 // axmlx_report: renders span JSONL logs as per-transaction invocation trees
-// (with abort-propagation paths and rollups), validates BENCH_*.json
-// documents against the axmlx-bench-v1 schema, diffs two bench reports, and
-// renders flight-recorder forensic dumps.
+// (with abort-propagation paths and rollups), validates BENCH_*.json /
+// TRACE_*.json documents, diffs two bench reports, renders flight-recorder
+// forensic dumps, converts dumps to Perfetto-loadable traces, and computes
+// per-transaction critical paths from traces.
 //
 // Usage:
 //   axmlx_report SPANS.jsonl...          render span trees + rollups
-//   axmlx_report --check BENCH.json...   validate bench reports (exit 1 on
-//                                        the first invalid file)
+//   axmlx_report --check FILE.json...    validate reports by schema
+//                                        (axmlx-bench-v1 / axmlx-trace-v1;
+//                                        exit 1 on the first invalid file)
 //   axmlx_report --diff OLD.json NEW.json [--regress-pct N]
-//                                        print ops/sec and p50/p95 deltas;
-//                                        with --regress-pct, exit 1 when
-//                                        ops/sec dropped by more than N%
+//                                        print ops/sec and p50/p95/p99
+//                                        deltas; with --regress-pct, exit 1
+//                                        when ops/sec dropped more than N%
 //   axmlx_report --forensics DUMP.json...
 //                                        render black-box dumps (merged
 //                                        cross-peer timeline + span context)
+//   axmlx_report --trace OUT.json DUMP.json
+//                                        convert an axmlx-forensics-v1 dump
+//                                        into axmlx-trace-v1 Chrome
+//                                        trace_event JSON (load OUT.json at
+//                                        ui.perfetto.dev)
+//   axmlx_report --critical-path TRACE.json...
+//                                        per-txn dominant phase, worst-K
+//                                        table, and phase dominator rollup
 
 #include <cstdlib>
 #include <fstream>
@@ -48,7 +58,7 @@ int CheckMode(const std::vector<std::string>& paths) {
       ++bad;
       continue;
     }
-    std::string problem = axmlx::report::CheckBenchJson(text);
+    std::string problem = axmlx::report::CheckReportJson(text);
     if (problem.empty()) {
       std::cout << path << ": OK\n";
     } else {
@@ -109,6 +119,55 @@ int ForensicsMode(const std::vector<std::string>& paths) {
   return 0;
 }
 
+int TraceMode(const std::vector<std::string>& paths) {
+  if (paths.size() != 2) {
+    std::cerr << "axmlx_report --trace: expected OUT.json DUMP.json\n";
+    return 2;
+  }
+  std::string dump;
+  if (!ReadFile(paths[1], &dump)) {
+    std::cerr << paths[1] << ": cannot read\n";
+    return 2;
+  }
+  std::string trace;
+  std::string problem = axmlx::report::ForensicsToTrace(dump, &trace);
+  if (!problem.empty()) {
+    std::cerr << paths[1] << ": " << problem << "\n";
+    return 1;
+  }
+  std::ofstream out(paths[0], std::ios::binary | std::ios::trunc);
+  if (!out || !(out << trace) || !out.flush()) {
+    std::cerr << paths[0] << ": cannot write\n";
+    return 2;
+  }
+  std::cout << paths[0] << ": wrote axmlx-trace-v1 ("
+            << trace.size() << " bytes)\n";
+  return 0;
+}
+
+int CriticalPathMode(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    std::cerr << "axmlx_report --critical-path: no files given\n";
+    return 2;
+  }
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::cerr << path << ": cannot read\n";
+      return 1;
+    }
+    std::string rendered;
+    std::string problem = axmlx::report::RenderCriticalPath(text, &rendered);
+    if (!problem.empty()) {
+      std::cerr << path << ": " << problem << "\n";
+      return 1;
+    }
+    if (paths.size() > 1) std::cout << "# " << path << "\n";
+    std::cout << rendered;
+  }
+  return 0;
+}
+
 int RenderMode(const std::vector<std::string>& paths) {
   if (paths.empty()) {
     std::cerr << "usage: axmlx_report [--check] FILE...\n";
@@ -138,6 +197,8 @@ int main(int argc, char** argv) {
   bool check = false;
   bool diff = false;
   bool forensics = false;
+  bool trace = false;
+  bool critical_path = false;
   double regress_pct = -1;  // < 0 = report-only, no gate
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
@@ -148,6 +209,10 @@ int main(int argc, char** argv) {
       diff = true;
     } else if (arg == "--forensics") {
       forensics = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--critical-path") {
+      critical_path = true;
     } else if (arg == "--regress-pct") {
       if (i + 1 >= argc) {
         std::cerr << "--regress-pct requires a number\n";
@@ -158,6 +223,8 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
+  if (trace) return TraceMode(paths);
+  if (critical_path) return CriticalPathMode(paths);
   if (forensics) return ForensicsMode(paths);
   if (diff) return DiffMode(paths, regress_pct);
   return check ? CheckMode(paths) : RenderMode(paths);

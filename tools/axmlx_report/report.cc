@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "obs/json.h"
+#include "obs/timeline.h"
 
 namespace axmlx::report {
 
@@ -292,7 +294,8 @@ std::string CheckHistogram(const std::string& name,
     if (!c.is_number()) return "histogram " + name + " has non-number count";
     total += c.AsInt();
   }
-  for (const char* field : {"count", "sum", "min", "max", "p50", "p95"}) {
+  for (const char* field :
+       {"count", "sum", "min", "max", "p50", "p95", "p99"}) {
     const obs::JsonValue* v = hist.Find(field);
     if (v == nullptr || !v->is_number()) {
       return "histogram " + name + " missing number field " + field;
@@ -396,17 +399,19 @@ std::string DiffBenchJson(const std::string& old_json,
       os << "  " << name << ": (new histogram, no old data)\n";
       continue;
     }
-    const int64_t old_p50 = GetInt(*old_hist, "p50", 0);
-    const int64_t new_p50 = GetInt(new_hist, "p50", 0);
-    const int64_t old_p95 = GetInt(*old_hist, "p95", 0);
-    const int64_t new_p95 = GetInt(new_hist, "p95", 0);
-    os << "  " << name << ": p50 " << old_p50 << " -> " << new_p50 << " ("
-       << FmtDeltaPct(static_cast<double>(old_p50),
-                      static_cast<double>(new_p50))
-       << "), p95 " << old_p95 << " -> " << new_p95 << " ("
-       << FmtDeltaPct(static_cast<double>(old_p95),
-                      static_cast<double>(new_p95))
-       << ")\n";
+    os << "  " << name << ":";
+    bool first_q = true;
+    for (const char* q : {"p50", "p95", "p99"}) {
+      const int64_t old_q = GetInt(*old_hist, q, 0);
+      const int64_t new_q = GetInt(new_hist, q, 0);
+      os << (first_q ? " " : ", ") << q << " " << old_q << " -> " << new_q
+         << " ("
+         << FmtDeltaPct(static_cast<double>(old_q),
+                        static_cast<double>(new_q))
+         << ")";
+      first_q = false;
+    }
+    os << "\n";
   }
   for (const auto& [name, old_hist] : old_hists->members) {
     (void)old_hist;
@@ -422,6 +427,386 @@ std::string DiffBenchJson(const std::string& old_json,
        << "% vs the old report\n";
   }
   *out = os.str();
+  return std::string();
+}
+
+// ---------------------------------------------------------------------------
+// axmlx-trace-v1: validation, forensics conversion, critical path
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One pid-0 transaction track reassembled from trace slices.
+struct TxnTrack {
+  std::string txn;
+  int64_t ts = 0;
+  int64_t dur = 0;
+  bool open = false;
+  bool seen = false;  ///< A cat:"txn" slice claimed this tid.
+  /// Phase slices on this tid, (ts, dur, phase-index) in document order.
+  struct Slice {
+    int64_t ts;
+    int64_t dur;
+    int phase;
+  };
+  std::vector<Slice> phases;
+};
+
+/// Parses `json_text` as axmlx-trace-v1 and reassembles the pid-0
+/// transaction tracks plus the flow id sets. Shared by CheckTraceJson and
+/// RenderCriticalPath so the two agree on what a well-formed trace is.
+std::string ParseTrace(const std::string& json_text,
+                       std::map<int64_t, TxnTrack>* tracks,
+                       std::set<int64_t>* flow_starts,
+                       std::vector<int64_t>* flow_finishes) {
+  std::string parse_error;
+  auto doc = obs::ParseJson(json_text, &parse_error);
+  if (!doc.has_value()) return "invalid JSON: " + parse_error;
+  if (!doc->is_object()) return "top level is not an object";
+  if (GetString(*doc, "schema") != "axmlx-trace-v1") {
+    return "schema must be \"axmlx-trace-v1\"";
+  }
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return "missing array \"traceEvents\"";
+  }
+  size_t index = 0;
+  for (const obs::JsonValue& e : events->items) {
+    ++index;
+    const std::string at = "traceEvents[" + std::to_string(index - 1) + "]";
+    if (!e.is_object()) return at + " is not an object";
+    const std::string ph = GetString(e, "ph");
+    if (ph.empty()) return at + " missing \"ph\"";
+    if (ph == "s" || ph == "f") {
+      const obs::JsonValue* id = e.Find("id");
+      if (id == nullptr || !id->is_number()) {
+        return at + " flow event missing number \"id\"";
+      }
+      if (ph == "s") {
+        flow_starts->insert(id->AsInt());
+      } else {
+        flow_finishes->push_back(id->AsInt());
+      }
+      continue;
+    }
+    if (ph != "X" || GetInt(e, "pid", -1) != 0) continue;
+    const obs::JsonValue* args = e.Find("args");
+    const std::string cat = GetString(e, "cat");
+    const int64_t tid = GetInt(e, "tid", -1);
+    if (cat == "txn") {
+      if (args == nullptr || !args->is_object()) {
+        return at + " txn slice missing \"args\"";
+      }
+      TxnTrack& track = (*tracks)[tid];
+      if (track.seen) {
+        return at + " duplicate txn slice on tid " + std::to_string(tid);
+      }
+      track.seen = true;
+      track.txn = GetString(*args, "txn");
+      track.ts = GetInt(e, "ts", 0);
+      track.dur = GetInt(e, "dur", 0);
+      const obs::JsonValue* open = args->Find("open");
+      track.open = open != nullptr && open->is_bool() && open->boolean;
+    } else if (cat == "phase") {
+      if (args == nullptr || !args->is_object()) {
+        return at + " phase slice missing \"args\"";
+      }
+      const std::string phase = GetString(*args, "phase");
+      const int phase_index = obs::PhaseIndex(phase);
+      if (phase_index < 0) {
+        return at + " names off-table phase \"" + phase + "\"";
+      }
+      (*tracks)[tid].phases.push_back(
+          {GetInt(e, "ts", 0), GetInt(e, "dur", 0), phase_index});
+    }
+  }
+  return std::string();
+}
+
+}  // namespace
+
+std::string CheckTraceJson(const std::string& json_text) {
+  std::map<int64_t, TxnTrack> tracks;
+  std::set<int64_t> flow_starts;
+  std::vector<int64_t> flow_finishes;
+  std::string problem =
+      ParseTrace(json_text, &tracks, &flow_starts, &flow_finishes);
+  if (!problem.empty()) return problem;
+
+  // Every flow arrow that lands somewhere must have taken off somewhere.
+  // The converse is legal: dropped or undelivered copies leave the flow
+  // dangling at its start.
+  for (int64_t id : flow_finishes) {
+    if (flow_starts.count(id) == 0) {
+      return "flow finish id " + std::to_string(id) + " has no flow start";
+    }
+  }
+
+  for (const auto& [tid, track] : tracks) {
+    const std::string name =
+        "txn " + (track.txn.empty() ? "tid " + std::to_string(tid)
+                                    : track.txn);
+    if (!track.seen) {
+      return name + " has phase slices but no txn slice";
+    }
+    if (track.open) continue;  // Open windows are truncated, not partitioned.
+    // The partition invariant: phase slices are contiguous from the window
+    // begin to its end, so their widths sum to the end-to-end duration.
+    int64_t cursor = track.ts;
+    int64_t total = 0;
+    for (const TxnTrack::Slice& s : track.phases) {
+      if (s.ts != cursor) {
+        return name + " phase slices leave a gap at t=" +
+               std::to_string(cursor);
+      }
+      if (s.dur <= 0) {
+        return name + " has a non-positive-width phase slice";
+      }
+      cursor = s.ts + s.dur;
+      total += s.dur;
+    }
+    if (cursor != track.ts + track.dur || total != track.dur) {
+      return name + " phase slices do not partition the window (" +
+             std::to_string(total) + " of " + std::to_string(track.dur) +
+             " ticks covered)";
+    }
+  }
+  return std::string();
+}
+
+std::string CheckReportJson(const std::string& json_text) {
+  std::string parse_error;
+  auto doc = obs::ParseJson(json_text, &parse_error);
+  if (!doc.has_value()) return "invalid JSON: " + parse_error;
+  if (!doc->is_object()) return "top level is not an object";
+  const std::string schema = GetString(*doc, "schema");
+  if (schema == "axmlx-bench-v1") return CheckBenchJson(json_text);
+  if (schema == "axmlx-trace-v1") return CheckTraceJson(json_text);
+  return "unknown schema \"" + schema + "\"";
+}
+
+namespace {
+
+/// Emitters mirroring obs::BuildTraceJson's event shapes, local to the
+/// forensics conversion (the library builder works from live objects; this
+/// one from a parsed dump).
+void TraceMeta(std::ostringstream* os, bool* first, int64_t pid, int64_t tid,
+               const char* kind, const std::string& name) {
+  if (!*first) *os << ",";
+  *first = false;
+  *os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+      << ",\"name\":\"" << kind << "\",\"args\":{\"name\":\""
+      << obs::JsonEscape(name) << "\"}}";
+}
+
+}  // namespace
+
+std::string ForensicsToTrace(const std::string& forensics_json,
+                             std::string* trace_out) {
+  std::string parse_error;
+  auto doc = obs::ParseJson(forensics_json, &parse_error);
+  if (!doc.has_value()) return "invalid JSON: " + parse_error;
+  if (!doc->is_object()) return "top level is not an object";
+  if (GetString(*doc, "schema") != "axmlx-forensics-v1") {
+    return "schema must be \"axmlx-forensics-v1\"";
+  }
+  const obs::JsonValue* events = doc->Find("events");
+  if (events == nullptr || !events->is_array()) {
+    return "missing array \"events\"";
+  }
+  const obs::JsonValue* spans = doc->Find("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    return "missing array \"spans\"";
+  }
+
+  // Peer processes: union of event peers and span peers, sorted; pid 1+
+  // (pid 0 stays reserved for the transactions process, absent here — the
+  // dump carries no timeline).
+  std::map<std::string, int64_t> pid_of;
+  for (const obs::JsonValue& e : events->items) {
+    if (!e.is_object()) return "event is not an object";
+    pid_of.emplace(GetString(e, "peer"), 0);
+  }
+  for (const obs::JsonValue& s : spans->items) {
+    if (!s.is_object()) return "span is not an object";
+    pid_of.emplace(GetString(s, "peer"), 0);
+  }
+  int64_t next_pid = 1;
+  for (auto& [peer, pid] : pid_of) pid = next_pid++;
+
+  std::ostringstream os;
+  os << "{\"schema\":\"axmlx-trace-v1\",\"displayTimeUnit\":\"ms\","
+     << "\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [peer, pid] : pid_of) {
+    TraceMeta(&os, &first, pid, 0, "process_name", peer);
+    TraceMeta(&os, &first, pid, 1, "thread_name", "events");
+    TraceMeta(&os, &first, pid, 2, "thread_name", "spans");
+  }
+
+  // The dump's merged timeline is already in (time, seq) order; keep it.
+  for (const obs::JsonValue& e : events->items) {
+    const int64_t pid = pid_of.at(GetString(e, "peer"));
+    const int64_t time = GetInt(e, "time", 0);
+    const std::string kind = GetString(e, "kind");
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":1,\"ts\":" << time
+       << ",\"dur\":0,\"name\":\"" << obs::JsonEscape(kind)
+       << "\",\"cat\":\"fr\",\"args\":{\"what\":\""
+       << obs::JsonEscape(GetString(e, "what"))
+       << "\",\"span\":" << GetInt(e, "span", 0)
+       << ",\"arg\":" << GetInt(e, "arg", 0) << "}}";
+    if (kind == "MSG_SEND" || kind == "MSG_RECV") {
+      os << ",{\"ph\":\"" << (kind == "MSG_SEND" ? 's' : 'f')
+         << "\",\"pid\":" << pid << ",\"tid\":1,\"ts\":" << time
+         << ",\"id\":" << GetInt(e, "arg", 0)
+         << ",\"name\":\"msg\",\"cat\":\"overlay\"";
+      if (kind == "MSG_RECV") os << ",\"bp\":\"e\"";
+      os << "}";
+    }
+  }
+
+  for (const obs::JsonValue& s : spans->items) {
+    const int64_t pid = pid_of.at(GetString(s, "peer"));
+    const int64_t end = GetInt(s, "end", -1);
+    const int64_t start = GetInt(s, "start", 0);
+    std::string name = GetString(s, "kind");
+    const std::string detail = GetString(s, "detail");
+    if (!detail.empty()) name += " " + detail;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":2,\"ts\":" << start
+       << ",\"dur\":" << (end >= 0 ? end - start : 0) << ",\"name\":\""
+       << obs::JsonEscape(name) << "\",\"cat\":\"span\",\"args\":{\"txn\":\""
+       << obs::JsonEscape(GetString(s, "txn"))
+       << "\",\"span\":" << GetInt(s, "span", 0)
+       << ",\"parent\":" << GetInt(s, "parent", 0) << ",\"outcome\":\""
+       << obs::JsonEscape(end >= 0 ? GetString(s, "outcome") : "OPEN")
+       << "\"}}";
+  }
+
+  os << "]}\n";
+  *trace_out += os.str();
+  return std::string();
+}
+
+std::string RenderCriticalPath(const std::string& trace_json,
+                               std::string* out) {
+  std::map<int64_t, TxnTrack> tracks;
+  std::set<int64_t> flow_starts;
+  std::vector<int64_t> flow_finishes;
+  std::string problem =
+      ParseTrace(trace_json, &tracks, &flow_starts, &flow_finishes);
+  if (!problem.empty()) return problem;
+
+  struct TxnSummary {
+    const TxnTrack* track;
+    int64_t total = 0;
+    int64_t phase_ticks[obs::kPhaseCount] = {};
+    int dominant = obs::kPhaseCount - 1;
+  };
+  std::vector<TxnSummary> closed;
+  size_t open_count = 0;
+  for (const auto& [tid, track] : tracks) {
+    if (!track.seen) continue;
+    if (track.open) {
+      ++open_count;
+      continue;
+    }
+    TxnSummary sum;
+    sum.track = &track;
+    sum.total = track.dur;
+    for (const TxnTrack::Slice& s : track.phases) {
+      sum.phase_ticks[s.phase] += s.dur;
+    }
+    // Dominant = the phase holding the most ticks; ties go to the higher-
+    // priority phase (lower table index), matching the attribution rule.
+    for (int i = 0; i < obs::kPhaseCount; ++i) {
+      if (sum.phase_ticks[i] > sum.phase_ticks[sum.dominant]) {
+        sum.dominant = i;
+      }
+    }
+    for (int i = 0; i < obs::kPhaseCount; ++i) {
+      if (sum.phase_ticks[i] == sum.phase_ticks[sum.dominant] &&
+          i < sum.dominant) {
+        sum.dominant = i;
+      }
+    }
+    closed.push_back(sum);
+  }
+
+  std::ostringstream os;
+  os << "=== critical path (" << closed.size() << " closed txns";
+  if (open_count > 0) os << ", " << open_count << " open skipped";
+  os << ")\n";
+  if (closed.empty()) {
+    *out += os.str();
+    return std::string();
+  }
+
+  auto pct = [](int64_t part, int64_t whole) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%5.1f%%",
+                  whole > 0 ? 100.0 * static_cast<double>(part) /
+                                  static_cast<double>(whole)
+                            : 0.0);
+    return std::string(buf);
+  };
+  auto pad = [](std::string s, size_t w) {
+    while (s.size() < w) s.push_back(' ');
+    return s;
+  };
+
+  // Worst K transactions by end-to-end latency; stable under equal totals
+  // (document order breaks ties) so the table is deterministic per seed.
+  std::vector<const TxnSummary*> worst;
+  for (const TxnSummary& s : closed) worst.push_back(&s);
+  std::stable_sort(worst.begin(), worst.end(),
+                   [](const TxnSummary* a, const TxnSummary* b) {
+                     return a->total > b->total;
+                   });
+  constexpr size_t kWorst = 10;
+  if (worst.size() > kWorst) worst.resize(kWorst);
+  size_t txn_w = 3;
+  for (const TxnSummary* s : worst) {
+    txn_w = std::max(txn_w, s->track->txn.size());
+  }
+  os << "worst " << worst.size() << " by end-to-end latency:\n";
+  os << "  " << pad("txn", txn_w) << "  total  dominant        ticks  share\n";
+  for (const TxnSummary* s : worst) {
+    const char* phase = obs::PhaseTable()[s->dominant];
+    os << "  " << pad(s->track->txn, txn_w) << "  "
+       << pad(std::to_string(s->total), 5) << "  " << pad(phase, 14) << "  "
+       << pad(std::to_string(s->phase_ticks[s->dominant]), 5) << "  "
+       << pct(s->phase_ticks[s->dominant], s->total) << "\n";
+  }
+
+  // The dominator table: how often each phase is the critical one, and how
+  // the total ticks split across phases over every closed transaction.
+  int64_t dominated[obs::kPhaseCount] = {};
+  int64_t ticks[obs::kPhaseCount] = {};
+  int64_t grand_total = 0;
+  for (const TxnSummary& s : closed) {
+    ++dominated[s.dominant];
+    grand_total += s.total;
+    for (int i = 0; i < obs::kPhaseCount; ++i) {
+      ticks[i] += s.phase_ticks[i];
+    }
+  }
+  os << "dominator table:\n";
+  os << "  phase           txns  dominated  ticks   share\n";
+  for (int i = 0; i < obs::kPhaseCount; ++i) {
+    if (dominated[i] == 0 && ticks[i] == 0) continue;
+    os << "  " << pad(obs::PhaseTable()[i], 14) << "  "
+       << pad(std::to_string(dominated[i]), 4) << "  "
+       << pct(dominated[i], static_cast<int64_t>(closed.size())) << "     "
+       << pad(std::to_string(ticks[i]), 6) << " " << pct(ticks[i], grand_total)
+       << "\n";
+  }
+  os << "total: " << closed.size() << " txns, " << grand_total
+     << " ticks end-to-end\n";
+  *out += os.str();
   return std::string();
 }
 

@@ -45,14 +45,49 @@ std::string RenderForensics(const std::string& json_text, std::string* out);
 std::string CheckBenchJson(const std::string& json_text);
 
 /// Compares two axmlx-bench-v1 documents (old vs new run of one bench) and
-/// renders the ops/sec delta plus per-histogram p50/p95 latency deltas into
-/// `*out`. With `regress_pct >= 0`, sets `*regressed` when ops/sec dropped
-/// by more than that percentage (the exit-code gate for CI); latency deltas
-/// are informational. Returns an empty string on success, else a
+/// renders the ops/sec delta plus per-histogram p50/p95/p99 latency deltas
+/// into `*out`. With `regress_pct >= 0`, sets `*regressed` when ops/sec
+/// dropped by more than that percentage (the exit-code gate for CI); latency
+/// deltas are informational. Returns an empty string on success, else a
 /// description of the first problem (both inputs are schema-checked).
 std::string DiffBenchJson(const std::string& old_json,
                           const std::string& new_json, double regress_pct,
                           std::string* out, bool* regressed);
+
+/// Validates an axmlx-trace-v1 document (obs::BuildTraceJson output or an
+/// `axmlx_report --trace` conversion): schema + traceEvents shape, every
+/// flow-finish ("f") id has a matching flow-start ("s"), every phase slice
+/// names an on-table phase, and each closed transaction slice is exactly
+/// partitioned by its phase slices (contiguous, begin to end, widths
+/// summing to the window). Returns an empty string when valid, else a
+/// description of the first problem.
+std::string CheckTraceJson(const std::string& json_text);
+
+/// Dispatches a --check on the document's "schema" field: axmlx-bench-v1 ->
+/// CheckBenchJson, axmlx-trace-v1 -> CheckTraceJson, anything else is an
+/// error.
+std::string CheckReportJson(const std::string& json_text);
+
+/// Converts an axmlx-forensics-v1 black-box dump into an axmlx-trace-v1
+/// document (Perfetto-loadable): each involved peer becomes a process
+/// track, the merged event timeline becomes zero-duration slices, MSG_SEND
+/// -> MSG_RECV pairs become flow arrows keyed by the overlay message id,
+/// and the span context renders on a per-peer "spans" thread. Pure function
+/// of the dump, so equal dumps produce byte-identical traces. Returns an
+/// empty string on success (trace appended to `*trace_out`), else a
+/// description of the first problem.
+std::string ForensicsToTrace(const std::string& forensics_json,
+                             std::string* trace_out);
+
+/// Renders the critical-path report from an axmlx-trace-v1 document: the
+/// dominant phase of every closed transaction (ties broken by phase
+/// priority, obs::PhaseTable() order), the worst-K transactions by
+/// end-to-end latency, and the aggregated dominator table (which phase
+/// dominates how many transactions, and how the total ticks split across
+/// phases). Returns an empty string on success (report appended to
+/// `*out`), else a description of the first problem.
+std::string RenderCriticalPath(const std::string& trace_json,
+                               std::string* out);
 
 }  // namespace axmlx::report
 

@@ -119,16 +119,19 @@ step "sanitizer isolation matrix (ctest -L mvcc)"
 cmake --build "$SAN_DIR" -j "$JOBS" --target isolation_matrix_test
 ctest --test-dir "$SAN_DIR" -L mvcc --output-on-failure -j "$JOBS"
 
-step "thread sanitizer (-DAXMLX_SANITIZE=thread) + fault/mvcc suites"
+step "thread sanitizer (-DAXMLX_SANITIZE=thread) + fault/mvcc/runtime suites"
 # TSan is the dynamic half of the concurrency scaffolding for the
-# worker-pool runtime (ROADMAP item 2); the static half is lint R9 +
-# clang -Wthread-safety. Today's runtime is single-threaded, so this stage
-# proves the baseline is TSan-clean before threads arrive.
+# worker-pool runtime (DESIGN.md §11); the static half is lint R9 +
+# clang -Wthread-safety. The runtime suites drive real worker threads
+# through the wave protocol — unit coverage plus the differential oracle
+# (parallel vs deterministic at 1/2/4/8 workers) — so a data race in the
+# hand-off or in a work stage's shared-state reads fires here.
 TSAN_DIR="$BUILD_DIR-tsan"
 cmake -B "$TSAN_DIR" -S . -DAXMLX_WERROR=ON -DAXMLX_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
   --target fault_injection_test fault_drill_test forensics_test \
-           isolation_matrix_test
-ctest --test-dir "$TSAN_DIR" -L 'fault|mvcc' --output-on-failure -j "$JOBS"
+           isolation_matrix_test runtime_test runtime_diff_test
+ctest --test-dir "$TSAN_DIR" -L 'fault|mvcc|runtime' --output-on-failure \
+  -j "$JOBS"
 
 step "OK: all gates passed"

@@ -36,6 +36,7 @@ inline constexpr char kEvFrRestart[] = "RESTART";
 inline constexpr char kEvFrRecovery[] = "RECOVERY";
 inline constexpr char kEvFrTxnSnapshot[] = "TXN_SNAPSHOT";
 inline constexpr char kEvFrTxnConflict[] = "TXN_CONFLICT";
+inline constexpr char kEvFrJobRun[] = "JOB_RUN";
 
 /// One fixed-size flight-recorder record. `kind` points into the kEvFr*
 /// table (never owned); `what` is a truncating copy of the free-form detail,

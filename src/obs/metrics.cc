@@ -42,17 +42,21 @@ int64_t Histogram::Quantile(double q) const {
   for (size_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];
     if (seen < rank) continue;
-    if (i < bounds_.size()) return std::min(bounds_[i], max());
-    // Overflow bucket: interpolate linearly between its lower edge (the
-    // last bound, or the observed min when everything overflowed) and the
-    // observed max by the rank's position inside the bucket. Reporting max
-    // unconditionally made p50 == p99 == max for any tail-heavy series.
+    // Interpolate linearly between the bucket's edges by the rank's
+    // position inside it, everywhere — not just in the overflow bucket.
+    // Returning the upper bound outright pinned any mid-distribution
+    // quantile to a bucket boundary (bench medians read exactly 250000
+    // because that was a bound, regardless of where the mass sat), and
+    // made p50 jump discontinuously whenever a bucket emptied. The edges
+    // are clamped to the observed min/max so sparse buckets cannot report
+    // values outside the data.
     const int64_t in_bucket = counts_[i];
-    int64_t lo = bounds_.empty() ? min() : bounds_.back();
+    int64_t lo = i == 0 ? min() : bounds_[i - 1];
     if (min() > lo) lo = min();
-    if (in_bucket <= 1 || max() <= lo) return max();
+    int64_t hi = i < bounds_.size() ? std::min(bounds_[i], max()) : max();
+    if (hi <= lo || in_bucket <= 1) return hi;
     const int64_t into = rank - (seen - in_bucket);  // 1..in_bucket
-    return lo + (max() - lo) * into / in_bucket;
+    return lo + (hi - lo) * into / in_bucket;
   }
   return max();
 }

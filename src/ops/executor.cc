@@ -87,8 +87,50 @@ Status Executor::InsertData(const xml::Document& fragment, xml::NodeId parent,
   return Status::Ok();
 }
 
+PreparedOp Executor::Prepare(const xml::Document& doc, const Operation& op,
+                             query::EvalContext* ctx) {
+  PreparedOp prep;
+  // Fall back to the full synchronous path whenever execution could do more
+  // than read-then-mutate: compensating restores (exact-id reattach), direct
+  // target ids (live Contains check at execute time), eager materialization,
+  // or any embedded service call the <location> evaluation might
+  // materialize. Prepare-time failures also fall back so the synchronous
+  // path reproduces the exact error.
+  if (op.restore != nullptr || op.eager || op.target_node != xml::kNullNode ||
+      op.location.empty()) {
+    return prep;
+  }
+  std::vector<xml::NodeId> calls;
+  doc.CollectElementsNamed(xml::kNameAxmlSc, &calls);
+  if (!calls.empty()) return prep;
+  auto q_or = query::ParseQuery(op.location);
+  if (!q_or.ok()) return prep;
+  Result<query::QueryResult> result_or =
+      ctx != nullptr ? query::EvaluateQuery(doc, q_or.value(), ctx)
+                     : query::EvaluateQuery(doc, q_or.value());
+  if (!result_or.ok()) return prep;
+  if (op.type == ActionType::kInsert || op.type == ActionType::kReplace) {
+    auto fragment_or = xml::Parse("<data>" + op.data_xml + "</data>");
+    if (!fragment_or.ok()) return prep;
+    prep.fragment = std::move(fragment_or).value();
+  }
+  if (op.type == ActionType::kQuery) {
+    prep.query_result = std::move(result_or).value();
+    prep.targets = prep.query_result.AllSelected();
+  } else {
+    prep.targets = result_or.value().AllSelected();
+  }
+  prep.prepared = true;
+  return prep;
+}
+
 Result<OpEffect> Executor::Execute(const Operation& op) {
-  Result<OpEffect> result = ExecuteInternal(op);
+  return ExecutePrepared(op, PreparedOp{});
+}
+
+Result<OpEffect> Executor::ExecutePrepared(const Operation& op,
+                                           PreparedOp prep) {
+  Result<OpEffect> result = ExecuteInternal(op, &prep);
   if (recorder_ != nullptr) {
     // `what` is the lowercase action name; `arg` carries the paper's cost
     // measure (nodes affected), or -1 for a failed operation.
@@ -101,7 +143,9 @@ Result<OpEffect> Executor::Execute(const Operation& op) {
   return result;
 }
 
-Result<OpEffect> Executor::ExecuteInternal(const Operation& op) {
+Result<OpEffect> Executor::ExecuteInternal(const Operation& op,
+                                           PreparedOp* prep) {
+  const bool use_prep = prep != nullptr && prep->prepared;
   OpEffect effect;
   effect.op = op;
   auto fail = [this, &effect](Status status) -> Status {
@@ -115,9 +159,16 @@ Result<OpEffect> Executor::ExecuteInternal(const Operation& op) {
     return status;
   };
 
-  auto targets_or = ResolveLocation(op, &effect);
-  if (!targets_or.ok()) return fail(targets_or.status());
-  effect.targets = std::move(targets_or).value();
+  if (use_prep) {
+    effect.targets = std::move(prep->targets);
+    if (op.type == ActionType::kQuery) {
+      effect.query_result = std::move(prep->query_result);
+    }
+  } else {
+    auto targets_or = ResolveLocation(op, &effect);
+    if (!targets_or.ok()) return fail(targets_or.status());
+    effect.targets = std::move(targets_or).value();
+  }
 
   switch (op.type) {
     case ActionType::kQuery:
@@ -166,8 +217,14 @@ Result<OpEffect> Executor::ExecuteInternal(const Operation& op) {
         // Ids already live again (e.g. the plan ran twice): fall back to
         // fresh-id insertion of the serialized payload below.
       }
-      auto fragment_or = xml::Parse("<data>" + op.data_xml + "</data>");
-      if (!fragment_or.ok()) return fail(fragment_or.status());
+      std::unique_ptr<xml::Document> fragment;
+      if (use_prep && prep->fragment != nullptr) {
+        fragment = std::move(prep->fragment);
+      } else {
+        auto fragment_or = xml::Parse("<data>" + op.data_xml + "</data>");
+        if (!fragment_or.ok()) return fail(fragment_or.status());
+        fragment = std::move(fragment_or).value();
+      }
       if (op.anchor != Operation::Anchor::kInto) {
         // Ordered-document insertion (§3.1): the located nodes are anchor
         // siblings; insert adjacent to each under its physical parent.
@@ -180,7 +237,7 @@ Result<OpEffect> Executor::ExecuteInternal(const Operation& op) {
           }
           size_t index = doc_->IndexInParent(sibling);
           if (op.anchor == Operation::Anchor::kAfter) ++index;
-          Status s = InsertData(**fragment_or, anchor_node->parent,
+          Status s = InsertData(*fragment, anchor_node->parent,
                                 /*has_index=*/true, index, &effect);
           if (!s.ok()) return fail(s);
         }
@@ -188,7 +245,7 @@ Result<OpEffect> Executor::ExecuteInternal(const Operation& op) {
       }
       for (xml::NodeId parent : effect.targets) {
         if (!doc_->Contains(parent)) continue;
-        Status s = InsertData(**fragment_or, parent, op.has_position,
+        Status s = InsertData(*fragment, parent, op.has_position,
                               op.position, &effect);
         if (!s.ok()) return fail(s);
       }
@@ -200,8 +257,14 @@ Result<OpEffect> Executor::ExecuteInternal(const Operation& op) {
       // of a delete and update operation, i.e., delete the node to be
       // replaced followed by insertion of a node (having the updated value)
       // at the same position." (§3.1)
-      auto fragment_or = xml::Parse("<data>" + op.data_xml + "</data>");
-      if (!fragment_or.ok()) return fail(fragment_or.status());
+      std::unique_ptr<xml::Document> fragment;
+      if (use_prep && prep->fragment != nullptr) {
+        fragment = std::move(prep->fragment);
+      } else {
+        auto fragment_or = xml::Parse("<data>" + op.data_xml + "</data>");
+        if (!fragment_or.ok()) return fail(fragment_or.status());
+        fragment = std::move(fragment_or).value();
+      }
       for (xml::NodeId target : effect.targets) {
         if (!doc_->Contains(target)) continue;
         auto detached_or = xml::DetachSubtree(doc_, target);
@@ -217,7 +280,7 @@ Result<OpEffect> Executor::ExecuteInternal(const Operation& op) {
         edit.nodes_affected = detached.subtree.size();
         edit.removed = std::move(detached.subtree);
         effect.edits.Append(std::move(edit));
-        Status s = InsertData(**fragment_or, parent, /*has_index=*/true, index,
+        Status s = InsertData(*fragment, parent, /*has_index=*/true, index,
                               &effect);
         if (!s.ok()) return fail(s);
       }

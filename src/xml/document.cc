@@ -459,6 +459,15 @@ void Document::CollectElementsNamed(NameId name_id,
                                     std::vector<NodeId>* out) const {
   if (name_id >= name_index_.size()) return;
   std::vector<NodeId>& bucket = name_index_[name_id];
+  if (concurrent_reads_) {
+    // Filter without compacting: stale entries stay until the next
+    // single-threaded lookup sweeps them.
+    for (NodeId id : bucket) {
+      const Node* n = Find(id);
+      if (n != nullptr && n->name_id == name_id) out->push_back(id);
+    }
+    return;
+  }
   // Filter + compact in place: survivors are the live elements still named
   // `name_id`; everything else (destroyed or renamed) is swept.
   size_t w = 0;
@@ -476,7 +485,8 @@ void Document::CollectElementsNamed(NameId name_id,
 size_t Document::SubtreeSize(NodeId id) const {
   if (Find(id) == nullptr) return 0;
   size_t count = 0;
-  std::vector<NodeId>& stack = walk_scratch_;
+  std::vector<NodeId> local_stack;
+  std::vector<NodeId>& stack = concurrent_reads_ ? local_stack : walk_scratch_;
   stack.clear();
   stack.push_back(id);
   while (!stack.empty()) {
@@ -525,7 +535,8 @@ void Document::AppendTextContent(NodeId id, std::string* out) const {
   }
   // Iterative pre-order with a reversed-children stack so text concatenates
   // in document order without per-node callback overhead.
-  std::vector<NodeId>& stack = walk_scratch_;
+  std::vector<NodeId> local_stack;
+  std::vector<NodeId>& stack = concurrent_reads_ ? local_stack : walk_scratch_;
   stack.clear();
   stack.push_back(id);
   while (!stack.empty()) {

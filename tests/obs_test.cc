@@ -98,9 +98,11 @@ TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
   EXPECT_EQ(snap.sum, 62);
   EXPECT_EQ(snap.min, 10);
   EXPECT_EQ(snap.max, 21);
-  // Rank math: rank(q) = floor(q*(count-1))+1. p50 -> rank 2 (bucket 1),
-  // p95/p99 -> rank 3 (still bucket 1), all reporting the bucket bound.
-  EXPECT_EQ(snap.p50, 20);
+  // Rank math: rank(q) = floor(q*(count-1))+1. p50 -> rank 2, the first of
+  // two observations in bucket 1 (edges 10..20): 10 + 10*1/2 = 15. p95/p99
+  // -> rank 3, the second: 10 + 10*2/2 = 20. Before in-bucket interpolation
+  // all three pinned to the bucket bound 20.
+  EXPECT_EQ(snap.p50, 15);
   EXPECT_EQ(snap.p95, 20);
   EXPECT_EQ(snap.p99, 20);
   EXPECT_EQ(hist.Quantile(1.0), 21);  // overflow bucket reports the max

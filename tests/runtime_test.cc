@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "runtime/job.h"
+#include "runtime/job_queue.h"
+
+namespace axmlx::runtime {
+namespace {
+
+Job MakeJob(JobType type, std::function<void()> apply) {
+  Job job;
+  job.type = type;
+  job.apply = std::move(apply);
+  return job;
+}
+
+// --- Canonical apply order --------------------------------------------------
+
+TEST(JobQueue, AppliesRunInTypePriorityThenSubmissionOrder) {
+  JobQueue queue;  // deterministic mode
+  std::vector<std::string> order;
+  // Submitted deliberately against priority: eval first, recovery last.
+  queue.Submit(MakeJob(JobType::kJobEval, [&] { order.push_back("eval0"); }));
+  queue.Submit(MakeJob(JobType::kJobFlush, [&] { order.push_back("flush"); }));
+  queue.Submit(MakeJob(JobType::kJobEval, [&] { order.push_back("eval1"); }));
+  queue.Submit(
+      MakeJob(JobType::kJobWalAppend, [&] { order.push_back("wal"); }));
+  queue.Submit(
+      MakeJob(JobType::kJobRecovery, [&] { order.push_back("recovery"); }));
+  queue.Drain();
+  EXPECT_EQ(order, (std::vector<std::string>{"recovery", "wal", "flush",
+                                             "eval0", "eval1"}));
+  EXPECT_EQ(queue.stats().submitted, 5);
+  EXPECT_EQ(queue.stats().executed, 5);
+  EXPECT_EQ(queue.stats().waves, 1);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(JobQueue, JobsSubmittedDuringApplyFormTheNextWave) {
+  JobQueue queue;
+  std::vector<std::string> order;
+  queue.Submit(MakeJob(JobType::kJobEval, [&] {
+    order.push_back("first");
+    // Higher priority than the wave-mate below, but a wave is a barrier:
+    // this lands in wave 2, after everything already queued.
+    queue.Submit(
+        MakeJob(JobType::kJobRecovery, [&] { order.push_back("late"); }));
+  }));
+  queue.Submit(
+      MakeJob(JobType::kJobEval, [&] { order.push_back("second"); }));
+  queue.Drain();
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second", "late"}));
+  EXPECT_EQ(queue.stats().waves, 2);
+}
+
+TEST(JobQueue, ReentrantDrainIsANoOp) {
+  JobQueue queue;
+  std::vector<int> order;
+  queue.Submit(MakeJob(JobType::kJobEval, [&] {
+    order.push_back(1);
+    queue.Submit(MakeJob(JobType::kJobEval, [&] { order.push_back(2); }));
+    EXPECT_TRUE(queue.draining());
+    queue.Drain();  // must not run job 2 from inside job 1's apply
+    EXPECT_EQ(order.size(), 1u);
+  }));
+  queue.Drain();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(queue.draining());
+}
+
+TEST(JobQueue, DestructorRunsWhatIsStillQueued) {
+  bool ran = false;
+  {
+    JobQueue queue;
+    queue.Submit(MakeJob(JobType::kJobEval, [&] { ran = true; }));
+  }
+  EXPECT_TRUE(ran);
+}
+
+// --- Deterministic mode: the seed permutes work order only ------------------
+
+TEST(JobQueue, SeedShufflesWorkOrderButNeverApplyOrder) {
+  std::set<std::vector<int>> work_orders;
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    JobQueueOptions options;
+    options.seed = seed;
+    JobQueue queue(options);
+    std::vector<int> work_order;
+    std::vector<int> apply_order;
+    for (int i = 0; i < 8; ++i) {
+      Job job;
+      job.type = JobType::kJobEval;
+      job.work = [&work_order, i](WorkerContext&) { work_order.push_back(i); };
+      job.apply = [&apply_order, i] { apply_order.push_back(i); };
+      queue.Submit(std::move(job));
+    }
+    queue.Drain();
+    EXPECT_EQ(apply_order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}))
+        << "seed " << seed;
+    EXPECT_EQ(work_order.size(), 8u);
+    work_orders.insert(work_order);
+  }
+  // The shuffle is real: five seeds cannot all pick the same permutation.
+  EXPECT_GT(work_orders.size(), 1u);
+}
+
+TEST(JobQueue, SameSeedIsReproducible) {
+  auto run = [](uint64_t seed) {
+    JobQueueOptions options;
+    options.seed = seed;
+    JobQueue queue(options);
+    std::vector<int> work_order;
+    for (int i = 0; i < 8; ++i) {
+      Job job;
+      job.type = JobType::kJobEval;
+      job.work = [&work_order, i](WorkerContext&) { work_order.push_back(i); };
+      queue.Submit(std::move(job));
+    }
+    queue.Drain();
+    return work_order;
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+// --- Parallel mode ----------------------------------------------------------
+
+TEST(JobQueue, ParallelWorkersRunWorkStagesAndApplyStaysCanonical) {
+  for (int workers : {1, 2, 4}) {
+    JobQueueOptions options;
+    options.workers = workers;
+    JobQueue queue(options);
+    EXPECT_TRUE(queue.parallel());
+    EXPECT_EQ(queue.workers(), workers);
+    std::atomic<int> work_runs{0};
+    std::vector<int> apply_order;
+    for (int i = 0; i < 16; ++i) {
+      Job job;
+      job.type = JobType::kJobEval;
+      job.work = [&work_runs](WorkerContext& ctx) {
+        ASSERT_NE(ctx.eval, nullptr);
+        ++work_runs;
+      };
+      job.apply = [&apply_order, i] { apply_order.push_back(i); };
+      queue.Submit(std::move(job));
+    }
+    queue.Drain();
+    EXPECT_EQ(work_runs.load(), 16) << workers << " workers";
+    std::vector<int> expect(16);
+    for (int i = 0; i < 16; ++i) expect[static_cast<size_t>(i)] = i;
+    EXPECT_EQ(apply_order, expect) << workers << " workers";
+  }
+}
+
+TEST(JobQueue, ParallelWorkersGetPrivateEvalContexts) {
+  JobQueueOptions options;
+  options.workers = 4;
+  JobQueue queue(options);
+  std::mutex mu;
+  std::set<query::EvalContext*> contexts;
+  for (int i = 0; i < 32; ++i) {
+    Job job;
+    job.type = JobType::kJobEval;
+    job.work = [&](WorkerContext& ctx) {
+      std::lock_guard<std::mutex> lock(mu);
+      contexts.insert(ctx.eval);
+    };
+    queue.Submit(std::move(job));
+  }
+  queue.Drain();
+  // Every context seen belongs to the pool's fixed per-worker set.
+  EXPECT_GE(contexts.size(), 1u);
+  EXPECT_LE(contexts.size(), 4u);
+}
+
+// --- Observability ----------------------------------------------------------
+
+TEST(JobQueue, MetricsCountSubmissionsExecutionsAndDepths) {
+  obs::MetricsRegistry metrics;
+  JobQueue queue;
+  queue.AttachMetrics(&metrics);
+  EXPECT_EQ(metrics.GetGauge(obs::kMetricRuntimeWorkers)->value(), 0);
+  queue.Submit(MakeJob(JobType::kJobEval, [] {}));
+  queue.Submit(MakeJob(JobType::kJobWalAppend, [] {}));
+  queue.Submit(MakeJob(JobType::kJobEval, [] {}));
+  EXPECT_EQ(metrics.GetGauge(obs::kMetricJobEvalQueueDepth)->value(), 2);
+  EXPECT_EQ(metrics.GetGauge(obs::kMetricJobWalAppendQueueDepth)->value(), 1);
+  queue.Drain();
+  EXPECT_EQ(metrics.GetGauge(obs::kMetricJobEvalQueueDepth)->value(), 0);
+  EXPECT_EQ(metrics.GetGauge(obs::kMetricJobWalAppendQueueDepth)->value(), 0);
+  EXPECT_EQ(metrics.GetCounter(obs::kMetricRuntimeJobsSubmitted)->value(), 3);
+  EXPECT_EQ(metrics.GetCounter(obs::kMetricRuntimeJobsExecuted)->value(), 3);
+  EXPECT_EQ(metrics.GetCounter(obs::kMetricRuntimeWaves)->value(), 1);
+  auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.histograms.at(obs::kMetricJobEvalRunUs).count, 2);
+  EXPECT_EQ(snap.histograms.at(obs::kMetricJobWalAppendRunUs).count, 1);
+}
+
+TEST(JobQueue, RunInlineIsTypedAccountingWithoutQueueing) {
+  obs::MetricsRegistry metrics;
+  JobQueue queue;
+  queue.AttachMetrics(&metrics);
+  bool ran = false;
+  queue.RunInline(JobType::kJobConflictCheck, "T1", [&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(queue.stats().inline_runs, 1);
+  EXPECT_EQ(metrics.GetCounter(obs::kMetricRuntimeInlineRuns)->value(), 1);
+  auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.histograms.at(obs::kMetricJobConflictCheckRunUs).count, 1);
+  // Inline runs never count as queued jobs.
+  EXPECT_EQ(metrics.GetCounter(obs::kMetricRuntimeJobsSubmitted)->value(), 0);
+}
+
+TEST(JobType, EveryTypeHasNameAndMetricNames) {
+  std::set<std::string> names;
+  std::set<std::string> depth_metrics;
+  std::set<std::string> run_metrics;
+  for (int i = 0; i < kJobTypeCount; ++i) {
+    const JobType type = static_cast<JobType>(i);
+    names.insert(JobTypeName(type));
+    depth_metrics.insert(JobTypeQueueDepthMetric(type));
+    run_metrics.insert(JobTypeRunUsMetric(type));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kJobTypeCount));
+  EXPECT_EQ(depth_metrics.size(), static_cast<size_t>(kJobTypeCount));
+  EXPECT_EQ(run_metrics.size(), static_cast<size_t>(kJobTypeCount));
+}
+
+}  // namespace
+}  // namespace axmlx::runtime

@@ -1335,7 +1335,8 @@ void CheckThreadAnnotations(const std::vector<File>& files,
   for (const File& f : files) {
     if (!StartsWith(f.src->path, "obs/") &&
         !StartsWith(f.src->path, "storage/") &&
-        !StartsWith(f.src->path, "compensation/")) {
+        !StartsWith(f.src->path, "compensation/") &&
+        !StartsWith(f.src->path, "runtime/")) {
       continue;
     }
     const std::vector<Token>& toks = f.toks;
@@ -1428,19 +1429,27 @@ void CheckNameRegistry(const std::vector<File>& files, const Facts& facts,
                    "aggregate by these strings");
       }
     }
-    // Any txn.latency.* literal — even away from a Get* site (report
-    // filters, bench extractors) — must name a registered series: the phase
-    // accounting, AxmlStats, and axmlx_report tables all join on them.
+    // Any txn.latency.* / runtime.* / job.* literal — even away from a
+    // Get* site (report filters, bench extractors) — must name a registered
+    // series: the phase accounting, the worker-pool gauges/histograms,
+    // AxmlStats, and axmlx_report tables all join on them.
     for (const Token& tok : f.toks) {
-      if (tok.kind == Token::Kind::kString &&
-          StartsWith(tok.text, "txn.latency.") &&
-          metric_values.count(tok.text) == 0) {
-        Report(findings, f, "R10", tok.pos,
-               "latency series \"" + tok.text +
-                   "\" is not declared in the kMetric* table "
-                   "(obs/metric_names.h); every txn.latency.* name is "
-                   "registered so phase histograms stay joinable");
-      }
+      if (tok.kind != Token::Kind::kString) continue;
+      const bool latency_family = StartsWith(tok.text, "txn.latency.");
+      const bool runtime_family =
+          StartsWith(tok.text, "runtime.") || StartsWith(tok.text, "job.");
+      if (!latency_family && !runtime_family) continue;
+      if (metric_values.count(tok.text) != 0) continue;
+      Report(findings, f, "R10", tok.pos,
+             latency_family
+                 ? "latency series \"" + tok.text +
+                       "\" is not declared in the kMetric* table "
+                       "(obs/metric_names.h); every txn.latency.* name is "
+                       "registered so phase histograms stay joinable"
+                 : "worker-pool series \"" + tok.text +
+                       "\" is not declared in the kMetric* table "
+                       "(obs/metric_names.h); every runtime.* / job.* name "
+                       "is registered so pool metrics stay joinable");
     }
   }
 }
